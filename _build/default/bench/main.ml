@@ -1,0 +1,218 @@
+(* Benchmark and reproduction harness.
+
+   Two parts:
+   - bechamel micro-benchmarks of the hot paths the paper reasons about
+     (the §2.2 cube roots, the §2.3 per-ACK processing cost, the wire
+     codec, the control-program parser);
+   - the figure harness: regenerates every table and figure of the paper's
+     evaluation and prints measured-vs-paper summaries.
+
+   Usage: main.exe [sections...] where sections are any of
+   micro table1 batching fig2 fig3 fig4 fig5 ablations (default: all).
+   Set QUICK=1 to shrink simulation durations (CI-friendly). *)
+
+open Bechamel
+open Toolkit
+open Ccp_util
+open Ccp_core
+
+let quick = match Sys.getenv_opt "QUICK" with Some ("1" | "true") -> true | _ -> false
+
+let sections =
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as rest) -> rest
+  | _ -> [ "micro"; "table1"; "batching"; "fig2"; "fig3"; "fig4"; "fig5"; "ablations"; "sweep" ]
+
+let enabled name = List.mem name sections
+
+let heading title =
+  Printf.printf
+    "\n================================================================\n%s\n================================================================\n%!"
+    title
+
+(* --- bechamel micro-benchmarks --- *)
+
+let sample_report : Ccp_ipc.Message.t =
+  Ccp_ipc.Message.Report
+    {
+      flow = 7;
+      fields =
+        [|
+          ("acked", 123456.0); ("marked", 12.0); ("pkts", 85.0); ("maxrate", 1.25e7);
+          ("minrtt", 10123.0); ("lastrtt", 11000.0); ("sumrtt", 870000.0);
+          ("_cwnd", 145000.0); ("_rate", 0.0); ("_srtt_us", 10500.0);
+        |];
+    }
+
+let sample_install : Ccp_ipc.Message.t =
+  Ccp_ipc.Message.Install
+    {
+      flow = 7;
+      program =
+        Ccp_lang.Parser.parse_program
+          "Measure(fold { init { acked = 0; minrtt = 1e12 } update { acked = acked + \
+           pkt.bytes_acked; minrtt = min(minrtt, pkt.rtt_us) } }).Cwnd(cwnd + 2 * \
+           mss).WaitRtts(1.0).Report()";
+    }
+
+let encoded_report = Ccp_ipc.Codec.encode sample_report
+let encoded_install = Ccp_ipc.Codec.encode sample_install
+
+(* A representative program source: the paper's BBR pulse pattern. *)
+let parse_text =
+  "Measure(rtt_us, bytes_acked).Rate(1.25 * rate).WaitRtts(1.0).Report().Rate(0.75 * \
+   rate).WaitRtts(1.0).Report().Rate(rate).WaitRtts(6.0).Report()"
+
+let fold_def =
+  match
+    Ccp_lang.Parser.parse_program
+      "Measure(fold { init { acked = 0; minrtt = 1e12; maxrate = 0 } update { acked = acked \
+       + pkt.bytes_acked; minrtt = min(minrtt, pkt.rtt_us); maxrate = max(maxrate, \
+       pkt.recv_rate) } }).WaitRtts(1.0).Report()"
+  with
+  | { Ccp_lang.Ast.prims = Ccp_lang.Ast.Measure (Ccp_lang.Ast.Fold def) :: _; _ } -> def
+  | _ -> assert false
+
+let flow_env = function
+  | "cwnd" -> Some 140000.0
+  | "mss" -> Some 1448.0
+  | "srtt_us" -> Some 10100.0
+  | "rate" -> Some 1.2e7
+  | _ -> Some 0.0
+
+let pkt_env = function
+  | "rtt_us" -> Some 10233.0
+  | "bytes_acked" -> Some 1448.0
+  | "recv_rate" -> Some 1.21e7
+  | _ -> Some 0.0
+
+let micro_tests () =
+  let fold_state = Ccp_lang.Fold.create fold_def ~flow_env in
+  let cubic_expr = Ccp_lang.Parser.parse_expr "max(0.0, cwnd + 0.4 * mss * srtt_us / 1000)" in
+  let eval_env = { Ccp_lang.Eval.lookup_var = flow_env; lookup_pkt = pkt_env } in
+  Test.make_grouped ~name:"ccp"
+    [
+      Test.make ~name:"cubic/int-cbrt"
+        (Staged.stage (fun () -> Ccp_algorithms.Cubic_math.int_cbrt 12345678901));
+      Test.make ~name:"cubic/float-cbrt"
+        (Staged.stage (fun () -> Ccp_algorithms.Cubic_math.float_cbrt 12345678901.0));
+      Test.make ~name:"lang/parse-bbr-program"
+        (Staged.stage (fun () -> Ccp_lang.Parser.parse_program parse_text));
+      Test.make ~name:"lang/fold-step-per-ack"
+        (Staged.stage (fun () -> Ccp_lang.Fold.step fold_state ~flow_env ~pkt_env));
+      Test.make ~name:"lang/eval-expr"
+        (Staged.stage (fun () -> Ccp_lang.Eval.eval eval_env cubic_expr));
+      Test.make ~name:"ipc/encode-report"
+        (Staged.stage (fun () -> Ccp_ipc.Codec.encode sample_report));
+      Test.make ~name:"ipc/decode-report"
+        (Staged.stage (fun () -> Ccp_ipc.Codec.decode encoded_report));
+      Test.make ~name:"ipc/encode-install"
+        (Staged.stage (fun () -> Ccp_ipc.Codec.encode sample_install));
+      Test.make ~name:"ipc/decode-install"
+        (Staged.stage (fun () -> Ccp_ipc.Codec.decode encoded_install));
+      Test.make ~name:"table1/render"
+        (Staged.stage (fun () -> Ccp_algorithms.Primitives_table.render ()));
+    ]
+
+let run_micro () =
+  heading "Micro-benchmarks (bechamel)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (micro_tests ()) in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) -> (name, est, Analyze.OLS.r_square ols) :: acc
+        | _ -> acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  in
+  Printf.printf "%-34s %14s %8s\n" "benchmark" "ns/op" "r^2";
+  List.iter
+    (fun (name, est, r2) ->
+      Printf.printf "%-34s %14.1f %8s\n" name est
+        (match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "-"))
+    rows;
+  let cost name =
+    match List.find_opt (fun (n, _, _) -> n = name) rows with
+    | Some (_, est, _) -> est
+    | None -> 0.0
+  in
+  let fold_ns = cost "ccp/lang/fold-step-per-ack" in
+  let report_ns = cost "ccp/ipc/encode-report" +. cost "ccp/ipc/decode-report" in
+  Printf.printf
+    "\n\
+     §2.3 in measured numbers, at 100 Gbit/s with MTU segments (8.3M ACKs/s):\n\
+     - per-ACK datapath fold work: %.1f ms of CPU per second of traffic\n\
+     - per-RTT reporting at 10 µs RTT (100k reports/s, %d-byte reports): %.1f ms/s of codec work\n"
+    (fold_ns *. 8.3e6 /. 1e6)
+    (String.length encoded_report)
+    (report_ns *. 100_000.0 /. 1e6)
+
+(* --- figure harness --- *)
+
+let run_table1 () =
+  heading "Table 1";
+  print_string (Report.render_table1 ())
+
+let run_batching () =
+  heading "Batching load (§2.3)";
+  print_string (Report.render_batching (Scenarios.Batching_load.table ()))
+
+let run_fig2 () =
+  heading "Figure 2";
+  let samples = if quick then 10_000 else 60_000 in
+  print_string (Report.render_fig2 (Scenarios.Fig2.run ~samples ()))
+
+let run_fig3 () =
+  heading "Figure 3";
+  let duration = if quick then Time_ns.sec 8 else Time_ns.sec 30 in
+  print_string (Report.render_fig3 (Scenarios.Fig3.run ~duration ()))
+
+let run_fig4 () =
+  heading "Figure 4";
+  let duration = if quick then Time_ns.sec 30 else Time_ns.sec 60 in
+  print_string (Report.render_fig4 (Scenarios.Fig4.run ~duration ()))
+
+let run_fig5 () =
+  heading "Figure 5";
+  let runs = if quick then 2 else 4 in
+  let duration = Time_ns.of_float_sec (if quick then 0.4 else 0.8) in
+  print_string (Report.render_fig5 (Scenarios.Fig5.run ~runs ~duration ()))
+
+let run_ablations () =
+  heading "Ablations";
+  print_string
+    (Report.render_ablations
+       ~interval:(Scenarios.Ablation.report_interval ())
+       ~latency:(Scenarios.Ablation.ipc_latency ())
+       ~urgent:(Scenarios.Ablation.urgent ())
+       ~batching:(Scenarios.Ablation.batching_mode ()))
+
+let run_sweep () =
+  heading "Sweep: CCP vs native Reno across operating points";
+  let points =
+    if quick then
+      Sweep.grid ~rates_bps:[ 20e6 ] ~rtts:[ Ccp_util.Time_ns.ms 20 ] ~buffer_bdps:[ 1.0 ]
+    else Sweep.default_grid
+  in
+  let duration = Time_ns.sec (if quick then 6 else 10) in
+  let outcomes =
+    Sweep.run ~duration ~native:Ccp_algorithms.Native_reno.create
+      ~ccp:(Ccp_algorithms.Ccp_reno.create ()) points
+  in
+  print_string (Sweep.render outcomes)
+
+let () =
+  if enabled "micro" then run_micro ();
+  if enabled "table1" then run_table1 ();
+  if enabled "batching" then run_batching ();
+  if enabled "fig2" then run_fig2 ();
+  if enabled "fig3" then run_fig3 ();
+  if enabled "fig4" then run_fig4 ();
+  if enabled "fig5" then run_fig5 ();
+  if enabled "ablations" then run_ablations ();
+  if enabled "sweep" then run_sweep ();
+  Printf.printf "\ndone.\n"

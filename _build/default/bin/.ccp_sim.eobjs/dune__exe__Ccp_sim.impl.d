@@ -1,0 +1,1 @@
+bin/ccp_sim.ml: Arg Ccp_algorithms Ccp_core Ccp_util Cmd Cmdliner Experiment List Printf Report Scenarios String Sweep Term Time_ns

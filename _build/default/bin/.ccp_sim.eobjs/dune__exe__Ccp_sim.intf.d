@@ -1,0 +1,1 @@
+bin/ccp_sim.mli:

@@ -1,0 +1,1 @@
+bin/ipc_rtt.ml: Arg Array Bytes Cmd Cmdliner Float Int64 List Printf Term Unix

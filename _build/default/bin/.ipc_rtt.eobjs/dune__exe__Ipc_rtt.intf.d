@@ -1,0 +1,1 @@
+bin/ipc_rtt.mli:

@@ -1,0 +1,197 @@
+(* ccp_sim: command-line driver for the CCP reproduction.
+
+   Subcommands:
+     run     one experiment with configurable link, flows, and algorithm
+     fig2..fig5, table1, batching, ablations
+             regenerate the corresponding paper artifact
+     csv     run an experiment and dump a trace series as CSV *)
+
+open Cmdliner
+open Ccp_util
+open Ccp_core
+
+let algorithms : (string * (unit -> Experiment.cc_spec)) list =
+  [
+    ("reno", fun () -> Experiment.Native_cc Ccp_algorithms.Native_reno.create);
+    ("cubic", fun () -> Experiment.Native_cc Ccp_algorithms.Native_cubic.create);
+    ("vegas", fun () -> Experiment.Native_cc Ccp_algorithms.Native_vegas.create);
+    ("dctcp", fun () -> Experiment.Native_cc Ccp_algorithms.Native_dctcp.create);
+    ("htcp", fun () -> Experiment.Native_cc Ccp_algorithms.Native_htcp.create);
+    ("illinois", fun () -> Experiment.Native_cc Ccp_algorithms.Native_illinois.create);
+    ("ccp-reno", fun () -> Experiment.Ccp_cc (Ccp_algorithms.Ccp_reno.create ()));
+    ("ccp-cubic", fun () -> Experiment.Ccp_cc (Ccp_algorithms.Ccp_cubic.create ()));
+    ("ccp-vegas", fun () -> Experiment.Ccp_cc (Ccp_algorithms.Ccp_vegas.create `Fold));
+    ("ccp-vegas-vector", fun () -> Experiment.Ccp_cc (Ccp_algorithms.Ccp_vegas.create `Vector));
+    ("ccp-bbr", fun () -> Experiment.Ccp_cc (Ccp_algorithms.Ccp_bbr.create ()));
+    ("ccp-dctcp", fun () -> Experiment.Ccp_cc (Ccp_algorithms.Ccp_dctcp.create ()));
+    ("ccp-timely", fun () -> Experiment.Ccp_cc (Ccp_algorithms.Ccp_timely.create ()));
+    ("ccp-pcc", fun () -> Experiment.Ccp_cc (Ccp_algorithms.Ccp_pcc.create ()));
+    ("ccp-aimd", fun () -> Experiment.Ccp_cc (Ccp_algorithms.Ccp_aimd.create ()));
+  ]
+
+let algorithm_names = String.concat ", " (List.map fst algorithms)
+
+(* --- shared options --- *)
+
+let rate_mbps =
+  let doc = "Bottleneck rate in Mbit/s." in
+  Arg.(value & opt float 100.0 & info [ "rate" ] ~docv:"MBPS" ~doc)
+
+let rtt_ms =
+  let doc = "Base round-trip time in milliseconds." in
+  Arg.(value & opt float 20.0 & info [ "rtt" ] ~docv:"MS" ~doc)
+
+let duration_s =
+  let doc = "Simulated duration in seconds." in
+  Arg.(value & opt float 15.0 & info [ "duration" ] ~docv:"S" ~doc)
+
+let buffer_bdp =
+  let doc = "Bottleneck buffer in bandwidth-delay products." in
+  Arg.(value & opt float 1.0 & info [ "buffer-bdp" ] ~docv:"BDP" ~doc)
+
+let seed =
+  let doc = "Random seed (simulations are deterministic per seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+
+let flows_arg =
+  let doc =
+    Printf.sprintf
+      "Flow specification: comma-separated $(i,algo[@start_s]) entries. Algorithms: %s."
+      algorithm_names
+  in
+  Arg.(value & opt string "ccp-reno" & info [ "flows" ] ~docv:"SPEC" ~doc)
+
+let ecn_bdp =
+  let doc = "Enable ECN marking at this fraction of the buffer (e.g. 0.2); 0 disables." in
+  Arg.(value & opt float 0.0 & info [ "ecn" ] ~docv:"FRAC" ~doc)
+
+let parse_flows spec =
+  String.split_on_char ',' spec
+  |> List.map (fun entry ->
+         let entry = String.trim entry in
+         let name, start_s =
+           match String.index_opt entry '@' with
+           | Some i ->
+             ( String.sub entry 0 i,
+               float_of_string (String.sub entry (i + 1) (String.length entry - i - 1)) )
+           | None -> (entry, 0.0)
+         in
+         match List.assoc_opt name algorithms with
+         | Some make -> Experiment.flow ~start_at:(Time_ns.of_float_sec start_s) (make ())
+         | None -> failwith (Printf.sprintf "unknown algorithm %S (try: %s)" name algorithm_names))
+
+let build_config ~rate_mbps ~rtt_ms ~duration_s ~buffer_bdp ~seed ~flows ~ecn_bdp =
+  let rate_bps = rate_mbps *. 1e6 in
+  let base_rtt = Time_ns.of_float_sec (rtt_ms /. 1e3) in
+  let bdp = rate_bps *. Time_ns.to_float_sec base_rtt /. 8.0 in
+  let buffer_bytes = max 3000 (int_of_float (buffer_bdp *. bdp)) in
+  let base =
+    Experiment.default_config ~rate_bps ~base_rtt ~duration:(Time_ns.of_float_sec duration_s)
+  in
+  {
+    base with
+    Experiment.seed;
+    buffer_bytes;
+    warmup = Time_ns.of_float_sec (duration_s /. 10.0);
+    ecn_threshold_bytes =
+      (if ecn_bdp > 0.0 then Some (int_of_float (ecn_bdp *. float_of_int buffer_bytes))
+       else None);
+    flows = parse_flows flows;
+  }
+
+let print_result (r : Experiment.result) =
+  Printf.printf "utilization        %.1f%%\n" (100.0 *. r.Experiment.utilization);
+  Printf.printf "median RTT         %s\n" (Time_ns.to_string r.Experiment.median_rtt);
+  Printf.printf "p95 RTT            %s\n" (Time_ns.to_string r.Experiment.p95_rtt);
+  Printf.printf "drops              %d\n" r.Experiment.drops;
+  Printf.printf "ECN marks          %d\n" r.Experiment.ecn_marks;
+  Printf.printf "Jain fairness      %.3f\n" r.Experiment.jain_index;
+  List.iter
+    (fun (f : Experiment.flow_result) ->
+      Printf.printf
+        "flow %d (%s): goodput %.2f Mbit/s, mean RTT %s, retx %d, RTOs %d, final cwnd %d\n"
+        f.flow_id f.cc_name (f.goodput_bps /. 1e6) (Time_ns.to_string f.mean_rtt) f.retransmits
+        f.timeouts f.final_cwnd)
+    r.Experiment.flows;
+  (match r.Experiment.agent_stats with
+  | Some s ->
+    Printf.printf
+      "CCP agent: %d reports, %d urgents, %d installs, %d handler errors; IPC bytes %d up / %d down\n"
+      s.Experiment.reports s.Experiment.urgents s.Experiment.installs s.Experiment.handler_errors
+      s.Experiment.ipc_bytes_to_agent s.Experiment.ipc_bytes_to_datapath
+  | None -> ())
+
+let run_cmd =
+  let action rate_mbps rtt_ms duration_s buffer_bdp seed flows ecn_bdp =
+    let config =
+      build_config ~rate_mbps ~rtt_ms ~duration_s ~buffer_bdp ~seed ~flows ~ecn_bdp
+    in
+    print_result (Experiment.run config)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one dumbbell experiment.")
+    Term.(
+      const action $ rate_mbps $ rtt_ms $ duration_s $ buffer_bdp $ seed $ flows_arg $ ecn_bdp)
+
+let csv_cmd =
+  let series =
+    let doc = "Trace series to dump (e.g. cwnd.0, throughput_mbps.1, queue_bytes, rtt_ms.0)." in
+    Arg.(value & opt string "cwnd.0" & info [ "series" ] ~docv:"NAME" ~doc)
+  in
+  let action rate_mbps rtt_ms duration_s buffer_bdp seed flows ecn_bdp series =
+    let config =
+      build_config ~rate_mbps ~rtt_ms ~duration_s ~buffer_bdp ~seed ~flows ~ecn_bdp
+    in
+    let r = Experiment.run config in
+    print_string (Report.series_csv r ~series)
+  in
+  Cmd.v
+    (Cmd.info "csv" ~doc:"Run an experiment and print one trace series as CSV.")
+    Term.(
+      const action $ rate_mbps $ rtt_ms $ duration_s $ buffer_bdp $ seed $ flows_arg $ ecn_bdp
+      $ series)
+
+let simple name doc render =
+  Cmd.v (Cmd.info name ~doc) Term.(const (fun () -> print_string (render ())) $ const ())
+
+let fig2_cmd = simple "fig2" "Reproduce Figure 2 (IPC RTT CDFs)."
+    (fun () -> Report.render_fig2 (Scenarios.Fig2.run ()))
+
+let fig3_cmd = simple "fig3" "Reproduce Figure 3 (Cubic window dynamics)."
+    (fun () -> Report.render_fig3 (Scenarios.Fig3.run ()))
+
+let fig4_cmd = simple "fig4" "Reproduce Figure 4 (NewReno convergence)."
+    (fun () -> Report.render_fig4 (Scenarios.Fig4.run ()))
+
+let fig5_cmd = simple "fig5" "Reproduce Figure 5 (offload throughput)."
+    (fun () -> Report.render_fig5 (Scenarios.Fig5.run ()))
+
+let table1_cmd = simple "table1" "Render Table 1." (fun () -> Report.render_table1 ())
+
+let batching_cmd = simple "batching" "Render the §2.3 batching-load table."
+    (fun () -> Report.render_batching (Scenarios.Batching_load.table ()))
+
+let ablations_cmd = simple "ablations" "Run the design ablations."
+    (fun () ->
+      Report.render_ablations
+        ~interval:(Scenarios.Ablation.report_interval ())
+        ~latency:(Scenarios.Ablation.ipc_latency ())
+        ~urgent:(Scenarios.Ablation.urgent ())
+        ~batching:(Scenarios.Ablation.batching_mode ()))
+
+let sweep_cmd = simple "sweep" "CCP vs native Reno across a grid of operating points."
+    (fun () ->
+      Sweep.render
+        (Sweep.run ~native:Ccp_algorithms.Native_reno.create
+           ~ccp:(Ccp_algorithms.Ccp_reno.create ()) Sweep.default_grid))
+
+let main =
+  Cmd.group
+    (Cmd.info "ccp_sim" ~version:"1.0.0"
+       ~doc:"Congestion-control-plane reproduction (HotNets 2017).")
+    [
+      run_cmd; csv_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; table1_cmd; batching_cmd;
+      ablations_cmd; sweep_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,96 @@
+(* ipc_rtt: measure real IPC round-trip times on this machine.
+
+   The paper's Figure 2 measures Netlink (kernel <-> user space) and Unix
+   domain socket RTTs. A kernel module is out of reach here, but the Unix
+   domain socket measurement — and a pipe-pair baseline — run for real:
+   a child process echoes one byte back to the parent over the chosen
+   transport, and the parent records each ping-pong's wall-clock time.
+   These numbers ground the calibrated log-normal models in
+   Ccp_ipc.Latency_model. *)
+
+open Cmdliner
+
+let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+(* One echo server on [rx]/[tx]; exits when the socket closes. *)
+let child_loop rx tx =
+  let buf = Bytes.create 1 in
+  let rec loop () =
+    match Unix.read rx buf 0 1 with
+    | 0 -> ()
+    | _ ->
+      ignore (Unix.write tx buf 0 1);
+      loop ()
+    | exception Unix.Unix_error (Unix.EPIPE, _, _) -> ()
+  in
+  loop ()
+
+let close_all fds = List.iter Unix.close (List.sort_uniq compare fds)
+
+let measure ~make_channel ~rounds ~warmup =
+  let (parent_rx, parent_tx), (child_rx, child_tx) = make_channel () in
+  match Unix.fork () with
+  | 0 ->
+    (* Child: close parent ends, echo until EOF. *)
+    close_all [ parent_rx; parent_tx ];
+    child_loop child_rx child_tx;
+    Unix._exit 0
+  | pid ->
+    close_all [ child_rx; child_tx ];
+    let buf = Bytes.make 1 'x' in
+    let samples = Array.make rounds 0.0 in
+    for i = 1 - warmup to rounds do
+      let start = now_ns () in
+      ignore (Unix.write parent_tx buf 0 1);
+      ignore (Unix.read parent_rx buf 0 1);
+      let elapsed = now_ns () - start in
+      if i >= 1 then samples.(i - 1) <- float_of_int elapsed /. 1e3
+    done;
+    close_all [ parent_rx; parent_tx ];
+    ignore (Unix.waitpid [] pid);
+    Array.sort Float.compare samples;
+    samples
+
+let unix_socket_channel () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  ((a, a), (b, b))
+
+let pipe_channel () =
+  let to_child_rx, to_child_tx = Unix.pipe () in
+  let to_parent_rx, to_parent_tx = Unix.pipe () in
+  ((to_parent_rx, to_child_tx), (to_child_rx, to_parent_tx))
+
+let report name samples =
+  Printf.printf "%-22s n=%d  p50=%.1fus  p90=%.1fus  p99=%.1fus  max=%.1fus\n" name
+    (Array.length samples) (percentile samples 50.0) (percentile samples 90.0)
+    (percentile samples 99.0)
+    samples.(Array.length samples - 1)
+
+let run rounds =
+  Printf.printf
+    "Real IPC ping-pong round-trip times on this host (cf. Figure 2; paper p99s: netlink \
+     idle 48us, unix idle 80us)\n";
+  report "unix domain socket" (measure ~make_channel:unix_socket_channel ~rounds ~warmup:1000);
+  report "pipe pair" (measure ~make_channel:pipe_channel ~rounds ~warmup:1000)
+
+let rounds =
+  let doc = "Number of measured ping-pongs per transport." in
+  Arg.(value & opt int 60_000 & info [ "rounds" ] ~docv:"N" ~doc)
+
+let cmd =
+  Cmd.v
+    (Cmd.info "ipc_rtt" ~version:"1.0.0" ~doc:"Measure real IPC round-trip latency.")
+    Term.(const run $ rounds)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/cellular.ml: Ccp_algorithms Ccp_core Ccp_util Experiment List Printf Time_ns

@@ -1,0 +1,1 @@
+examples/congestion_manager.ml: Ccp_algorithms Ccp_core Ccp_util Experiment List Printf Time_ns

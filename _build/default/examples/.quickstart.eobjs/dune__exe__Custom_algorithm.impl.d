@@ -1,0 +1,1 @@
+examples/custom_algorithm.ml: Algorithm Ccp_agent Ccp_core Ccp_ipc Ccp_util Experiment Printf Time_ns

@@ -1,0 +1,1 @@
+examples/multi_algorithm_host.ml: Algorithm Ccp_agent Ccp_algorithms Ccp_core Ccp_util Experiment List Policy Printf Time_ns

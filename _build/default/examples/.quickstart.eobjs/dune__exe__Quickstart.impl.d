@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ccp_algorithms Ccp_core Ccp_net Ccp_util Experiment List Printf Time_ns

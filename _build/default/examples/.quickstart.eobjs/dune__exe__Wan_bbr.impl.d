@@ -1,0 +1,1 @@
+examples/wan_bbr.ml: Ccp_algorithms Ccp_core Ccp_lang Ccp_util Experiment List Printf Time_ns

@@ -1,0 +1,65 @@
+(* Multiple algorithms on one host, with agent policy.
+
+   §2 of the paper: "it is possible to run multiple algorithms on the same
+   host, e.g., file downloads and video calls could use different
+   transmission algorithms", and the agent "imposes policies on the
+   decisions of the congestion control algorithms, e.g., per-connection
+   maximum transmission rates."
+
+   Here one agent serves three flows over one shared 100 Mbit/s link:
+   - flow 0, a bulk download, runs CCP Cubic;
+   - flow 1, a "video call", runs CCP BBR capped by policy at 8 Mbit/s;
+   - flow 2, a background sync, runs CCP Vegas (it yields under load).
+
+     dune exec examples/multi_algorithm_host.exe *)
+
+open Ccp_util
+open Ccp_agent
+open Ccp_core
+
+let () =
+  let base =
+    Experiment.default_config ~rate_bps:100e6 ~base_rtt:(Time_ns.ms 20)
+      ~duration:(Time_ns.sec 20)
+  in
+  (* The policy function: the agent clamps flow 1's rate and window; the
+     caps are compiled into every program it installs (Rate/Cwnd get
+     wrapped in min()), so they hold between agent decisions too. *)
+  let policy (info : Algorithm.flow_info) =
+    if info.Algorithm.flow = 1 then
+      {
+        Policy.max_rate_bps = Some 1_000_000.0 (* 8 Mbit/s in bytes/s *);
+        max_cwnd_bytes = Some 80_000;
+        min_cwnd_bytes = Some (2 * info.Algorithm.mss);
+      }
+    else Policy.unrestricted
+  in
+  let config =
+    {
+      base with
+      Experiment.warmup = Time_ns.sec 4;
+      policy = Some policy;
+      flows =
+        [
+          Experiment.flow (Experiment.Ccp_cc (Ccp_algorithms.Ccp_cubic.create ()));
+          Experiment.flow (Experiment.Ccp_cc (Ccp_algorithms.Ccp_bbr.create ()));
+          Experiment.flow (Experiment.Ccp_cc (Ccp_algorithms.Ccp_vegas.create `Fold));
+        ];
+    }
+  in
+  let r = Experiment.run config in
+  Printf.printf
+    "three algorithms, one host, one agent (100 Mbit/s shared; flow 1 policy-capped at 8 Mbit/s):\n\n";
+  List.iter
+    (fun (f : Experiment.flow_result) ->
+      Printf.printf "  flow %d %-16s goodput %6.2f Mbit/s   mean RTT %s\n" f.flow_id
+        (f.cc_name ^ (if f.flow_id = 1 then " (capped)" else ""))
+        (f.goodput_bps /. 1e6) (Time_ns.to_string f.mean_rtt))
+    r.Experiment.flows;
+  Printf.printf "\n  total utilization %.1f%%   drops %d\n"
+    (100.0 *. r.Experiment.utilization) r.Experiment.drops;
+  match r.Experiment.agent_stats with
+  | Some s ->
+    Printf.printf "  one agent handled %d reports and %d urgent events across all flows\n"
+      s.Experiment.reports s.Experiment.urgents
+  | None -> ()

@@ -1,0 +1,41 @@
+(* Quickstart: run one CCP flow over a simulated bottleneck.
+
+   This is the smallest end-to-end use of the library: build an
+   experiment (a dumbbell link), attach a flow whose congestion control
+   runs OFF the datapath in the CCP agent, run, and read the results.
+
+     dune exec examples/quickstart.exe *)
+
+open Ccp_util
+open Ccp_core
+
+let () =
+  (* A 100 Mbit/s bottleneck with a 20 ms round trip and one
+     bandwidth-delay product of buffering (the default). *)
+  let config =
+    Experiment.default_config ~rate_bps:100e6 ~base_rtt:(Time_ns.ms 20)
+      ~duration:(Time_ns.sec 10)
+  in
+  (* One flow running CCP NewReno: the datapath batches measurements once
+     per RTT and the agent — user-space code — makes the decisions. *)
+  let config =
+    { config with Experiment.flows = [ Experiment.flow (Experiment.Ccp_cc (Ccp_algorithms.Ccp_reno.create ())) ] }
+  in
+  let result = Experiment.run config in
+
+  Printf.printf "CCP NewReno on a 100 Mbit/s / 20 ms dumbbell for 10 s:\n";
+  Printf.printf "  link utilization   %.1f%%\n" (100.0 *. result.Experiment.utilization);
+  Printf.printf "  median RTT         %s\n" (Time_ns.to_string result.Experiment.median_rtt);
+  Printf.printf "  packet drops       %d\n" result.Experiment.drops;
+  (match result.Experiment.agent_stats with
+  | Some s ->
+    Printf.printf "  agent activity     %d reports, %d urgent events, %d installs\n"
+      s.Experiment.reports s.Experiment.urgents s.Experiment.installs;
+    Printf.printf "  IPC traffic        %d bytes to agent, %d bytes to datapath\n"
+      s.Experiment.ipc_bytes_to_agent s.Experiment.ipc_bytes_to_datapath
+  | None -> ());
+
+  (* Every experiment records traces; dump the last few cwnd points. *)
+  let cwnd = Ccp_net.Trace.series result.Experiment.trace "cwnd.0" in
+  Printf.printf "  cwnd trace         %d points; final %d bytes\n" (List.length cwnd)
+    (match List.rev cwnd with (_, v) :: _ -> int_of_float v | [] -> 0)

@@ -1,0 +1,1 @@
+lib/agent/agent.ml: Algorithm Ccp_eventsim Ccp_ipc Ccp_lang Ccp_util Channel Format Hashtbl Logs Message Option Policy Printexc Sim Time_ns

@@ -1,0 +1,1 @@
+lib/agent/agent.mli: Algorithm Ccp_eventsim Ccp_ipc Channel Policy Sim

@@ -1,0 +1,1 @@
+lib/agent/algorithm.ml: Array Ccp_ipc Ccp_lang Message

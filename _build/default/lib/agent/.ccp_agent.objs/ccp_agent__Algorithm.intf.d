@@ -1,0 +1,1 @@
+lib/agent/algorithm.mli: Ccp_ipc Ccp_lang Message

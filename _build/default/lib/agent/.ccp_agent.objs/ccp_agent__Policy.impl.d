@@ -1,0 +1,1 @@
+lib/agent/policy.ml: Ccp_lang Float List

@@ -1,0 +1,1 @@
+lib/agent/policy.mli: Ccp_lang

@@ -1,0 +1,118 @@
+open Ccp_util
+open Ccp_eventsim
+open Ccp_ipc
+
+type flow_entry = {
+  info : Algorithm.flow_info;
+  algorithm_name : string;
+  handlers : Algorithm.handlers;
+}
+
+type t = {
+  sim : Sim.t;
+  channel : Channel.t;
+  choose : Algorithm.flow_info -> Algorithm.t;
+  policy : Algorithm.flow_info -> Policy.t;
+  flows : (int, flow_entry) Hashtbl.t;
+  mutable reports_received : int;
+  mutable urgents_received : int;
+  mutable installs_sent : int;
+  mutable handler_errors : int;
+}
+
+let guard t f =
+  try f ()
+  with exn ->
+    t.handler_errors <- t.handler_errors + 1;
+    Logs.warn (fun m -> m "agent: algorithm handler raised %s" (Printexc.to_string exn))
+
+let make_handle t (info : Algorithm.flow_info) policy : Algorithm.handle =
+  let install program =
+    (match Ccp_lang.Typecheck.check program with
+    | Ok _ -> ()
+    | Error (first :: _) ->
+      invalid_arg
+        (Format.asprintf "Agent.install: invalid program: %a" Ccp_lang.Typecheck.pp_error first)
+    | Error [] -> assert false);
+    let program = Policy.apply_program policy program in
+    t.installs_sent <- t.installs_sent + 1;
+    Channel.send t.channel ~from:Channel.Agent_end
+      (Message.Install { flow = info.Algorithm.flow; program })
+  in
+  {
+    info;
+    install;
+    install_text = (fun text -> install (Ccp_lang.Parser.parse_program text));
+    set_cwnd =
+      (fun bytes ->
+        Channel.send t.channel ~from:Channel.Agent_end
+          (Message.Set_cwnd { flow = info.Algorithm.flow; bytes = Policy.clamp_cwnd policy bytes }));
+    set_rate =
+      (fun rate ->
+        Channel.send t.channel ~from:Channel.Agent_end
+          (Message.Set_rate
+             { flow = info.Algorithm.flow; bytes_per_sec = Policy.clamp_rate policy rate }));
+    now_us = (fun () -> Time_ns.to_float_us (Sim.now t.sim));
+  }
+
+let on_ready t ~flow ~mss ~init_cwnd =
+  let info = { Algorithm.flow; mss; init_cwnd } in
+  let algorithm = t.choose info in
+  let policy = t.policy info in
+  let handle = make_handle t info policy in
+  let handlers = algorithm.Algorithm.make handle in
+  Hashtbl.replace t.flows flow
+    { info; algorithm_name = algorithm.Algorithm.name; handlers };
+  guard t handlers.Algorithm.on_ready
+
+let on_message t (msg : Message.t) =
+  match msg with
+  | Message.Ready { flow; mss; init_cwnd } -> on_ready t ~flow ~mss ~init_cwnd
+  | Message.Report report -> (
+    t.reports_received <- t.reports_received + 1;
+    match Hashtbl.find_opt t.flows report.Message.flow with
+    | Some entry -> guard t (fun () -> entry.handlers.Algorithm.on_report report)
+    | None -> ())
+  | Message.Report_vector report -> (
+    t.reports_received <- t.reports_received + 1;
+    match Hashtbl.find_opt t.flows report.Message.flow with
+    | Some entry -> guard t (fun () -> entry.handlers.Algorithm.on_report_vector report)
+    | None -> ())
+  | Message.Urgent urgent -> (
+    t.urgents_received <- t.urgents_received + 1;
+    match Hashtbl.find_opt t.flows urgent.Message.flow with
+    | Some entry -> guard t (fun () -> entry.handlers.Algorithm.on_urgent urgent)
+    | None -> ())
+  | Message.Closed { flow } -> Hashtbl.remove t.flows flow
+  | Message.Install _ | Message.Set_cwnd _ | Message.Set_rate _ ->
+    (* Datapath-bound traffic is never delivered to the agent end. *)
+    ()
+
+let create ~sim ~channel ~choose ?(policy = fun _ -> Policy.unrestricted) () =
+  let t =
+    {
+      sim;
+      channel;
+      choose;
+      policy;
+      flows = Hashtbl.create 8;
+      reports_received = 0;
+      urgents_received = 0;
+      installs_sent = 0;
+      handler_errors = 0;
+    }
+  in
+  Channel.on_receive channel Channel.Agent_end (on_message t);
+  t
+
+let with_algorithm ~sim ~channel algorithm = create ~sim ~channel ~choose:(fun _ -> algorithm) ()
+
+let flow_count t = Hashtbl.length t.flows
+
+let algorithm_name t ~flow =
+  Option.map (fun e -> e.algorithm_name) (Hashtbl.find_opt t.flows flow)
+
+let reports_received t = t.reports_received
+let urgents_received t = t.urgents_received
+let installs_sent t = t.installs_sent
+let handler_errors t = t.handler_errors

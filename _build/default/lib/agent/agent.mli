@@ -1,0 +1,38 @@
+(** The CCP agent: the user-space process between algorithms and datapaths.
+
+    The agent owns the agent end of the IPC {!Ccp_ipc.Channel}, keeps a
+    per-flow registry, picks an algorithm for each new flow (different
+    flows on one host may run different algorithms — the paper's file
+    download vs. video call example), builds each algorithm instance's
+    {!Algorithm.handle} with policy enforcement baked in, and dispatches
+    incoming reports and urgent events to the right instance. *)
+
+open Ccp_eventsim
+open Ccp_ipc
+
+type t
+
+val create :
+  sim:Sim.t ->
+  channel:Channel.t ->
+  choose:(Algorithm.flow_info -> Algorithm.t) ->
+  ?policy:(Algorithm.flow_info -> Policy.t) ->
+  unit ->
+  t
+(** [choose] selects the algorithm for each new flow; [policy] (default
+    unrestricted) selects its policy. Registers the agent as the channel's
+    agent-side endpoint. *)
+
+val with_algorithm : sim:Sim.t -> channel:Channel.t -> Algorithm.t -> t
+(** Convenience: every flow runs the same algorithm, no policy. *)
+
+(** {1 Introspection} *)
+
+val flow_count : t -> int
+val algorithm_name : t -> flow:int -> string option
+val reports_received : t -> int
+val urgents_received : t -> int
+val installs_sent : t -> int
+val handler_errors : t -> int
+(** Exceptions raised by algorithm handlers; the agent isolates them so a
+    buggy algorithm cannot take down other flows (§5 safety). *)

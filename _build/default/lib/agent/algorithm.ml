@@ -1,0 +1,49 @@
+open Ccp_ipc
+
+type flow_info = { flow : int; mss : int; init_cwnd : int }
+
+type handle = {
+  info : flow_info;
+  install : Ccp_lang.Ast.program -> unit;
+  install_text : string -> unit;
+  set_cwnd : int -> unit;
+  set_rate : float -> unit;
+  now_us : unit -> float;
+}
+
+type handlers = {
+  on_ready : unit -> unit;
+  on_report : Message.report -> unit;
+  on_report_vector : Message.vector_report -> unit;
+  on_urgent : Message.urgent -> unit;
+}
+
+type t = {
+  name : string;
+  make : handle -> handlers;
+}
+
+let no_op_handlers =
+  {
+    on_ready = (fun () -> ());
+    on_report = (fun _ -> ());
+    on_report_vector = (fun _ -> ());
+    on_urgent = (fun _ -> ());
+  }
+
+let field (report : Message.report) name =
+  let found = ref None in
+  Array.iter (fun (n, v) -> if n = name && !found = None then found := Some v) report.fields;
+  !found
+
+exception Missing_field of string
+
+let field_exn report name =
+  match field report name with
+  | Some v -> v
+  | None -> raise (Missing_field name)
+
+let column (report : Message.vector_report) name =
+  let found = ref None in
+  Array.iteri (fun i n -> if n = name && !found = None then found := Some i) report.columns;
+  !found

@@ -1,0 +1,51 @@
+(** The user-space congestion-control algorithm API (Table 3).
+
+    An algorithm is a factory: for every new flow the agent calls [make]
+    with a {!handle} and gets back the flow's event handlers — [on_ready]
+    (the paper's [Init]), [on_report]/[on_report_vector] ([OnMeasurement]
+    for the two batching modes), and [on_urgent] ([OnUrgent]). Per-flow
+    algorithm state lives in the closure returned by [make]. The handle
+    provides [Install] plus the direct window/rate commands. *)
+
+open Ccp_ipc
+
+type flow_info = { flow : int; mss : int; init_cwnd : int }
+
+type handle = {
+  info : flow_info;
+  install : Ccp_lang.Ast.program -> unit;
+      (** Validate (raising [Invalid_argument] on a static error), apply
+          the agent's policy, and send to the datapath. *)
+  install_text : string -> unit;
+      (** Parse surface syntax, then as [install]. *)
+  set_cwnd : int -> unit;
+  set_rate : float -> unit;  (** bytes/second *)
+  now_us : unit -> float;  (** agent clock (simulation time) *)
+}
+
+type handlers = {
+  on_ready : unit -> unit;
+  on_report : Message.report -> unit;
+  on_report_vector : Message.vector_report -> unit;
+  on_urgent : Message.urgent -> unit;
+}
+
+type t = {
+  name : string;
+  make : handle -> handlers;
+}
+
+val no_op_handlers : handlers
+(** Handlers that ignore everything; convenient base for algorithms that
+    only use some events. *)
+
+(** {1 Report helpers} *)
+
+exception Missing_field of string
+
+val field : Message.report -> string -> float option
+val field_exn : Message.report -> string -> float
+(** Raises {!Missing_field} if the report lacks the field. *)
+
+val column : Message.vector_report -> string -> int option
+(** Index of a column in a vector report. *)

@@ -1,0 +1,1 @@
+lib/algorithms/ccp_aggregate.ml: Algorithm Ccp_agent Ccp_ipc List Prog

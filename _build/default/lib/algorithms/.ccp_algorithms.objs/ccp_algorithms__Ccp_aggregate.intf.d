@@ -1,0 +1,1 @@
+lib/algorithms/ccp_aggregate.mli: Ccp_agent

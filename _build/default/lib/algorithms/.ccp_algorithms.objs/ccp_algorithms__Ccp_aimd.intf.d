@@ -1,0 +1,1 @@
+lib/algorithms/ccp_aimd.mli: Ccp_agent

@@ -1,0 +1,1 @@
+lib/algorithms/ccp_bbr.ml: Algorithm Ccp_agent Ccp_ipc Ccp_lang Float List Prog

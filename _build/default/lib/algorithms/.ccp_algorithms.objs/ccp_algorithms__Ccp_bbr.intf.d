@@ -1,0 +1,1 @@
+lib/algorithms/ccp_bbr.mli: Ccp_agent

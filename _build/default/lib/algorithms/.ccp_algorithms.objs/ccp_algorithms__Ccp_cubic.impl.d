@@ -1,0 +1,1 @@
+lib/algorithms/ccp_cubic.ml: Algorithm Ccp_agent Ccp_ipc Cubic_math Float Option Prog

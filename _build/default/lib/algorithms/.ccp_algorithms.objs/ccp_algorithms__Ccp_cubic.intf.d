@@ -1,0 +1,1 @@
+lib/algorithms/ccp_cubic.mli: Ccp_agent

@@ -1,0 +1,1 @@
+lib/algorithms/ccp_dctcp.ml: Algorithm Ccp_agent Ccp_ipc Prog

@@ -1,0 +1,1 @@
+lib/algorithms/ccp_dctcp.mli: Ccp_agent

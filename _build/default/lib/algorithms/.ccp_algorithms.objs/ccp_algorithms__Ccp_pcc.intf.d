@@ -1,0 +1,1 @@
+lib/algorithms/ccp_pcc.mli: Ccp_agent

@@ -1,0 +1,1 @@
+lib/algorithms/ccp_reno.ml: Algorithm Ccp_agent Ccp_ipc Prog

@@ -1,0 +1,1 @@
+lib/algorithms/ccp_reno.mli: Ccp_agent

@@ -1,0 +1,1 @@
+lib/algorithms/ccp_timely.ml: Algorithm Ccp_agent Ccp_ipc Float Prog

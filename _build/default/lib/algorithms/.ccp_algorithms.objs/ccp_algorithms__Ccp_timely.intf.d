@@ -1,0 +1,1 @@
+lib/algorithms/ccp_timely.mli: Ccp_agent

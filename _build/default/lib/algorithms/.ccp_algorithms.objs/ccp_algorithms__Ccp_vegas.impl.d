@@ -1,0 +1,1 @@
+lib/algorithms/ccp_vegas.ml: Algorithm Array Ccp_agent Ccp_ipc Ccp_lang Float Option Prog

@@ -1,0 +1,1 @@
+lib/algorithms/ccp_vegas.mli: Ccp_agent

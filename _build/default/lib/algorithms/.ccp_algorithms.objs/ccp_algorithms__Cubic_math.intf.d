@@ -1,0 +1,1 @@
+lib/algorithms/cubic_math.mli:

@@ -1,0 +1,1 @@
+lib/algorithms/native_cubic.ml: Ccp_datapath Ccp_util Congestion_iface Cubic_math Float Option Time_ns

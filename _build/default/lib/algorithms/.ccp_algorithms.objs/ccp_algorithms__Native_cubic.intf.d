@@ -1,0 +1,1 @@
+lib/algorithms/native_cubic.mli: Ccp_datapath

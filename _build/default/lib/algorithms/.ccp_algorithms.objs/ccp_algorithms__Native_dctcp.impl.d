@@ -1,0 +1,1 @@
+lib/algorithms/native_dctcp.ml: Ccp_datapath Ccp_util Congestion_iface Option Time_ns

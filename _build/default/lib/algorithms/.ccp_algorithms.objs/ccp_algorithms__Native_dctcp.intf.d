@@ -1,0 +1,1 @@
+lib/algorithms/native_dctcp.mli: Ccp_datapath

@@ -1,0 +1,1 @@
+lib/algorithms/native_htcp.ml: Ccp_datapath Ccp_util Congestion_iface Float Option Time_ns

@@ -1,0 +1,1 @@
+lib/algorithms/native_htcp.mli: Ccp_datapath Ccp_util

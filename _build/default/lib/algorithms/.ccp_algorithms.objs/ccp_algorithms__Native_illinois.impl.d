@@ -1,0 +1,1 @@
+lib/algorithms/native_illinois.ml: Ccp_datapath Ccp_util Congestion_iface Float Option Time_ns

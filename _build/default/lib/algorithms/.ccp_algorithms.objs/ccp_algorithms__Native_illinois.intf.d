@@ -1,0 +1,1 @@
+lib/algorithms/native_illinois.mli: Ccp_datapath

@@ -1,0 +1,1 @@
+lib/algorithms/native_reno.ml: Ccp_datapath Ccp_util Congestion_iface Option Time_ns

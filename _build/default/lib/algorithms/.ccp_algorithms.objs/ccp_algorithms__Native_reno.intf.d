@@ -1,0 +1,1 @@
+lib/algorithms/native_reno.mli: Ccp_datapath

@@ -1,0 +1,1 @@
+lib/algorithms/native_vegas.mli: Ccp_datapath

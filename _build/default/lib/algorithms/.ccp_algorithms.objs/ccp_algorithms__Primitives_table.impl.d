@@ -1,0 +1,1 @@
+lib/algorithms/primitives_table.ml: Buffer List Printf String

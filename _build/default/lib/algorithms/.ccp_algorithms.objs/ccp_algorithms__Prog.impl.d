@@ -1,0 +1,1 @@
+lib/algorithms/prog.ml: Ccp_lang

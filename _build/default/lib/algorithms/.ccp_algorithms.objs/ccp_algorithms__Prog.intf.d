@@ -1,0 +1,1 @@
+lib/algorithms/prog.mli: Ccp_lang

@@ -1,0 +1,75 @@
+open Ccp_agent
+
+type member = { handle : Algorithm.handle; mutable last_interval_rtts : float }
+
+type t = {
+  increase_segments : float;
+  decrease_factor : float;
+  mutable cwnd : int;  (* aggregate window, bytes *)
+  mutable members : member list;
+  mutable last_decrease_us : float;
+}
+
+let create ?(initial_segments = 10) ?(increase_segments = 1.0) ?(decrease_factor = 0.5) () =
+  {
+    increase_segments;
+    decrease_factor;
+    cwnd = initial_segments * 1448;
+    members = [];
+    last_decrease_us = 0.0;
+  }
+
+let member_count t = List.length t.members
+let aggregate_cwnd t = t.cwnd
+
+(* Reprogram every member with an equal share of the aggregate. *)
+let redistribute t =
+  match t.members with
+  | [] -> ()
+  | members ->
+    let share = max 1448 (t.cwnd / List.length members) in
+    List.iter
+      (fun m -> m.handle.Algorithm.install (Prog.window_program ~cwnd:share ()))
+      members
+
+let algorithm t : Algorithm.t =
+  let make (handle : Algorithm.handle) =
+    let mss = handle.Algorithm.info.Algorithm.mss in
+    let member = { handle; last_interval_rtts = 1.0 } in
+    let on_ready () =
+      if t.members = [] then t.cwnd <- max t.cwnd handle.Algorithm.info.Algorithm.init_cwnd;
+      t.members <- member :: t.members;
+      (* A joining flow gets its share immediately — no probing. *)
+      redistribute t
+    in
+    let on_report report =
+      if Algorithm.field_exn report "acked" > 0.0 then begin
+        (* Additive increase is per aggregate RTT, not per member, so a
+           bigger group does not probe faster: scale by 1/n. *)
+        let n = float_of_int (max 1 (member_count t)) in
+        t.cwnd <-
+          t.cwnd + int_of_float (t.increase_segments *. float_of_int mss /. n);
+        redistribute t
+      end
+    in
+    let on_urgent (urgent : Ccp_ipc.Message.urgent) =
+      let now = handle.Algorithm.now_us () in
+      (* One multiplicative decrease per RTT across the whole group: the
+         members share a bottleneck, so their losses are one event. *)
+      let srtt_guess = 10_000.0 in
+      (match urgent.Ccp_ipc.Message.kind with
+      | Ccp_ipc.Message.Dup_ack_loss | Ccp_ipc.Message.Ecn ->
+        if now -. t.last_decrease_us > srtt_guess then begin
+          t.last_decrease_us <- now;
+          t.cwnd <-
+            max (2 * mss * max 1 (member_count t))
+              (int_of_float (t.decrease_factor *. float_of_int t.cwnd))
+        end
+      | Ccp_ipc.Message.Timeout ->
+        t.last_decrease_us <- now;
+        t.cwnd <- max (mss * max 1 (member_count t)) (t.cwnd / 4));
+      redistribute t
+    in
+    { Algorithm.no_op_handlers with on_ready; on_report; on_urgent }
+  in
+  { Algorithm.name = "ccp-aggregate"; make }

@@ -1,0 +1,33 @@
+(** Congestion-manager-style aggregation (§5, and the CM comparison in
+    §4): one congestion controller for a {e group} of flows sharing a
+    bottleneck.
+
+    The paper notes that CCP "makes it possible to implement congestion
+    control ... for groups of flows that share common bottlenecks" — the
+    Congestion Manager idea, but with the controller off the datapath and
+    the per-flow enforcement expressed through ordinary control programs.
+
+    This implementation keeps a single AIMD window for the whole
+    aggregate: any member's per-RTT report grows it by one segment, any
+    member's loss halves it (once per RTT across the group), and after
+    every change each member is (re)programmed with an equal share. Flows
+    joining or leaving the group trigger immediate re-division — a new
+    flow gets capacity instantly instead of probing for it, the CM's
+    headline benefit. *)
+
+type t
+
+val create :
+  ?initial_segments:int ->
+  ?increase_segments:float ->
+  ?decrease_factor:float ->
+  unit ->
+  t
+(** One aggregate; hand its {!algorithm} to every flow in the group. *)
+
+val algorithm : t -> Ccp_agent.Algorithm.t
+
+val aggregate_cwnd : t -> int
+(** Current total window, bytes. *)
+
+val member_count : t -> int

@@ -1,0 +1,21 @@
+open Ccp_agent
+
+let create_with ?(increase_segments = 1.0) ?(decrease_factor = 0.5) () =
+  let make (handle : Algorithm.handle) =
+    let mss = handle.info.mss in
+    let cwnd = ref handle.info.init_cwnd in
+    let push () = handle.install (Prog.window_program ~cwnd:!cwnd ()) in
+    let on_report report =
+      if Algorithm.field_exn report "acked" > 0.0 then
+        cwnd := !cwnd + int_of_float (increase_segments *. float_of_int mss);
+      push ()
+    in
+    let on_urgent (_ : Ccp_ipc.Message.urgent) =
+      cwnd := max (2 * mss) (int_of_float (decrease_factor *. float_of_int !cwnd));
+      push ()
+    in
+    { Algorithm.no_op_handlers with on_ready = push; on_report; on_urgent }
+  in
+  { Algorithm.name = "ccp-aimd"; make }
+
+let create () = create_with ()

@@ -1,0 +1,11 @@
+(** Generic AIMD — the "write a new scheme in a dozen lines" demo.
+
+    The paper's ease-of-programming claim (§2.2) is best shown by how
+    little code a working CCP algorithm needs: this one adds
+    [increase_segments] per RTT and multiplies by [decrease_factor] on
+    loss. The quickstart example instantiates it; its whole control logic
+    fits on one screen. *)
+
+val create : unit -> Ccp_agent.Algorithm.t
+val create_with :
+  ?increase_segments:float -> ?decrease_factor:float -> unit -> Ccp_agent.Algorithm.t

@@ -1,0 +1,119 @@
+open Ccp_agent
+open Ccp_lang.Ast
+
+type phase = Startup | Probe
+
+type state = {
+  bw_window : int;  (* samples kept in the max-bandwidth filter *)
+  mutable phase : phase;
+  mutable rate : float;  (* current bottleneck estimate, bytes/s *)
+  mutable prev_bw : float;
+  mutable stalls : int;  (* consecutive RTTs without 25% delivery growth *)
+  mutable bw_samples : float list;  (* newest first, truncated to bw_window *)
+  mutable min_rtt_us : float;
+  mutable cycle_report : int;  (* 0,1,2 within the probe cycle *)
+}
+
+let max_bw st = List.fold_left Float.max 0.0 st.bw_samples
+
+let observe_bw st bw =
+  if bw > 0.0 then begin
+    let truncated =
+      if List.length st.bw_samples >= st.bw_window then
+        List.filteri (fun i _ -> i < st.bw_window - 1) st.bw_samples
+      else st.bw_samples
+    in
+    st.bw_samples <- bw :: truncated
+  end
+
+let create_with ?(probe_gain = 1.25) ?(drain_gain = 0.75) ?(bw_window_cycles = 10)
+    ?(initial_rate = 0.0) () =
+  let make (handle : Algorithm.handle) =
+    let st =
+      {
+        bw_window = bw_window_cycles * 3;
+        phase = Startup;
+        rate =
+          (if initial_rate > 0.0 then initial_rate
+           else (* initial window paced over an assumed 10 ms RTT *)
+             float_of_int handle.info.init_cwnd /. 0.010);
+        prev_bw = 0.0;
+        stalls = 0;
+        bw_samples = [];
+        min_rtt_us = infinity;
+        cycle_report = 0;
+      }
+    in
+    let cwnd_cap () =
+      if st.min_rtt_us = infinity then None
+      else begin
+        let bw = Float.max st.rate (max_bw st) in
+        Some (max (4 * handle.info.mss) (int_of_float (2.0 *. bw *. st.min_rtt_us *. 1e-6)))
+      end
+    in
+    let push_startup () =
+      handle.install (Prog.rate_program ?cwnd_cap:(cwnd_cap ()) ~rate:(2.0 *. st.rate) ())
+    in
+    (* The paper's probe program: pulse up one RTT, drain one RTT, cruise
+       six RTTs; measurements are synchronized with the pattern. *)
+    let push_probe () =
+      st.cycle_report <- 0;
+      let cap = match cwnd_cap () with Some c -> [ Cwnd (Prog.ci c) ] | None -> [] in
+      handle.install
+        (program
+           ((Measure (Fold Prog.std_fold) :: cap)
+           @ [
+               Rate (Prog.c (probe_gain *. st.rate)); Wait_rtts (Prog.c 1.0); Report;
+               Rate (Prog.c (drain_gain *. st.rate)); Wait_rtts (Prog.c 1.0); Report;
+               Rate (Prog.c st.rate); Wait_rtts (Prog.c 6.0); Report;
+             ]))
+    in
+    let on_report report =
+      let bw = Algorithm.field_exn report "maxrate" in
+      let minrtt = Algorithm.field_exn report "minrtt" in
+      if minrtt > 0.0 && minrtt < 1e12 then st.min_rtt_us <- Float.min st.min_rtt_us minrtt;
+      observe_bw st bw;
+      match st.phase with
+      | Startup ->
+        (* Full-pipe test: three RTTs without 25% growth ends startup. *)
+        if bw >= 1.25 *. st.prev_bw then begin
+          st.prev_bw <- Float.max st.prev_bw bw;
+          st.rate <- Float.max st.rate bw;
+          st.stalls <- 0;
+          push_startup ()
+        end
+        else begin
+          st.stalls <- st.stalls + 1;
+          if st.stalls >= 3 then begin
+            st.phase <- Probe;
+            st.rate <- Float.max 1.0 (max_bw st);
+            push_probe ()
+          end
+          else push_startup ()
+        end
+      | Probe ->
+        st.cycle_report <- st.cycle_report + 1;
+        if st.cycle_report >= 3 then begin
+          st.rate <- Float.max 1.0 (max_bw st);
+          push_probe ()
+        end
+    in
+    let on_urgent (urgent : Ccp_ipc.Message.urgent) =
+      match urgent.kind with
+      | Ccp_ipc.Message.Timeout ->
+        (* Persistent loss: restart the search from half the estimate. *)
+        st.rate <- Float.max 1.0 (st.rate /. 2.0);
+        st.bw_samples <- [];
+        st.prev_bw <- 0.0;
+        st.stalls <- 0;
+        st.phase <- Startup;
+        push_startup ()
+      | Ccp_ipc.Message.Dup_ack_loss | Ccp_ipc.Message.Ecn ->
+        (* BBR does not back off on isolated loss or marks. *)
+        ()
+    in
+    { Algorithm.no_op_handlers with on_ready = push_startup; on_report; on_urgent }
+  in
+  { Algorithm.name = "ccp-bbr"; make }
+
+let create () = create_with ()

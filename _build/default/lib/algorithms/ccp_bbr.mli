@@ -1,0 +1,23 @@
+(** CCP BBR (simplified): the paper's flagship example of a control
+    program with a temporal sending pattern (§2.1).
+
+    Startup doubles the pacing rate each RTT until the measured delivery
+    rate stops keeping up (BBR's "full pipe" test), then enters the probe
+    cycle using the paper's program verbatim:
+
+    {v
+    Rate(1.25*r).WaitRtts(1.0).Report().
+    Rate(0.75*r).WaitRtts(1.0).Report().
+    Rate(r).WaitRtts(6.0).Report()
+    v}
+
+    The agent maintains windowed max-bandwidth and min-RTT filters from
+    the three reports per cycle and re-arms the cycle with the new
+    bottleneck estimate; the congestion window is capped at 2x the
+    estimated BDP, as BBR does. *)
+
+val create : unit -> Ccp_agent.Algorithm.t
+
+val create_with :
+  ?probe_gain:float -> ?drain_gain:float -> ?bw_window_cycles:int -> ?initial_rate:float ->
+  unit -> Ccp_agent.Algorithm.t

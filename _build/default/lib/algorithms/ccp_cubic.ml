@@ -1,0 +1,95 @@
+open Ccp_agent
+
+type state = {
+  cfg_c : float;
+  beta : float;
+  fast_convergence : bool;
+  mutable cwnd : int;  (* bytes *)
+  mutable ssthresh : int;
+  mutable w_last_max : float;  (* segments *)
+  mutable epoch_start_us : float option;
+  mutable k : float;  (* seconds *)
+  mutable origin : float;  (* segments *)
+}
+
+let create_with ?(c = 0.4) ?(beta = 0.7) ?(fast_convergence = true) ?(interval_rtts = 1.0) () =
+  let make (handle : Algorithm.handle) =
+    let mss = float_of_int handle.info.mss in
+    let st =
+      {
+        cfg_c = c;
+        beta;
+        fast_convergence;
+        cwnd = handle.info.init_cwnd;
+        ssthresh = max_int / 2;
+        w_last_max = 0.0;
+        epoch_start_us = None;
+        k = 0.0;
+        origin = 0.0;
+      }
+    in
+    let push () = handle.install (Prog.window_program ~interval_rtts ~cwnd:st.cwnd ()) in
+    let segments bytes = float_of_int bytes /. mss in
+    let begin_epoch ~now_us =
+      st.epoch_start_us <- Some now_us;
+      let cwnd_seg = segments st.cwnd in
+      if st.w_last_max > cwnd_seg then begin
+        (* The paper's snippet: K = pow(max(0.0, (WlastMax - cwnd)/C), 1/3). *)
+        st.k <- Cubic_math.float_cbrt (Float.max 0.0 ((st.w_last_max -. cwnd_seg) /. st.cfg_c));
+        st.origin <- st.w_last_max
+      end
+      else begin
+        st.k <- 0.0;
+        st.origin <- cwnd_seg
+      end
+    in
+    let cubic_window ~now_us ~srtt_us =
+      if st.epoch_start_us = None then begin_epoch ~now_us;
+      let epoch = Option.get st.epoch_start_us in
+      let t = ((now_us -. epoch) +. srtt_us) *. 1e-6 in
+      let offs = t -. st.k in
+      (* cwnd = WlastMax + C * pow(t - K, 3.0) *)
+      let target = st.origin +. (st.cfg_c *. (offs *. offs *. offs)) in
+      let w_tcp =
+        (st.origin *. st.beta)
+        +. (3.0 *. (1.0 -. st.beta) /. (1.0 +. st.beta) *. (t *. 1e6 /. Float.max 1.0 srtt_us))
+      in
+      Float.max target w_tcp
+    in
+    let on_loss_event () =
+      st.epoch_start_us <- None;
+      let cwnd_seg = segments st.cwnd in
+      if st.fast_convergence && cwnd_seg < st.w_last_max then
+        st.w_last_max <- cwnd_seg *. (2.0 -. st.beta) /. 2.0
+      else st.w_last_max <- cwnd_seg;
+      st.ssthresh <- max (int_of_float (st.beta *. float_of_int st.cwnd)) (2 * handle.info.mss)
+    in
+    let on_report report =
+      let acked = int_of_float (Algorithm.field_exn report "acked") in
+      let srtt_us = Algorithm.field_exn report "_srtt_us" in
+      if acked > 0 then begin
+        if st.cwnd < st.ssthresh then st.cwnd <- st.cwnd + min acked st.cwnd
+        else begin
+          let target_bytes = int_of_float (cubic_window ~now_us:(handle.now_us ()) ~srtt_us *. mss) in
+          (* Never shrink outside loss, and cap per-report growth at 50%. *)
+          let capped = min target_bytes (st.cwnd + (st.cwnd / 2)) in
+          st.cwnd <- max st.cwnd capped
+        end
+      end;
+      push ()
+    in
+    let on_urgent (urgent : Ccp_ipc.Message.urgent) =
+      (match urgent.kind with
+      | Ccp_ipc.Message.Dup_ack_loss | Ccp_ipc.Message.Ecn ->
+        on_loss_event ();
+        st.cwnd <- st.ssthresh
+      | Ccp_ipc.Message.Timeout ->
+        on_loss_event ();
+        st.cwnd <- handle.info.mss);
+      push ()
+    in
+    { Algorithm.no_op_handlers with on_ready = push; on_report; on_urgent }
+  in
+  { Algorithm.name = "ccp-cubic"; make }
+
+let create () = create_with ()

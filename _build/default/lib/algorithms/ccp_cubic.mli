@@ -1,0 +1,20 @@
+(** CCP CUBIC: the off-datapath reimplementation compared against
+    {!Native_cubic} in Figure 3.
+
+    The per-report window computation is the paper's §2.2 snippet,
+    verbatim in spirit:
+
+    {[
+      K = pow(max(0.0, (WlastMax - cwnd) / C), 1.0 / 3.0)
+      cwnd = WlastMax + C * pow(t - K, 3.0)
+    ]}
+
+    — plain user-space floating point where the kernel needs a 42-line
+    fixed-point cube root. Urgent loss notifications reset the cubic epoch
+    exactly as the kernel implementation's loss handler does. *)
+
+val create : unit -> Ccp_agent.Algorithm.t
+
+val create_with :
+  ?c:float -> ?beta:float -> ?fast_convergence:bool -> ?interval_rtts:float -> unit ->
+  Ccp_agent.Algorithm.t

@@ -1,0 +1,61 @@
+open Ccp_agent
+
+type state = {
+  g : float;
+  mutable alpha : float;
+  mutable cwnd : int;
+  mutable ssthresh : int;
+  mutable acked_accum : int;
+}
+
+let create_with ?(g = 1.0 /. 16.0) ?(initial_alpha = 1.0) ?(interval_rtts = 1.0) () =
+  let make (handle : Algorithm.handle) =
+    let mss = handle.info.mss in
+    let st =
+      {
+        g;
+        alpha = initial_alpha;
+        cwnd = handle.info.init_cwnd;
+        ssthresh = max_int / 2;
+        acked_accum = 0;
+      }
+    in
+    let push () = handle.install (Prog.window_program ~interval_rtts ~cwnd:st.cwnd ()) in
+    let on_report report =
+      let acked = Algorithm.field_exn report "acked" in
+      let marked = Algorithm.field_exn report "marked" in
+      if acked > 0.0 then begin
+        let f = marked /. acked in
+        st.alpha <- ((1.0 -. st.g) *. st.alpha) +. (st.g *. f);
+        if marked > 0.0 then begin
+          st.ssthresh <- min st.ssthresh st.cwnd;
+          st.cwnd <-
+            max (2 * mss) (int_of_float (float_of_int st.cwnd *. (1.0 -. (st.alpha /. 2.0))))
+        end
+        else if st.cwnd < st.ssthresh then
+          st.cwnd <- st.cwnd + min (int_of_float acked) st.cwnd
+        else begin
+          st.acked_accum <- st.acked_accum + int_of_float acked;
+          if st.acked_accum >= st.cwnd then begin
+            st.acked_accum <- st.acked_accum - st.cwnd;
+            st.cwnd <- st.cwnd + mss
+          end
+        end
+      end;
+      push ()
+    in
+    let on_urgent (urgent : Ccp_ipc.Message.urgent) =
+      (match urgent.kind with
+      | Ccp_ipc.Message.Dup_ack_loss | Ccp_ipc.Message.Ecn ->
+        st.ssthresh <- max (st.cwnd / 2) (2 * mss);
+        st.cwnd <- st.ssthresh
+      | Ccp_ipc.Message.Timeout ->
+        st.ssthresh <- max (st.cwnd / 2) (2 * mss);
+        st.cwnd <- mss);
+      push ()
+    in
+    { Algorithm.no_op_handlers with on_ready = push; on_report; on_urgent }
+  in
+  { Algorithm.name = "ccp-dctcp"; make }
+
+let create () = create_with ()

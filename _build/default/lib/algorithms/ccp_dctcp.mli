@@ -1,0 +1,12 @@
+(** CCP DCTCP: ECN-proportional backoff from user space.
+
+    The fold counts acknowledged and ECN-marked bytes per RTT; the agent
+    maintains the smoothed mark fraction alpha and applies the
+    cwnd <- cwnd*(1 - alpha/2) cut on marked windows. Demonstrates that a
+    datacenter algorithm whose signal is per-packet (ECN) works under
+    per-RTT batching because the *fraction*, not each mark, drives the
+    control law. *)
+
+val create : unit -> Ccp_agent.Algorithm.t
+val create_with : ?g:float -> ?initial_alpha:float -> ?interval_rtts:float -> unit ->
+  Ccp_agent.Algorithm.t

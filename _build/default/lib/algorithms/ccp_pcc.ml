@@ -1,0 +1,152 @@
+open Ccp_agent
+open Ccp_lang.Ast
+
+type trial = { throughput : float; loss_rate : float }
+
+type phase = Startup | Probing
+
+type state = {
+  epsilon : float;
+  loss_penalty : float;
+  step_fraction : float;
+  mutable phase : phase;
+  mutable rate : float;  (* bytes/s *)
+  mutable prev_utility : float;  (* startup: utility of the previous cycle *)
+  mutable report_index : int;  (* 0 = up-trial result pending, 1 = down-trial *)
+  mutable up_trial : trial option;
+  mutable direction : int;  (* last move: +1 / -1 / 0 *)
+  mutable amplifier : int;  (* consecutive same-direction moves *)
+  mutable losses_since_report : int;
+  mutable last_report_us : float;
+}
+
+(* PCC-Allegro style utility: reward throughput, punish loss steeply. *)
+let utility st { throughput; loss_rate } =
+  (throughput ** 0.9) -. (st.loss_penalty *. throughput *. loss_rate)
+
+let create_with ?(epsilon = 0.05) ?(loss_penalty = 11.35) ?(step_fraction = 0.1) () =
+  let make (handle : Algorithm.handle) =
+    let mss = float_of_int handle.info.mss in
+    let st =
+      {
+        epsilon;
+        loss_penalty;
+        step_fraction;
+        phase = Startup;
+        rate = float_of_int handle.info.init_cwnd /. 0.010;
+        prev_utility = neg_infinity;
+        report_index = 0;
+        up_trial = None;
+        direction = 0;
+        amplifier = 1;
+        losses_since_report = 0;
+        last_report_us = 0.0;
+      }
+    in
+    let reset_measurement () =
+      st.losses_since_report <- 0;
+      st.last_report_us <- handle.now_us ()
+    in
+    (* PCC's monitor intervals must lag each rate change by one RTT: the
+       ACKs arriving just after a rate change still carry the previous
+       rate's packets, and measuring them against the new rate inverts the
+       utility gradient. Hence every trial is: set the rate, wait one RTT
+       for it to take effect end-to-end, then measure for one RTT. *)
+    let trial ~gain =
+      [
+        Rate (Prog.c (st.rate *. gain));
+        Prog.dynamic_cwnd_cap;
+        Wait_rtts (Prog.c 1.0);
+        Measure (Fold Prog.std_fold);
+        Wait_rtts (Prog.c 1.0);
+        Report;
+      ]
+    in
+    (* Startup: one measured interval per program, rate doubling each
+       cycle until utility stops improving — PCC's slow-start analogue. *)
+    let push_startup () =
+      reset_measurement ();
+      handle.install (program (trial ~gain:1.0))
+    in
+    (* Probing: two back-to-back micro-experiments, one RTT above the base
+       rate and one below, each closed by a Report. *)
+    let push_probing () =
+      st.report_index <- 0;
+      st.up_trial <- None;
+      reset_measurement ();
+      handle.install (program (trial ~gain:(1.0 +. st.epsilon) @ trial ~gain:(1.0 -. st.epsilon)))
+    in
+    let trial_of_report report =
+      let acked = Algorithm.field_exn report "acked" in
+      let now_us = Algorithm.field_exn report "_now_us" in
+      let srtt_us = Algorithm.field_exn report "_srtt_us" in
+      (* The measurement window is the trial's final WaitRtts(1.0). *)
+      let interval_s =
+        if srtt_us > 0.0 then srtt_us *. 1e-6
+        else Float.max 1e-6 ((now_us -. st.last_report_us) *. 1e-6)
+      in
+      st.last_report_us <- now_us;
+      let throughput = acked /. interval_s in
+      let lost_bytes = float_of_int st.losses_since_report *. mss in
+      st.losses_since_report <- 0;
+      let loss_rate = if acked > 0.0 then lost_bytes /. (acked +. lost_bytes) else 0.0 in
+      { throughput; loss_rate }
+    in
+    let min_rate = mss /. 0.1 in
+    let move direction =
+      if direction = st.direction then st.amplifier <- min 16 (st.amplifier + 1)
+      else st.amplifier <- 1;
+      st.direction <- direction;
+      let step =
+        float_of_int st.amplifier *. st.step_fraction *. st.epsilon *. st.rate
+        *. float_of_int direction
+      in
+      st.rate <- Float.max min_rate (st.rate +. step)
+    in
+    let on_report report =
+      match st.phase with
+      | Startup ->
+        let trial = trial_of_report report in
+        let u = utility st trial in
+        if u > st.prev_utility && trial.loss_rate < 0.01 then begin
+          st.prev_utility <- u;
+          st.rate <- st.rate *. 2.0;
+          push_startup ()
+        end
+        else begin
+          (* Utility fell: back off to the last good rate and probe. *)
+          st.phase <- Probing;
+          st.rate <- Float.max min_rate (st.rate /. 2.0);
+          push_probing ()
+        end
+      | Probing -> (
+        let trial = trial_of_report report in
+        match st.report_index with
+        | 0 ->
+          st.up_trial <- Some trial;
+          st.report_index <- 1
+        | _ ->
+          let down = trial in
+          (match st.up_trial with
+          | None -> ()
+          | Some up ->
+            let u_up = utility st up and u_down = utility st down in
+            if u_up > u_down then move 1 else if u_down > u_up then move (-1));
+          push_probing ())
+    in
+    let on_urgent (urgent : Ccp_ipc.Message.urgent) =
+      match urgent.kind with
+      | Ccp_ipc.Message.Dup_ack_loss | Ccp_ipc.Message.Ecn ->
+        st.losses_since_report <- st.losses_since_report + 1
+      | Ccp_ipc.Message.Timeout ->
+        st.rate <- Float.max min_rate (st.rate /. 2.0);
+        st.amplifier <- 1;
+        st.direction <- 0;
+        (match st.phase with Startup -> push_startup () | Probing -> push_probing ())
+    in
+    let on_ready () = push_startup () in
+    { Algorithm.no_op_handlers with on_ready; on_report; on_urgent }
+  in
+  { Algorithm.name = "ccp-pcc"; make }
+
+let create () = create_with ()

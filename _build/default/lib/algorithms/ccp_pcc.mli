@@ -1,0 +1,17 @@
+(** CCP PCC (Dong et al., NSDI 2015), Allegro-style online learning.
+
+    PCC is the paper's example of an algorithm that "remains without a
+    high-speed implementation" because it is awkward to write in the
+    kernel: it runs A/B micro-experiments — send at r*(1+eps) for one
+    interval, r*(1-eps) for the next — scores each by a utility function
+    of measured throughput and loss, and moves the rate toward the winner.
+    The control program runs both trials back-to-back with synchronized
+    measurement windows, exactly what [Rate().WaitRtts().Report()]
+    sequences are for; the utility arithmetic (powers, sigmoids) runs in
+    user space. *)
+
+val create : unit -> Ccp_agent.Algorithm.t
+
+val create_with :
+  ?epsilon:float -> ?loss_penalty:float -> ?step_fraction:float -> unit ->
+  Ccp_agent.Algorithm.t

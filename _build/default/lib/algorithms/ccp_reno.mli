@@ -1,0 +1,12 @@
+(** CCP NewReno: the off-datapath reimplementation compared against
+    {!Native_reno} in Figure 4.
+
+    Once per RTT the datapath reports the fold summary; the agent applies
+    one RTT's worth of Reno growth (slow start: the acknowledged bytes;
+    congestion avoidance: one MSS per window) and installs the new window.
+    Loss arrives as an urgent event and halves the window immediately —
+    one IPC round-trip (tens of µs) after the datapath detected it. *)
+
+val create : unit -> Ccp_agent.Algorithm.t
+val create_with : ?interval_rtts:float -> ?react_to_ecn:bool -> unit -> Ccp_agent.Algorithm.t
+(** [interval_rtts] sets the report cadence (ablation knob); default 1. *)

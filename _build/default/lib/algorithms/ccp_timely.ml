@@ -1,0 +1,86 @@
+open Ccp_agent
+
+type state = {
+  ewma_alpha : float;
+  addstep : float;  (* bytes/s additive increase *)
+  beta : float;
+  t_low_factor : float;
+  t_high_factor : float;
+  hai_threshold : int;
+  mutable rate : float;  (* bytes/s *)
+  mutable prev_rtt_us : float;
+  mutable rtt_diff_us : float;  (* EWMA of consecutive RTT differences *)
+  mutable min_rtt_us : float;
+  mutable completion_events : int;  (* consecutive gradient<=0 rounds (HAI mode) *)
+}
+
+let create_with ?(ewma_alpha = 0.2) ?(addstep_bytes_per_sec = 600_000.0) ?(beta = 0.8)
+    ?(t_low_factor = 1.05) ?(t_high_factor = 1.5) ?(hai_threshold = 5) () =
+  let make (handle : Algorithm.handle) =
+    let st =
+      {
+        ewma_alpha;
+        addstep = addstep_bytes_per_sec;
+        beta;
+        t_low_factor;
+        t_high_factor;
+        hai_threshold;
+        rate = float_of_int handle.info.init_cwnd /. 0.010;
+        prev_rtt_us = 0.0;
+        rtt_diff_us = 0.0;
+        min_rtt_us = infinity;
+        completion_events = 0;
+      }
+    in
+    let push () = handle.install (Prog.rate_program ~rate:st.rate ()) in
+    let on_report report =
+      let pkts = Algorithm.field_exn report "pkts" in
+      if pkts > 0.0 then begin
+        let new_rtt = Algorithm.field_exn report "sumrtt" /. pkts in
+        let minrtt = Algorithm.field_exn report "minrtt" in
+        if minrtt > 0.0 && minrtt < 1e12 then st.min_rtt_us <- Float.min st.min_rtt_us minrtt;
+        if st.prev_rtt_us > 0.0 && st.min_rtt_us < infinity then begin
+          let diff = new_rtt -. st.prev_rtt_us in
+          st.rtt_diff_us <-
+            ((1.0 -. st.ewma_alpha) *. st.rtt_diff_us) +. (st.ewma_alpha *. diff);
+          let gradient = st.rtt_diff_us /. st.min_rtt_us in
+          let t_low = st.t_low_factor *. st.min_rtt_us in
+          let t_high = st.t_high_factor *. st.min_rtt_us in
+          if new_rtt < t_low then begin
+            st.completion_events <- 0;
+            st.rate <- st.rate +. st.addstep
+          end
+          else if new_rtt > t_high then begin
+            st.completion_events <- 0;
+            st.rate <- st.rate *. (1.0 -. (st.beta *. (1.0 -. (t_high /. new_rtt))))
+          end
+          else if gradient <= 0.0 then begin
+            st.completion_events <- st.completion_events + 1;
+            (* Hyperactive increase after N calm rounds, per the paper. *)
+            let n = if st.completion_events >= st.hai_threshold then 5.0 else 1.0 in
+            st.rate <- st.rate +. (n *. st.addstep)
+          end
+          else begin
+            st.completion_events <- 0;
+            st.rate <- st.rate *. (1.0 -. (st.beta *. gradient))
+          end;
+          st.rate <- Float.max (float_of_int handle.info.mss /. 0.1) st.rate
+        end;
+        st.prev_rtt_us <- new_rtt
+      end;
+      push ()
+    in
+    let on_urgent (urgent : Ccp_ipc.Message.urgent) =
+      match urgent.kind with
+      | Ccp_ipc.Message.Timeout ->
+        st.rate <- Float.max (float_of_int handle.info.mss /. 0.1) (st.rate /. 2.0);
+        push ()
+      | Ccp_ipc.Message.Dup_ack_loss | Ccp_ipc.Message.Ecn ->
+        st.rate <- st.rate *. st.beta;
+        push ()
+    in
+    { Algorithm.no_op_handlers with on_ready = push; on_report; on_urgent }
+  in
+  { Algorithm.name = "ccp-timely"; make }
+
+let create () = create_with ()

@@ -1,0 +1,22 @@
+(** CCP TIMELY (Mittal et al. 2015): RTT-gradient rate control.
+
+    A rate-based datacenter algorithm: the sender reacts to the *slope* of
+    the RTT series, increasing additively while delay falls or sits below
+    [t_low], and backing off multiplicatively in proportion to the
+    normalized gradient when delay rises. Table 1 lists it as
+    rate-controlled with RTT measurements — exercising the [Rate] control
+    primitive and mean-RTT folds. Thresholds default relative to the
+    observed minimum RTT so the algorithm works at both datacenter and WAN
+    scales. *)
+
+val create : unit -> Ccp_agent.Algorithm.t
+
+val create_with :
+  ?ewma_alpha:float ->
+  ?addstep_bytes_per_sec:float ->
+  ?beta:float ->
+  ?t_low_factor:float ->
+  ?t_high_factor:float ->
+  ?hai_threshold:int ->
+  unit ->
+  Ccp_agent.Algorithm.t

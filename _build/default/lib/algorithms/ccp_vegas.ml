@@ -1,0 +1,143 @@
+open Ccp_agent
+open Ccp_lang.Ast
+
+type mode = [ `Vector | `Fold ]
+
+type state = {
+  alpha : float;
+  beta : float;
+  mutable cwnd : int;  (* bytes *)
+  mutable base_rtt_us : float;
+  mutable slow_start : bool;
+}
+
+(* The §2.4 fold: basertt tracks the minimum RTT; delta accumulates +1 for
+   every packet that saw fewer than alpha queued packets and -1 for every
+   packet that saw more than beta. The queue estimate uses the refreshed
+   basertt, as the paper's foldFn does, and the window it divides by
+   includes the delta accumulated so far — the paper's vector loop updates
+   v.cwnd between packets, and omitting that feedback makes the fold
+   overshoot by the whole batch size. *)
+let vegas_fold ~alpha ~beta =
+  let fresh_base = Call ("min", [ Var "basertt"; Pkt "rtt_us" ]) in
+  let effective_cwnd_pkts = Bin (Add, Bin (Div, Var "cwnd", Var "mss"), Var "delta") in
+  let in_queue =
+    Bin
+      ( Div,
+        Bin (Mul, Bin (Sub, Pkt "rtt_us", fresh_base), effective_cwnd_pkts),
+        Pkt "rtt_us" )
+  in
+  {
+    init =
+      [
+        (* Seed from the flow's own estimate when one exists. *)
+        ("basertt", Call ("if_gt", [ Var "minrtt_us"; Const 0.0; Var "minrtt_us"; Const 1e12 ]));
+        ("delta", Const 0.0);
+        ("acked", Const 0.0);
+      ];
+    update =
+      [
+        ("basertt", fresh_base);
+        ( "delta",
+          Bin
+            ( Add,
+              Var "delta",
+              Call
+                ( "if_lt",
+                  [
+                    in_queue;
+                    Const alpha;
+                    Const 1.0;
+                    Call ("if_gt", [ in_queue; Const beta; Const (-1.0); Const 0.0 ]);
+                  ] ) ) );
+        ("acked", Bin (Add, Var "acked", Pkt "bytes_acked"));
+      ];
+  }
+
+let create_with ?(alpha = 2.0) ?(beta = 4.0) ?(interval_rtts = 1.0) mode =
+  let make (handle : Algorithm.handle) =
+    let mss = handle.info.mss in
+    let st =
+      { alpha; beta; cwnd = handle.info.init_cwnd; base_rtt_us = infinity; slow_start = true }
+    in
+    let push () =
+      match mode with
+      | `Vector ->
+        handle.install
+          (Prog.vector_program ~interval_rtts ~fields:[ "rtt_us"; "bytes_acked" ] ~cwnd:st.cwnd ())
+      | `Fold ->
+        handle.install
+          (program
+             [
+               Measure (Fold (vegas_fold ~alpha ~beta));
+               Cwnd (Prog.ci st.cwnd);
+               Wait_rtts (Prog.c interval_rtts);
+               Report;
+             ])
+    in
+    let cwnd_pkts () = float_of_int st.cwnd /. float_of_int mss in
+    let in_queue rtt_us =
+      if rtt_us <= 0.0 || st.base_rtt_us = infinity then 0.0
+      else (rtt_us -. st.base_rtt_us) /. rtt_us *. cwnd_pkts ()
+    in
+    (* Vegas's conservative slow start: double while the queue stays below
+       alpha, stop growing exponentially at the first sign of queueing. *)
+    let slow_start_step ~max_in_queue ~acked =
+      if max_in_queue >= st.alpha then st.slow_start <- false
+      else st.cwnd <- st.cwnd + min acked st.cwnd
+    in
+    (* Vegas makes one +-1 segment decision per RTT (the Linux
+       implementation counts one diff test per window). Applying the
+       batch's per-packet votes unclamped would move the window by the
+       whole batch size each RTT and oscillate violently, so the handlers
+       reduce the batch to a single signed step. *)
+    let apply_step vote =
+      if vote > 0.5 then st.cwnd <- st.cwnd + mss
+      else if vote < -0.5 then st.cwnd <- max (2 * mss) (st.cwnd - mss)
+    in
+    let on_report_vector (report : Ccp_ipc.Message.vector_report) =
+      let rtt_col = Option.get (Algorithm.column report "rtt_us") in
+      let bytes_col = Option.get (Algorithm.column report "bytes_acked") in
+      let sum_inq = ref 0.0 in
+      let samples = ref 0 in
+      let acked = ref 0 in
+      Array.iter
+        (fun row ->
+          let rtt = row.(rtt_col) in
+          if rtt > 0.0 then begin
+            st.base_rtt_us <- Float.min st.base_rtt_us rtt;
+            sum_inq := !sum_inq +. in_queue rtt;
+            incr samples;
+            acked := !acked + int_of_float row.(bytes_col)
+          end)
+        report.rows;
+      let avg_inq = if !samples = 0 then 0.0 else !sum_inq /. float_of_int !samples in
+      if st.slow_start then slow_start_step ~max_in_queue:avg_inq ~acked:!acked
+      else if avg_inq < st.alpha then apply_step 1.0
+      else if avg_inq > st.beta then apply_step (-1.0);
+      push ()
+    in
+    let on_report (report : Ccp_ipc.Message.report) =
+      let basertt = Algorithm.field_exn report "basertt" in
+      let delta = Algorithm.field_exn report "delta" in
+      let acked = int_of_float (Algorithm.field_exn report "acked") in
+      let lastrtt = Algorithm.field_exn report "_rtt_us" in
+      if basertt < 1e12 then st.base_rtt_us <- Float.min st.base_rtt_us basertt;
+      if st.slow_start then slow_start_step ~max_in_queue:(in_queue lastrtt) ~acked
+      else apply_step delta;
+      push ()
+    in
+    let on_urgent (urgent : Ccp_ipc.Message.urgent) =
+      st.slow_start <- false;
+      (match urgent.kind with
+      | Ccp_ipc.Message.Dup_ack_loss | Ccp_ipc.Message.Ecn ->
+        st.cwnd <- max (2 * mss) (3 * st.cwnd / 4)
+      | Ccp_ipc.Message.Timeout -> st.cwnd <- mss);
+      push ()
+    in
+    { Algorithm.on_ready = push; on_report; on_report_vector; on_urgent }
+  in
+  let name = match mode with `Vector -> "ccp-vegas-vector" | `Fold -> "ccp-vegas-fold" in
+  { Algorithm.name; make }
+
+let create mode = create_with mode

@@ -1,0 +1,17 @@
+(** CCP TCP Vegas in both batching modes of §2.4.
+
+    [`Vector] is the paper's first [OnMeasurement] snippet: the datapath
+    appends per-packet (rtt, bytes) rows and the agent iterates the batch,
+    updating [baseRtt] and nudging the window per packet.
+
+    [`Fold] is the second snippet: the datapath folds each packet into
+    {baseRtt, delta} with the Vegas queue test compiled into the fold
+    update expression, and the agent applies [cwnd += delta] — constant
+    datapath memory, identical behaviour (an ablation bench checks this). *)
+
+type mode = [ `Vector | `Fold ]
+
+val create : mode -> Ccp_agent.Algorithm.t
+
+val create_with :
+  ?alpha:float -> ?beta:float -> ?interval_rtts:float -> mode -> Ccp_agent.Algorithm.t

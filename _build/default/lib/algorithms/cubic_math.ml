@@ -1,0 +1,49 @@
+(* Faithful port of cubic_root() from Linux net/ipv4/tcp_cubic.c: a 64-way
+   lookup table gives a starting point accurate to ~0.195%, and a single
+   Newton-Raphson iteration refines it. All arithmetic is integral, as the
+   kernel requires. *)
+
+let table =
+  [|
+    0; 54; 54; 54; 118; 118; 118; 118;
+    123; 129; 134; 138; 143; 147; 151; 156;
+    157; 161; 164; 168; 170; 173; 176; 179;
+    181; 185; 187; 190; 192; 194; 197; 199;
+    200; 202; 204; 206; 209; 211; 213; 215;
+    217; 219; 221; 222; 224; 225; 227; 229;
+    231; 232; 234; 236; 237; 239; 240; 242;
+    244; 245; 246; 248; 250; 251; 252; 254;
+  |]
+
+(* fls: position of the most significant set bit, 1-indexed; 0 for 0. *)
+let fls n =
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+let int_cbrt a =
+  if a < 0 then invalid_arg "Cubic_math.int_cbrt: negative";
+  let b = fls a in
+  if b < 7 then (table.(a) + 35) lsr 6
+  else begin
+    let b = ((b * 84) lsr 8) - 1 in
+    let shift = a lsr (b * 3) in
+    let x = ((table.(shift) + 10) lsl b) lsr 6 in
+    (* Newton-Raphson: x' = (2x + a/x^2) / 3, with the kernel's
+       x*(x-1) denominator quirk and 341/1024 ~ 1/3. *)
+    let x = (2 * x) + (a / (x * (x - 1))) in
+    (x * 341) lsr 10
+  end
+
+let float_cbrt x = if x <= 0.0 then 0.0 else x ** (1.0 /. 3.0)
+
+let max_error_vs_float ~upto ~samples =
+  if upto < 1 || samples < 1 then invalid_arg "Cubic_math.max_error_vs_float";
+  let worst = ref 0.0 in
+  for i = 0 to samples - 1 do
+    let a = 1 + (i * (upto - 1) / max 1 (samples - 1)) in
+    let exact = float_cbrt (float_of_int a) in
+    let approx = float_of_int (int_cbrt a) in
+    let err = Float.abs (approx -. exact) /. exact in
+    if err > !worst then worst := err
+  done;
+  !worst

@@ -1,0 +1,22 @@
+(** Cube roots, two ways (§2.2).
+
+    The paper contrasts the Linux kernel's 42-line integer cube root —
+    a 64-entry lookup table seed refined by one Newton–Raphson iteration,
+    needed because the kernel cannot use floating point — with the one-line
+    [pow(x, 1/3)] a user-space CCP algorithm can write. Both are
+    implemented here: the kernel version is a faithful port of
+    [cubic_root()] from net/ipv4/tcp_cubic.c, and the bench harness
+    compares their cost and accuracy. *)
+
+val int_cbrt : int -> int
+(** Kernel-style cube root of a non-negative integer (BIC-units). Matches
+    Linux's [cubic_root] output. Raises [Invalid_argument] on negatives. *)
+
+val float_cbrt : float -> float
+(** [x ** (1/3)] for [x >= 0]; 0 for negative input (the clamp the paper's
+    CCP Cubic snippet applies with [max(0.0, ...)]). *)
+
+val max_error_vs_float : upto:int -> samples:int -> float
+(** Largest relative error of {!int_cbrt} against {!float_cbrt} over
+    [samples] evenly spaced points in \[1, upto\] (used by tests to bound
+    the kernel approximation's accuracy). *)

@@ -1,0 +1,110 @@
+open Ccp_util
+open Ccp_datapath
+open Congestion_iface
+
+type state = {
+  c : float;
+  beta : float;
+  fast_convergence : bool;
+  mutable w_last_max : float;  (* segments *)
+  mutable epoch_start : Time_ns.t option;
+  mutable k : float;  (* seconds *)
+  mutable origin : float;  (* segments *)
+  mutable ssthresh : int;  (* bytes *)
+  mutable in_recovery : bool;
+}
+
+let segments ctl bytes = float_of_int bytes /. float_of_int ctl.mss
+
+(* Start a new cubic epoch from the current window. *)
+let begin_epoch st ctl ~now =
+  st.epoch_start <- Some now;
+  let cwnd_seg = segments ctl (ctl.get_cwnd ()) in
+  if st.w_last_max > cwnd_seg then begin
+    st.k <- Cubic_math.float_cbrt ((st.w_last_max -. cwnd_seg) /. st.c);
+    st.origin <- st.w_last_max
+  end
+  else begin
+    st.k <- 0.0;
+    st.origin <- cwnd_seg
+  end
+
+let cubic_update st ctl (ev : ack_event) =
+  let now = ev.now in
+  if st.epoch_start = None then begin_epoch st ctl ~now;
+  let epoch = Option.get st.epoch_start in
+  (* Predict one RTT ahead, as Linux does: t = now + min_rtt - epoch. *)
+  let min_rtt = Option.value (ctl.min_rtt ()) ~default:Time_ns.zero in
+  let t = Time_ns.to_float_sec (Time_ns.add (Time_ns.sub now epoch) min_rtt) in
+  let offs = t -. st.k in
+  let target = st.origin +. (st.c *. (offs *. offs *. offs)) in
+  (* TCP-friendly region: never slower than an ideal Reno flow. *)
+  let srtt = Option.value (ctl.srtt ()) ~default:(Time_ns.ms 10) in
+  let w_tcp =
+    (st.origin *. st.beta)
+    +. (3.0 *. (1.0 -. st.beta) /. (1.0 +. st.beta) *. (t /. Time_ns.to_float_sec srtt))
+  in
+  let target = Float.max target w_tcp in
+  let cwnd = ctl.get_cwnd () in
+  let cwnd_seg = segments ctl cwnd in
+  if target > cwnd_seg then begin
+    (* Spread the climb to the target over roughly one RTT of ACKs. *)
+    let acked_segments = float_of_int ev.bytes_acked /. float_of_int ctl.mss in
+    let increment =
+      (target -. cwnd_seg) /. cwnd_seg *. acked_segments *. float_of_int ctl.mss
+    in
+    ctl.set_cwnd (cwnd + max 0 (int_of_float increment))
+  end
+
+let on_packet_loss st ctl =
+  st.epoch_start <- None;
+  let cwnd_seg = segments ctl (ctl.get_cwnd ()) in
+  if st.fast_convergence && cwnd_seg < st.w_last_max then
+    st.w_last_max <- cwnd_seg *. (2.0 -. st.beta) /. 2.0
+  else st.w_last_max <- cwnd_seg;
+  st.ssthresh <- max (int_of_float (st.beta *. float_of_int (ctl.get_cwnd ()))) (2 * ctl.mss)
+
+let create_with ?(c = 0.4) ?(beta = 0.7) ?(fast_convergence = true) () =
+  let st =
+    {
+      c;
+      beta;
+      fast_convergence;
+      w_last_max = 0.0;
+      epoch_start = None;
+      k = 0.0;
+      origin = 0.0;
+      ssthresh = max_int / 2;
+      in_recovery = false;
+    }
+  in
+  let on_ack ctl (ev : ack_event) =
+    if ev.bytes_acked > 0 && not st.in_recovery then begin
+      let cwnd = ctl.get_cwnd () in
+      if cwnd < st.ssthresh then
+        (* RFC 3465 byte counting, L = 2*MSS: huge cumulative jumps during
+           recovery must not explode the window. *)
+        ctl.set_cwnd (cwnd + min ev.bytes_acked (2 * ctl.mss))
+      else cubic_update st ctl ev
+    end
+  in
+  let on_loss ctl (loss : loss_event) =
+    match loss.kind with
+    | Dup_acks ->
+      st.in_recovery <- true;
+      on_packet_loss st ctl;
+      ctl.set_cwnd st.ssthresh
+    | Rto ->
+      st.in_recovery <- false;
+      on_packet_loss st ctl;
+      ctl.set_cwnd ctl.mss
+  in
+  {
+    name = "cubic";
+    on_init = (fun _ -> ());
+    on_ack;
+    on_loss;
+    on_exit_recovery = (fun _ -> st.in_recovery <- false);
+  }
+
+let create () = create_with ()

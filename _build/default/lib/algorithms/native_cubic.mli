@@ -1,0 +1,15 @@
+(** In-datapath CUBIC (Ha, Rhee, Xu 2008) — the Linux-default baseline for
+    Figure 3.
+
+    Window growth follows W(t) = C*(t-K)^3 + W_max with C = 0.4 and
+    multiplicative decrease beta = 0.7 (Linux's 717/1024), including fast
+    convergence and the TCP-friendly (Reno-tracking) region. Computation
+    is floating point; the kernel's fixed-point contortions are what §2.2
+    argues CCP lets you avoid (see {!Cubic_math} for the comparison). *)
+
+val create : unit -> Ccp_datapath.Congestion_iface.t
+
+val create_with :
+  ?c:float -> ?beta:float -> ?fast_convergence:bool -> unit -> Ccp_datapath.Congestion_iface.t
+(** [c] is the cubic coefficient (default 0.4); [beta] the multiplicative
+    decrease factor (default 0.7). *)

@@ -1,0 +1,85 @@
+open Ccp_util
+open Ccp_datapath
+open Congestion_iface
+
+type state = {
+  g : float;
+  mutable alpha : float;
+  mutable window_start : Time_ns.t option;
+  mutable acked_bytes : int;
+  mutable marked_bytes : int;
+  mutable in_recovery : bool;
+  mutable ssthresh : int;
+  mutable acked_accum : int;
+}
+
+let window_decision st ctl =
+  if st.acked_bytes > 0 then begin
+    let f = float_of_int st.marked_bytes /. float_of_int st.acked_bytes in
+    st.alpha <- ((1.0 -. st.g) *. st.alpha) +. (st.g *. f);
+    if st.marked_bytes > 0 then begin
+      let cwnd = ctl.get_cwnd () in
+      let reduced = int_of_float (float_of_int cwnd *. (1.0 -. (st.alpha /. 2.0))) in
+      ctl.set_cwnd (max (2 * ctl.mss) reduced)
+    end
+  end;
+  st.acked_bytes <- 0;
+  st.marked_bytes <- 0
+
+let create_with ?(g = 1.0 /. 16.0) ?(initial_alpha = 1.0) () =
+  let st =
+    {
+      g;
+      alpha = initial_alpha;
+      window_start = None;
+      acked_bytes = 0;
+      marked_bytes = 0;
+      in_recovery = false;
+      ssthresh = max_int / 2;
+      acked_accum = 0;
+    }
+  in
+  let on_ack ctl (ev : ack_event) =
+    st.acked_bytes <- st.acked_bytes + ev.bytes_acked;
+    if ev.ecn_echo then st.marked_bytes <- st.marked_bytes + ev.bytes_acked;
+    (* Close the observation window once per RTT. *)
+    let srtt = Option.value (ctl.srtt ()) ~default:(Time_ns.ms 10) in
+    (match st.window_start with
+    | None -> st.window_start <- Some ev.now
+    | Some start when Time_ns.compare (Time_ns.sub ev.now start) srtt >= 0 ->
+      window_decision st ctl;
+      st.window_start <- Some ev.now
+    | Some _ -> ());
+    (* Reno-style growth continues between marks. *)
+    if ev.bytes_acked > 0 && not st.in_recovery then begin
+      let cwnd = ctl.get_cwnd () in
+      if cwnd < st.ssthresh then ctl.set_cwnd (cwnd + min ev.bytes_acked (2 * ctl.mss))
+      else begin
+        st.acked_accum <- st.acked_accum + ev.bytes_acked;
+        if st.acked_accum >= cwnd then begin
+          st.acked_accum <- st.acked_accum - cwnd;
+          ctl.set_cwnd (cwnd + ctl.mss)
+        end
+      end
+    end
+  in
+  let on_loss ctl (loss : loss_event) =
+    match loss.kind with
+    | Dup_acks ->
+      st.in_recovery <- true;
+      st.ssthresh <- max (ctl.get_cwnd () / 2) (2 * ctl.mss);
+      ctl.set_cwnd st.ssthresh
+    | Rto ->
+      st.in_recovery <- false;
+      st.ssthresh <- max (ctl.get_cwnd () / 2) (2 * ctl.mss);
+      ctl.set_cwnd ctl.mss
+  in
+  {
+    name = "dctcp";
+    on_init = (fun _ -> ());
+    on_ack;
+    on_loss;
+    on_exit_recovery = (fun _ -> st.in_recovery <- false);
+  }
+
+let create () = create_with ()

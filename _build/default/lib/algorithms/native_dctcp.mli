@@ -1,0 +1,11 @@
+(** In-datapath DCTCP (Alizadeh et al. 2010).
+
+    Tracks the fraction F of bytes whose segments were ECN-marked over
+    each observation window (one RTT), smooths it as
+    alpha <- (1-g)*alpha + g*F with g = 1/16, and on a marked window cuts
+    the window by alpha/2 — the gentle, proportional backoff that keeps
+    datacenter queues short. Loss handling falls back to Reno. Requires
+    an ECN-marking bottleneck ({!Ccp_net.Queue_disc} with a threshold). *)
+
+val create : unit -> Ccp_datapath.Congestion_iface.t
+val create_with : ?g:float -> ?initial_alpha:float -> unit -> Ccp_datapath.Congestion_iface.t

@@ -1,0 +1,91 @@
+open Ccp_util
+open Ccp_datapath
+open Congestion_iface
+
+type state = {
+  low_speed_period : Time_ns.t;
+  beta_min : float;
+  beta_max : float;
+  mutable last_congestion : Time_ns.t option;
+  mutable max_rtt : Time_ns.t;
+  mutable in_recovery : bool;
+  mutable ssthresh : int;
+  mutable acked_accum : int;
+}
+
+(* alpha(delta): segments added per RTT as a function of time since the
+   last congestion event. *)
+let alpha st ~now =
+  match st.last_congestion with
+  | None -> 1.0
+  | Some at ->
+    let delta = Time_ns.to_float_sec (Time_ns.sub now at) in
+    let dl = Time_ns.to_float_sec st.low_speed_period in
+    if delta <= dl then 1.0
+    else begin
+      let d = delta -. dl in
+      1.0 +. (10.0 *. d) +. ((d /. 2.0) ** 2.0)
+    end
+
+let beta st ctl =
+  match ctl.min_rtt () with
+  | Some min_rtt when Time_ns.is_positive st.max_rtt ->
+    let b = Time_ns.to_float_sec min_rtt /. Time_ns.to_float_sec st.max_rtt in
+    Float.min st.beta_max (Float.max st.beta_min b)
+  | _ -> st.beta_min
+
+let create_with ?(low_speed_period = Time_ns.sec 1) ?(beta_min = 0.5) ?(beta_max = 0.8) () =
+  let st =
+    {
+      low_speed_period;
+      beta_min;
+      beta_max;
+      last_congestion = None;
+      max_rtt = Time_ns.zero;
+      in_recovery = false;
+      ssthresh = max_int / 2;
+      acked_accum = 0;
+    }
+  in
+  let on_ack ctl (ev : ack_event) =
+    Option.iter
+      (fun rtt -> if Time_ns.compare rtt st.max_rtt > 0 then st.max_rtt <- rtt)
+      ev.rtt_sample;
+    if ev.bytes_acked > 0 && not st.in_recovery then begin
+      let cwnd = ctl.get_cwnd () in
+      if cwnd < st.ssthresh then ctl.set_cwnd (cwnd + min ev.bytes_acked (2 * ctl.mss))
+      else begin
+        (* alpha segments per RTT, spread over a window's worth of ACKs. *)
+        st.acked_accum <- st.acked_accum + ev.bytes_acked;
+        if st.acked_accum >= cwnd then begin
+          st.acked_accum <- st.acked_accum - cwnd;
+          let add = alpha st ~now:ev.now *. float_of_int ctl.mss in
+          ctl.set_cwnd (cwnd + int_of_float add)
+        end
+      end
+    end
+  in
+  let on_loss ctl (loss : loss_event) =
+    st.last_congestion <- Some loss.at;
+    (* The adaptive-backoff RTT range restarts after each event. *)
+    (match ctl.latest_rtt () with Some rtt -> st.max_rtt <- rtt | None -> st.max_rtt <- Time_ns.zero);
+    match loss.kind with
+    | Dup_acks ->
+      st.in_recovery <- true;
+      let cut = int_of_float (beta st ctl *. float_of_int (ctl.get_cwnd ())) in
+      st.ssthresh <- max cut (2 * ctl.mss);
+      ctl.set_cwnd st.ssthresh
+    | Rto ->
+      st.in_recovery <- false;
+      st.ssthresh <- max (ctl.get_cwnd () / 2) (2 * ctl.mss);
+      ctl.set_cwnd ctl.mss
+  in
+  {
+    name = "htcp";
+    on_init = (fun _ -> ());
+    on_ack;
+    on_loss;
+    on_exit_recovery = (fun _ -> st.in_recovery <- false);
+  }
+
+let create () = create_with ()

@@ -1,0 +1,15 @@
+(** In-datapath H-TCP (Leith & Shorten, PFLDnet 2004) — one of the "over a
+    dozen" Linux pluggable-TCP modules the paper's introduction counts
+    ([33]).
+
+    Designed for high bandwidth-delay products: the additive-increase
+    factor grows with the time elapsed since the last congestion event
+    (alpha(d) = 1 + 10(d - dl) + ((d - dl)/2)^2 per RTT after a dl = 1 s
+    low-speed phase), and the backoff factor adapts to the observed
+    RTT range (beta = minRTT/maxRTT, clamped to \[0.5, 0.8\]). *)
+
+val create : unit -> Ccp_datapath.Congestion_iface.t
+
+val create_with :
+  ?low_speed_period:Ccp_util.Time_ns.t -> ?beta_min:float -> ?beta_max:float -> unit ->
+  Ccp_datapath.Congestion_iface.t

@@ -1,0 +1,115 @@
+open Ccp_util
+open Ccp_datapath
+open Congestion_iface
+
+type state = {
+  alpha_max : float;
+  alpha_min : float;
+  beta_min : float;
+  beta_max : float;
+  mutable max_rtt : Time_ns.t;
+  mutable sum_rtt_us : float;
+  mutable rtt_count : int;
+  mutable in_recovery : bool;
+  mutable ssthresh : int;
+  mutable acked_accum : int;
+}
+
+(* Average queueing delay over the last window, and the maximum observed
+   queueing delay, both in seconds. *)
+let delays st ctl =
+  match ctl.min_rtt () with
+  | Some base when st.rtt_count > 0 ->
+    let avg_us = st.sum_rtt_us /. float_of_int st.rtt_count in
+    let da = Float.max 0.0 ((avg_us -. Time_ns.to_float_us base) *. 1e-6) in
+    let dm =
+      Float.max 1e-6
+        (Time_ns.to_float_sec st.max_rtt -. Time_ns.to_float_sec base)
+    in
+    Some (da, dm)
+  | _ -> None
+
+(* alpha falls from alpha_max toward alpha_min as delay approaches the
+   maximum observed; the kappas are derived exactly as in the paper so
+   alpha(d1) = alpha_max and alpha(dm) = alpha_min, with d1 = 0.01*dm. *)
+let alpha st ~da ~dm =
+  let d1 = 0.01 *. dm in
+  if da <= d1 then st.alpha_max
+  else begin
+    let kappa1 = (dm -. d1) *. st.alpha_min *. st.alpha_max /. (st.alpha_max -. st.alpha_min) in
+    let kappa2 = (kappa1 /. st.alpha_max) -. d1 in
+    Float.max st.alpha_min (kappa1 /. (kappa2 +. da))
+  end
+
+(* beta grows linearly from beta_min at d2 = 0.1*dm to beta_max at d3 = 0.8*dm. *)
+let beta st ~da ~dm =
+  let d2 = 0.1 *. dm and d3 = 0.8 *. dm in
+  if da <= d2 then st.beta_min
+  else if da >= d3 then st.beta_max
+  else st.beta_min +. ((st.beta_max -. st.beta_min) *. (da -. d2) /. (d3 -. d2))
+
+let create_with ?(alpha_max = 10.0) ?(alpha_min = 0.3) ?(beta_min = 0.125) ?(beta_max = 0.5) ()
+    =
+  let st =
+    {
+      alpha_max;
+      alpha_min;
+      beta_min;
+      beta_max;
+      max_rtt = Time_ns.zero;
+      sum_rtt_us = 0.0;
+      rtt_count = 0;
+      in_recovery = false;
+      ssthresh = max_int / 2;
+      acked_accum = 0;
+    }
+  in
+  let on_ack ctl (ev : ack_event) =
+    Option.iter
+      (fun rtt ->
+        if Time_ns.compare rtt st.max_rtt > 0 then st.max_rtt <- rtt;
+        st.sum_rtt_us <- st.sum_rtt_us +. Time_ns.to_float_us rtt;
+        st.rtt_count <- st.rtt_count + 1)
+      ev.rtt_sample;
+    if ev.bytes_acked > 0 && not st.in_recovery then begin
+      let cwnd = ctl.get_cwnd () in
+      if cwnd < st.ssthresh then ctl.set_cwnd (cwnd + min ev.bytes_acked (2 * ctl.mss))
+      else begin
+        st.acked_accum <- st.acked_accum + ev.bytes_acked;
+        if st.acked_accum >= cwnd then begin
+          st.acked_accum <- st.acked_accum - cwnd;
+          let a =
+            match delays st ctl with
+            | Some (da, dm) -> alpha st ~da ~dm
+            | None -> 1.0
+          in
+          (* The delay window restarts each RTT. *)
+          st.sum_rtt_us <- 0.0;
+          st.rtt_count <- 0;
+          ctl.set_cwnd (cwnd + int_of_float (a *. float_of_int ctl.mss))
+        end
+      end
+    end
+  in
+  let on_loss ctl (loss : loss_event) =
+    match loss.kind with
+    | Dup_acks ->
+      st.in_recovery <- true;
+      let b = match delays st ctl with Some (da, dm) -> beta st ~da ~dm | None -> st.beta_max in
+      let cwnd = ctl.get_cwnd () in
+      st.ssthresh <- max (int_of_float ((1.0 -. b) *. float_of_int cwnd)) (2 * ctl.mss);
+      ctl.set_cwnd st.ssthresh
+    | Rto ->
+      st.in_recovery <- false;
+      st.ssthresh <- max (ctl.get_cwnd () / 2) (2 * ctl.mss);
+      ctl.set_cwnd ctl.mss
+  in
+  {
+    name = "illinois";
+    on_init = (fun _ -> ());
+    on_ack;
+    on_loss;
+    on_exit_recovery = (fun _ -> st.in_recovery <- false);
+  }
+
+let create () = create_with ()

@@ -1,0 +1,19 @@
+(** In-datapath TCP-Illinois (Liu, Basar, Srikant 2008) — another of the
+    Linux pluggable-TCP modules the paper's introduction counts ([34]).
+
+    A loss-delay hybrid: packet loss still decides *when* the window
+    changes direction, but the average queueing delay decides *by how
+    much*. With an empty queue the additive increase runs at
+    [alpha_max] segments per RTT; as delay grows it falls off as
+    kappa1/(kappa2 + da); the multiplicative backoff scales from
+    [beta_min] to [beta_max] with delay. *)
+
+val create : unit -> Ccp_datapath.Congestion_iface.t
+
+val create_with :
+  ?alpha_max:float ->
+  ?alpha_min:float ->
+  ?beta_min:float ->
+  ?beta_max:float ->
+  unit ->
+  Ccp_datapath.Congestion_iface.t

@@ -1,0 +1,65 @@
+open Ccp_util
+open Ccp_datapath
+open Congestion_iface
+
+type state = {
+  mutable ssthresh : int;
+  mutable in_recovery : bool;
+  mutable last_ecn_reaction : Time_ns.t;
+  mutable acked_accum : int;  (* congestion-avoidance byte accumulator *)
+}
+
+let multiplicative_decrease ctl st =
+  let cwnd = ctl.get_cwnd () in
+  st.ssthresh <- max (cwnd / 2) (2 * ctl.mss);
+  ctl.set_cwnd st.ssthresh
+
+let react_once_per_rtt ctl st ~now =
+  let interval = Option.value (ctl.srtt ()) ~default:(Time_ns.ms 10) in
+  if Time_ns.compare (Time_ns.sub now st.last_ecn_reaction) interval >= 0 then begin
+    st.last_ecn_reaction <- now;
+    multiplicative_decrease ctl st
+  end
+
+let create_with ?(ssthresh_init = max_int / 2) ?(react_to_ecn = true) () =
+  let st =
+    { ssthresh = ssthresh_init; in_recovery = false; last_ecn_reaction = Time_ns.zero;
+      acked_accum = 0 }
+  in
+  let on_ack ctl (ev : ack_event) =
+    if ev.ecn_echo && react_to_ecn then react_once_per_rtt ctl st ~now:ev.now;
+    if ev.bytes_acked > 0 && not st.in_recovery then begin
+      let cwnd = ctl.get_cwnd () in
+      if cwnd < st.ssthresh then
+        (* Slow start: one MSS per acknowledged MSS. *)
+        (* RFC 3465 byte counting with L = 2*MSS. *)
+        ctl.set_cwnd (cwnd + min ev.bytes_acked (2 * ctl.mss))
+      else begin
+        (* Congestion avoidance: one MSS per window's worth of ACKs. *)
+        st.acked_accum <- st.acked_accum + ev.bytes_acked;
+        if st.acked_accum >= cwnd then begin
+          st.acked_accum <- st.acked_accum - cwnd;
+          ctl.set_cwnd (cwnd + ctl.mss)
+        end
+      end
+    end
+  in
+  let on_loss ctl (loss : loss_event) =
+    match loss.kind with
+    | Dup_acks ->
+      st.in_recovery <- true;
+      multiplicative_decrease ctl st
+    | Rto ->
+      st.in_recovery <- false;
+      st.ssthresh <- max (ctl.get_cwnd () / 2) (2 * ctl.mss);
+      ctl.set_cwnd ctl.mss
+  in
+  {
+    name = "reno";
+    on_init = (fun _ -> ());
+    on_ack;
+    on_loss;
+    on_exit_recovery = (fun _ -> st.in_recovery <- false);
+  }
+
+let create () = create_with ()

@@ -1,0 +1,15 @@
+(** In-datapath TCP NewReno — the Linux-style baseline for Figure 4.
+
+    Slow start doubles per RTT (cwnd += bytes_acked); congestion avoidance
+    adds one MSS per RTT (cwnd += mss*bytes_acked/cwnd); a triple-dup-ACK
+    loss halves ssthresh and the window; a timeout collapses the window to
+    one MSS. ECN echoes are treated as loss per RFC 3168, at most one
+    reaction per RTT. *)
+
+val create : unit -> Ccp_datapath.Congestion_iface.t
+
+val create_with :
+  ?ssthresh_init:int ->
+  ?react_to_ecn:bool ->
+  unit ->
+  Ccp_datapath.Congestion_iface.t

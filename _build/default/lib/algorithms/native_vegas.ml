@@ -1,0 +1,88 @@
+open Ccp_util
+open Ccp_datapath
+open Congestion_iface
+
+type state = {
+  alpha : float;
+  beta : float;
+  mutable base_rtt : Time_ns.t option;
+  mutable epoch_start : Time_ns.t option;
+  mutable rtt_sum : float;  (* microseconds, over the current epoch *)
+  mutable rtt_count : int;
+  mutable in_recovery : bool;
+  mutable ssthresh : int;
+}
+
+let observe st rtt =
+  (match st.base_rtt with
+  | None -> st.base_rtt <- Some rtt
+  | Some base -> if Time_ns.compare rtt base < 0 then st.base_rtt <- Some rtt);
+  st.rtt_sum <- st.rtt_sum +. Time_ns.to_float_us rtt;
+  st.rtt_count <- st.rtt_count + 1
+
+(* Once per RTT: compare expected and actual throughput. *)
+let epoch_decision st ctl =
+  match st.base_rtt with
+  | None -> ()
+  | Some base when st.rtt_count = 0 -> ignore base
+  | Some base ->
+    let rtt_us = st.rtt_sum /. float_of_int st.rtt_count in
+    let base_us = Time_ns.to_float_us base in
+    if rtt_us > 0.0 && base_us > 0.0 then begin
+      let cwnd = ctl.get_cwnd () in
+      let cwnd_pkts = float_of_int cwnd /. float_of_int ctl.mss in
+      let in_queue = cwnd_pkts *. (rtt_us -. base_us) /. rtt_us in
+      if cwnd < st.ssthresh && in_queue < st.alpha then
+        (* Vegas slow start: grow every other RTT; approximate with +50%. *)
+        ctl.set_cwnd (cwnd + (cwnd / 2))
+      else if in_queue < st.alpha then ctl.set_cwnd (cwnd + ctl.mss)
+      else if in_queue > st.beta then ctl.set_cwnd (cwnd - ctl.mss)
+    end;
+    st.rtt_sum <- 0.0;
+    st.rtt_count <- 0
+
+let create_with ?(alpha = 2.0) ?(beta = 4.0) () =
+  let st =
+    {
+      alpha;
+      beta;
+      base_rtt = None;
+      epoch_start = None;
+      rtt_sum = 0.0;
+      rtt_count = 0;
+      in_recovery = false;
+      ssthresh = max_int / 2;
+    }
+  in
+  let on_ack ctl (ev : ack_event) =
+    Option.iter (observe st) ev.rtt_sample;
+    if not st.in_recovery then begin
+      let srtt = Option.value (ctl.srtt ()) ~default:(Time_ns.ms 10) in
+      match st.epoch_start with
+      | None -> st.epoch_start <- Some ev.now
+      | Some start when Time_ns.compare (Time_ns.sub ev.now start) srtt >= 0 ->
+        epoch_decision st ctl;
+        st.epoch_start <- Some ev.now
+      | Some _ -> ()
+    end
+  in
+  let on_loss ctl (loss : loss_event) =
+    match loss.kind with
+    | Dup_acks ->
+      st.in_recovery <- true;
+      st.ssthresh <- max (3 * ctl.get_cwnd () / 4) (2 * ctl.mss);
+      ctl.set_cwnd st.ssthresh
+    | Rto ->
+      st.in_recovery <- false;
+      st.ssthresh <- max (ctl.get_cwnd () / 2) (2 * ctl.mss);
+      ctl.set_cwnd ctl.mss
+  in
+  {
+    name = "vegas";
+    on_init = (fun _ -> ());
+    on_ack;
+    on_loss;
+    on_exit_recovery = (fun _ -> st.in_recovery <- false);
+  }
+
+let create () = create_with ()

@@ -1,0 +1,12 @@
+(** In-datapath TCP Vegas (Brakmo & Peterson 1994).
+
+    Delay-based: estimates the number of packets queued at the bottleneck
+    as [inQ = (rtt - baseRtt) * cwnd / rtt] and, once per RTT, grows the
+    window when [inQ < alpha] and shrinks it when [inQ > beta]. This is
+    the algorithm §2.4 uses to illustrate both batching modes; this native
+    version is the synchronous in-datapath reference the CCP variants are
+    compared against. *)
+
+val create : unit -> Ccp_datapath.Congestion_iface.t
+val create_with : ?alpha:float -> ?beta:float -> unit -> Ccp_datapath.Congestion_iface.t
+(** Defaults: alpha 2, beta 4 (packets). *)

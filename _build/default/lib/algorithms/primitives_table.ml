@@ -1,0 +1,91 @@
+type measurement =
+  | Acks
+  | Rtt
+  | Packet_headers
+  | Loss
+  | Ecn
+  | Sending_rate
+  | Receiving_rate
+
+type control = Cwnd_knob | Rate_knob | Rate_pulses | Cwnd_cap | Header_writes
+
+type row = {
+  protocol : string;
+  citation : string;
+  measurements : measurement list;
+  controls : control list;
+  implemented : [ `Native | `Ccp | `Both | `Not_implemented ];
+}
+
+let rows =
+  [
+    { protocol = "Reno"; citation = "Hoe 1996"; measurements = [ Acks ];
+      controls = [ Cwnd_knob ]; implemented = `Both };
+    { protocol = "Vegas"; citation = "Brakmo et al. 1994"; measurements = [ Rtt ];
+      controls = [ Cwnd_knob ]; implemented = `Both };
+    { protocol = "XCP"; citation = "Katabi et al. 2002"; measurements = [ Packet_headers ];
+      controls = [ Cwnd_knob ]; implemented = `Not_implemented };
+    { protocol = "Cubic"; citation = "Ha et al. 2008"; measurements = [ Loss; Acks ];
+      controls = [ Cwnd_knob ]; implemented = `Both };
+    { protocol = "DCTCP"; citation = "Alizadeh et al. 2010"; measurements = [ Ecn; Acks; Loss ];
+      controls = [ Cwnd_knob ]; implemented = `Both };
+    { protocol = "Timely"; citation = "Mittal et al. 2015"; measurements = [ Rtt ];
+      controls = [ Rate_knob ]; implemented = `Ccp };
+    { protocol = "PCC"; citation = "Dong et al. 2015";
+      measurements = [ Loss; Sending_rate; Receiving_rate ]; controls = [ Rate_knob ];
+      implemented = `Ccp };
+    { protocol = "NUMFabric"; citation = "Nagaraj et al. 2016";
+      measurements = [ Packet_headers ]; controls = [ Rate_knob; Header_writes ];
+      implemented = `Not_implemented };
+    { protocol = "Sprout"; citation = "Winstein et al. 2013";
+      measurements = [ Sending_rate; Receiving_rate; Rtt ]; controls = [ Rate_knob ];
+      implemented = `Not_implemented };
+    { protocol = "Remy"; citation = "Winstein & Balakrishnan 2013";
+      measurements = [ Sending_rate; Receiving_rate; Rtt ]; controls = [ Rate_knob ];
+      implemented = `Not_implemented };
+    { protocol = "BBR"; citation = "Cardwell et al. 2016";
+      measurements = [ Sending_rate; Receiving_rate; Rtt ];
+      controls = [ Rate_pulses; Cwnd_cap ]; implemented = `Ccp };
+  ]
+
+let measurement_to_string = function
+  | Acks -> "ACKs"
+  | Rtt -> "RTT"
+  | Packet_headers -> "Packet headers"
+  | Loss -> "Loss"
+  | Ecn -> "ECN"
+  | Sending_rate -> "Sending Rate"
+  | Receiving_rate -> "Receiving Rate"
+
+let control_to_string = function
+  | Cwnd_knob -> "CWND"
+  | Rate_knob -> "Rate"
+  | Rate_pulses -> "Rate (pulses)"
+  | Cwnd_cap -> "CWND cap"
+  | Header_writes -> "Packet headers"
+
+let implemented_to_string = function
+  | `Native -> "native"
+  | `Ccp -> "ccp"
+  | `Both -> "native+ccp"
+  | `Not_implemented -> "-"
+
+let render () =
+  let buf = Buffer.create 1024 in
+  let line protocol meas ctrl impl =
+    Buffer.add_string buf (Printf.sprintf "%-10s | %-38s | %-28s | %s\n" protocol meas ctrl impl)
+  in
+  line "Protocol" "Measurement" "Control Knobs" "In repo";
+  Buffer.add_string buf (String.make 98 '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      line row.protocol
+        (String.concat ", " (List.map measurement_to_string row.measurements))
+        (String.concat ", " (List.map control_to_string row.controls))
+        (implemented_to_string row.implemented))
+    rows;
+  Buffer.contents buf
+
+let implemented_count () =
+  List.length (List.filter (fun r -> r.implemented <> `Not_implemented) rows)

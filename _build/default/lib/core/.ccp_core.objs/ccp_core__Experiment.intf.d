@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Ccp_agent Ccp_datapath Ccp_ext Ccp_ipc Ccp_net Ccp_util Congestion_iface Offload Tcp_flow Time_ns Trace

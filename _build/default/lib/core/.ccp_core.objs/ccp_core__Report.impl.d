@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Ccp_algorithms Ccp_ipc Ccp_net Ccp_util Experiment Float List Printf Scenarios Stats Time_ns Trace

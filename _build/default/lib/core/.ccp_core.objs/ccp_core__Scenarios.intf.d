@@ -1,0 +1,1 @@
+lib/core/scenarios.mli: Ccp_ipc Ccp_util Experiment Stats Time_ns

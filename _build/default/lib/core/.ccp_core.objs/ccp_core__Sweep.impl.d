@@ -1,0 +1,1 @@
+lib/core/sweep.ml: Buffer Ccp_util Experiment Float List Printf String Time_ns

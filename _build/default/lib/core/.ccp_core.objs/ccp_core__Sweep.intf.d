@@ -1,0 +1,1 @@
+lib/core/sweep.mli: Ccp_agent Ccp_datapath Ccp_util Time_ns

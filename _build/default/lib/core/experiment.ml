@@ -1,0 +1,368 @@
+open Ccp_util
+open Ccp_eventsim
+open Ccp_net
+open Ccp_datapath
+
+type cc_spec =
+  | Native_cc of (unit -> Congestion_iface.t)
+  | Ccp_cc of Ccp_agent.Algorithm.t
+
+type flow_spec = {
+  cc : cc_spec;
+  start_at : Time_ns.t;
+  app_limit_bytes : int option;
+  delayed_ack_every : int;
+}
+
+let flow ?(start_at = Time_ns.zero) ?app_limit_bytes ?(delayed_ack_every = 1) cc =
+  { cc; start_at; app_limit_bytes; delayed_ack_every }
+
+type offload_spec = {
+  sender : Offload.Sender_path.config;
+  receiver : Offload.Receiver_path.config;
+}
+
+type config = {
+  seed : int;
+  rate_bps : float;
+  base_rtt : Time_ns.t;
+  buffer_bytes : int;
+  ecn_threshold_bytes : int option;
+  duration : Time_ns.t;
+  warmup : Time_ns.t;
+  flows : flow_spec list;
+  ipc : Ccp_ipc.Latency_model.t;
+  datapath : Ccp_ext.config;
+  tcp : Tcp_flow.config;
+  sample_interval : Time_ns.t;
+  offloads : offload_spec option;
+  policy : (Ccp_agent.Algorithm.flow_info -> Ccp_agent.Policy.t) option;
+  jitter : Time_ns.t;
+  rate_schedule : (Time_ns.t * float) list;
+}
+
+let default_config ~rate_bps ~base_rtt ~duration =
+  let bdp = int_of_float (rate_bps *. Time_ns.to_float_sec base_rtt /. 8.0) in
+  {
+    seed = 42;
+    rate_bps;
+    base_rtt;
+    buffer_bytes = max 3000 bdp;
+    ecn_threshold_bytes = None;
+    duration;
+    warmup = Time_ns.zero;
+    flows = [];
+    ipc = Ccp_ipc.Latency_model.netlink_idle;
+    datapath = Ccp_ext.default_config;
+    tcp = Tcp_flow.default_config;
+    sample_interval = Time_ns.ms 100;
+    offloads = None;
+    policy = None;
+    jitter = Time_ns.zero;
+    rate_schedule = [];
+  }
+
+type flow_result = {
+  flow_id : int;
+  cc_name : string;
+  delivered_bytes : int;
+  goodput_bps : float;
+  mean_rtt : Time_ns.t;
+  retransmits : int;
+  timeouts : int;
+  recoveries : int;
+  final_cwnd : int;
+}
+
+type result = {
+  config : config;
+  utilization : float;
+  median_rtt : Time_ns.t;
+  p95_rtt : Time_ns.t;
+  flows : flow_result list;
+  drops : int;
+  ecn_marks : int;
+  trace : Trace.t;
+  jain_index : float;
+  agent_stats : agent_stats option;
+  sender_cpu : cpu_stats option;
+  receiver_cpu : cpu_stats option;
+}
+
+and agent_stats = {
+  reports : int;
+  urgents : int;
+  installs : int;
+  handler_errors : int;
+  ipc_bytes_to_agent : int;
+  ipc_bytes_to_datapath : int;
+}
+
+and cpu_stats = {
+  busy_fraction : float;
+  operations : int;
+  segments_total : int;
+  mean_batch : float;
+}
+
+(* Wiring for one flow: sender, receiver, and their attachment to the
+   dumbbell (possibly through the offload CPU model). *)
+type flow_instance = {
+  spec : flow_spec;
+  id : int;
+  sender : Tcp_flow.t;
+  receiver : Tcp_receiver.t;
+  rtt_samples : Stats.Samples.t;
+  mutable delivered_at_warmup : int;
+}
+
+let has_ccp_flows (config : config) =
+  List.exists (fun f -> match f.cc with Ccp_cc _ -> true | Native_cc _ -> false) config.flows
+
+let run (config : config) =
+  if config.flows = [] then invalid_arg "Experiment.run: no flows";
+  let sim = Sim.create ~seed:config.seed () in
+  let trace = Trace.create sim in
+  let dumbbell =
+    Topology.Dumbbell.create ~sim ~rate_bps:config.rate_bps ~base_rtt:config.base_rtt
+      ~buffer_bytes:config.buffer_bytes ?ecn_threshold_bytes:config.ecn_threshold_bytes
+      ~jitter:config.jitter ~rate_schedule:config.rate_schedule ()
+  in
+  (* Shared CCP plumbing, created only if some flow needs it. *)
+  let ccp_parts =
+    if not (has_ccp_flows config) then None
+    else begin
+      let channel = Ccp_ipc.Channel.create ~sim ~latency:config.ipc () in
+      let ccp_ext = Ccp_ext.create ~sim ~channel ~config:config.datapath () in
+      let algorithms = Hashtbl.create 4 in
+      let choose (info : Ccp_agent.Algorithm.flow_info) =
+        match Hashtbl.find_opt algorithms info.Ccp_agent.Algorithm.flow with
+        | Some algo -> algo
+        | None -> failwith "Experiment: unknown CCP flow"
+      in
+      let agent =
+        Ccp_agent.Agent.create ~sim ~channel ~choose
+          ?policy:config.policy ()
+      in
+      Some (channel, ccp_ext, agent, algorithms)
+    end
+  in
+  (* Offload paths (Figure 5). One sender path and one receiver path per
+     flow: each host's stack is modelled independently. *)
+  let make_flow id spec =
+    let cc =
+      match spec.cc with
+      | Native_cc make_cc -> make_cc ()
+      | Ccp_cc algo ->
+        let _, ccp_ext, _, algorithms = Option.get ccp_parts in
+        Hashtbl.replace algorithms id algo;
+        Ccp_ext.congestion_control ccp_ext
+    in
+    let tcp_config =
+      {
+        config.tcp with
+        app_limit_bytes = spec.app_limit_bytes;
+        ecn_capable = config.ecn_threshold_bytes <> None || config.tcp.ecn_capable;
+      }
+    in
+    (* Receiver side: ACKs go straight onto the reverse path. *)
+    let receiver =
+      Tcp_receiver.create ~flow:id
+        ~send_ack:(fun ack -> Topology.Dumbbell.send_ack dumbbell ack)
+        ~delayed_ack_every:spec.delayed_ack_every ()
+    in
+    let receiver_path =
+      Option.map
+        (fun (off : offload_spec) ->
+          Offload.Receiver_path.create ~sim ~config:off.receiver ~deliver:(fun batch ->
+              Tcp_receiver.on_batch receiver batch))
+        config.offloads
+    in
+    let data_sink =
+      match receiver_path with
+      | Some path -> fun pkt -> Offload.Receiver_path.receive path pkt
+      | None -> fun pkt -> Tcp_receiver.on_data receiver pkt
+    in
+    (* Sender side: segments and incoming ACKs pass through the host CPU
+       model if present. The flow's real ACK handler is attached to the
+       path's ack_out after creation, breaking the definition cycle. *)
+    let sender_ref = ref None in
+    let sender_path =
+      Option.map
+        (fun (off : offload_spec) ->
+          Offload.Sender_path.create ~sim ~config:off.sender
+            ~out:(fun pkt -> Topology.Dumbbell.send_data dumbbell pkt)
+            ~ack_out:(fun ack ->
+              match !sender_ref with
+              | Some sender -> Tcp_flow.on_ack sender ack
+              | None -> ())
+            ())
+        config.offloads
+    in
+    let transmit =
+      match sender_path with
+      | Some path -> fun pkt -> Offload.Sender_path.send path pkt
+      | None -> fun pkt -> Topology.Dumbbell.send_data dumbbell pkt
+    in
+    let sender = Tcp_flow.create ~sim ~flow:id ~config:tcp_config ~cc ~transmit () in
+    sender_ref := Some sender;
+    let ack_sink =
+      match sender_path with
+      | Some path -> fun ack -> Offload.Sender_path.receive_ack path ack
+      | None -> fun ack -> Tcp_flow.on_ack sender ack
+    in
+    Topology.Dumbbell.register dumbbell ~flow:id ~data_sink ~ack_sink;
+    let rtt_samples = Stats.Samples.create () in
+    let cwnd_series = Printf.sprintf "cwnd.%d" id in
+    Tcp_flow.set_cwnd_listener sender (fun _at cwnd ->
+        Trace.add trace ~series:cwnd_series (float_of_int cwnd));
+    let rtt_series = Printf.sprintf "rtt_ms.%d" id in
+    Tcp_flow.set_rtt_listener sender (fun at rtt ->
+        if Time_ns.compare at config.warmup >= 0 then
+          Stats.Samples.add rtt_samples (Time_ns.to_float_us rtt);
+        Trace.add trace ~series:rtt_series (Time_ns.to_float_ms rtt));
+    ignore (Sim.schedule sim ~at:spec.start_at (fun () -> Tcp_flow.start sender));
+    ({ spec; id; sender; receiver; rtt_samples; delivered_at_warmup = 0 }, sender_path,
+     receiver_path)
+  in
+  let instances = List.mapi (fun id spec -> make_flow id spec) config.flows in
+  let flows_only = List.map (fun (f, _, _) -> f) instances in
+  (* Periodic series: per-flow throughput and bottleneck queue depth. *)
+  List.iter
+    (fun inst ->
+      let series = Printf.sprintf "throughput_mbps.%d" inst.id in
+      let last = ref 0 in
+      Trace.sample_every trace ~series ~every:config.sample_interval (fun () ->
+          let delivered = Tcp_receiver.delivered_bytes inst.receiver in
+          let delta = delivered - !last in
+          last := delivered;
+          float_of_int (delta * 8) /. Time_ns.to_float_sec config.sample_interval /. 1e6))
+    flows_only;
+  Trace.sample_every trace ~series:"queue_bytes" ~every:config.sample_interval (fun () ->
+      float_of_int (Queue_disc.backlog_bytes (Link.qdisc (Topology.Dumbbell.forward dumbbell))));
+  (* Snapshot delivered bytes at the end of warmup for goodput accounting. *)
+  if Time_ns.is_positive config.warmup then
+    ignore
+      (Sim.schedule sim ~at:config.warmup (fun () ->
+           List.iter
+             (fun inst ->
+               inst.delivered_at_warmup <- Tcp_receiver.delivered_bytes inst.receiver)
+             flows_only));
+  Sim.run ~until:config.duration sim;
+  (* --- collect results --- *)
+  let measured_window = Time_ns.sub config.duration config.warmup in
+  let measured_seconds = Time_ns.to_float_sec measured_window in
+  let flow_results =
+    List.map
+      (fun inst ->
+        let delivered = Tcp_receiver.delivered_bytes inst.receiver in
+        let measured = delivered - inst.delivered_at_warmup in
+        let goodput =
+          if measured_seconds > 0.0 then float_of_int (measured * 8) /. measured_seconds
+          else 0.0
+        in
+        let mean_rtt =
+          if Stats.Samples.count inst.rtt_samples = 0 then Time_ns.zero
+          else Time_ns.of_float_sec (Stats.Samples.mean inst.rtt_samples *. 1e-6)
+        in
+        {
+          flow_id = inst.id;
+          cc_name =
+            (match inst.spec.cc with
+            | Native_cc make_cc -> (make_cc ()).Congestion_iface.name
+            | Ccp_cc algo -> algo.Ccp_agent.Algorithm.name);
+          delivered_bytes = delivered;
+          goodput_bps = goodput;
+          mean_rtt;
+          retransmits = Tcp_flow.retransmits inst.sender;
+          timeouts = Tcp_flow.timeouts inst.sender;
+          recoveries = Tcp_flow.recoveries inst.sender;
+          final_cwnd = Tcp_flow.cwnd inst.sender;
+        })
+      flows_only
+  in
+  let all_rtts = Stats.Samples.create () in
+  List.iter
+    (fun inst ->
+      Array.iter (Stats.Samples.add all_rtts) (Stats.Samples.to_array inst.rtt_samples))
+    flows_only;
+  let median_rtt, p95_rtt =
+    if Stats.Samples.count all_rtts = 0 then (Time_ns.zero, Time_ns.zero)
+    else
+      ( Time_ns.of_float_sec (Stats.Samples.percentile all_rtts 50.0 *. 1e-6),
+        Time_ns.of_float_sec (Stats.Samples.percentile all_rtts 95.0 *. 1e-6) )
+  in
+  let total_goodput = List.fold_left (fun acc r -> acc +. r.goodput_bps) 0.0 flow_results in
+  let utilization = total_goodput /. config.rate_bps in
+  let qdisc = Link.qdisc (Topology.Dumbbell.forward dumbbell) in
+  let agent_stats =
+    Option.map
+      (fun (channel, _, agent, _) ->
+        {
+          reports = Ccp_agent.Agent.reports_received agent;
+          urgents = Ccp_agent.Agent.urgents_received agent;
+          installs = Ccp_agent.Agent.installs_sent agent;
+          handler_errors = Ccp_agent.Agent.handler_errors agent;
+          ipc_bytes_to_agent = Ccp_ipc.Channel.bytes_sent channel Ccp_ipc.Channel.Datapath_end;
+          ipc_bytes_to_datapath = Ccp_ipc.Channel.bytes_sent channel Ccp_ipc.Channel.Agent_end;
+        })
+      ccp_parts
+  in
+  let duration_s = Time_ns.to_float_sec config.duration in
+  let cpu_stats_of_sender paths =
+    match paths with
+    | [] -> None
+    | _ ->
+      let busy =
+        List.fold_left
+          (fun acc p -> acc +. Time_ns.to_float_sec (Offload.Sender_path.busy_time p))
+          0.0 paths
+      in
+      let ops = List.fold_left (fun acc p -> acc + Offload.Sender_path.operations p) 0 paths in
+      let segs = List.fold_left (fun acc p -> acc + Offload.Sender_path.segments p) 0 paths in
+      Some
+        {
+          busy_fraction = busy /. duration_s;
+          operations = ops;
+          segments_total = segs;
+          mean_batch = (if ops = 0 then 0.0 else float_of_int segs /. float_of_int ops);
+        }
+  in
+  let cpu_stats_of_receiver paths =
+    match paths with
+    | [] -> None
+    | _ ->
+      let busy =
+        List.fold_left
+          (fun acc p -> acc +. Time_ns.to_float_sec (Offload.Receiver_path.busy_time p))
+          0.0 paths
+      in
+      let ops = List.fold_left (fun acc p -> acc + Offload.Receiver_path.operations p) 0 paths in
+      let segs =
+        List.fold_left (fun acc p -> acc + Offload.Receiver_path.segments p) 0 paths
+      in
+      Some
+        {
+          busy_fraction = busy /. duration_s;
+          operations = ops;
+          segments_total = segs;
+          mean_batch = (if ops = 0 then 0.0 else float_of_int segs /. float_of_int ops);
+        }
+  in
+  let sender_paths = List.filter_map (fun (_, s, _) -> s) instances in
+  let receiver_paths = List.filter_map (fun (_, _, r) -> r) instances in
+  {
+    config;
+    utilization;
+    median_rtt;
+    p95_rtt;
+    flows = flow_results;
+    drops = Queue_disc.dropped_packets qdisc;
+    ecn_marks = Queue_disc.marked_packets qdisc;
+    trace;
+    jain_index =
+      Stats.jain_fairness (Array.of_list (List.map (fun r -> r.goodput_bps) flow_results));
+    agent_stats;
+    sender_cpu = cpu_stats_of_sender sender_paths;
+    receiver_cpu = cpu_stats_of_receiver receiver_paths;
+  }

@@ -1,0 +1,103 @@
+(** Experiment driver: build a dumbbell, attach native and/or CCP flows,
+    run, and collect the metrics the paper reports.
+
+    A single experiment hosts any mix of flows. All CCP flows on the host
+    share one IPC channel, one CCP datapath extension, and one agent — the
+    paper's architecture, where a single user-space agent serves every
+    flow (and different flows may run different algorithms). *)
+
+open Ccp_util
+open Ccp_net
+open Ccp_datapath
+
+type cc_spec =
+  | Native_cc of (unit -> Congestion_iface.t)
+      (** in-datapath controller; fresh instance per flow *)
+  | Ccp_cc of Ccp_agent.Algorithm.t  (** off-datapath algorithm via the agent *)
+
+type flow_spec = {
+  cc : cc_spec;
+  start_at : Time_ns.t;
+  app_limit_bytes : int option;
+  delayed_ack_every : int;
+}
+
+val flow : ?start_at:Time_ns.t -> ?app_limit_bytes:int -> ?delayed_ack_every:int ->
+  cc_spec -> flow_spec
+
+type offload_spec = {
+  sender : Offload.Sender_path.config;
+  receiver : Offload.Receiver_path.config;
+}
+
+type config = {
+  seed : int;
+  rate_bps : float;
+  base_rtt : Time_ns.t;
+  buffer_bytes : int;
+  ecn_threshold_bytes : int option;
+  duration : Time_ns.t;
+  warmup : Time_ns.t;  (** excluded from utilization/goodput accounting *)
+  flows : flow_spec list;
+  ipc : Ccp_ipc.Latency_model.t;  (** round-trip model for CCP flows *)
+  datapath : Ccp_ext.config;
+  tcp : Tcp_flow.config;
+  sample_interval : Time_ns.t;  (** throughput/queue series resolution *)
+  offloads : offload_spec option;  (** Figure 5's host CPU model, off by default *)
+  policy : (Ccp_agent.Algorithm.flow_info -> Ccp_agent.Policy.t) option;
+  jitter : Time_ns.t;  (** per-packet forward-path jitter (reordering); 0 = off *)
+  rate_schedule : (Time_ns.t * float) list;
+      (** piecewise-constant bottleneck capacity (cellular-style); empty =
+          the fixed [rate_bps] *)
+}
+
+val default_config : rate_bps:float -> base_rtt:Time_ns.t -> duration:Time_ns.t -> config
+(** Buffer defaults to 1 BDP; seed 42; no ECN; no warmup; no offloads;
+    Netlink-idle IPC; 100 ms sampling. *)
+
+type flow_result = {
+  flow_id : int;
+  cc_name : string;
+  delivered_bytes : int;  (** in-order bytes at the receiver, whole run *)
+  goodput_bps : float;  (** over [warmup, duration] *)
+  mean_rtt : Time_ns.t;
+  retransmits : int;
+  timeouts : int;
+  recoveries : int;
+  final_cwnd : int;
+}
+
+type result = {
+  config : config;
+  utilization : float;  (** total goodput / capacity over the measured window *)
+  median_rtt : Time_ns.t;  (** across all per-ACK samples of all flows *)
+  p95_rtt : Time_ns.t;
+  flows : flow_result list;
+  drops : int;
+  ecn_marks : int;
+  trace : Trace.t;
+      (** series: ["cwnd.<i>"] (bytes, per change), ["rtt_ms.<i>"] (per
+          sample), ["throughput_mbps.<i>"] and ["queue_bytes"] (sampled) *)
+  jain_index : float;  (** over per-flow goodputs of flows active at the end *)
+  agent_stats : agent_stats option;  (** present when any flow is CCP *)
+  sender_cpu : cpu_stats option;  (** present when offloads are modelled *)
+  receiver_cpu : cpu_stats option;
+}
+
+and agent_stats = {
+  reports : int;
+  urgents : int;
+  installs : int;
+  handler_errors : int;
+  ipc_bytes_to_agent : int;
+  ipc_bytes_to_datapath : int;
+}
+
+and cpu_stats = {
+  busy_fraction : float;  (** busy time / run duration *)
+  operations : int;
+  segments_total : int;
+  mean_batch : float;
+}
+
+val run : config -> result

@@ -1,0 +1,170 @@
+open Ccp_util
+open Ccp_net
+
+let spark_levels = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                      "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline values =
+  match values with
+  | [] -> ""
+  | _ ->
+    let lo = List.fold_left Float.min infinity values in
+    let hi = List.fold_left Float.max neg_infinity values in
+    let span = if hi > lo then hi -. lo else 1.0 in
+    let buf = Buffer.create (List.length values * 3) in
+    List.iter
+      (fun v ->
+        let idx = int_of_float ((v -. lo) /. span *. 8.0) in
+        Buffer.add_string buf spark_levels.(max 0 (min 8 idx)))
+      values;
+    Buffer.contents buf
+
+let trace_sparkline result ~series ~points =
+  let pts = Trace.series result.Experiment.trace series in
+  sparkline (List.map snd (Trace.downsample pts ~max_points:points))
+
+let line buf fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt
+
+let render_fig2 (series : Scenarios.Fig2.series list) =
+  let buf = Buffer.create 2048 in
+  let sample_count =
+    match series with s :: _ -> Stats.Samples.count s.Scenarios.Fig2.samples | [] -> 0
+  in
+  line buf "Figure 2: CDF of IPC round-trip times (%d samples per configuration)" sample_count;
+  line buf "%-38s %8s %8s %8s %11s %10s" "configuration" "p50 us" "p90 us" "p99 us" "paper p99" "model p99";
+  List.iter
+    (fun (s : Scenarios.Fig2.series) ->
+      line buf "%-38s %8.1f %8.1f %8.1f %11.1f %10.1f" s.label
+        (Stats.Samples.percentile s.samples 50.0)
+        (Stats.Samples.percentile s.samples 90.0)
+        (Stats.Samples.percentile s.samples 99.0)
+        s.paper_p99_us
+        (Ccp_ipc.Latency_model.p99_us s.model))
+    series;
+  line buf "";
+  List.iter
+    (fun (s : Scenarios.Fig2.series) ->
+      let cdf = Stats.Samples.cdf s.samples ~points:40 in
+      line buf "  %-38s |%s|" s.label (sparkline (List.map fst cdf)))
+    series;
+  Buffer.contents buf
+
+let util_pct r = 100.0 *. r.Experiment.utilization
+let med_ms r = Time_ns.to_float_ms r.Experiment.median_rtt
+
+let render_fig3 (c : Scenarios.comparison) =
+  let buf = Buffer.create 2048 in
+  line buf "Figure 3: Cubic window dynamics, CCP vs in-datapath (1 Gbit/s, 10 ms RTT, 1 BDP buffer)";
+  line buf "%-14s %12s %12s %14s %14s" "system" "util (meas)" "util (paper)" "med RTT (meas)"
+    "med RTT (paper)";
+  line buf "%-14s %11.1f%% %11.1f%% %12.1fms %12.1fms" "ccp cubic" (util_pct c.ccp) 95.4
+    (med_ms c.ccp) 16.1;
+  line buf "%-14s %11.1f%% %11.1f%% %12.1fms %12.1fms" "linux cubic" (util_pct c.native) 94.4
+    (med_ms c.native) 15.8;
+  line buf "";
+  line buf "cwnd evolution (sparklines over the run):";
+  line buf "  ccp    |%s|" (trace_sparkline c.ccp ~series:"cwnd.0" ~points:72);
+  line buf "  linux  |%s|" (trace_sparkline c.native ~series:"cwnd.0" ~points:72);
+  Buffer.contents buf
+
+let throughput_series result flow =
+  Trace.series result.Experiment.trace (Printf.sprintf "throughput_mbps.%d" flow)
+
+let render_fig4 (c : Scenarios.comparison) =
+  let buf = Buffer.create 2048 in
+  line buf
+    "Figure 4: NewReno reactivity, second flow joins at t=20 s (1 Gbit/s, 10 ms RTT, 60 s)";
+  let describe label (r : Experiment.result) =
+    let conv = Scenarios.Fig4.convergence_time r in
+    let flows = r.Experiment.flows in
+    let goodput i = (List.nth flows i).Experiment.goodput_bps /. 1e6 in
+    line buf "%-14s util=%5.1f%%  goodput flow0=%6.1f Mbit/s flow1=%6.1f Mbit/s  converged at %s"
+      label (util_pct r) (goodput 0) (goodput 1)
+      (match conv with Some at -> Time_ns.to_string at | None -> "never");
+    let spark flow =
+      sparkline
+        (List.map snd (Trace.downsample (throughput_series r flow) ~max_points:72))
+    in
+    line buf "  flow0 |%s|" (spark 0);
+    line buf "  flow1 |%s|" (spark 1)
+  in
+  describe "ccp reno" c.ccp;
+  describe "linux reno" c.native;
+  line buf "";
+  line buf "paper: both implementations exhibit similar convergence dynamics.";
+  Buffer.contents buf
+
+let render_fig5 (cells : Scenarios.Fig5.cell list) =
+  let buf = Buffer.create 2048 in
+  line buf "Figure 5: throughput with NIC offloads enabled/disabled (10 Gbit/s, mean of 4 runs)";
+  line buf "%-14s %-8s %12s %12s %12s %10s" "offloads" "system" "Gbit/s" "sender CPU" "recv CPU"
+    "GRO batch";
+  List.iter
+    (fun (c : Scenarios.Fig5.cell) ->
+      line buf "%-14s %-8s %12.2f %11.0f%% %11.0f%% %10.1f"
+        (Scenarios.Fig5.setting_to_string c.setting)
+        c.system c.mean_gbps
+        (100.0 *. c.sender_cpu_busy)
+        (100.0 *. c.receiver_cpu_busy)
+        c.gro_mean_batch)
+    cells;
+  line buf "";
+  line buf "paper shape: offloads on -> both saturate the NIC; TSO off -> CPU-bound, CCP >= Linux;";
+  line buf "all off -> comparable. (absolute numbers depend on the CPU cost model, DESIGN.md)";
+  Buffer.contents buf
+
+let render_table1 () =
+  "Table 1: measurement and control primitives by protocol\n"
+  ^ Ccp_algorithms.Primitives_table.render ()
+
+let render_batching (rows : Scenarios.Batching_load.row list) =
+  let buf = Buffer.create 1024 in
+  line buf "Batching load (§2.3): per-ACK processing vs per-RTT reports";
+  line buf "%12s %10s %16s %16s %9s" "link" "RTT" "ACKs/sec" "batches/sec" "ratio";
+  List.iter
+    (fun (r : Scenarios.Batching_load.row) ->
+      line buf "%9.0f Gb %10s %16.0f %16.0f %9.0f" (r.link_bps /. 1e9)
+        (Time_ns.to_string r.rtt) r.acks_per_sec r.batches_per_sec
+        (r.acks_per_sec /. r.batches_per_sec))
+    rows;
+  Buffer.contents buf
+
+let render_ablations ~interval ~latency ~urgent ~batching =
+  let buf = Buffer.create 2048 in
+  line buf "Ablation: report interval (CCP Reno, 100 Mbit/s, 20 ms RTT)";
+  line buf "  %12s %10s %12s %9s" "interval" "util" "median RTT" "reports";
+  List.iter
+    (fun (p : Scenarios.Ablation.interval_point) ->
+      line buf "  %9.2f rtt %9.1f%% %12s %9d" p.interval_rtts (100.0 *. p.utilization)
+        (Time_ns.to_string p.median_rtt) p.reports)
+    interval;
+  line buf "";
+  line buf "Ablation: IPC round-trip latency (constant)";
+  line buf "  %12s %10s %12s" "IPC RTT" "util" "median RTT";
+  List.iter
+    (fun (p : Scenarios.Ablation.latency_point) ->
+      line buf "  %12s %9.1f%% %12s" (Time_ns.to_string p.ipc_rtt) (100.0 *. p.utilization)
+        (Time_ns.to_string p.median_rtt))
+    latency;
+  line buf "";
+  line buf "Ablation: urgent loss notifications";
+  line buf "  %12s %10s %12s %9s" "urgent" "util" "median RTT" "drops";
+  List.iter
+    (fun (p : Scenarios.Ablation.urgent_point) ->
+      line buf "  %12s %9.1f%% %12s %9d"
+        (if p.urgent_enabled then "on" else "off")
+        (100.0 *. p.utilization)
+        (Time_ns.to_string p.median_rtt) p.drops)
+    urgent;
+  line buf "";
+  line buf "Ablation: batching mode (Vegas fold vs vector, §2.4)";
+  line buf "  %12s %10s %16s %9s" "mode" "util" "IPC bytes->agent" "reports";
+  List.iter
+    (fun (p : Scenarios.Ablation.batching_point) ->
+      line buf "  %12s %9.1f%% %16d %9d" p.mode (100.0 *. p.utilization) p.ipc_bytes_to_agent
+        p.reports)
+    batching;
+  Buffer.contents buf
+
+let series_csv (result : Experiment.result) ~series =
+  Trace.to_csv result.Experiment.trace ~name:series

@@ -1,0 +1,37 @@
+(** Rendering of scenario results as the text the bench harness prints:
+    for every figure, the series the paper plots plus an explicit
+    paper-vs-measured summary. *)
+
+val sparkline : float list -> string
+(** Unicode sparkline of a series (empty string for an empty list). *)
+
+val render_fig2 : Scenarios.Fig2.series list -> string
+(** Percentile table (p50/p90/p99) per configuration, the model's analytic
+    values, the paper's p99, and a CDF sparkline. *)
+
+val render_fig3 : Scenarios.comparison -> string
+(** Utilization and median RTT for CCP and native Cubic against the
+    paper's 95.4 %/16.1 ms and 94.4 %/15.8 ms, plus cwnd sparklines of
+    both window evolutions. *)
+
+val render_fig4 : Scenarios.comparison -> string
+(** Per-flow throughput series, convergence times, and post-convergence
+    Jain index for CCP and native NewReno. *)
+
+val render_fig5 : Scenarios.Fig5.cell list -> string
+(** Mean throughput per offload setting and system, with CPU busy
+    fractions and GRO batch sizes. *)
+
+val render_table1 : unit -> string
+
+val render_batching : Scenarios.Batching_load.row list -> string
+
+val render_ablations :
+  interval:Scenarios.Ablation.interval_point list ->
+  latency:Scenarios.Ablation.latency_point list ->
+  urgent:Scenarios.Ablation.urgent_point list ->
+  batching:Scenarios.Ablation.batching_point list ->
+  string
+
+val series_csv : Experiment.result -> series:string -> string
+(** Extract one trace series as CSV (for offline plotting). *)

@@ -1,0 +1,332 @@
+open Ccp_util
+open Ccp_net
+open Ccp_algorithms
+
+module Fig2 = struct
+  type series = {
+    label : string;
+    model : Ccp_ipc.Latency_model.t;
+    samples : Stats.Samples.t;
+    paper_p99_us : float;
+  }
+
+  let configurations =
+    [
+      ("netlink, idle CPU", Ccp_ipc.Latency_model.netlink_idle, 48.0);
+      ("unix sockets, idle CPU", Ccp_ipc.Latency_model.unix_idle, 80.0);
+      ("netlink, busy CPU + TurboBoost", Ccp_ipc.Latency_model.netlink_busy, 18.0);
+      ("unix sockets, busy CPU + TurboBoost", Ccp_ipc.Latency_model.unix_busy, 35.0);
+    ]
+
+  let run ?(samples = 60_000) ?(seed = 42) () =
+    List.map
+      (fun (label, model, paper_p99_us) ->
+        let rng = Rng.create ~seed in
+        let collected = Stats.Samples.create () in
+        for _ = 1 to samples do
+          let rtt = Ccp_ipc.Latency_model.sample model rng in
+          Stats.Samples.add collected (Time_ns.to_float_us rtt)
+        done;
+        { label; model; samples = collected; paper_p99_us })
+      configurations
+end
+
+type comparison = { ccp : Experiment.result; native : Experiment.result }
+
+let one_flow_config ~rate_bps ~base_rtt ~duration ~seed cc =
+  let base = Experiment.default_config ~rate_bps ~base_rtt ~duration in
+  {
+    base with
+    Experiment.seed;
+    warmup = Time_ns.scale duration 0.1;
+    flows = [ Experiment.flow cc ];
+  }
+
+module Fig3 = struct
+  let rate_bps = 1e9
+  let base_rtt = Time_ns.ms 10
+
+  let run ?(duration = Time_ns.sec 30) ?(seed = 42) () =
+    let run_one cc =
+      Experiment.run (one_flow_config ~rate_bps ~base_rtt ~duration ~seed cc)
+    in
+    {
+      ccp = run_one (Experiment.Ccp_cc (Ccp_cubic.create ()));
+      native = run_one (Experiment.Native_cc Native_cubic.create);
+    }
+end
+
+module Fig4 = struct
+  let second_flow_start = Time_ns.sec 20
+
+  let run ?(duration = Time_ns.sec 60) ?(seed = 42) () =
+    let rate_bps = 1e9 and base_rtt = Time_ns.ms 10 in
+    let run_one mk =
+      let base = Experiment.default_config ~rate_bps ~base_rtt ~duration in
+      Experiment.run
+        {
+          base with
+          Experiment.seed;
+          flows =
+            [ Experiment.flow (mk ()); Experiment.flow ~start_at:second_flow_start (mk ()) ];
+        }
+    in
+    {
+      ccp = run_one (fun () -> Experiment.Ccp_cc (Ccp_reno.create ()));
+      native = run_one (fun () -> Experiment.Native_cc Native_reno.create);
+    }
+
+  (* Both flows within 25% of fair share, sustained for a full second. *)
+  let convergence_time (result : Experiment.result) =
+    let series i =
+      Trace.series result.Experiment.trace (Printf.sprintf "throughput_mbps.%d" i)
+    in
+    let fair_mbps = result.Experiment.config.Experiment.rate_bps /. 2.0 /. 1e6 in
+    let ok v = Float.abs (v -. fair_mbps) <= 0.25 *. fair_mbps in
+    let s0 = Array.of_list (series 0) and s1 = Array.of_list (series 1) in
+    let n = min (Array.length s0) (Array.length s1) in
+    let need = Time_ns.sec 1 in
+    let rec scan i run_start =
+      if i >= n then None
+      else begin
+        let at, v0 = s0.(i) in
+        let _, v1 = s1.(i) in
+        if Time_ns.compare at second_flow_start < 0 then scan (i + 1) None
+        else if ok v0 && ok v1 then begin
+          match run_start with
+          | None -> scan (i + 1) (Some at)
+          | Some start ->
+            if Time_ns.compare (Time_ns.sub at start) need >= 0 then Some start
+            else scan (i + 1) run_start
+        end
+        else scan (i + 1) None
+      end
+    in
+    scan 0 None
+end
+
+module Fig5 = struct
+  type offload_setting = All_on | Tso_off | All_off
+
+  type cell = {
+    setting : offload_setting;
+    system : string;
+    runs_gbps : float list;
+    mean_gbps : float;
+    sender_cpu_busy : float;
+    receiver_cpu_busy : float;
+    gro_mean_batch : float;
+  }
+
+  let setting_to_string = function
+    | All_on -> "offloads on"
+    | Tso_off -> "TSO off"
+    | All_off -> "all off"
+
+  (* Per-ACK CPU cost differs between the systems: the native datapath runs
+     the full pluggable-TCP callback chain (cubic update, rate sampling) on
+     every ACK, while the CCP datapath executes only a fold step — the
+     cycles §2.3 argues batching gives back. *)
+  let ack_cost_native = Time_ns.ns 600
+  let ack_cost_ccp = Time_ns.ns 350
+
+  let offload_spec ~setting ~ack_cost : Experiment.offload_spec =
+    let sender =
+      {
+        Offload.Sender_path.default_config with
+        tso = (setting = All_on);
+        ack_cost;
+      }
+    in
+    let receiver =
+      { Offload.Receiver_path.default_config with gro = setting <> All_off }
+    in
+    { Experiment.sender; receiver }
+
+  let run ?(runs = 4) ?(duration = Time_ns.of_float_sec 0.8) ?(seed = 42) () =
+    let rate_bps = 10e9 and base_rtt = Time_ns.us 200 in
+    let warmup = Time_ns.scale duration 0.25 in
+    let cell setting (system, cc, ack_cost) =
+      let run_once i =
+        let base = Experiment.default_config ~rate_bps ~base_rtt ~duration in
+        let config =
+          {
+            base with
+            Experiment.seed = seed + i;
+            warmup;
+            buffer_bytes = 500_000;
+            flows = [ Experiment.flow (cc ()) ];
+            offloads = Some (offload_spec ~setting ~ack_cost);
+            sample_interval = Time_ns.ms 50;
+          }
+        in
+        Experiment.run config
+      in
+      let results = List.init runs run_once in
+      let gbps r =
+        List.fold_left (fun acc (f : Experiment.flow_result) -> acc +. f.goodput_bps) 0.0
+          r.Experiment.flows
+        /. 1e9
+      in
+      let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      let cpu f = mean (List.filter_map f results) in
+      {
+        setting;
+        system;
+        runs_gbps = List.map gbps results;
+        mean_gbps = mean (List.map gbps results);
+        sender_cpu_busy =
+          cpu (fun r ->
+              Option.map (fun (c : Experiment.cpu_stats) -> c.busy_fraction) r.Experiment.sender_cpu);
+        receiver_cpu_busy =
+          cpu (fun r ->
+              Option.map
+                (fun (c : Experiment.cpu_stats) -> c.busy_fraction)
+                r.Experiment.receiver_cpu);
+        gro_mean_batch =
+          cpu (fun r ->
+              Option.map (fun (c : Experiment.cpu_stats) -> c.mean_batch) r.Experiment.receiver_cpu);
+      }
+    in
+    let systems =
+      [
+        ("linux", (fun () -> Experiment.Native_cc Native_cubic.create), ack_cost_native);
+        ("ccp", (fun () -> Experiment.Ccp_cc (Ccp_cubic.create ())), ack_cost_ccp);
+      ]
+    in
+    List.concat_map
+      (fun setting ->
+        List.map (fun (name, cc, ack) -> cell setting (name, cc, ack)) systems)
+      [ All_on; Tso_off; All_off ]
+end
+
+module Batching_load = struct
+  type row = {
+    link_bps : float;
+    rtt : Time_ns.t;
+    acks_per_sec : float;
+    batches_per_sec : float;
+  }
+
+  let mtu_bits = 1500.0 *. 8.0
+
+  let table () =
+    let rows =
+      [
+        (100e9, Time_ns.us 10);
+        (100e9, Time_ns.ms 100);
+        (10e9, Time_ns.us 10);
+        (10e9, Time_ns.ms 10);
+        (1e9, Time_ns.ms 10);
+        (1e9, Time_ns.ms 100);
+      ]
+    in
+    List.map
+      (fun (link_bps, rtt) ->
+        {
+          link_bps;
+          rtt;
+          acks_per_sec = link_bps /. mtu_bits;
+          batches_per_sec = 1.0 /. Time_ns.to_float_sec rtt;
+        })
+      rows
+end
+
+module Ablation = struct
+  let rate_bps = 100e6
+  let base_rtt = Time_ns.ms 20
+  let duration = Time_ns.sec 12
+
+  type interval_point = {
+    interval_rtts : float;
+    utilization : float;
+    median_rtt : Time_ns.t;
+    reports : int;
+  }
+
+  let report_interval ?(seed = 42) () =
+    List.map
+      (fun interval_rtts ->
+        let cc = Experiment.Ccp_cc (Ccp_reno.create_with ~interval_rtts ()) in
+        let r = Experiment.run (one_flow_config ~rate_bps ~base_rtt ~duration ~seed cc) in
+        {
+          interval_rtts;
+          utilization = r.Experiment.utilization;
+          median_rtt = r.Experiment.median_rtt;
+          reports =
+            (match r.Experiment.agent_stats with
+            | Some s -> s.Experiment.reports
+            | None -> 0);
+        })
+      [ 0.25; 0.5; 1.0; 2.0; 4.0 ]
+
+  type latency_point = {
+    ipc_rtt : Time_ns.t;
+    utilization : float;
+    median_rtt : Time_ns.t;
+  }
+
+  let ipc_latency ?(seed = 42) () =
+    List.map
+      (fun ipc_rtt ->
+        let cc = Experiment.Ccp_cc (Ccp_reno.create ()) in
+        let config =
+          {
+            (one_flow_config ~rate_bps ~base_rtt ~duration ~seed cc) with
+            Experiment.ipc = Ccp_ipc.Latency_model.Constant ipc_rtt;
+          }
+        in
+        let r = Experiment.run config in
+        { ipc_rtt; utilization = r.Experiment.utilization; median_rtt = r.Experiment.median_rtt })
+      [ Time_ns.us 1; Time_ns.us 10; Time_ns.us 100; Time_ns.ms 1; Time_ns.ms 10 ]
+
+  type urgent_point = {
+    urgent_enabled : bool;
+    utilization : float;
+    median_rtt : Time_ns.t;
+    drops : int;
+  }
+
+  let urgent ?(seed = 42) () =
+    List.map
+      (fun urgent_enabled ->
+        let cc = Experiment.Ccp_cc (Ccp_reno.create ()) in
+        let config =
+          {
+            (one_flow_config ~rate_bps ~base_rtt ~duration ~seed cc) with
+            Experiment.datapath =
+              { Ccp_datapath.Ccp_ext.default_config with urgent_on_loss = urgent_enabled };
+          }
+        in
+        let r = Experiment.run config in
+        {
+          urgent_enabled;
+          utilization = r.Experiment.utilization;
+          median_rtt = r.Experiment.median_rtt;
+          drops = r.Experiment.drops;
+        })
+      [ true; false ]
+
+  type batching_point = {
+    mode : string;
+    utilization : float;
+    ipc_bytes_to_agent : int;
+    reports : int;
+  }
+
+  let batching_mode ?(seed = 42) () =
+    List.map
+      (fun (mode, algo) ->
+        let r =
+          Experiment.run
+            (one_flow_config ~rate_bps ~base_rtt ~duration ~seed (Experiment.Ccp_cc algo))
+        in
+        let stats = Option.get r.Experiment.agent_stats in
+        {
+          mode;
+          utilization = r.Experiment.utilization;
+          ipc_bytes_to_agent = stats.Experiment.ipc_bytes_to_agent;
+          reports = stats.Experiment.reports;
+        })
+      [ ("fold", Ccp_vegas.create `Fold); ("vector", Ccp_vegas.create `Vector) ]
+end

@@ -1,0 +1,124 @@
+(** Canned experiment configurations for every figure and table in the
+    paper's evaluation, plus the ablations DESIGN.md calls out. Each
+    scenario returns structured data; {!Report} renders it. *)
+
+open Ccp_util
+
+(** Figure 2: CDF of IPC round-trip times for Netlink and Unix-domain
+    sockets, with the CPU idle and loaded (Turbo Boost). *)
+module Fig2 : sig
+  type series = {
+    label : string;
+    model : Ccp_ipc.Latency_model.t;
+    samples : Stats.Samples.t;
+    paper_p99_us : float;
+  }
+
+  val run : ?samples:int -> ?seed:int -> unit -> series list
+  (** Four series; 60 000 samples each by default, as in the paper. *)
+end
+
+(** Figures 3 and 4 compare a CCP implementation against the in-datapath
+    one under identical conditions. *)
+type comparison = {
+  ccp : Experiment.result;
+  native : Experiment.result;
+}
+
+(** Figure 3: TCP Cubic window evolution, CCP vs Linux. 1 Gbit/s link,
+    10 ms RTT, 1 BDP of buffer; the paper reports 95.4 % / 94.4 %
+    utilization and 16.1 / 15.8 ms median RTT. *)
+module Fig3 : sig
+  val rate_bps : float
+  val base_rtt : Time_ns.t
+
+  val run : ?duration:Time_ns.t -> ?seed:int -> unit -> comparison
+  (** Default duration 30 s. Traces ["cwnd.0"] carry the window series the
+      paper plots. *)
+end
+
+(** Figure 4: NewReno reactivity — a second flow joins at t=20 s of 60;
+    CCP and native should show the same convergence dynamics. *)
+module Fig4 : sig
+  val second_flow_start : Time_ns.t
+
+  val run : ?duration:Time_ns.t -> ?seed:int -> unit -> comparison
+
+  val convergence_time : Experiment.result -> Time_ns.t option
+  (** First time after the second flow starts at which both flows'
+      throughputs stay within 25 % of the fair share for one second. *)
+end
+
+(** Figure 5: throughput with NIC offloads enabled/disabled on a
+    10 Gbit/s link, averaged over 4 runs. *)
+module Fig5 : sig
+  type offload_setting = All_on | Tso_off | All_off
+
+  type cell = {
+    setting : offload_setting;
+    system : string;  (** "linux" (native cubic) or "ccp" (CCP cubic) *)
+    runs_gbps : float list;
+    mean_gbps : float;
+    sender_cpu_busy : float;  (** mean busy fraction *)
+    receiver_cpu_busy : float;
+    gro_mean_batch : float;
+  }
+
+  val setting_to_string : offload_setting -> string
+
+  val run : ?runs:int -> ?duration:Time_ns.t -> ?seed:int -> unit -> cell list
+  (** Six cells: 3 offload settings x 2 systems. *)
+end
+
+(** The in-text §2.3 arithmetic: ACKs/s versus batches/s. *)
+module Batching_load : sig
+  type row = {
+    link_bps : float;
+    rtt : Time_ns.t;
+    acks_per_sec : float;  (** MTU-sized segments per second *)
+    batches_per_sec : float;  (** one report per RTT *)
+  }
+
+  val table : unit -> row list
+end
+
+(** Ablations over the design choices (DESIGN.md §5). *)
+module Ablation : sig
+  type interval_point = {
+    interval_rtts : float;
+    utilization : float;
+    median_rtt : Time_ns.t;
+    reports : int;
+  }
+
+  val report_interval : ?seed:int -> unit -> interval_point list
+  (** CCP Reno with reports every 0.25-4 RTTs. *)
+
+  type latency_point = {
+    ipc_rtt : Time_ns.t;
+    utilization : float;
+    median_rtt : Time_ns.t;
+  }
+
+  val ipc_latency : ?seed:int -> unit -> latency_point list
+  (** Constant IPC RTTs from 1 µs to 10 ms (the §5 low-RTT question). *)
+
+  type urgent_point = {
+    urgent_enabled : bool;
+    utilization : float;
+    median_rtt : Time_ns.t;
+    drops : int;
+  }
+
+  val urgent : ?seed:int -> unit -> urgent_point list
+
+  type batching_point = {
+    mode : string;  (** "fold" or "vector" *)
+    utilization : float;
+    ipc_bytes_to_agent : int;
+    reports : int;
+  }
+
+  val batching_mode : ?seed:int -> unit -> batching_point list
+  (** Vegas fold vs vector (§2.4): same behaviour, different IPC cost. *)
+end

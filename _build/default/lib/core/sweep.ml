@@ -1,0 +1,96 @@
+open Ccp_util
+
+type point = {
+  rate_bps : float;
+  base_rtt : Time_ns.t;
+  buffer_bdps : float;
+}
+
+let grid ~rates_bps ~rtts ~buffer_bdps =
+  List.concat_map
+    (fun rate_bps ->
+      List.concat_map
+        (fun base_rtt ->
+          List.map (fun buffer_bdps -> { rate_bps; base_rtt; buffer_bdps }) buffer_bdps)
+        rtts)
+    rates_bps
+
+let default_grid =
+  grid
+    ~rates_bps:[ 10e6; 50e6; 100e6 ]
+    ~rtts:[ Time_ns.ms 10; Time_ns.ms 40 ]
+    ~buffer_bdps:[ 0.5; 1.0; 2.0 ]
+
+type outcome = {
+  point : point;
+  native_utilization : float;
+  ccp_utilization : float;
+  native_median_rtt : Time_ns.t;
+  ccp_median_rtt : Time_ns.t;
+}
+
+let divergence o = Float.abs (o.native_utilization -. o.ccp_utilization)
+
+let run ?(duration = Time_ns.sec 10) ?(seed = 42) ~native ~ccp points =
+  List.map
+    (fun point ->
+      let bdp = point.rate_bps *. Time_ns.to_float_sec point.base_rtt /. 8.0 in
+      let run_one cc =
+        let base =
+          Experiment.default_config ~rate_bps:point.rate_bps ~base_rtt:point.base_rtt
+            ~duration
+        in
+        Experiment.run
+          {
+            base with
+            Experiment.seed;
+            warmup = Time_ns.scale duration 0.2;
+            buffer_bytes = max 3000 (int_of_float (point.buffer_bdps *. bdp));
+            flows = [ Experiment.flow cc ];
+          }
+      in
+      let native_result = run_one (Experiment.Native_cc native) in
+      let ccp_result = run_one (Experiment.Ccp_cc ccp) in
+      {
+        point;
+        native_utilization = native_result.Experiment.utilization;
+        ccp_utilization = ccp_result.Experiment.utilization;
+        native_median_rtt = native_result.Experiment.median_rtt;
+        ccp_median_rtt = ccp_result.Experiment.median_rtt;
+      })
+    points
+
+let worst outcomes =
+  match outcomes with
+  | [] -> invalid_arg "Sweep.worst: empty"
+  | first :: rest ->
+    List.fold_left (fun acc o -> if divergence o > divergence acc then o else acc) first rest
+
+let render outcomes =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-10s %-8s %-7s | %-11s %-11s | %-12s %-12s | %s\n" "rate" "rtt" "buffer"
+       "util native" "util ccp" "rtt native" "rtt ccp" "delta");
+  Buffer.add_string buf (String.make 100 '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun o ->
+      Buffer.add_string buf
+        (Printf.sprintf "%7.0f Mb %-8s %4.1fBDP | %10.1f%% %10.1f%% | %-12s %-12s | %.3f\n"
+           (o.point.rate_bps /. 1e6)
+           (Time_ns.to_string o.point.base_rtt)
+           o.point.buffer_bdps
+           (100.0 *. o.native_utilization)
+           (100.0 *. o.ccp_utilization)
+           (Time_ns.to_string o.native_median_rtt)
+           (Time_ns.to_string o.ccp_median_rtt)
+           (divergence o)))
+    outcomes;
+  let w = worst outcomes in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\nworst utilization divergence: %.3f (at %.0f Mbit/s, %s, %.1f BDP)\n"
+       (divergence w) (w.point.rate_bps /. 1e6)
+       (Time_ns.to_string w.point.base_rtt)
+       w.point.buffer_bdps);
+  Buffer.contents buf

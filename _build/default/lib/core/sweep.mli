@@ -1,0 +1,51 @@
+(** Parameter sweeps: the "write once, run everywhere" claim checked
+    across operating points rather than at the evaluation's single one.
+
+    For every (rate, RTT, buffer) grid point, the same algorithm runs
+    twice — natively in the datapath and off-datapath through CCP — and
+    the sweep reports both, plus the worst divergence over the whole
+    grid. The paper's architecture predicts the divergence stays small
+    everywhere the IPC latency is small against the path RTT. *)
+
+open Ccp_util
+
+type point = {
+  rate_bps : float;
+  base_rtt : Time_ns.t;
+  buffer_bdps : float;  (** bottleneck buffer, in bandwidth-delay products *)
+}
+
+val grid :
+  rates_bps:float list -> rtts:Time_ns.t list -> buffer_bdps:float list -> point list
+(** Cartesian product, in deterministic order. *)
+
+val default_grid : point list
+(** 10/50/100 Mbit/s x 10/40 ms x 0.5/1/2 BDP — 18 points. *)
+
+type outcome = {
+  point : point;
+  native_utilization : float;
+  ccp_utilization : float;
+  native_median_rtt : Time_ns.t;
+  ccp_median_rtt : Time_ns.t;
+}
+
+val divergence : outcome -> float
+(** |native - ccp| utilization at this point. *)
+
+val run :
+  ?duration:Time_ns.t ->
+  ?seed:int ->
+  native:(unit -> Ccp_datapath.Congestion_iface.t) ->
+  ccp:Ccp_agent.Algorithm.t ->
+  point list ->
+  outcome list
+(** One native and one CCP run per point; default duration 10 s with 20%
+    warmup. *)
+
+val worst : outcome list -> outcome
+(** The point with the largest utilization divergence. Raises
+    [Invalid_argument] on an empty list. *)
+
+val render : outcome list -> string
+(** Aligned text table plus the worst-divergence summary line. *)

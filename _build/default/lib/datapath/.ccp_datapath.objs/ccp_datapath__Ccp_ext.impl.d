@@ -1,0 +1,1 @@
+lib/datapath/ccp_ext.ml: Array Ast Ccp_eventsim Ccp_ipc Ccp_lang Ccp_util Channel Congestion_iface Eval Float Fold Hashtbl List Message Option Sim Time_ns Typecheck

@@ -1,0 +1,1 @@
+lib/datapath/ccp_ext.mli: Ccp_eventsim Ccp_ipc Ccp_lang Ccp_util Channel Congestion_iface Sim Time_ns

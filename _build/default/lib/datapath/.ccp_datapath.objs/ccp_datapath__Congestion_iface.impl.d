@@ -1,0 +1,1 @@
+lib/datapath/congestion_iface.ml: Ccp_util Time_ns

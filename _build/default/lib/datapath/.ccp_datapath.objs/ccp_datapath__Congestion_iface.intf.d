@@ -1,0 +1,1 @@
+lib/datapath/congestion_iface.mli: Ccp_util Time_ns

@@ -1,0 +1,1 @@
+lib/datapath/pacer.ml: Ccp_util Float Time_ns

@@ -1,0 +1,1 @@
+lib/datapath/pacer.mli: Ccp_util Time_ns

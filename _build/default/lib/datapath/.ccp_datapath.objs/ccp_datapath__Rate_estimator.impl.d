@@ -1,0 +1,1 @@
+lib/datapath/rate_estimator.ml: Ccp_util Option Stats Time_ns

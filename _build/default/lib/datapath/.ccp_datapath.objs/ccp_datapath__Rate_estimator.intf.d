@@ -1,0 +1,1 @@
+lib/datapath/rate_estimator.mli: Ccp_util Time_ns

@@ -1,0 +1,1 @@
+lib/datapath/rtt_estimator.ml: Ccp_util Option Time_ns

@@ -1,0 +1,1 @@
+lib/datapath/rtt_estimator.mli: Ccp_util Time_ns

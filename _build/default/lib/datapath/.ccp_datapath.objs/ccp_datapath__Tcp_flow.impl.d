@@ -1,0 +1,1 @@
+lib/datapath/tcp_flow.ml: Ccp_eventsim Ccp_net Ccp_util Congestion_iface Hashtbl List Option Pacer Packet Queue Rate_estimator Rtt_estimator Sim Time_ns

@@ -1,0 +1,1 @@
+lib/datapath/tcp_flow.mli: Ccp_eventsim Ccp_net Ccp_util Congestion_iface Packet Rate_estimator Rtt_estimator Sim Time_ns

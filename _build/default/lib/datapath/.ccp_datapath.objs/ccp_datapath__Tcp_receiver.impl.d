@@ -1,0 +1,1 @@
+lib/datapath/tcp_receiver.ml: Ccp_net List Packet

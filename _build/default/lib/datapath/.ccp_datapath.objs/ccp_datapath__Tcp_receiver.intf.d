@@ -1,0 +1,1 @@
+lib/datapath/tcp_receiver.mli: Ccp_net Packet

@@ -1,0 +1,411 @@
+open Ccp_util
+open Ccp_eventsim
+open Ccp_lang
+open Ccp_ipc
+
+type fallback = {
+  after : Time_ns.t;
+  cwnd_segments : int;
+}
+
+type config = {
+  urgent_on_loss : bool;
+  urgent_on_ecn : bool;
+  validate_installs : bool;
+  default_wait : Time_ns.t;
+  max_vector_rows : int;
+  fallback : fallback option;
+}
+
+let default_config =
+  {
+    urgent_on_loss = true;
+    urgent_on_ecn = false;
+    validate_installs = true;
+    default_wait = Time_ns.ms 10;
+    max_vector_rows = 4096;
+    fallback = None;
+  }
+
+type measurement =
+  | No_measurement
+  | Fold_state of Fold.t
+  | Vector of { fields : string array; mutable rows : float array list; mutable count : int }
+
+type flow_state = {
+  ctl : Congestion_iface.ctl;
+  mutable program : Ast.program option;
+  mutable pc : int;
+  mutable wait_timer : Sim.timer option;
+  mutable measurement : measurement;
+  mutable last_rtt_us : float;
+  mutable last_ecn_urgent : Time_ns.t;
+  mutable last_agent_contact : Time_ns.t;
+  mutable fallback_active : bool;
+  incidents : Eval.incident_counter;
+}
+
+type t = {
+  sim : Sim.t;
+  channel : Channel.t;
+  config : config;
+  flows : (int, flow_state) Hashtbl.t;
+  mutable reports_sent : int;
+  mutable urgents_sent : int;
+  mutable installs_accepted : int;
+  mutable installs_rejected : int;
+  mutable vector_rows_dropped : int;
+  mutable fallbacks_triggered : int;
+}
+
+(* --- evaluation environments --- *)
+
+let us_of_opt = function Some d -> Time_ns.to_float_us d | None -> 0.0
+
+let flow_env fs name =
+  let ctl = fs.ctl in
+  match name with
+  | "cwnd" -> Some (float_of_int (ctl.Congestion_iface.get_cwnd ()))
+  | "rate" -> Some (ctl.Congestion_iface.get_rate ())
+  | "mss" -> Some (float_of_int ctl.Congestion_iface.mss)
+  | "srtt_us" -> Some (us_of_opt (ctl.Congestion_iface.srtt ()))
+  | "rtt_us" -> Some fs.last_rtt_us
+  | "minrtt_us" -> Some (us_of_opt (ctl.Congestion_iface.min_rtt ()))
+  | "inflight_bytes" -> Some (float_of_int (ctl.Congestion_iface.inflight ()))
+  | "now_us" -> Some (Time_ns.to_float_us (ctl.Congestion_iface.now ()))
+  | _ -> None
+
+let pkt_env (ev : Congestion_iface.ack_event) ~bytes_lost name =
+  match name with
+  | "rtt_us" -> Some (us_of_opt ev.rtt_sample)
+  | "bytes_acked" -> Some (float_of_int ev.bytes_acked)
+  | "bytes_lost" -> Some (float_of_int bytes_lost)
+  | "ecn" -> Some (if ev.ecn_echo then 1.0 else 0.0)
+  | "send_rate" -> Some (Option.value ev.send_rate ~default:0.0)
+  | "recv_rate" -> Some (Option.value ev.delivery_rate ~default:0.0)
+  | "inflight_bytes" -> Some (float_of_int ev.inflight_after)
+  | "now_us" -> Some (Time_ns.to_float_us ev.now)
+  | _ -> None
+
+(* --- reporting --- *)
+
+let reserved_fields fs ~packets =
+  let ctl = fs.ctl in
+  [|
+    ("_cwnd", float_of_int (ctl.Congestion_iface.get_cwnd ()));
+    ("_rate", ctl.Congestion_iface.get_rate ());
+    ("_mss", float_of_int ctl.Congestion_iface.mss);
+    ("_srtt_us", us_of_opt (ctl.Congestion_iface.srtt ()));
+    ("_rtt_us", fs.last_rtt_us);
+    ("_minrtt_us", us_of_opt (ctl.Congestion_iface.min_rtt ()));
+    ("_inflight_bytes", float_of_int (ctl.Congestion_iface.inflight ()));
+    ("_send_rate", Option.value (ctl.Congestion_iface.send_rate_ewma ()) ~default:0.0);
+    ("_recv_rate", Option.value (ctl.Congestion_iface.delivery_rate_ewma ()) ~default:0.0);
+    ("_now_us", Time_ns.to_float_us (ctl.Congestion_iface.now ()));
+    ("_packets", float_of_int packets);
+  |]
+
+let send_report t fs =
+  let flow = fs.ctl.Congestion_iface.flow in
+  (match fs.measurement with
+  | No_measurement ->
+    let fields = reserved_fields fs ~packets:0 in
+    Channel.send t.channel ~from:Channel.Datapath_end (Message.Report { flow; fields })
+  | Fold_state fold ->
+    let packets = Fold.packet_count fold in
+    let fields =
+      Array.append (Array.of_list (Fold.fields fold)) (reserved_fields fs ~packets)
+    in
+    Channel.send t.channel ~from:Channel.Datapath_end (Message.Report { flow; fields });
+    Fold.reset fold ~flow_env:(flow_env fs)
+  | Vector v ->
+    let rows = Array.of_list (List.rev v.rows) in
+    v.rows <- [];
+    v.count <- 0;
+    Channel.send t.channel ~from:Channel.Datapath_end
+      (Message.Report_vector { flow; columns = v.fields; rows }));
+  t.reports_sent <- t.reports_sent + 1
+
+let send_urgent t fs kind =
+  let ctl = fs.ctl in
+  t.urgents_sent <- t.urgents_sent + 1;
+  Channel.send t.channel ~from:Channel.Datapath_end
+    (Message.Urgent
+       {
+         flow = ctl.Congestion_iface.flow;
+         kind;
+         cwnd_at_event = ctl.Congestion_iface.get_cwnd ();
+         inflight_at_event = ctl.Congestion_iface.inflight ();
+       })
+
+(* --- program execution --- *)
+
+let cancel_wait fs =
+  Option.iter Sim.cancel fs.wait_timer;
+  fs.wait_timer <- None
+
+let install_measurement fs spec =
+  match spec with
+  | Ast.Vector fields ->
+    fs.measurement <- Vector { fields = Array.of_list fields; rows = []; count = 0 }
+  | Ast.Fold def -> fs.measurement <- Fold_state (Fold.create def ~flow_env:(flow_env fs))
+
+let eval_flow fs expr =
+  Eval.eval ~incidents:fs.incidents
+    { Eval.lookup_var = flow_env fs; lookup_pkt = (fun _ -> None) }
+    expr
+
+(* Execute primitives from [fs.pc] until the program blocks on a wait or
+   finishes. The step budget guards against zero-length waits in repeating
+   programs (typecheck rejects wait-free loops, but the datapath cannot
+   trust the agent). *)
+let rec advance t fs =
+  let budget = ref 10_000 in
+  let rec step () =
+    decr budget;
+    if !budget <= 0 then begin
+      fs.wait_timer <-
+        Some (Sim.schedule_after t.sim ~delay:(Time_ns.us 1) (fun () ->
+                  fs.wait_timer <- None;
+                  advance t fs))
+    end
+    else
+      match fs.program with
+      | None -> ()
+      | Some program ->
+        let prims = Array.of_list program.Ast.prims in
+        if fs.pc >= Array.length prims then begin
+          if program.Ast.repeat then begin
+            fs.pc <- 0;
+            step ()
+          end
+        end
+        else begin
+          let prim = prims.(fs.pc) in
+          fs.pc <- fs.pc + 1;
+          match prim with
+          | Ast.Measure spec ->
+            install_measurement fs spec;
+            step ()
+          | Ast.Rate e ->
+            let rate = Float.max 0.0 (eval_flow fs e) in
+            fs.ctl.Congestion_iface.set_rate rate;
+            step ()
+          | Ast.Cwnd e ->
+            let cwnd = int_of_float (Float.max 0.0 (eval_flow fs e)) in
+            fs.ctl.Congestion_iface.set_cwnd cwnd;
+            step ()
+          | Ast.Wait e ->
+            let us = Float.max 0.0 (eval_flow fs e) in
+            block_for t fs (Time_ns.of_float_sec (us *. 1e-6))
+          | Ast.Wait_rtts e ->
+            let rtts = Float.max 0.0 (eval_flow fs e) in
+            let base =
+              match fs.ctl.Congestion_iface.srtt () with
+              | Some srtt -> srtt
+              | None -> t.config.default_wait
+            in
+            block_for t fs (Time_ns.scale base rtts)
+          | Ast.Report ->
+            send_report t fs;
+            step ()
+        end
+  in
+  step ()
+
+and block_for t fs duration =
+  cancel_wait fs;
+  fs.wait_timer <-
+    Some (Sim.schedule_after t.sim ~delay:duration (fun () ->
+              fs.wait_timer <- None;
+              advance t fs))
+
+let install_program t fs program =
+  let accepted =
+    if not t.config.validate_installs then true
+    else match Typecheck.check program with Ok _ -> true | Error _ -> false
+  in
+  if accepted then begin
+    t.installs_accepted <- t.installs_accepted + 1;
+    cancel_wait fs;
+    fs.program <- Some program;
+    fs.pc <- 0;
+    fs.measurement <- No_measurement;
+    advance t fs
+  end
+  else t.installs_rejected <- t.installs_rejected + 1
+
+(* --- agent -> datapath messages --- *)
+
+let note_agent_contact t fs =
+  fs.last_agent_contact <- Sim.now t.sim;
+  fs.fallback_active <- false
+
+let on_message t (msg : Message.t) =
+  match msg with
+  | Message.Install { flow; program } -> (
+    match Hashtbl.find_opt t.flows flow with
+    | Some fs ->
+      note_agent_contact t fs;
+      install_program t fs program
+    | None -> ())
+  | Message.Set_cwnd { flow; bytes } -> (
+    match Hashtbl.find_opt t.flows flow with
+    | Some fs ->
+      note_agent_contact t fs;
+      fs.ctl.Congestion_iface.set_cwnd bytes
+    | None -> ())
+  | Message.Set_rate { flow; bytes_per_sec } -> (
+    match Hashtbl.find_opt t.flows flow with
+    | Some fs ->
+      note_agent_contact t fs;
+      fs.ctl.Congestion_iface.set_rate (Float.max 0.0 bytes_per_sec)
+    | None -> ())
+  | Message.Ready _ | Message.Report _ | Message.Report_vector _ | Message.Urgent _
+  | Message.Closed _ ->
+    (* Agent-bound traffic is never delivered to the datapath end. *)
+    ()
+
+let create ~sim ~channel ?(config = default_config) () =
+  let t =
+    {
+      sim;
+      channel;
+      config;
+      flows = Hashtbl.create 8;
+      reports_sent = 0;
+      urgents_sent = 0;
+      installs_accepted = 0;
+      installs_rejected = 0;
+      vector_rows_dropped = 0;
+      fallbacks_triggered = 0;
+    }
+  in
+  Channel.on_receive channel Channel.Datapath_end (on_message t);
+  t
+
+(* --- the Congestion_iface implementation --- *)
+
+(* The watchdog checks agent liveness once per [after] period. Entering
+   fallback clamps the window and disables pacing; the clamp is re-applied
+   on every tick while the silence lasts (an installed-but-orphaned
+   program could keep adjusting the knobs between ticks). *)
+let rec watchdog_tick t fs (fb : fallback) =
+  let silence = Time_ns.sub (Sim.now t.sim) fs.last_agent_contact in
+  if Time_ns.compare silence fb.after >= 0 then begin
+    if not fs.fallback_active then begin
+      fs.fallback_active <- true;
+      t.fallbacks_triggered <- t.fallbacks_triggered + 1;
+      (* Stop executing the orphaned program. *)
+      cancel_wait fs;
+      fs.program <- None;
+      fs.measurement <- No_measurement
+    end;
+    fs.ctl.Congestion_iface.set_cwnd (fb.cwnd_segments * fs.ctl.Congestion_iface.mss);
+    fs.ctl.Congestion_iface.set_rate 0.0
+  end;
+  ignore
+    (Sim.schedule_after t.sim ~delay:fb.after (fun () -> watchdog_tick t fs fb))
+
+let on_init t ctl =
+  let fs =
+    {
+      ctl;
+      program = None;
+      pc = 0;
+      wait_timer = None;
+      measurement = No_measurement;
+      last_rtt_us = 0.0;
+      last_ecn_urgent = Time_ns.zero;
+      last_agent_contact = Sim.now t.sim;
+      fallback_active = false;
+      incidents = Eval.fresh_counter ();
+    }
+  in
+  Hashtbl.replace t.flows ctl.Congestion_iface.flow fs;
+  (match t.config.fallback with
+  | Some fb -> ignore (Sim.schedule_after t.sim ~delay:fb.after (fun () -> watchdog_tick t fs fb))
+  | None -> ());
+  Channel.send t.channel ~from:Channel.Datapath_end
+    (Message.Ready
+       {
+         flow = ctl.Congestion_iface.flow;
+         mss = ctl.Congestion_iface.mss;
+         init_cwnd = ctl.Congestion_iface.get_cwnd ();
+       })
+
+let record_measurement t fs (ev : Congestion_iface.ack_event) ~bytes_lost =
+  match fs.measurement with
+  | No_measurement -> ()
+  | Fold_state fold ->
+    Fold.step ~incidents:fs.incidents fold ~flow_env:(flow_env fs)
+      ~pkt_env:(pkt_env ev ~bytes_lost)
+  | Vector v ->
+    if v.count >= t.config.max_vector_rows then
+      t.vector_rows_dropped <- t.vector_rows_dropped + 1
+    else begin
+      let env = pkt_env ev ~bytes_lost in
+      let row = Array.map (fun f -> Option.value (env f) ~default:0.0) v.fields in
+      v.rows <- row :: v.rows;
+      v.count <- v.count + 1
+    end
+
+let on_ack t ctl (ev : Congestion_iface.ack_event) =
+  match Hashtbl.find_opt t.flows ctl.Congestion_iface.flow with
+  | None -> ()
+  | Some fs ->
+    Option.iter (fun r -> fs.last_rtt_us <- Time_ns.to_float_us r) ev.rtt_sample;
+    record_measurement t fs ev ~bytes_lost:0;
+    if ev.ecn_echo && t.config.urgent_on_ecn then begin
+      (* Rate-limit ECN urgents to one per smoothed RTT. *)
+      let interval =
+        match ctl.Congestion_iface.srtt () with
+        | Some srtt -> srtt
+        | None -> t.config.default_wait
+      in
+      if Time_ns.compare (Time_ns.sub ev.now fs.last_ecn_urgent) interval >= 0 then begin
+        fs.last_ecn_urgent <- ev.now;
+        send_urgent t fs Message.Ecn
+      end
+    end
+
+let on_loss t ctl (loss : Congestion_iface.loss_event) =
+  match Hashtbl.find_opt t.flows ctl.Congestion_iface.flow with
+  | None -> ()
+  | Some fs -> (
+    match loss.kind with
+    | Congestion_iface.Rto ->
+      (* Kernel-style safety: a timeout collapses the window in the
+         datapath itself; the agent will reprogram when it reacts. *)
+      ctl.Congestion_iface.set_cwnd ctl.Congestion_iface.mss;
+      if t.config.urgent_on_loss then send_urgent t fs Message.Timeout
+    | Congestion_iface.Dup_acks ->
+      if t.config.urgent_on_loss then send_urgent t fs Message.Dup_ack_loss)
+
+let congestion_control t : Congestion_iface.t =
+  {
+    name = "ccp";
+    on_init = on_init t;
+    on_ack = on_ack t;
+    on_loss = on_loss t;
+    on_exit_recovery = (fun _ -> ());
+  }
+
+let installed_program t ~flow =
+  Option.bind (Hashtbl.find_opt t.flows flow) (fun fs -> fs.program)
+
+let reports_sent t = t.reports_sent
+let urgents_sent t = t.urgents_sent
+let installs_accepted t = t.installs_accepted
+let installs_rejected t = t.installs_rejected
+let vector_rows_dropped t = t.vector_rows_dropped
+
+let eval_incidents t ~flow =
+  Option.map (fun fs -> fs.incidents) (Hashtbl.find_opt t.flows flow)
+
+let fallbacks_triggered t = t.fallbacks_triggered
+
+let in_fallback t ~flow =
+  match Hashtbl.find_opt t.flows flow with
+  | Some fs -> fs.fallback_active
+  | None -> false

@@ -1,0 +1,73 @@
+(** The CCP modification to the datapath (§2).
+
+    This module is what a datapath implementor adds to become
+    CCP-compliant. It plugs into {!Tcp_flow} through the same
+    {!Congestion_iface.t} as any native controller, but instead of deciding
+    locally it:
+
+    - executes the installed control program (Table 2): applies [Rate] and
+      [Cwnd], honours [Wait]/[WaitRtts] via simulator timers, and loops
+      repeating programs;
+    - aggregates per-ACK measurements per the program's [Measure] spec —
+      a {!Ccp_lang.Fold} or a bounded per-packet vector (§2.4);
+    - sends [Report] messages to the agent at the program's [Report()]
+      points, and [Urgent] messages immediately on loss/timeout (and
+      optionally ECN), bypassing batching (§2.1);
+    - applies [Install] / [Set_cwnd] / [Set_rate] messages arriving
+      asynchronously from the agent, validating programs before running
+      them (a misbehaving agent must not break the datapath, §5).
+
+    Reports always carry the reserved fields [_cwnd], [_rate], [_mss],
+    [_srtt_us], [_rtt_us], [_minrtt_us], [_inflight_bytes], [_send_rate],
+    [_recv_rate], [_now_us] and [_packets] alongside the program's own
+    fold fields — mirroring the prototype datapath of §3, which reports the
+    most recent ACK and EWMA-filtered rates. *)
+
+open Ccp_util
+open Ccp_eventsim
+open Ccp_ipc
+
+(** Safe-fallback watchdog (§5, "Is CCP safe to deploy?"): if the agent
+    goes silent — no Install/Set_cwnd/Set_rate for [after] — the datapath
+    clamps the flow to a conservative window and disables pacing, keeping
+    traffic flowing (slowly) until the agent returns. Any subsequent agent
+    message lifts the clamp. *)
+type fallback = {
+  after : Time_ns.t;  (** silence threshold *)
+  cwnd_segments : int;  (** conservative window while in fallback *)
+}
+
+type config = {
+  urgent_on_loss : bool;
+  urgent_on_ecn : bool;
+  validate_installs : bool;
+  default_wait : Time_ns.t;  (** WaitRtts fallback before the first RTT sample *)
+  max_vector_rows : int;  (** vector-mode memory bound; overflow rows are dropped and counted *)
+  fallback : fallback option;
+}
+
+val default_config : config
+(** Loss urgent on, ECN urgent off, validation on, 10 ms default wait,
+    4096-row vectors, watchdog disabled. *)
+
+type t
+
+val create : sim:Sim.t -> channel:Channel.t -> ?config:config -> unit -> t
+(** Registers itself as the channel's datapath-side endpoint. *)
+
+val congestion_control : t -> Congestion_iface.t
+(** The controller to hand to {!Tcp_flow.create}. Each flow that calls
+    [on_init] is registered with the agent via a [Ready] message. *)
+
+(** {1 Introspection (tests, experiments)} *)
+
+val installed_program : t -> flow:int -> Ccp_lang.Ast.program option
+val reports_sent : t -> int
+val urgents_sent : t -> int
+val installs_accepted : t -> int
+val installs_rejected : t -> int
+val vector_rows_dropped : t -> int
+val eval_incidents : t -> flow:int -> Ccp_lang.Eval.incident_counter option
+
+val fallbacks_triggered : t -> int
+val in_fallback : t -> flow:int -> bool

@@ -1,0 +1,47 @@
+open Ccp_util
+
+type ctl = {
+  flow : int;
+  mss : int;
+  now : unit -> Time_ns.t;
+  get_cwnd : unit -> int;
+  set_cwnd : int -> unit;
+  get_rate : unit -> float;
+  set_rate : float -> unit;
+  srtt : unit -> Time_ns.t option;
+  latest_rtt : unit -> Time_ns.t option;
+  min_rtt : unit -> Time_ns.t option;
+  inflight : unit -> int;
+  send_rate_ewma : unit -> float option;
+  delivery_rate_ewma : unit -> float option;
+}
+
+type ack_event = {
+  now : Time_ns.t;
+  bytes_acked : int;
+  rtt_sample : Time_ns.t option;
+  ecn_echo : bool;
+  send_rate : float option;
+  delivery_rate : float option;
+  inflight_after : int;
+}
+
+type loss_kind = Dup_acks | Rto
+type loss_event = { kind : loss_kind; at : Time_ns.t; bytes_lost_estimate : int }
+
+type t = {
+  name : string;
+  on_init : ctl -> unit;
+  on_ack : ctl -> ack_event -> unit;
+  on_loss : ctl -> loss_event -> unit;
+  on_exit_recovery : ctl -> unit;
+}
+
+let noop name =
+  {
+    name;
+    on_init = (fun _ -> ());
+    on_ack = (fun _ _ -> ());
+    on_loss = (fun _ _ -> ());
+    on_exit_recovery = (fun _ -> ());
+  }

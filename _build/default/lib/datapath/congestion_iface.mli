@@ -1,0 +1,60 @@
+(** The pluggable congestion-control interface of the datapath.
+
+    This is our analogue of Linux's "pluggable TCP" API (§4): a congestion
+    controller is a record of callbacks invoked synchronously by
+    {!Tcp_flow} on connection setup, on every ACK, and on loss events. The
+    in-datapath baseline algorithms ([Native_reno], [Native_cubic], ...)
+    implement it directly; the CCP shim ({!Ccp_datapath}) implements the
+    same interface but forwards summarized measurements to the off-datapath
+    agent instead of deciding locally — which is exactly the paper's
+    architectural split. *)
+
+open Ccp_util
+
+(** Handle through which a controller reads and programs its flow. *)
+type ctl = {
+  flow : int;
+  mss : int;
+  now : unit -> Time_ns.t;
+  get_cwnd : unit -> int;  (** bytes *)
+  set_cwnd : int -> unit;  (** clamped to at least one MSS *)
+  get_rate : unit -> float;  (** pacing rate, bytes/second; 0 when unpaced *)
+  set_rate : float -> unit;
+  srtt : unit -> Time_ns.t option;
+  latest_rtt : unit -> Time_ns.t option;
+  min_rtt : unit -> Time_ns.t option;
+  inflight : unit -> int;  (** bytes outstanding *)
+  send_rate_ewma : unit -> float option;
+  delivery_rate_ewma : unit -> float option;
+}
+
+(** Per-ACK measurement delivered to [on_ack] (one call per received
+    cumulative ACK). *)
+type ack_event = {
+  now : Time_ns.t;
+  bytes_acked : int;  (** bytes newly cumulatively acknowledged *)
+  rtt_sample : Time_ns.t option;
+  ecn_echo : bool;
+  send_rate : float option;  (** instantaneous sample, bytes/second *)
+  delivery_rate : float option;
+  inflight_after : int;
+}
+
+type loss_kind =
+  | Dup_acks  (** triple duplicate ACK; fast retransmit fired *)
+  | Rto  (** retransmission timeout *)
+
+type loss_event = { kind : loss_kind; at : Time_ns.t; bytes_lost_estimate : int }
+
+type t = {
+  name : string;
+  on_init : ctl -> unit;
+  on_ack : ctl -> ack_event -> unit;
+  on_loss : ctl -> loss_event -> unit;
+  on_exit_recovery : ctl -> unit;
+      (** the ACK covering the recovery point arrived; fast recovery over *)
+}
+
+val noop : string -> t
+(** A controller that never adjusts anything (fixed initial window);
+    useful in tests. *)

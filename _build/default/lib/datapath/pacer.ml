@@ -1,0 +1,42 @@
+open Ccp_util
+
+type t = {
+  burst_bytes : float;
+  mutable rate : float;  (* bytes/second; 0 = unpaced *)
+  mutable tokens : float;  (* bytes; may go negative *)
+  mutable last_update : Time_ns.t;
+}
+
+let create ?(burst_bytes = 15_000) () =
+  { burst_bytes = float_of_int burst_bytes; rate = 0.0; tokens = float_of_int burst_bytes;
+    last_update = Time_ns.zero }
+
+let settle t ~now =
+  if t.rate > 0.0 then begin
+    let elapsed = Time_ns.to_float_sec (Time_ns.sub now t.last_update) in
+    if elapsed > 0.0 then t.tokens <- Float.min t.burst_bytes (t.tokens +. (elapsed *. t.rate))
+  end;
+  t.last_update <- now
+
+let set_rate t ~now bytes_per_sec =
+  if bytes_per_sec < 0.0 then invalid_arg "Pacer.set_rate: negative rate";
+  settle t ~now;
+  t.rate <- bytes_per_sec;
+  if bytes_per_sec = 0.0 then t.tokens <- t.burst_bytes
+
+let rate t = t.rate
+
+let earliest_send t ~now ~bytes =
+  if t.rate <= 0.0 then now
+  else begin
+    settle t ~now;
+    let need = float_of_int bytes -. t.tokens in
+    if need <= 0.0 then now
+    else Time_ns.add now (Time_ns.of_float_sec (need /. t.rate))
+  end
+
+let note_sent t ~now ~bytes =
+  if t.rate > 0.0 then begin
+    settle t ~now;
+    t.tokens <- t.tokens -. float_of_int bytes
+  end

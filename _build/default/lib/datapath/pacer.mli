@@ -1,0 +1,28 @@
+(** Token-bucket packet pacing.
+
+    The second control primitive the paper requires of datapaths: enforce
+    "a given pacing rate on packet transmissions" (§2.1). Tokens accrue at
+    the configured rate up to a burst allowance; a segment may leave when
+    the bucket holds its size in tokens. A rate of 0 disables pacing. *)
+
+open Ccp_util
+
+type t
+
+val create : ?burst_bytes:int -> unit -> t
+(** [burst_bytes] defaults to 10 standard segments (Linux's fq quantum
+    neighbourhood). Pacing starts disabled. *)
+
+val set_rate : t -> now:Time_ns.t -> float -> unit
+(** [set_rate t ~now bytes_per_sec]; 0 disables pacing. Accrued tokens are
+    settled at the old rate first. *)
+
+val rate : t -> float
+
+val earliest_send : t -> now:Time_ns.t -> bytes:int -> Time_ns.t
+(** Earliest time at which a segment of [bytes] may be transmitted. Equals
+    [now] when unpaced or when tokens suffice. *)
+
+val note_sent : t -> now:Time_ns.t -> bytes:int -> unit
+(** Consume tokens for a transmitted segment (the bucket may go negative,
+    encoding serialization debt). *)

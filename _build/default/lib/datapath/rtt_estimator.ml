@@ -1,0 +1,48 @@
+open Ccp_util
+
+type t = {
+  min_rto : Time_ns.t;
+  max_rto : Time_ns.t;
+  mutable srtt : Time_ns.t option;
+  mutable rttvar : Time_ns.t option;
+  mutable latest : Time_ns.t option;
+  mutable min_rtt : Time_ns.t option;
+  mutable samples : int;
+}
+
+let create ?(min_rto = Time_ns.ms 200) ?(max_rto = Time_ns.sec 60) () =
+  { min_rto; max_rto; srtt = None; rttvar = None; latest = None; min_rtt = None; samples = 0 }
+
+(* RFC 6298 constants: alpha = 1/8, beta = 1/4. *)
+let on_sample t r =
+  if Time_ns.is_positive r then begin
+    t.latest <- Some r;
+    t.samples <- t.samples + 1;
+    (match t.min_rtt with
+    | None -> t.min_rtt <- Some r
+    | Some m -> if Time_ns.compare r m < 0 then t.min_rtt <- Some r);
+    match t.srtt with
+    | None ->
+      t.srtt <- Some r;
+      t.rttvar <- Some (Time_ns.scale r 0.5)
+    | Some srtt ->
+      let rttvar = Option.value t.rttvar ~default:Time_ns.zero in
+      let err = Time_ns.diff srtt r in
+      let rttvar' = Time_ns.add (Time_ns.scale rttvar 0.75) (Time_ns.scale err 0.25) in
+      let srtt' = Time_ns.add (Time_ns.scale srtt 0.875) (Time_ns.scale r 0.125) in
+      t.rttvar <- Some rttvar';
+      t.srtt <- Some srtt'
+  end
+
+let srtt t = t.srtt
+let rttvar t = t.rttvar
+let latest t = t.latest
+let min_rtt t = t.min_rtt
+let samples t = t.samples
+
+let rto t =
+  match (t.srtt, t.rttvar) with
+  | Some srtt, Some rttvar ->
+    let raw = Time_ns.add srtt (Time_ns.max (Time_ns.scale rttvar 4.0) (Time_ns.ms 1)) in
+    Time_ns.min t.max_rto (Time_ns.max t.min_rto raw)
+  | _ -> Time_ns.sec 1

@@ -1,0 +1,25 @@
+(** RTT estimation and retransmission timeout per RFC 6298.
+
+    Keeps the smoothed RTT (SRTT), RTT variance, the latest raw sample, and
+    the lifetime minimum — the datapath statistics the CCP API exposes
+    (§2.1, "statistics on packet-level round trip times"). *)
+
+open Ccp_util
+
+type t
+
+val create : ?min_rto:Time_ns.t -> ?max_rto:Time_ns.t -> unit -> t
+(** Defaults: [min_rto] 200 ms (Linux's value), [max_rto] 60 s. *)
+
+val on_sample : t -> Time_ns.t -> unit
+(** Feed one RTT measurement; non-positive samples are ignored. *)
+
+val srtt : t -> Time_ns.t option
+val rttvar : t -> Time_ns.t option
+val latest : t -> Time_ns.t option
+val min_rtt : t -> Time_ns.t option
+val samples : t -> int
+
+val rto : t -> Time_ns.t
+(** Current retransmission timeout: [srtt + 4*rttvar] clamped to the
+    configured bounds; [1 s] before the first sample (RFC 6298 §2). *)

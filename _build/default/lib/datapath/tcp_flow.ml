@@ -1,0 +1,567 @@
+open Ccp_util
+open Ccp_eventsim
+open Ccp_net
+
+type config = {
+  mss : int;
+  initial_cwnd_segments : int;
+  ecn_capable : bool;
+  min_rto : Time_ns.t;
+  app_limit_bytes : int option;
+}
+
+let default_config =
+  {
+    mss = 1448;
+    initial_cwnd_segments = 10;
+    ecn_capable = false;
+    min_rto = Time_ns.ms 200;
+    app_limit_bytes = None;
+  }
+
+(* Scoreboard entry: one transmitted, not yet cumulatively acknowledged
+   segment. [copies] counts transmissions currently believed in the
+   network; it drops to zero when the segment is SACKed (delivered) or
+   declared lost. *)
+type seg = {
+  seq : int;
+  len : int;
+  mutable sent_at : Time_ns.t;
+  mutable retransmitted : bool;
+  mutable snapshot : Rate_estimator.snapshot;
+  mutable sacked : bool;
+  mutable lost : bool;
+  mutable copies : int;
+}
+
+type t = {
+  sim : Sim.t;
+  flow : Packet.flow_id;
+  config : config;
+  cc : Congestion_iface.t;
+  transmit : Packet.t -> unit;
+  rtt_est : Rtt_estimator.t;
+  rate_est : Rate_estimator.t;
+  pacer : Pacer.t;
+  mutable ctl : Congestion_iface.ctl option;
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable cwnd : int;
+  segs : (int, seg) Hashtbl.t;  (* keyed by seq *)
+  order : seg Queue.t;  (* seq order; front is the oldest outstanding *)
+  retx_queue : seg Queue.t;  (* lost segments awaiting retransmission *)
+  mutable pipe : int;  (* bytes believed in the network *)
+  mutable highest_sacked : int;  (* highest SACKed byte (exclusive) *)
+  mutable newest_sacked_sent_at : Time_ns.t;  (* RACK: send time of newest SACKed data *)
+  mutable loss_scan_seq : int;  (* loss marking resumes here *)
+  mutable recovery_point : int option;
+  (* Proportional Rate Reduction (RFC 6937) state: during recovery,
+     transmissions are clocked by delivered data instead of bursting the
+     whole cwnd-pipe gap at once. *)
+  mutable prr_delivered : int;
+  mutable prr_out : int;
+  mutable recover_fs : int;
+  mutable recovery_quota : int;  (* bytes try_send may currently emit *)
+  mutable rto_timer : Sim.timer option;
+  mutable rto_backoff : int;
+  mutable send_timer : Sim.timer option;
+  mutable started : bool;
+  (* counters *)
+  mutable segments_sent : int;
+  mutable retransmit_count : int;
+  mutable timeout_count : int;
+  mutable recovery_count : int;
+  mutable dup_acks : int;
+  (* listeners *)
+  mutable cwnd_listener : (Time_ns.t -> int -> unit) option;
+  mutable rtt_listener : (Time_ns.t -> Time_ns.t -> unit) option;
+}
+
+let create ~sim ~flow ~config ~cc ~transmit () =
+  if config.mss <= 0 then invalid_arg "Tcp_flow: mss must be positive";
+  {
+    sim;
+    flow;
+    config;
+    cc;
+    transmit;
+    rtt_est = Rtt_estimator.create ~min_rto:config.min_rto ();
+    rate_est = Rate_estimator.create ();
+    pacer = Pacer.create ~burst_bytes:(10 * config.mss) ();
+    ctl = None;
+    snd_una = 0;
+    snd_nxt = 0;
+    cwnd = config.initial_cwnd_segments * config.mss;
+    segs = Hashtbl.create 1024;
+    order = Queue.create ();
+    retx_queue = Queue.create ();
+    pipe = 0;
+    highest_sacked = 0;
+    newest_sacked_sent_at = Time_ns.zero;
+    loss_scan_seq = 0;
+    recovery_point = None;
+    prr_delivered = 0;
+    prr_out = 0;
+    recover_fs = 1;
+    recovery_quota = 0;
+    rto_timer = None;
+    rto_backoff = 1;
+    send_timer = None;
+    started = false;
+    segments_sent = 0;
+    retransmit_count = 0;
+    timeout_count = 0;
+    recovery_count = 0;
+    dup_acks = 0;
+    cwnd_listener = None;
+    rtt_listener = None;
+  }
+
+let now t = Sim.now t.sim
+let inflight t = t.pipe
+
+let notify_cwnd t =
+  match t.cwnd_listener with Some f -> f (now t) t.cwnd | None -> ()
+
+let set_cwnd_internal t bytes =
+  let clamped = max t.config.mss bytes in
+  if clamped <> t.cwnd then begin
+    t.cwnd <- clamped;
+    notify_cwnd t
+  end
+
+(* --- RTO management --- *)
+
+let cancel_rto t =
+  Option.iter Sim.cancel t.rto_timer;
+  t.rto_timer <- None
+
+let rec arm_rto t =
+  cancel_rto t;
+  if t.snd_nxt > t.snd_una then begin
+    let delay = Time_ns.scale (Rtt_estimator.rto t.rtt_est) (float_of_int t.rto_backoff) in
+    t.rto_timer <- Some (Sim.schedule_after t.sim ~delay (fun () -> on_rto t))
+  end
+
+(* --- transmission --- *)
+
+and emit t seg ~retransmit =
+  let at = now t in
+  seg.sent_at <- at;
+  seg.snapshot <- Rate_estimator.on_send t.rate_est ~now:at ~bytes:seg.len;
+  seg.copies <- seg.copies + 1;
+  t.pipe <- t.pipe + seg.len;
+  t.segments_sent <- t.segments_sent + 1;
+  if retransmit then begin
+    seg.retransmitted <- true;
+    t.retransmit_count <- t.retransmit_count + 1
+  end;
+  Pacer.note_sent t.pacer ~now:at ~bytes:(seg.len + Packet.header_bytes);
+  t.transmit
+    (Packet.data ~flow:t.flow ~seq:seg.seq ~len:seg.len ~sent_at:at ~is_retransmit:retransmit
+       ~ecn_capable:t.config.ecn_capable ());
+  if Option.is_none t.rto_timer then arm_rto t
+
+and send_new_segment t ~len =
+  let seq = t.snd_nxt in
+  let seg =
+    {
+      seq;
+      len;
+      sent_at = now t;
+      retransmitted = false;
+      snapshot = Rate_estimator.on_send t.rate_est ~now:(now t) ~bytes:0;
+      sacked = false;
+      lost = false;
+      copies = 0;
+    }
+  in
+  Hashtbl.replace t.segs seq seg;
+  Queue.add seg t.order;
+  t.snd_nxt <- t.snd_nxt + len;
+  emit t seg ~retransmit:false
+
+and next_payload_len t =
+  let len =
+    match t.config.app_limit_bytes with
+    | None -> t.config.mss
+    | Some limit -> min t.config.mss (limit - t.snd_nxt)
+  in
+  if len <= 0 then None else Some len
+
+(* Next lost segment that still needs retransmission. The hole at snd_una
+   has absolute priority: only it can advance the window. A segment
+   returned from the head may still sit in the retransmit queue; it is
+   skipped there later because retransmission clears its [lost] flag. *)
+and pop_retransmit_candidate t =
+  match Queue.peek_opt t.order with
+  | Some head when head.lost && (not head.sacked) && head.copies = 0 -> Some head
+  | Some _ | None ->
+    let rec pop () =
+      match Queue.take_opt t.retx_queue with
+      | None -> None
+      | Some seg ->
+        if seg.lost && (not seg.sacked) && seg.copies = 0 && seg.seq + seg.len > t.snd_una then
+          Some seg
+        else pop ()
+    in
+    pop ()
+
+and try_send t =
+  if t.started then begin
+    Option.iter Sim.cancel t.send_timer;
+    t.send_timer <- None;
+    let rec loop () =
+      let quota_ok = t.recovery_point = None || t.recovery_quota >= t.config.mss in
+      if quota_ok && t.pipe + t.config.mss <= t.cwnd then begin
+        let at = now t in
+        let wire = t.config.mss + Packet.header_bytes in
+        let earliest = Pacer.earliest_send t.pacer ~now:at ~bytes:wire in
+        if Time_ns.compare earliest at > 0 then
+          t.send_timer <-
+            Some (Sim.schedule t.sim ~at:earliest (fun () ->
+                      t.send_timer <- None;
+                      try_send t))
+        else begin
+          (* Lost segments take priority over new data. *)
+          let consume_quota len =
+            if t.recovery_point <> None then begin
+              t.recovery_quota <- t.recovery_quota - len;
+              t.prr_out <- t.prr_out + len
+            end
+          in
+          match pop_retransmit_candidate t with
+          | Some seg ->
+            seg.lost <- false;
+            consume_quota seg.len;
+            emit t seg ~retransmit:true;
+            loop ()
+          | None -> (
+            match next_payload_len t with
+            | Some len ->
+              consume_quota len;
+              send_new_segment t ~len;
+              loop ()
+            | None -> ())
+        end
+      end
+    in
+    loop ()
+  end
+
+(* --- timeout --- *)
+
+and on_rto t =
+  t.rto_timer <- None;
+  if t.snd_nxt > t.snd_una then begin
+    t.timeout_count <- t.timeout_count + 1;
+    t.rto_backoff <- min 64 (t.rto_backoff * 2);
+    (* RFC 6675 style: keep the SACK scoreboard, declare every unSACKed
+       outstanding segment lost, and let the (collapsed) window slow-start
+       the retransmissions. Re-sending SACKed data would be pure waste.
+       The retransmit queue is rebuilt in sequence order so the hole at
+       snd_una — the only segment that can advance the window — goes out
+       first, not behind a backlog of stale entries. *)
+    let lost = ref 0 in
+    Queue.clear t.retx_queue;
+    Queue.iter
+      (fun seg ->
+        if not seg.sacked then begin
+          t.pipe <- t.pipe - (seg.len * seg.copies);
+          seg.copies <- 0;
+          seg.retransmitted <- false;
+          if not seg.lost then lost := !lost + seg.len;
+          seg.lost <- true;
+          Queue.add seg t.retx_queue
+        end)
+      t.order;
+    t.recovery_point <- None;
+    t.recovery_quota <- 0;
+    t.prr_delivered <- 0;
+    t.prr_out <- 0;
+    let ctl = Option.get t.ctl in
+    t.cc.on_loss ctl { kind = Rto; at = now t; bytes_lost_estimate = max !lost t.config.mss };
+    try_send t;
+    arm_rto t
+  end
+
+(* --- SACK scoreboard --- *)
+
+(* Mark [start, stop) delivered out of order; returns bytes newly marked.
+   Ranges above snd_nxt are stale echoes of data sent before an RTO's
+   go-back-N and must be ignored or they poison the scoreboard. *)
+let mark_sacked t (start, stop) =
+  let stop = min stop t.snd_nxt in
+  let newly = ref 0 in
+  let rec walk seq =
+    if seq < stop then
+      match Hashtbl.find_opt t.segs seq with
+      | None -> () (* already cumulatively acknowledged *)
+      | Some seg ->
+        if not seg.sacked then begin
+          t.pipe <- t.pipe - (seg.len * seg.copies);
+          seg.copies <- 0;
+          seg.sacked <- true;
+          seg.lost <- false;
+          if Time_ns.compare seg.sent_at t.newest_sacked_sent_at > 0 then
+            t.newest_sacked_sent_at <- seg.sent_at;
+          newly := !newly + seg.len
+        end;
+        walk (seq + seg.len)
+  in
+  walk start;
+  if stop > t.highest_sacked then t.highest_sacked <- stop;
+  !newly
+
+(* FACK loss inference with a RACK-style reorder window: a segment is
+   deemed lost once (a) bytes equivalent to three segments were SACKed
+   above it, and (b) data sent at least srtt/4 AFTER it has already been
+   delivered — so mild reordering (link jitter displaces packets by less
+   than the window) never triggers spurious retransmissions, while real
+   holes are marked as soon as meaningfully newer data is SACKed. The
+   scan stops at the first not-yet-judgeable segment (later segments were
+   sent later still) without advancing the scan pointer, so it is
+   re-examined on the next ACK. Returns bytes newly marked. *)
+let scan_losses t =
+  let threshold = 3 * t.config.mss in
+  let reorder_window =
+    match Rtt_estimator.srtt t.rtt_est with
+    | Some srtt -> Time_ns.scale srtt 0.25
+    | None -> Time_ns.zero
+  in
+  let newly_lost = ref 0 in
+  let rec walk seq =
+    if seq < t.snd_nxt && seq + threshold < t.highest_sacked then begin
+      match Hashtbl.find_opt t.segs seq with
+      | None -> walk (max (seq + t.config.mss) t.snd_una)
+      | Some seg ->
+        let markable = (not seg.sacked) && (not seg.lost) && not seg.retransmitted in
+        let rack_ok =
+          Time_ns.compare (Time_ns.sub t.newest_sacked_sent_at seg.sent_at) reorder_window >= 0
+        in
+        if markable && not rack_ok then
+          (* Not judgeable yet: revisit from here on the next ACK. *)
+          ()
+        else begin
+          if markable then begin
+            t.pipe <- t.pipe - (seg.len * seg.copies);
+            seg.copies <- 0;
+            seg.lost <- true;
+            newly_lost := !newly_lost + seg.len;
+            Queue.add seg t.retx_queue
+          end;
+          t.loss_scan_seq <- seq + seg.len;
+          walk (seq + seg.len)
+        end
+    end
+  in
+  walk (max t.loss_scan_seq t.snd_una);
+  !newly_lost
+
+(* RFC 6937 proportional rate reduction: compute how much try_send may
+   emit, given the bytes this ACK newly delivered (cum-acked + SACKed).
+   While the pipe exceeds the post-cut window, send proportionally to
+   deliveries; once below, slow-start back up to the window. *)
+let prr_update t ~delivered =
+  if t.recovery_point <> None && delivered > 0 then begin
+    t.prr_delivered <- t.prr_delivered + delivered;
+    let ssthresh = t.cwnd in
+    let sndcnt =
+      if t.pipe > ssthresh then
+        (((t.prr_delivered * ssthresh) + t.recover_fs - 1) / t.recover_fs) - t.prr_out
+      else begin
+        let limit = max (t.prr_delivered - t.prr_out) delivered + t.config.mss in
+        min (ssthresh - t.pipe) limit
+      end
+    in
+    t.recovery_quota <- max 0 sndcnt
+  end
+
+(* RACK-style lost-retransmission detection: a retransmitted, still
+   unSACKed segment whose (re)transmission is more than two smoothed RTTs
+   old — while ACKs keep arriving — was lost again. Re-mark it so
+   try_send resends instead of stalling into an RTO. Scanning is bounded
+   to the leading window of unSACKed segments to keep per-ACK work O(1)
+   amortized. *)
+let max_retx_scan = 64
+
+let check_retransmit_timeouts t =
+  match Rtt_estimator.srtt t.rtt_est with
+  | None -> ()
+  | Some srtt ->
+    let deadline = Time_ns.scale srtt 2.0 in
+    let at = now t in
+    let examined = ref 0 in
+    (try
+       Queue.iter
+         (fun seg ->
+           if !examined >= max_retx_scan then raise Exit;
+           if not seg.sacked then begin
+             incr examined;
+             if
+               seg.retransmitted && seg.copies > 0
+               && Time_ns.compare (Time_ns.sub at seg.sent_at) deadline > 0
+             then begin
+               t.pipe <- t.pipe - (seg.len * seg.copies);
+               seg.copies <- 0;
+               seg.lost <- true;
+               Queue.add seg t.retx_queue
+             end
+           end)
+         t.order
+     with Exit -> ())
+
+let pop_acked t cum_ack =
+  let rec pop newest =
+    match Queue.peek_opt t.order with
+    | Some seg when seg.seq + seg.len <= cum_ack ->
+      ignore (Queue.take t.order);
+      Hashtbl.remove t.segs seg.seq;
+      t.pipe <- t.pipe - (seg.len * seg.copies);
+      seg.copies <- 0;
+      (* Prefer an RTT/rate sample from a never-retransmitted segment. *)
+      let newest = if seg.retransmitted then newest else Some seg in
+      pop newest
+    | _ -> newest
+  in
+  pop None
+
+let build_ctl t : Congestion_iface.ctl =
+  {
+    flow = t.flow;
+    mss = t.config.mss;
+    now = (fun () -> now t);
+    get_cwnd = (fun () -> t.cwnd);
+    set_cwnd =
+      (fun bytes ->
+        set_cwnd_internal t bytes;
+        try_send t);
+    get_rate = (fun () -> Pacer.rate t.pacer);
+    set_rate =
+      (fun rate ->
+        Pacer.set_rate t.pacer ~now:(now t) rate;
+        try_send t);
+    srtt = (fun () -> Rtt_estimator.srtt t.rtt_est);
+    latest_rtt = (fun () -> Rtt_estimator.latest t.rtt_est);
+    min_rtt = (fun () -> Rtt_estimator.min_rtt t.rtt_est);
+    inflight = (fun () -> inflight t);
+    send_rate_ewma = (fun () -> Rate_estimator.send_rate_ewma t.rate_est);
+    delivery_rate_ewma = (fun () -> Rate_estimator.delivery_rate_ewma t.rate_est);
+  }
+
+let ctl t =
+  match t.ctl with
+  | Some c -> c
+  | None ->
+    let c = build_ctl t in
+    t.ctl <- Some c;
+    c
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    let c = ctl t in
+    t.cc.on_init c;
+    notify_cwnd t;
+    try_send t
+  end
+
+let on_ack t (pkt : Packet.t) =
+  match pkt.payload with
+  | Data _ -> invalid_arg "Tcp_flow.on_ack: got a data packet"
+  | Ack a ->
+    let at = now t in
+    let c = ctl t in
+    let rtt_sample =
+      let r = Time_ns.sub at a.echo_sent_at in
+      if Time_ns.is_positive r then Some r else None
+    in
+    Option.iter
+      (fun r ->
+        Rtt_estimator.on_sample t.rtt_est r;
+        match t.rtt_listener with Some f -> f at r | None -> ())
+      rtt_sample;
+    let sacked_bytes =
+      List.fold_left (fun acc range -> acc + mark_sacked t range) 0 a.newly_sacked
+    in
+    let newly_lost = scan_losses t in
+    (* One multiplicative decrease per window of loss, as TCP requires. *)
+    if newly_lost > 0 && t.recovery_point = None then begin
+      t.recovery_point <- Some t.snd_nxt;
+      t.recovery_count <- t.recovery_count + 1;
+      t.prr_delivered <- 0;
+      t.prr_out <- 0;
+      t.recover_fs <- max (t.pipe + newly_lost) t.config.mss;
+      t.recovery_quota <- 0;
+      t.cc.on_loss c { kind = Dup_acks; at; bytes_lost_estimate = newly_lost }
+    end;
+    check_retransmit_timeouts t;
+    let cum = min a.cum_ack t.snd_nxt in
+    if cum > t.snd_una then begin
+      let newly = cum - t.snd_una in
+      t.snd_una <- cum;
+      if t.loss_scan_seq < cum then t.loss_scan_seq <- cum;
+      if t.highest_sacked < cum then t.highest_sacked <- cum;
+      let newest_seg = pop_acked t cum in
+      let rates =
+        match newest_seg with
+        | Some seg -> Rate_estimator.on_ack t.rate_est ~now:at ~bytes_newly_acked:newly seg.snapshot
+        | None ->
+          { Rate_estimator.send_rate = None; delivery_rate = None }
+      in
+      t.rto_backoff <- 1;
+      prr_update t ~delivered:(newly + sacked_bytes);
+      (match t.recovery_point with
+      | Some point when cum >= point ->
+        t.recovery_point <- None;
+        t.recovery_quota <- 0;
+        t.cc.on_exit_recovery c
+      | Some _ | None -> ());
+      let event : Congestion_iface.ack_event =
+        {
+          now = at;
+          bytes_acked = newly;
+          rtt_sample;
+          ecn_echo = a.ecn_echo;
+          send_rate = rates.Rate_estimator.send_rate;
+          delivery_rate = rates.Rate_estimator.delivery_rate;
+          inflight_after = inflight t;
+        }
+      in
+      t.cc.on_ack c event;
+      if t.snd_nxt > t.snd_una then arm_rto t else cancel_rto t;
+      try_send t
+    end
+    else begin
+      t.dup_acks <- t.dup_acks + 1;
+      prr_update t ~delivered:sacked_bytes;
+      let event : Congestion_iface.ack_event =
+        {
+          now = at;
+          bytes_acked = 0;
+          rtt_sample;
+          ecn_echo = a.ecn_echo;
+          send_rate = None;
+          delivery_rate = None;
+          inflight_after = inflight t;
+        }
+      in
+      t.cc.on_ack c event;
+      try_send t
+    end
+
+let cwnd t = t.cwnd
+let pacing_rate t = Pacer.rate t.pacer
+let snd_nxt t = t.snd_nxt
+let snd_una t = t.snd_una
+let in_recovery t = t.recovery_point <> None
+let srtt t = Rtt_estimator.srtt t.rtt_est
+let min_rtt t = Rtt_estimator.min_rtt t.rtt_est
+let rtt_estimator t = t.rtt_est
+let rate_estimator t = t.rate_est
+let segments_sent t = t.segments_sent
+let retransmits t = t.retransmit_count
+let timeouts t = t.timeout_count
+let recoveries t = t.recovery_count
+let set_cwnd_listener t f = t.cwnd_listener <- Some f
+let set_rtt_listener t f = t.rtt_listener <- Some f

@@ -1,0 +1,78 @@
+(** Send-side transport state machine.
+
+    A [Tcp_flow.t] implements reliable bulk transfer with congestion
+    control delegated to a {!Congestion_iface.t}: window- and rate-based
+    sending (token-bucket pacing), RTT sampling via receiver timestamp
+    echoes, BBR-style delivery-rate sampling, duplicate-ACK fast
+    retransmit with NewReno-style recovery (window inflation during
+    recovery, retransmission on partial ACKs), and RFC 6298 retransmission
+    timeouts with exponential backoff and go-back-N recovery.
+
+    The flow is datapath-neutral glue: native controllers make their
+    decisions inside [on_ack]/[on_loss]; the CCP shim forwards summaries to
+    the off-datapath agent and applies its asynchronous updates through the
+    same {!Congestion_iface.ctl} handle. *)
+
+open Ccp_util
+open Ccp_eventsim
+open Ccp_net
+
+type t
+
+type config = {
+  mss : int;  (** payload bytes per segment *)
+  initial_cwnd_segments : int;
+  ecn_capable : bool;
+  min_rto : Time_ns.t;
+  app_limit_bytes : int option;  (** [None] = unlimited backlog *)
+}
+
+val default_config : config
+(** mss 1448 (1500-byte wire MTU minus headers), initial window 10
+    segments, ECN off, min RTO 200 ms, unlimited data. *)
+
+val create :
+  sim:Sim.t ->
+  flow:Packet.flow_id ->
+  config:config ->
+  cc:Congestion_iface.t ->
+  transmit:(Packet.t -> unit) ->
+  unit ->
+  t
+
+val start : t -> unit
+(** Call the controller's [on_init] and begin transmitting. *)
+
+val on_ack : t -> Packet.t -> unit
+(** Feed an arriving ACK (the dumbbell's [ack_sink]). *)
+
+val ctl : t -> Congestion_iface.ctl
+(** The control handle (shared with the congestion controller). *)
+
+(** {1 Observers} *)
+
+val cwnd : t -> int
+val pacing_rate : t -> float
+val inflight : t -> int
+val snd_nxt : t -> int
+val snd_una : t -> int
+val in_recovery : t -> bool
+val srtt : t -> Time_ns.t option
+val min_rtt : t -> Time_ns.t option
+val rtt_estimator : t -> Rtt_estimator.t
+val rate_estimator : t -> Rate_estimator.t
+
+(** {1 Counters} *)
+
+val segments_sent : t -> int
+val retransmits : t -> int
+val timeouts : t -> int
+val recoveries : t -> int
+
+(** {1 Listeners} *)
+
+val set_cwnd_listener : t -> (Time_ns.t -> int -> unit) -> unit
+(** Invoked on every congestion-window change (Figure 3's trace). *)
+
+val set_rtt_listener : t -> (Time_ns.t -> Time_ns.t -> unit) -> unit
+(** Invoked with (now, rtt sample) on every RTT measurement. *)

@@ -1,0 +1,115 @@
+open Ccp_net
+
+type t = {
+  flow : Packet.flow_id;
+  send_ack : Packet.t -> unit;
+  delayed_ack_every : int;
+  mutable expected : int;  (* next in-order byte awaited *)
+  mutable ooo : (int * int) list;  (* disjoint sorted [start, stop) intervals above expected *)
+  mutable unacked_segments : int;  (* in-order segments since the last ACK *)
+  mutable acks_sent : int;
+  mutable segments_received : int;
+}
+
+let create ~flow ~send_ack ?(delayed_ack_every = 1) () =
+  if delayed_ack_every < 1 then invalid_arg "Tcp_receiver: delayed_ack_every must be >= 1";
+  {
+    flow;
+    send_ack;
+    delayed_ack_every;
+    expected = 0;
+    ooo = [];
+    unacked_segments = 0;
+    acks_sent = 0;
+    segments_received = 0;
+  }
+
+(* Insert [start, stop) into the sorted disjoint interval list, merging
+   overlapping and adjacent intervals. *)
+let rec insert_interval intervals (start, stop) =
+  match intervals with
+  | [] -> [ (start, stop) ]
+  | (s, e) :: rest ->
+    if stop < s then (start, stop) :: intervals
+    else if start > e then (s, e) :: insert_interval rest (start, stop)
+    else insert_interval rest (min s start, max e stop)
+
+(* Advance [expected] through any interval that now touches it. *)
+let advance t =
+  match t.ooo with
+  | (s, e) :: rest when s <= t.expected ->
+    if e > t.expected then t.expected <- e;
+    t.ooo <- rest
+  | _ -> ()
+
+let emit_ack t ~(trigger : Packet.data) ~ecn_echo ~acked_segments ~newly_sacked =
+  t.acks_sent <- t.acks_sent + 1;
+  t.unacked_segments <- 0;
+  t.send_ack
+    (Packet.ack ~flow:t.flow ~cum_ack:t.expected ~echo_sent_at:trigger.Packet.sent_at ~ecn_echo
+       ~acked_segments ~newly_sacked ~recv_bytes:t.expected ())
+
+(* Returns [`In_order] if the segment advanced the stream, [`Sacked range]
+   if it was buffered out of order, [`Duplicate] otherwise. *)
+let ingest t (pkt : Packet.t) =
+  match pkt.payload with
+  | Ack _ -> invalid_arg "Tcp_receiver: got an ACK"
+  | Data d ->
+    t.segments_received <- t.segments_received + 1;
+    let stop = Packet.seq_end d in
+    if stop <= t.expected then `Duplicate
+    else if d.seq <= t.expected then begin
+      t.expected <- stop;
+      advance t;
+      `In_order
+    end
+    else begin
+      t.ooo <- insert_interval t.ooo (d.seq, stop);
+      `Sacked (d.seq, stop)
+    end
+
+let on_data t pkt =
+  match pkt.Packet.payload with
+  | Ack _ -> invalid_arg "Tcp_receiver.on_data: got an ACK"
+  | Data d -> (
+    let ecn_echo = pkt.Packet.ecn_marked in
+    match ingest t pkt with
+    | `In_order when not ecn_echo ->
+      t.unacked_segments <- t.unacked_segments + 1;
+      if t.unacked_segments >= t.delayed_ack_every then
+        emit_ack t ~trigger:d ~ecn_echo ~acked_segments:t.unacked_segments ~newly_sacked:[]
+    | `In_order ->
+      emit_ack t ~trigger:d ~ecn_echo ~acked_segments:(t.unacked_segments + 1) ~newly_sacked:[]
+    | `Duplicate ->
+      (* Spurious retransmission: re-acknowledge immediately. *)
+      emit_ack t ~trigger:d ~ecn_echo ~acked_segments:(t.unacked_segments + 1) ~newly_sacked:[]
+    | `Sacked range ->
+      (* Out-of-order data produces an immediate duplicate ACK carrying
+         the newly buffered range. *)
+      emit_ack t ~trigger:d ~ecn_echo ~acked_segments:(t.unacked_segments + 1)
+        ~newly_sacked:[ range ])
+
+let on_batch t pkts =
+  match pkts with
+  | [] -> ()
+  | _ ->
+    let last = List.nth pkts (List.length pkts - 1) in
+    (match last.Packet.payload with
+    | Ack _ -> invalid_arg "Tcp_receiver.on_batch: got an ACK"
+    | Data d ->
+      let ecn_echo = List.exists (fun p -> p.Packet.ecn_marked) pkts in
+      let sacked = ref [] in
+      List.iter
+        (fun p ->
+          match ingest t p with
+          | `Sacked range -> sacked := range :: !sacked
+          | `In_order | `Duplicate -> ())
+        pkts;
+      emit_ack t ~trigger:d ~ecn_echo ~acked_segments:(List.length pkts)
+        ~newly_sacked:(List.rev !sacked))
+
+let expected_seq t = t.expected
+let delivered_bytes t = t.expected
+let out_of_order_bytes t = List.fold_left (fun acc (s, e) -> acc + (e - s)) 0 t.ooo
+let acks_sent t = t.acks_sent
+let segments_received t = t.segments_received

@@ -1,0 +1,1 @@
+lib/eventsim/sim.ml: Ccp_util Heap Printf Rng Time_ns

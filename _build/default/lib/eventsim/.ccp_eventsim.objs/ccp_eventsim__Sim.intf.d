@@ -1,0 +1,1 @@
+lib/eventsim/sim.mli: Ccp_util Rng Time_ns

@@ -1,0 +1,69 @@
+open Ccp_util
+
+type timer = { at : Time_ns.t; callback : unit -> unit; mutable cancelled : bool; mutable fired : bool }
+
+type t = {
+  mutable clock : Time_ns.t;
+  queue : timer Heap.t;
+  root_rng : Rng.t;
+}
+
+let timer_compare a b = Time_ns.compare a.at b.at
+
+let create ?(seed = 42) () =
+  { clock = Time_ns.zero; queue = Heap.create ~compare:timer_compare; root_rng = Rng.create ~seed }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let schedule t ~at callback =
+  if Time_ns.compare at t.clock < 0 then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule: time %s is before now %s" (Time_ns.to_string at)
+         (Time_ns.to_string t.clock));
+  let timer = { at; callback; cancelled = false; fired = false } in
+  Heap.push t.queue timer;
+  timer
+
+let schedule_after t ~delay callback =
+  let delay = Time_ns.max delay Time_ns.zero in
+  schedule t ~at:(Time_ns.add t.clock delay) callback
+
+let cancel timer = timer.cancelled <- true
+let is_pending timer = (not timer.cancelled) && not timer.fired
+
+let pending_events t = Heap.length t.queue
+
+let fire t timer =
+  t.clock <- timer.at;
+  timer.fired <- true;
+  timer.callback ()
+
+let step t =
+  let rec next () =
+    match Heap.pop t.queue with
+    | None -> false
+    | Some timer when timer.cancelled -> next ()
+    | Some timer ->
+      fire t timer;
+      true
+  in
+  next ()
+
+let run ?until ?(max_events = max_int) t =
+  let fired = ref 0 in
+  let continue = ref true in
+  while !continue && !fired < max_events do
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some timer when timer.cancelled -> ignore (Heap.pop t.queue)
+    | Some timer ->
+      (match until with
+      | Some limit when Time_ns.compare timer.at limit > 0 ->
+        t.clock <- limit;
+        continue := false
+      | _ ->
+        ignore (Heap.pop t.queue);
+        fire t timer;
+        incr fired)
+  done

@@ -1,0 +1,47 @@
+(** Discrete-event simulation engine.
+
+    A simulator owns a virtual clock and an ordered event queue. Events
+    scheduled for the same instant fire in FIFO order, which makes runs
+    deterministic. Every network element, datapath, IPC channel and agent
+    in this reproduction advances exclusively through this engine. *)
+
+open Ccp_util
+
+type t
+
+type timer
+(** Handle to a scheduled event; may be cancelled before it fires. *)
+
+val create : ?seed:int -> unit -> t
+(** Fresh simulator with clock at zero. [seed] (default 42) initialises the
+    simulation-wide RNG from which components derive their own streams. *)
+
+val now : t -> Time_ns.t
+
+val rng : t -> Rng.t
+(** The root RNG. Components that need independent streams should
+    [Rng.split] it at construction time. *)
+
+val schedule : t -> at:Time_ns.t -> (unit -> unit) -> timer
+(** Schedule a callback at absolute time [at]. Raises [Invalid_argument] if
+    [at] is in the past. *)
+
+val schedule_after : t -> delay:Time_ns.t -> (unit -> unit) -> timer
+(** Schedule a callback [delay] after the current time (negative delays are
+    clamped to "now"). *)
+
+val cancel : timer -> unit
+(** Cancel a pending event; cancelling a fired or already-cancelled event is
+    a no-op. *)
+
+val is_pending : timer -> bool
+
+val pending_events : t -> int
+
+val run : ?until:Time_ns.t -> ?max_events:int -> t -> unit
+(** Drain the event queue. Stops when the queue is empty, when the clock
+    would pass [until] (events at exactly [until] do fire), or after
+    [max_events] events as a runaway guard. *)
+
+val step : t -> bool
+(** Fire the single next event. Returns [false] if the queue was empty. *)

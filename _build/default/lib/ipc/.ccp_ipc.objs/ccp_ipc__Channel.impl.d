@@ -1,0 +1,1 @@
+lib/ipc/channel.ml: Ccp_eventsim Ccp_util Codec Latency_model Message Rng Sim String Time_ns Wire

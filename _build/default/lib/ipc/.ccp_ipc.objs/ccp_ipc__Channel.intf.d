@@ -1,0 +1,1 @@
+lib/ipc/channel.mli: Ccp_eventsim Latency_model Message Sim

@@ -1,0 +1,1 @@
+lib/ipc/codec.ml: Array Ccp_lang Format List Message String Wire

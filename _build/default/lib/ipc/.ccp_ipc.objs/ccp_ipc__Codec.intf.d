@@ -1,0 +1,1 @@
+lib/ipc/codec.mli: Ccp_lang Message

@@ -1,0 +1,1 @@
+lib/ipc/latency_model.ml: Ccp_util Printf Rng Time_ns

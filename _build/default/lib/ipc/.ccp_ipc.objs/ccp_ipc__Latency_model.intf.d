@@ -1,0 +1,1 @@
+lib/ipc/latency_model.mli: Ccp_util Rng Time_ns

@@ -1,0 +1,1 @@
+lib/ipc/message.ml: Array Ccp_lang Float Printf

@@ -1,0 +1,1 @@
+lib/ipc/wire.ml: Buffer Char Int64 String

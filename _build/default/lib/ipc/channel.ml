@@ -1,0 +1,73 @@
+open Ccp_util
+open Ccp_eventsim
+
+type endpoint = Datapath_end | Agent_end
+
+type direction = {
+  mutable handler : (Message.t -> unit) option;
+  mutable messages : int;
+  mutable bytes : int;
+  mutable last_delivery : Time_ns.t;  (* FIFO floor for this direction *)
+}
+
+type t = {
+  sim : Sim.t;
+  latency : Latency_model.t;
+  rng : Rng.t;
+  to_agent : direction;
+  to_datapath : direction;
+  mutable decode_failures : int;
+}
+
+let fresh_direction () =
+  { handler = None; messages = 0; bytes = 0; last_delivery = Time_ns.zero }
+
+let create ~sim ~latency () =
+  {
+    sim;
+    latency;
+    rng = Rng.split (Sim.rng sim);
+    to_agent = fresh_direction ();
+    to_datapath = fresh_direction ();
+    decode_failures = 0;
+  }
+
+let direction_toward t = function
+  | Agent_end -> t.to_agent
+  | Datapath_end -> t.to_datapath
+
+let on_receive t endpoint handler = (direction_toward t endpoint).handler <- Some handler
+
+let send t ~from msg =
+  let dir =
+    match from with Datapath_end -> t.to_agent | Agent_end -> t.to_datapath
+  in
+  let handler =
+    match dir.handler with
+    | Some h -> h
+    | None -> invalid_arg "Channel.send: destination handler not registered"
+  in
+  let bytes = Codec.encode msg in
+  dir.messages <- dir.messages + 1;
+  dir.bytes <- dir.bytes + String.length bytes;
+  let delay = Latency_model.one_way t.latency t.rng in
+  let arrival = Time_ns.add (Sim.now t.sim) delay in
+  (* Preserve per-direction FIFO ordering under random latency draws. *)
+  let arrival = Time_ns.max arrival dir.last_delivery in
+  dir.last_delivery <- arrival;
+  ignore
+    (Sim.schedule t.sim ~at:arrival (fun () ->
+         match Codec.decode bytes with
+         | decoded -> handler decoded
+         | exception (Codec.Decode_error _ | Wire.Reader.Truncated | Wire.Reader.Malformed _) ->
+           t.decode_failures <- t.decode_failures + 1))
+
+let messages_sent t = function
+  | Datapath_end -> t.to_agent.messages
+  | Agent_end -> t.to_datapath.messages
+
+let bytes_sent t = function
+  | Datapath_end -> t.to_agent.bytes
+  | Agent_end -> t.to_datapath.bytes
+
+let decode_failures t = t.decode_failures

@@ -1,0 +1,34 @@
+(** The simulated IPC channel between a datapath and the CCP agent.
+
+    Asynchronous and bidirectional. Every send encodes the message with
+    {!Codec}, draws a one-way latency from the channel's {!Latency_model},
+    and schedules decoding + delivery at the far end — so the control loop
+    experiences exactly the asynchrony the paper's architecture implies,
+    and the codec is on the hot path. Messages in each direction are
+    delivered in FIFO order even when latency draws would reorder them
+    (both Netlink and Unix sockets preserve ordering). *)
+
+open Ccp_eventsim
+
+type t
+
+type endpoint = Datapath_end | Agent_end
+
+val create : sim:Sim.t -> latency:Latency_model.t -> unit -> t
+(** The latency model is interpreted as a round-trip distribution; each
+    message pays a one-way (half) draw. *)
+
+val on_receive : t -> endpoint -> (Message.t -> unit) -> unit
+(** Register the handler that receives messages arriving {e at} the given
+    endpoint. Must be set before traffic flows toward that endpoint. *)
+
+val send : t -> from:endpoint -> Message.t -> unit
+(** Raises [Invalid_argument] if the destination handler is not set. *)
+
+(** {1 Statistics} *)
+
+val messages_sent : t -> endpoint -> int
+(** Messages sent {e from} the given endpoint. *)
+
+val bytes_sent : t -> endpoint -> int
+val decode_failures : t -> int

@@ -1,0 +1,269 @@
+open Ccp_lang.Ast
+
+exception Decode_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Decode_error s)) fmt
+
+(* --- expressions --- *)
+
+let binop_tag = function Add -> 0 | Sub -> 1 | Mul -> 2 | Div -> 3
+
+let binop_of_tag = function
+  | 0 -> Add
+  | 1 -> Sub
+  | 2 -> Mul
+  | 3 -> Div
+  | n -> fail "bad binop tag %d" n
+
+let rec write_expr w = function
+  | Const f ->
+    Wire.Writer.byte w 0;
+    Wire.Writer.float w f
+  | Var name ->
+    Wire.Writer.byte w 1;
+    Wire.Writer.string w name
+  | Pkt field ->
+    Wire.Writer.byte w 2;
+    Wire.Writer.string w field
+  | Bin (op, l, r) ->
+    Wire.Writer.byte w 3;
+    Wire.Writer.byte w (binop_tag op);
+    write_expr w l;
+    write_expr w r
+  | Neg e ->
+    Wire.Writer.byte w 4;
+    write_expr w e
+  | Call (name, args) ->
+    Wire.Writer.byte w 5;
+    Wire.Writer.string w name;
+    Wire.Writer.varint w (List.length args);
+    List.iter (write_expr w) args
+
+let rec read_expr r =
+  match Wire.Reader.byte r with
+  | 0 -> Const (Wire.Reader.float r)
+  | 1 -> Var (Wire.Reader.string r)
+  | 2 -> Pkt (Wire.Reader.string r)
+  | 3 ->
+    let op = binop_of_tag (Wire.Reader.byte r) in
+    let l = read_expr r in
+    let rhs = read_expr r in
+    Bin (op, l, rhs)
+  | 4 -> Neg (read_expr r)
+  | 5 ->
+    let name = Wire.Reader.string r in
+    let n = Wire.Reader.varint r in
+    if n > 16 then fail "call with %d arguments" n;
+    let args = List.init n (fun _ -> read_expr r) in
+    Call (name, args)
+  | tag -> fail "bad expr tag %d" tag
+
+(* --- programs --- *)
+
+let write_bindings w bindings =
+  Wire.Writer.varint w (List.length bindings);
+  List.iter
+    (fun (name, e) ->
+      Wire.Writer.string w name;
+      write_expr w e)
+    bindings
+
+let read_bindings r =
+  let n = Wire.Reader.varint r in
+  if n > 256 then fail "fold with %d bindings" n;
+  List.init n (fun _ ->
+      let name = Wire.Reader.string r in
+      (name, read_expr r))
+
+let write_spec w = function
+  | Vector fields ->
+    Wire.Writer.byte w 0;
+    Wire.Writer.varint w (List.length fields);
+    List.iter (Wire.Writer.string w) fields
+  | Fold { init; update } ->
+    Wire.Writer.byte w 1;
+    write_bindings w init;
+    write_bindings w update
+
+let read_spec r =
+  match Wire.Reader.byte r with
+  | 0 ->
+    let n = Wire.Reader.varint r in
+    if n > 64 then fail "vector with %d fields" n;
+    Vector (List.init n (fun _ -> Wire.Reader.string r))
+  | 1 ->
+    let init = read_bindings r in
+    let update = read_bindings r in
+    Fold { init; update }
+  | tag -> fail "bad measure-spec tag %d" tag
+
+let write_prim w = function
+  | Measure spec ->
+    Wire.Writer.byte w 0;
+    write_spec w spec
+  | Rate e ->
+    Wire.Writer.byte w 1;
+    write_expr w e
+  | Cwnd e ->
+    Wire.Writer.byte w 2;
+    write_expr w e
+  | Wait e ->
+    Wire.Writer.byte w 3;
+    write_expr w e
+  | Wait_rtts e ->
+    Wire.Writer.byte w 4;
+    write_expr w e
+  | Report -> Wire.Writer.byte w 5
+
+let read_prim r =
+  match Wire.Reader.byte r with
+  | 0 -> Measure (read_spec r)
+  | 1 -> Rate (read_expr r)
+  | 2 -> Cwnd (read_expr r)
+  | 3 -> Wait (read_expr r)
+  | 4 -> Wait_rtts (read_expr r)
+  | 5 -> Report
+  | tag -> fail "bad prim tag %d" tag
+
+let write_program w (program : program) =
+  Wire.Writer.byte w (if program.repeat then 1 else 0);
+  Wire.Writer.varint w (List.length program.prims);
+  List.iter (write_prim w) program.prims
+
+let read_program r =
+  let repeat =
+    match Wire.Reader.byte r with
+    | 0 -> false
+    | 1 -> true
+    | b -> fail "bad repeat flag %d" b
+  in
+  let n = Wire.Reader.varint r in
+  if n > 1024 then fail "program with %d primitives" n;
+  let prims = List.init n (fun _ -> read_prim r) in
+  { prims; repeat }
+
+let encode_program p =
+  let w = Wire.Writer.create () in
+  write_program w p;
+  Wire.Writer.contents w
+
+let decode_program s = read_program (Wire.Reader.of_string s)
+
+(* --- messages --- *)
+
+let write_message w (msg : Message.t) =
+  match msg with
+  | Ready { flow; mss; init_cwnd } ->
+    Wire.Writer.byte w 0;
+    Wire.Writer.varint w flow;
+    Wire.Writer.varint w mss;
+    Wire.Writer.varint w init_cwnd
+  | Report { flow; fields } ->
+    Wire.Writer.byte w 1;
+    Wire.Writer.varint w flow;
+    Wire.Writer.varint w (Array.length fields);
+    Array.iter
+      (fun (name, v) ->
+        Wire.Writer.string w name;
+        Wire.Writer.float w v)
+      fields
+  | Report_vector { flow; columns; rows } ->
+    Wire.Writer.byte w 2;
+    Wire.Writer.varint w flow;
+    Wire.Writer.varint w (Array.length columns);
+    Array.iter (Wire.Writer.string w) columns;
+    Wire.Writer.varint w (Array.length rows);
+    Array.iter
+      (fun row ->
+        if Array.length row <> Array.length columns then
+          invalid_arg "Codec: vector row width mismatch";
+        Array.iter (Wire.Writer.float w) row)
+      rows
+  | Urgent { flow; kind; cwnd_at_event; inflight_at_event } ->
+    Wire.Writer.byte w 3;
+    Wire.Writer.varint w flow;
+    Wire.Writer.byte w
+      (match kind with Message.Dup_ack_loss -> 0 | Message.Timeout -> 1 | Message.Ecn -> 2);
+    Wire.Writer.varint w cwnd_at_event;
+    Wire.Writer.varint w inflight_at_event
+  | Closed { flow } ->
+    Wire.Writer.byte w 4;
+    Wire.Writer.varint w flow
+  | Install { flow; program } ->
+    Wire.Writer.byte w 5;
+    Wire.Writer.varint w flow;
+    write_program w program
+  | Set_cwnd { flow; bytes } ->
+    Wire.Writer.byte w 6;
+    Wire.Writer.varint w flow;
+    Wire.Writer.varint w bytes
+  | Set_rate { flow; bytes_per_sec } ->
+    Wire.Writer.byte w 7;
+    Wire.Writer.varint w flow;
+    Wire.Writer.float w bytes_per_sec
+
+let read_message r : Message.t =
+  match Wire.Reader.byte r with
+  | 0 ->
+    let flow = Wire.Reader.varint r in
+    let mss = Wire.Reader.varint r in
+    let init_cwnd = Wire.Reader.varint r in
+    Ready { flow; mss; init_cwnd }
+  | 1 ->
+    let flow = Wire.Reader.varint r in
+    let n = Wire.Reader.varint r in
+    if n > 4096 then fail "report with %d fields" n;
+    let fields =
+      Array.init n (fun _ ->
+          let name = Wire.Reader.string r in
+          (name, Wire.Reader.float r))
+    in
+    Report { flow; fields }
+  | 2 ->
+    let flow = Wire.Reader.varint r in
+    let ncols = Wire.Reader.varint r in
+    if ncols > 64 then fail "vector report with %d columns" ncols;
+    let columns = Array.init ncols (fun _ -> Wire.Reader.string r) in
+    let nrows = Wire.Reader.varint r in
+    if nrows * ncols > 1_000_000 then fail "vector report too large";
+    let rows = Array.init nrows (fun _ -> Array.init ncols (fun _ -> Wire.Reader.float r)) in
+    Report_vector { flow; columns; rows }
+  | 3 ->
+    let flow = Wire.Reader.varint r in
+    let kind =
+      match Wire.Reader.byte r with
+      | 0 -> Message.Dup_ack_loss
+      | 1 -> Message.Timeout
+      | 2 -> Message.Ecn
+      | k -> fail "bad urgent kind %d" k
+    in
+    let cwnd_at_event = Wire.Reader.varint r in
+    let inflight_at_event = Wire.Reader.varint r in
+    Urgent { flow; kind; cwnd_at_event; inflight_at_event }
+  | 4 -> Closed { flow = Wire.Reader.varint r }
+  | 5 ->
+    let flow = Wire.Reader.varint r in
+    let program = read_program r in
+    Install { flow; program }
+  | 6 ->
+    let flow = Wire.Reader.varint r in
+    let bytes = Wire.Reader.varint r in
+    Set_cwnd { flow; bytes }
+  | 7 ->
+    let flow = Wire.Reader.varint r in
+    let bytes_per_sec = Wire.Reader.float r in
+    Set_rate { flow; bytes_per_sec }
+  | tag -> fail "bad message tag %d" tag
+
+let encode msg =
+  let w = Wire.Writer.create () in
+  write_message w msg;
+  Wire.Writer.contents w
+
+let decode s =
+  let r = Wire.Reader.of_string s in
+  let msg = read_message r in
+  if not (Wire.Reader.at_end r) then fail "trailing bytes after message";
+  msg
+
+let encoded_size msg = String.length (encode msg)

@@ -1,0 +1,19 @@
+(** Binary codec for {!Message.t}, including full control-program ASTs.
+
+    Every message crossing the simulated channel is actually encoded and
+    decoded, so the wire format is exercised on every simulated IPC
+    exchange, and its size is what the channel's byte counters report.
+    [decode (encode m)] = [m] is a qcheck property in the test suite. *)
+
+exception Decode_error of string
+
+val encode : Message.t -> string
+val decode : string -> Message.t
+(** Raises {!Decode_error} (or {!Wire.Reader.Truncated}) on malformed
+    input; the datapath treats that as a hostile agent and drops the
+    message. *)
+
+val encode_program : Ccp_lang.Ast.program -> string
+val decode_program : string -> Ccp_lang.Ast.program
+
+val encoded_size : Message.t -> int

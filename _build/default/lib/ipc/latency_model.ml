@@ -1,0 +1,50 @@
+open Ccp_util
+
+type t =
+  | Constant of Time_ns.t
+  | Lognormal of { mu : float; sigma : float }
+  | Shifted of { base : Time_ns.t; rest : t }
+
+(* Standard normal quantile at 0.99. *)
+let z99 = 2.3263478740408408
+
+let calibrated ~median_us ~p99_us =
+  if median_us <= 0.0 || p99_us <= median_us then
+    invalid_arg "Latency_model.calibrated: need 0 < median < p99";
+  let mu = log median_us in
+  let sigma = log (p99_us /. median_us) /. z99 in
+  Lognormal { mu; sigma }
+
+(* p99 values from the paper (§2.3); medians are our documented choices. *)
+let netlink_idle = calibrated ~median_us:12.0 ~p99_us:48.0
+let netlink_busy = calibrated ~median_us:7.0 ~p99_us:18.0
+let unix_idle = calibrated ~median_us:22.0 ~p99_us:80.0
+let unix_busy = calibrated ~median_us:15.0 ~p99_us:35.0
+
+let rec sample t rng =
+  match t with
+  | Constant d -> d
+  | Lognormal { mu; sigma } ->
+    let us = Rng.lognormal rng ~mu ~sigma in
+    Time_ns.max (Time_ns.ns 1) (Time_ns.of_float_sec (us *. 1e-6))
+  | Shifted { base; rest } -> Time_ns.add base (sample rest rng)
+
+let one_way t rng = Time_ns.max (Time_ns.ns 1) (Time_ns.scale (sample t rng) 0.5)
+
+let rec median_us = function
+  | Constant d -> Time_ns.to_float_us d
+  | Lognormal { mu; _ } -> exp mu
+  | Shifted { base; rest } -> Time_ns.to_float_us base +. median_us rest
+
+let rec p99_us = function
+  | Constant d -> Time_ns.to_float_us d
+  | Lognormal { mu; sigma } -> exp (mu +. (z99 *. sigma))
+  | Shifted { base; rest } -> Time_ns.to_float_us base +. p99_us rest
+
+let rec describe = function
+  | Constant d -> Printf.sprintf "constant %s" (Time_ns.to_string d)
+  | Lognormal { mu; sigma } ->
+    Printf.sprintf "lognormal(median=%.1fus p99=%.1fus sigma=%.3f)" (exp mu)
+      (exp (mu +. (z99 *. sigma)))
+      sigma
+  | Shifted { base; rest } -> Printf.sprintf "%s + %s" (Time_ns.to_string base) (describe rest)

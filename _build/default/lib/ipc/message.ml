@@ -1,0 +1,60 @@
+type urgent_kind = Dup_ack_loss | Timeout | Ecn
+
+type report = { flow : int; fields : (string * float) array }
+type vector_report = { flow : int; columns : string array; rows : float array array }
+type urgent = { flow : int; kind : urgent_kind; cwnd_at_event : int; inflight_at_event : int }
+
+type t =
+  | Ready of { flow : int; mss : int; init_cwnd : int }
+  | Report of report
+  | Report_vector of vector_report
+  | Urgent of urgent
+  | Closed of { flow : int }
+  | Install of { flow : int; program : Ccp_lang.Ast.program }
+  | Set_cwnd of { flow : int; bytes : int }
+  | Set_rate of { flow : int; bytes_per_sec : float }
+
+let flow = function
+  | Ready { flow; _ }
+  | Report { flow; _ }
+  | Report_vector { flow; _ }
+  | Urgent { flow; _ }
+  | Closed { flow }
+  | Install { flow; _ }
+  | Set_cwnd { flow; _ }
+  | Set_rate { flow; _ } ->
+    flow
+
+let urgent_kind_to_string = function
+  | Dup_ack_loss -> "dup-ack-loss"
+  | Timeout -> "timeout"
+  | Ecn -> "ecn"
+
+let describe = function
+  | Ready { flow; mss; init_cwnd } ->
+    Printf.sprintf "ready(flow=%d mss=%d cwnd=%d)" flow mss init_cwnd
+  | Report { flow; fields } -> Printf.sprintf "report(flow=%d fields=%d)" flow (Array.length fields)
+  | Report_vector { flow; rows; _ } ->
+    Printf.sprintf "report-vector(flow=%d rows=%d)" flow (Array.length rows)
+  | Urgent { flow; kind; _ } -> Printf.sprintf "urgent(flow=%d %s)" flow (urgent_kind_to_string kind)
+  | Closed { flow } -> Printf.sprintf "closed(flow=%d)" flow
+  | Install { flow; _ } -> Printf.sprintf "install(flow=%d)" flow
+  | Set_cwnd { flow; bytes } -> Printf.sprintf "set-cwnd(flow=%d %d)" flow bytes
+  | Set_rate { flow; bytes_per_sec } -> Printf.sprintf "set-rate(flow=%d %.0f)" flow bytes_per_sec
+
+let equal a b =
+  match (a, b) with
+  | Ready r1, Ready r2 -> r1.flow = r2.flow && r1.mss = r2.mss && r1.init_cwnd = r2.init_cwnd
+  | Report r1, Report r2 -> r1.flow = r2.flow && r1.fields = r2.fields
+  | Report_vector v1, Report_vector v2 ->
+    v1.flow = v2.flow && v1.columns = v2.columns && v1.rows = v2.rows
+  | Urgent u1, Urgent u2 -> u1 = u2
+  | Closed c1, Closed c2 -> c1.flow = c2.flow
+  | Install i1, Install i2 ->
+    i1.flow = i2.flow && Ccp_lang.Ast.equal_program i1.program i2.program
+  | Set_cwnd s1, Set_cwnd s2 -> s1.flow = s2.flow && s1.bytes = s2.bytes
+  | Set_rate s1, Set_rate s2 -> s1.flow = s2.flow && Float.equal s1.bytes_per_sec s2.bytes_per_sec
+  | ( ( Ready _ | Report _ | Report_vector _ | Urgent _ | Closed _ | Install _ | Set_cwnd _
+      | Set_rate _ ),
+      _ ) ->
+    false

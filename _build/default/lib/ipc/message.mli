@@ -1,0 +1,47 @@
+(** Messages exchanged between the datapath and the CCP agent.
+
+    Datapath → agent: flow lifecycle, batched measurement reports (fold
+    state or per-packet vectors, §2.4) and urgent events (§2.1).
+    Agent → datapath: program installation and direct window/rate commands
+    (the fallback the paper describes for datapaths that cannot run control
+    programs). *)
+
+type urgent_kind =
+  | Dup_ack_loss  (** triple duplicate ACK (fast-retransmit trigger) *)
+  | Timeout  (** retransmission timeout *)
+  | Ecn  (** ECN congestion-experienced echo *)
+
+type report = {
+  flow : int;
+  fields : (string * float) array;  (** fold-mode summary, name/value pairs *)
+}
+
+type vector_report = {
+  flow : int;
+  columns : string array;
+  rows : float array array;  (** one row per acknowledged packet *)
+}
+
+type urgent = {
+  flow : int;
+  kind : urgent_kind;
+  cwnd_at_event : int;
+  inflight_at_event : int;
+}
+
+type t =
+  (* datapath -> agent *)
+  | Ready of { flow : int; mss : int; init_cwnd : int }
+  | Report of report
+  | Report_vector of vector_report
+  | Urgent of urgent
+  | Closed of { flow : int }
+  (* agent -> datapath *)
+  | Install of { flow : int; program : Ccp_lang.Ast.program }
+  | Set_cwnd of { flow : int; bytes : int }
+  | Set_rate of { flow : int; bytes_per_sec : float }
+
+val flow : t -> int
+val describe : t -> string
+val urgent_kind_to_string : urgent_kind -> string
+val equal : t -> t -> bool

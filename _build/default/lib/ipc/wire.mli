@@ -1,0 +1,38 @@
+(** Low-level binary encoding primitives for the CCP wire format.
+
+    Integers use LEB128 varints (small values — flow ids, field counts —
+    dominate the traffic); floats are IEEE-754 bits, little-endian; strings
+    are length-prefixed UTF-8. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val byte : t -> int -> unit
+  val varint : t -> int -> unit
+  (** Non-negative integers only; raises [Invalid_argument] on negatives. *)
+
+  val zigzag : t -> int -> unit
+  (** Signed integers via zigzag + varint. *)
+
+  val float : t -> float -> unit
+  val string : t -> string -> unit
+  val contents : t -> string
+  val length : t -> int
+end
+
+module Reader : sig
+  type t
+
+  exception Truncated
+  exception Malformed of string
+
+  val of_string : string -> t
+  val byte : t -> int
+  val varint : t -> int
+  val zigzag : t -> int
+  val float : t -> float
+  val string : t -> string
+  val at_end : t -> bool
+  val remaining : t -> int
+end

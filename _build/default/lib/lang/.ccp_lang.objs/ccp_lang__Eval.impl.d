@@ -1,0 +1,1 @@
+lib/lang/eval.ml: Ast Float List

@@ -1,0 +1,1 @@
+lib/lang/fold.ml: Array Ast Eval List Option

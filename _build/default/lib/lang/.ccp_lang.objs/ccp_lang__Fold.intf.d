@@ -1,0 +1,1 @@
+lib/lang/fold.mli: Ast Eval

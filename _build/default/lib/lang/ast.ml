@@ -1,0 +1,98 @@
+type binop = Add | Sub | Mul | Div
+
+type expr =
+  | Const of float
+  | Var of string
+  | Pkt of string
+  | Bin of binop * expr * expr
+  | Neg of expr
+  | Call of string * expr list
+
+type fold_def = {
+  init : (string * expr) list;
+  update : (string * expr) list;
+}
+
+type measure_spec = Vector of string list | Fold of fold_def
+
+type prim =
+  | Measure of measure_spec
+  | Rate of expr
+  | Cwnd of expr
+  | Wait of expr
+  | Wait_rtts of expr
+  | Report
+
+type program = { prims : prim list; repeat : bool }
+
+let program ?(repeat = true) prims = { prims; repeat }
+
+let rec equal_expr a b =
+  match (a, b) with
+  | Const x, Const y -> Float.equal x y
+  | Var x, Var y | Pkt x, Pkt y -> String.equal x y
+  | Bin (op1, l1, r1), Bin (op2, l2, r2) -> op1 = op2 && equal_expr l1 l2 && equal_expr r1 r2
+  | Neg x, Neg y -> equal_expr x y
+  | Call (f, args1), Call (g, args2) ->
+    String.equal f g && List.length args1 = List.length args2
+    && List.for_all2 equal_expr args1 args2
+  | (Const _ | Var _ | Pkt _ | Bin _ | Neg _ | Call _), _ -> false
+
+let equal_bindings b1 b2 =
+  List.length b1 = List.length b2
+  && List.for_all2 (fun (n1, e1) (n2, e2) -> String.equal n1 n2 && equal_expr e1 e2) b1 b2
+
+let equal_spec s1 s2 =
+  match (s1, s2) with
+  | Vector f1, Vector f2 -> f1 = f2
+  | Fold d1, Fold d2 -> equal_bindings d1.init d2.init && equal_bindings d1.update d2.update
+  | (Vector _ | Fold _), _ -> false
+
+let equal_prim p1 p2 =
+  match (p1, p2) with
+  | Measure s1, Measure s2 -> equal_spec s1 s2
+  | Rate e1, Rate e2 | Cwnd e1, Cwnd e2 | Wait e1, Wait e2 | Wait_rtts e1, Wait_rtts e2 ->
+    equal_expr e1 e2
+  | Report, Report -> true
+  | (Measure _ | Rate _ | Cwnd _ | Wait _ | Wait_rtts _ | Report), _ -> false
+
+let equal_program p1 p2 =
+  p1.repeat = p2.repeat
+  && List.length p1.prims = List.length p2.prims
+  && List.for_all2 equal_prim p1.prims p2.prims
+
+module Vars = struct
+  let flow_vars =
+    [
+      ("cwnd", "congestion window, bytes");
+      ("rate", "pacing rate, bytes/second (0 when unset)");
+      ("mss", "maximum segment size, bytes");
+      ("srtt_us", "smoothed RTT, microseconds");
+      ("rtt_us", "latest RTT sample, microseconds");
+      ("minrtt_us", "minimum RTT observed, microseconds");
+      ("inflight_bytes", "bytes currently unacknowledged");
+      ("now_us", "datapath clock, microseconds");
+    ]
+
+  let pkt_fields =
+    [
+      ("rtt_us", "RTT sample of the acknowledged segment, microseconds");
+      ("bytes_acked", "bytes newly acknowledged by this ACK");
+      ("bytes_lost", "bytes newly declared lost");
+      ("ecn", "1.0 if this ACK echoed an ECN mark, else 0.0");
+      ("send_rate", "sender throughput sample, bytes/second");
+      ("recv_rate", "delivery rate sample, bytes/second");
+      ("inflight_bytes", "bytes in flight after this ACK");
+      ("now_us", "arrival time of this ACK, microseconds");
+    ]
+
+  let builtins =
+    [
+      ("min", 2); ("max", 2); ("abs", 1); ("sqrt", 1); ("pow", 2);
+      ("if_lt", 4); ("if_le", 4); ("if_gt", 4); ("if_ge", 4);
+    ]
+
+  let is_flow_var name = List.mem_assoc name flow_vars
+  let is_pkt_field name = List.mem_assoc name pkt_fields
+  let builtin_arity name = List.assoc_opt name builtins
+end

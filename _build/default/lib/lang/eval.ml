@@ -1,0 +1,67 @@
+open Ast
+
+type env = {
+  lookup_var : string -> float option;
+  lookup_pkt : string -> float option;
+}
+
+type incident_counter = { mutable div_by_zero : int; mutable unknown_name : int }
+
+let fresh_counter () = { div_by_zero = 0; unknown_name = 0 }
+
+let apply_builtin name args =
+  match (name, args) with
+  | "min", [ a; b ] -> Some (Float.min a b)
+  | "max", [ a; b ] -> Some (Float.max a b)
+  | "abs", [ a ] -> Some (Float.abs a)
+  | "sqrt", [ a ] -> Some (if a < 0.0 then 0.0 else sqrt a)
+  | "pow", [ a; b ] ->
+    let r = a ** b in
+    Some (if Float.is_nan r then 0.0 else r)
+  | "if_lt", [ a; b; x; y ] -> Some (if a < b then x else y)
+  | "if_le", [ a; b; x; y ] -> Some (if a <= b then x else y)
+  | "if_gt", [ a; b; x; y ] -> Some (if a > b then x else y)
+  | "if_ge", [ a; b; x; y ] -> Some (if a >= b then x else y)
+  | _ -> None
+
+let eval ?incidents env expr =
+  let note_div () = match incidents with Some c -> c.div_by_zero <- c.div_by_zero + 1 | None -> () in
+  let note_unknown () =
+    match incidents with Some c -> c.unknown_name <- c.unknown_name + 1 | None -> ()
+  in
+  let rec go = function
+    | Const f -> f
+    | Var name -> (
+      match env.lookup_var name with
+      | Some v -> v
+      | None ->
+        note_unknown ();
+        0.0)
+    | Pkt field -> (
+      match env.lookup_pkt field with
+      | Some v -> v
+      | None ->
+        note_unknown ();
+        0.0)
+    | Neg e -> -.go e
+    | Bin (op, l, r) -> (
+      let a = go l and b = go r in
+      match op with
+      | Add -> a +. b
+      | Sub -> a -. b
+      | Mul -> a *. b
+      | Div ->
+        if b = 0.0 then begin
+          note_div ();
+          0.0
+        end
+        else a /. b)
+    | Call (name, args) -> (
+      let vals = List.map go args in
+      match apply_builtin name vals with
+      | Some v -> v
+      | None ->
+        note_unknown ();
+        0.0)
+  in
+  go expr

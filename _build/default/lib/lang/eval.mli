@@ -1,0 +1,24 @@
+(** Total evaluation of control-program expressions.
+
+    Evaluation never raises at runtime: the datapath must stay safe no
+    matter what program the agent installs (§5, "Is CCP safe to deploy?").
+    Division by zero yields 0, unknown builtins or variables yield 0, and
+    every such incident is counted so tests and operators can see it.
+    Static rejection of bad programs is {!Typecheck}'s job. *)
+
+type env = {
+  lookup_var : string -> float option;
+      (** flow variables; inside folds, state fields shadow these *)
+  lookup_pkt : string -> float option;  (** per-packet fields; [None] outside folds *)
+}
+
+type incident_counter = { mutable div_by_zero : int; mutable unknown_name : int }
+
+val fresh_counter : unit -> incident_counter
+
+val eval : ?incidents:incident_counter -> env -> Ast.expr -> float
+(** Total evaluation against [env]. *)
+
+val apply_builtin : string -> float list -> float option
+(** [apply_builtin name args] is [None] for an unknown name or wrong
+    arity. *)

@@ -1,0 +1,55 @@
+type t = {
+  def : Ast.fold_def;
+  names : string array;
+  values : float array;
+  mutable packets : int;
+}
+
+let index_of t name =
+  let rec find i =
+    if i >= Array.length t.names then None else if t.names.(i) = name then Some i else find (i + 1)
+  in
+  find 0
+
+let init_env ~flow_env = { Eval.lookup_var = flow_env; lookup_pkt = (fun _ -> None) }
+
+let run_init def ~flow_env values names =
+  List.iteri
+    (fun i (_, expr) ->
+      ignore names;
+      values.(i) <- Eval.eval (init_env ~flow_env) expr)
+    def.Ast.init
+
+let create def ~flow_env =
+  let names = Array.of_list (List.map fst def.Ast.init) in
+  let values = Array.make (Array.length names) 0.0 in
+  let t = { def; names; values; packets = 0 } in
+  run_init def ~flow_env values names;
+  t
+
+let get t name = Option.map (fun i -> t.values.(i)) (index_of t name)
+
+(* State fields shadow flow variables, per the language definition. *)
+let state_env t ~flow_env name =
+  match get t name with Some v -> Some v | None -> flow_env name
+
+let step ?incidents t ~flow_env ~pkt_env =
+  let env = { Eval.lookup_var = state_env t ~flow_env; lookup_pkt = pkt_env } in
+  let updates =
+    List.map (fun (name, expr) -> (name, Eval.eval ?incidents env expr)) t.def.Ast.update
+  in
+  List.iter
+    (fun (name, v) ->
+      match index_of t name with
+      | Some i -> t.values.(i) <- v
+      | None -> () (* Typecheck rejects updates to undeclared fields. *))
+    updates;
+  t.packets <- t.packets + 1
+
+let fields t = Array.to_list (Array.mapi (fun i name -> (name, t.values.(i))) t.names)
+
+let reset t ~flow_env =
+  run_init t.def ~flow_env t.values t.names;
+  t.packets <- 0
+
+let packet_count t = t.packets

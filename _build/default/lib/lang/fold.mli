@@ -1,0 +1,32 @@
+(** Datapath-side fold engine (§2.4, second batching approach).
+
+    A fold keeps a constant number of named float fields. On every
+    acknowledged packet the datapath evaluates all update expressions
+    against the {e old} state plus the packet's fields, then commits them
+    simultaneously — the semantics of the paper's
+    [foldFn (old, pkt) -> new]. *)
+
+type t
+
+val create : Ast.fold_def -> flow_env:(string -> float option) -> t
+(** Evaluate the [init] bindings (they may read flow variables, e.g.
+    seeding [minrtt] from the flow's current estimate) and build the
+    state. *)
+
+val step :
+  ?incidents:Eval.incident_counter ->
+  t ->
+  flow_env:(string -> float option) ->
+  pkt_env:(string -> float option) ->
+  unit
+(** Apply the update bindings for one packet. *)
+
+val get : t -> string -> float option
+val fields : t -> (string * float) list
+(** Current state in declaration order. *)
+
+val reset : t -> flow_env:(string -> float option) -> unit
+(** Re-run the init bindings (after a [Report] flushes the state). *)
+
+val packet_count : t -> int
+(** Packets folded since the last reset. *)

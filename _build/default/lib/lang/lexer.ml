@@ -1,0 +1,114 @@
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | DOT
+  | COMMA
+  | SEMI
+  | EQUALS
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+exception Lex_error of { position : int; message : string }
+
+let error position message = raise (Lex_error { position; message })
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* A number is digits with an optional fraction and exponent. The tricky
+   case is "1.0.Report()": a '.' is part of the number only when a digit
+   follows, otherwise it is the sequencing dot. *)
+let lex_number src pos =
+  let n = String.length src in
+  let start = !pos in
+  while !pos < n && is_digit src.[!pos] do
+    incr pos
+  done;
+  if !pos + 1 < n && src.[!pos] = '.' && is_digit src.[!pos + 1] then begin
+    incr pos;
+    while !pos < n && is_digit src.[!pos] do
+      incr pos
+    done
+  end;
+  if !pos < n && (src.[!pos] = 'e' || src.[!pos] = 'E') then begin
+    let mark = !pos in
+    incr pos;
+    if !pos < n && (src.[!pos] = '+' || src.[!pos] = '-') then incr pos;
+    if !pos < n && is_digit src.[!pos] then
+      while !pos < n && is_digit src.[!pos] do
+        incr pos
+      done
+    else pos := mark (* not an exponent after all *)
+  end;
+  let text = String.sub src start (!pos - start) in
+  match float_of_string_opt text with
+  | Some f -> NUMBER f
+  | None -> error start (Printf.sprintf "malformed number %S" text)
+
+let lex_ident src pos =
+  let n = String.length src in
+  let start = !pos in
+  while !pos < n && is_ident_char src.[!pos] do
+    incr pos
+  done;
+  IDENT (String.sub src start (!pos - start))
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '#' then begin
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if is_digit c then emit (lex_number src pos)
+    else if is_ident_start c then emit (lex_ident src pos)
+    else begin
+      (match c with
+      | '.' -> emit DOT
+      | ',' -> emit COMMA
+      | ';' -> emit SEMI
+      | '=' -> emit EQUALS
+      | '(' -> emit LPAREN
+      | ')' -> emit RPAREN
+      | '{' -> emit LBRACE
+      | '}' -> emit RBRACE
+      | '+' -> emit PLUS
+      | '-' -> emit MINUS
+      | '*' -> emit STAR
+      | '/' -> emit SLASH
+      | other -> error !pos (Printf.sprintf "unexpected character %C" other));
+      incr pos
+    end
+  done;
+  List.rev (EOF :: !tokens)
+
+let pp_token fmt = function
+  | IDENT s -> Format.fprintf fmt "IDENT(%s)" s
+  | NUMBER f -> Format.fprintf fmt "NUMBER(%g)" f
+  | DOT -> Format.pp_print_string fmt "DOT"
+  | COMMA -> Format.pp_print_string fmt "COMMA"
+  | SEMI -> Format.pp_print_string fmt "SEMI"
+  | EQUALS -> Format.pp_print_string fmt "EQUALS"
+  | LPAREN -> Format.pp_print_string fmt "LPAREN"
+  | RPAREN -> Format.pp_print_string fmt "RPAREN"
+  | LBRACE -> Format.pp_print_string fmt "LBRACE"
+  | RBRACE -> Format.pp_print_string fmt "RBRACE"
+  | PLUS -> Format.pp_print_string fmt "PLUS"
+  | MINUS -> Format.pp_print_string fmt "MINUS"
+  | STAR -> Format.pp_print_string fmt "STAR"
+  | SLASH -> Format.pp_print_string fmt "SLASH"
+  | EOF -> Format.pp_print_string fmt "EOF"

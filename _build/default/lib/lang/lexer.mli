@@ -1,0 +1,26 @@
+(** Hand-written lexer for the control-program surface syntax. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | DOT
+  | COMMA
+  | SEMI
+  | EQUALS
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+exception Lex_error of { position : int; message : string }
+
+val tokenize : string -> token list
+(** Whole-input tokenization. Comments run from ['#'] to end of line.
+    Raises {!Lex_error} on an unexpected character or malformed number. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,188 @@
+open Ast
+
+exception Parse_error of string
+
+type state = { mutable tokens : Lexer.token list }
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let peek st = match st.tokens with [] -> Lexer.EOF | tok :: _ -> tok
+
+let advance st =
+  match st.tokens with
+  | [] -> ()
+  | _ :: rest -> st.tokens <- rest
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else fail "expected %s, found %a" what Lexer.pp_token (peek st)
+
+let expect_ident st what =
+  match peek st with
+  | Lexer.IDENT name ->
+    advance st;
+    name
+  | other -> fail "expected %s, found %a" what Lexer.pp_token other
+
+(* expr := term ((PLUS | MINUS) term)*
+   term := factor ((STAR | SLASH) factor)*
+   factor := NUMBER | MINUS factor | LPAREN expr RPAREN
+           | IDENT | IDENT DOT IDENT | IDENT LPAREN exprs RPAREN *)
+let rec parse_expression st =
+  let left = parse_term st in
+  let rec loop acc =
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      loop (Bin (Add, acc, parse_term st))
+    | Lexer.MINUS ->
+      advance st;
+      loop (Bin (Sub, acc, parse_term st))
+    | _ -> acc
+  in
+  loop left
+
+and parse_term st =
+  let left = parse_factor st in
+  let rec loop acc =
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      loop (Bin (Mul, acc, parse_factor st))
+    | Lexer.SLASH ->
+      advance st;
+      loop (Bin (Div, acc, parse_factor st))
+    | _ -> acc
+  in
+  loop left
+
+and parse_factor st =
+  match peek st with
+  | Lexer.NUMBER f ->
+    advance st;
+    Const f
+  | Lexer.MINUS ->
+    advance st;
+    Neg (parse_factor st)
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expression st in
+    expect st Lexer.RPAREN "')'";
+    e
+  | Lexer.IDENT name -> (
+    advance st;
+    match peek st with
+    | Lexer.DOT when name = "pkt" ->
+      advance st;
+      let field = expect_ident st "packet field after 'pkt.'" in
+      Pkt field
+    | Lexer.LPAREN ->
+      advance st;
+      let args = parse_expr_list st in
+      expect st Lexer.RPAREN "')'";
+      Call (name, args)
+    | _ -> Var name)
+  | other -> fail "expected expression, found %a" Lexer.pp_token other
+
+and parse_expr_list st =
+  if peek st = Lexer.RPAREN then []
+  else begin
+    let first = parse_expression st in
+    let rec loop acc =
+      match peek st with
+      | Lexer.COMMA ->
+        advance st;
+        loop (parse_expression st :: acc)
+      | _ -> List.rev acc
+    in
+    loop [ first ]
+  end
+
+(* bindings := (IDENT EQUALS expr SEMI?)* *)
+let parse_bindings st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.IDENT name ->
+      advance st;
+      expect st Lexer.EQUALS "'=' in binding";
+      let e = parse_expression st in
+      if peek st = Lexer.SEMI then advance st;
+      loop ((name, e) :: acc)
+    | _ -> List.rev acc
+  in
+  loop []
+
+let parse_fold st =
+  expect st Lexer.LBRACE "'{' after fold";
+  let section st keyword =
+    let name = expect_ident st (Printf.sprintf "'%s' section" keyword) in
+    if name <> keyword then fail "expected '%s' section, found '%s'" keyword name;
+    expect st Lexer.LBRACE "'{'";
+    let bindings = parse_bindings st in
+    expect st Lexer.RBRACE "'}'";
+    bindings
+  in
+  let init = section st "init" in
+  let update = section st "update" in
+  expect st Lexer.RBRACE "'}' closing fold";
+  { init; update }
+
+let parse_measure_spec st =
+  match peek st with
+  | Lexer.IDENT "fold" ->
+    advance st;
+    Fold (parse_fold st)
+  | Lexer.RPAREN -> Vector []
+  | _ ->
+    let rec fields acc =
+      let name = expect_ident st "measurement field" in
+      match peek st with
+      | Lexer.COMMA ->
+        advance st;
+        fields (name :: acc)
+      | _ -> List.rev (name :: acc)
+    in
+    Vector (fields [])
+
+(* prim := Name LPAREN ... RPAREN; returns None for the Once() marker. *)
+let parse_prim st =
+  let name = expect_ident st "primitive name" in
+  expect st Lexer.LPAREN "'('";
+  let prim =
+    match name with
+    | "Measure" -> Some (Measure (parse_measure_spec st))
+    | "Rate" -> Some (Rate (parse_expression st))
+    | "Cwnd" -> Some (Cwnd (parse_expression st))
+    | "Wait" -> Some (Wait (parse_expression st))
+    | "WaitRtts" -> Some (Wait_rtts (parse_expression st))
+    | "Report" -> Some Report
+    | "Once" -> None
+    | other -> fail "unknown primitive '%s'" other
+  in
+  expect st Lexer.RPAREN "')'";
+  prim
+
+let parse_program src =
+  let st = { tokens = Lexer.tokenize src } in
+  let repeat = ref true in
+  let rec loop acc =
+    let prim = parse_prim st in
+    (match prim with None -> repeat := false | Some _ -> ());
+    let acc = match prim with Some p -> p :: acc | None -> acc in
+    match peek st with
+    | Lexer.DOT ->
+      advance st;
+      loop acc
+    | Lexer.EOF -> List.rev acc
+    | other -> fail "expected '.' or end of program, found %a" Lexer.pp_token other
+  in
+  let prims = loop [] in
+  if prims = [] then fail "empty program";
+  { prims; repeat = !repeat }
+
+let parse_expr src =
+  let st = { tokens = Lexer.tokenize src } in
+  let e = parse_expression st in
+  match peek st with
+  | Lexer.EOF -> e
+  | other -> fail "trailing input after expression: %a" Lexer.pp_token other

@@ -1,0 +1,34 @@
+(** Recursive-descent parser for control programs.
+
+    Surface syntax, mirroring the paper's examples:
+
+    {v
+    Measure(rtt_us, bytes_acked).
+    Rate(1.25 * rate).WaitRtts(1.0).Report().
+    Rate(0.75 * rate).WaitRtts(1.0).Report().
+    Rate(rate).WaitRtts(6.0).Report()
+    v}
+
+    Fold-mode measurement (§2.4):
+
+    {v
+    Measure(fold {
+      init   { minrtt = 1e9; delta = 0 }
+      update { minrtt = min(minrtt, pkt.rtt_us);
+               delta  = delta + if_lt(pkt.rtt_us, 2 * minrtt, 1, -1) }
+    }).Cwnd(cwnd).WaitRtts(1.0).Report()
+    v}
+
+    A trailing [.Once()] makes the program run a single pass instead of
+    looping. *)
+
+exception Parse_error of string
+
+val parse_program : string -> Ast.program
+(** Raises {!Parse_error} or {!Lexer.Lex_error} on malformed input. The
+    result is syntactically well-formed but not yet validated; run
+    {!Typecheck.check} before installing. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (used by tests and the agent's direct
+    commands). *)

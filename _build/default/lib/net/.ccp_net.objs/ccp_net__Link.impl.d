@@ -1,0 +1,1 @@
+lib/net/link.ml: Array Ccp_eventsim Ccp_util List Packet Queue_disc Rng Sim Time_ns

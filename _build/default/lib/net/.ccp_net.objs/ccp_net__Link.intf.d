@@ -1,0 +1,1 @@
+lib/net/link.mli: Ccp_eventsim Ccp_util Packet Queue_disc Sim Time_ns

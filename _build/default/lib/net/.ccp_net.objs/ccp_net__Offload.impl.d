@@ -1,0 +1,1 @@
+lib/net/offload.ml: Ccp_eventsim Ccp_util List Packet Queue Sim Time_ns

@@ -1,0 +1,1 @@
+lib/net/offload.mli: Ccp_eventsim Ccp_util Packet Sim Time_ns

@@ -1,0 +1,1 @@
+lib/net/packet.ml: Ccp_util Format Time_ns

@@ -1,0 +1,1 @@
+lib/net/packet.mli: Ccp_util Format Time_ns

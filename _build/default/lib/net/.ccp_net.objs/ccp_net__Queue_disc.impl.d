@@ -1,0 +1,1 @@
+lib/net/queue_disc.ml: Ccp_util Packet Queue Rng

@@ -1,0 +1,1 @@
+lib/net/topology.ml: Ccp_util Hashtbl Link Packet Queue_disc Time_ns

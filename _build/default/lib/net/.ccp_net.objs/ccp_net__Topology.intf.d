@@ -1,0 +1,1 @@
+lib/net/topology.mli: Ccp_eventsim Ccp_util Link Packet Queue_disc Sim Time_ns

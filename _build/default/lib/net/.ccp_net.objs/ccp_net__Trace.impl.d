@@ -1,0 +1,1 @@
+lib/net/trace.ml: Array Buffer Ccp_eventsim Ccp_util Float Hashtbl List Printf Sim Stdlib String Time_ns

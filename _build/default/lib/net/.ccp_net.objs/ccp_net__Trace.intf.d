@@ -1,0 +1,1 @@
+lib/net/trace.mli: Ccp_eventsim Ccp_util Sim Time_ns

@@ -1,0 +1,104 @@
+open Ccp_util
+open Ccp_eventsim
+
+type t = {
+  sim : Sim.t;
+  rate_bps : float;
+  delay : Time_ns.t;
+  qdisc : Queue_disc.t;
+  name : string;
+  jitter : Time_ns.t;
+  rng : Rng.t;
+  schedule : (Time_ns.t * float) array;  (* ascending step times *)
+  mutable receive : (Packet.t -> unit) option;
+  mutable busy : bool;
+  mutable delivered_bytes : int;
+  mutable delivered_packets : int;
+}
+
+let create ~sim ~rate_bps ~delay ~qdisc ?(name = "link") ?(jitter = Time_ns.zero)
+    ?(rate_schedule = []) () =
+  if rate_bps <= 0.0 then invalid_arg "Link.create: rate must be positive";
+  List.iter
+    (fun (at, rate) ->
+      if Time_ns.compare at Time_ns.zero < 0 || rate <= 0.0 then
+        invalid_arg "Link.create: schedule entries need time >= 0 and rate > 0")
+    rate_schedule;
+  let schedule =
+    Array.of_list (List.sort (fun (a, _) (b, _) -> Time_ns.compare a b) rate_schedule)
+  in
+  let qdisc = Queue_disc.create qdisc ~rng:(Rng.split (Sim.rng sim)) in
+  {
+    sim;
+    rate_bps;
+    delay;
+    qdisc;
+    name;
+    jitter;
+    rng = Rng.split (Sim.rng sim);
+    schedule;
+    receive = None;
+    busy = false;
+    delivered_bytes = 0;
+    delivered_packets = 0;
+  }
+
+let connect t receive = t.receive <- Some receive
+
+(* Rate in force at [at]: the last schedule step not after it. *)
+let rate_at t ~at =
+  let rec find i best =
+    if i >= Array.length t.schedule then best
+    else begin
+      let step_at, rate = t.schedule.(i) in
+      if Time_ns.compare step_at at <= 0 then find (i + 1) rate else best
+    end
+  in
+  find 0 t.rate_bps
+
+let current_rate_bps t = rate_at t ~at:(Sim.now t.sim)
+
+let deliver t pkt =
+  match t.receive with
+  | None -> invalid_arg (t.name ^ ": send before connect")
+  | Some receive -> receive pkt
+
+(* The transmitter loop: take the head packet, hold the line for its
+   serialization time at the current rate, then schedule its arrival one
+   (possibly jittered) propagation delay later and start the next. *)
+let rec transmit_next t =
+  match Queue_disc.dequeue t.qdisc with
+  | None -> t.busy <- false
+  | Some pkt ->
+    t.busy <- true;
+    let rate = rate_at t ~at:(Sim.now t.sim) in
+    let serialization = Time_ns.bytes_time ~bytes:pkt.Packet.wire_size ~rate_bps:rate in
+    ignore
+      (Sim.schedule_after t.sim ~delay:serialization (fun () ->
+           t.delivered_bytes <- t.delivered_bytes + pkt.Packet.wire_size;
+           t.delivered_packets <- t.delivered_packets + 1;
+           let extra =
+             if Time_ns.is_positive t.jitter then Rng.int t.rng (t.jitter + 1) else 0
+           in
+           ignore
+             (Sim.schedule_after t.sim ~delay:(Time_ns.add t.delay extra) (fun () ->
+                  deliver t pkt));
+           transmit_next t))
+
+let send t pkt =
+  if t.receive = None then invalid_arg (t.name ^ ": send before connect");
+  match Queue_disc.enqueue t.qdisc pkt with
+  | Dropped -> ()
+  | Enqueued -> if not t.busy then transmit_next t
+
+let rate_bps t = t.rate_bps
+let delay t = t.delay
+let name t = t.name
+let qdisc t = t.qdisc
+let delivered_bytes t = t.delivered_bytes
+let delivered_packets t = t.delivered_packets
+
+let utilization t ~over =
+  let seconds = Time_ns.to_float_sec over in
+  if seconds <= 0.0 then 0.0
+  else float_of_int (t.delivered_bytes * 8) /. (t.rate_bps *. seconds)

@@ -1,0 +1,130 @@
+open Ccp_util
+
+type config =
+  | Droptail of { capacity_bytes : int; ecn_threshold_bytes : int option }
+  | Red of {
+      capacity_bytes : int;
+      min_threshold_bytes : int;
+      max_threshold_bytes : int;
+      max_mark_probability : float;
+      ecn : bool;
+    }
+
+type verdict = Enqueued | Dropped
+
+type t = {
+  config : config;
+  rng : Rng.t;
+  queue : Packet.t Queue.t;
+  mutable backlog : int;
+  mutable avg_backlog : float;  (* RED's EWMA of the queue size *)
+  mutable enqueued : int;
+  mutable dropped : int;
+  mutable marked : int;
+  mutable dequeued_bytes : int;
+}
+
+let create config ~rng =
+  (match config with
+  | Droptail { capacity_bytes; _ } ->
+    if capacity_bytes <= 0 then invalid_arg "Queue_disc: capacity must be positive"
+  | Red { capacity_bytes; min_threshold_bytes; max_threshold_bytes; max_mark_probability; _ } ->
+    if capacity_bytes <= 0 then invalid_arg "Queue_disc: capacity must be positive";
+    if min_threshold_bytes >= max_threshold_bytes then
+      invalid_arg "Queue_disc: RED thresholds must satisfy min < max";
+    if max_mark_probability <= 0.0 || max_mark_probability > 1.0 then
+      invalid_arg "Queue_disc: RED mark probability in (0,1]");
+  {
+    config;
+    rng;
+    queue = Queue.create ();
+    backlog = 0;
+    avg_backlog = 0.0;
+    enqueued = 0;
+    dropped = 0;
+    marked = 0;
+    dequeued_bytes = 0;
+  }
+
+let admit t (pkt : Packet.t) =
+  Queue.add pkt t.queue;
+  t.backlog <- t.backlog + pkt.wire_size;
+  t.enqueued <- t.enqueued + 1;
+  Enqueued
+
+let drop t = t.dropped <- t.dropped + 1
+
+let mark t (pkt : Packet.t) =
+  pkt.ecn_marked <- true;
+  t.marked <- t.marked + 1
+
+let enqueue_droptail t ~capacity_bytes ~ecn_threshold_bytes (pkt : Packet.t) =
+  if t.backlog + pkt.wire_size > capacity_bytes then begin
+    drop t;
+    Dropped
+  end
+  else begin
+    (match ecn_threshold_bytes with
+    | Some threshold when pkt.ecn_capable && t.backlog >= threshold -> mark t pkt
+    | Some _ | None -> ());
+    admit t pkt
+  end
+
+(* RED with the "instantaneous + EWMA" simplification: the average queue is
+   tracked with weight 0.002 (Floyd's recommended value) and packets are
+   probabilistically marked or dropped between the two thresholds. *)
+let red_weight = 0.002
+
+let enqueue_red t ~capacity_bytes ~min_threshold_bytes ~max_threshold_bytes
+    ~max_mark_probability ~ecn (pkt : Packet.t) =
+  t.avg_backlog <-
+    t.avg_backlog +. (red_weight *. (float_of_int t.backlog -. t.avg_backlog));
+  if t.backlog + pkt.wire_size > capacity_bytes then begin
+    drop t;
+    Dropped
+  end
+  else begin
+    let avg = t.avg_backlog in
+    let lo = float_of_int min_threshold_bytes and hi = float_of_int max_threshold_bytes in
+    if avg <= lo then admit t pkt
+    else begin
+      let p =
+        if avg >= hi then 1.0 else max_mark_probability *. ((avg -. lo) /. (hi -. lo))
+      in
+      if Rng.float t.rng 1.0 < p then
+        if ecn && pkt.ecn_capable then begin
+          mark t pkt;
+          admit t pkt
+        end
+        else begin
+          drop t;
+          Dropped
+        end
+      else admit t pkt
+    end
+  end
+
+let enqueue t pkt =
+  match t.config with
+  | Droptail { capacity_bytes; ecn_threshold_bytes } ->
+    enqueue_droptail t ~capacity_bytes ~ecn_threshold_bytes pkt
+  | Red { capacity_bytes; min_threshold_bytes; max_threshold_bytes; max_mark_probability; ecn }
+    ->
+    enqueue_red t ~capacity_bytes ~min_threshold_bytes ~max_threshold_bytes
+      ~max_mark_probability ~ecn pkt
+
+let dequeue t =
+  match Queue.take_opt t.queue with
+  | None -> None
+  | Some pkt ->
+    t.backlog <- t.backlog - pkt.wire_size;
+    t.dequeued_bytes <- t.dequeued_bytes + pkt.wire_size;
+    Some pkt
+
+let peek t = Queue.peek_opt t.queue
+let backlog_bytes t = t.backlog
+let backlog_packets t = Queue.length t.queue
+let enqueued_packets t = t.enqueued
+let dropped_packets t = t.dropped
+let marked_packets t = t.marked
+let dequeued_bytes t = t.dequeued_bytes

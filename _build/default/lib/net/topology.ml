@@ -1,0 +1,56 @@
+open Ccp_util
+
+module Dumbbell = struct
+  type endpoints = { data_sink : Packet.t -> unit; ack_sink : Packet.t -> unit }
+
+  type t = {
+    forward : Link.t;
+    reverse : Link.t;
+    rate_bps : float;
+    base_rtt : Time_ns.t;
+    flows : (Packet.flow_id, endpoints) Hashtbl.t;
+  }
+
+  let create ~sim ~rate_bps ~base_rtt ~buffer_bytes ?ecn_threshold_bytes ?qdisc
+      ?(reverse_rate_bps = 0.0) ?jitter ?rate_schedule () =
+    let one_way = Time_ns.scale base_rtt 0.5 in
+    let fwd_qdisc =
+      match qdisc with
+      | Some q -> q
+      | None ->
+        Queue_disc.Droptail { capacity_bytes = buffer_bytes; ecn_threshold_bytes }
+    in
+    let reverse_rate = if reverse_rate_bps > 0.0 then reverse_rate_bps else 10.0 *. rate_bps in
+    let forward =
+      Link.create ~sim ~rate_bps ~delay:one_way ~qdisc:fwd_qdisc ~name:"bottleneck" ?jitter
+        ?rate_schedule ()
+    in
+    let reverse =
+      Link.create ~sim ~rate_bps:reverse_rate ~delay:(Time_ns.sub base_rtt one_way)
+        ~qdisc:(Queue_disc.Droptail { capacity_bytes = 100_000_000; ecn_threshold_bytes = None })
+        ~name:"reverse" ()
+    in
+    let t = { forward; reverse; rate_bps; base_rtt; flows = Hashtbl.create 8 } in
+    Link.connect forward (fun pkt ->
+        match Hashtbl.find_opt t.flows pkt.Packet.flow with
+        | Some ep -> ep.data_sink pkt
+        | None -> ());
+    Link.connect reverse (fun pkt ->
+        match Hashtbl.find_opt t.flows pkt.Packet.flow with
+        | Some ep -> ep.ack_sink pkt
+        | None -> ());
+    t
+
+  let forward t = t.forward
+  let reverse t = t.reverse
+
+  let bdp_bytes t =
+    int_of_float (t.rate_bps *. Time_ns.to_float_sec t.base_rtt /. 8.0)
+
+  let register t ~flow ~data_sink ~ack_sink =
+    if Hashtbl.mem t.flows flow then invalid_arg "Dumbbell.register: duplicate flow id";
+    Hashtbl.add t.flows flow { data_sink; ack_sink }
+
+  let send_data t pkt = Link.send t.forward pkt
+  let send_ack t pkt = Link.send t.reverse pkt
+end

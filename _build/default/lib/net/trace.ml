@@ -1,0 +1,58 @@
+open Ccp_util
+open Ccp_eventsim
+
+type t = { sim : Sim.t; tbl : (string, (Time_ns.t * float) list ref) Hashtbl.t }
+
+let create sim = { sim; tbl = Hashtbl.create 16 }
+
+let points t series =
+  match Hashtbl.find_opt t.tbl series with
+  | Some cell -> cell
+  | None ->
+    let cell = ref [] in
+    Hashtbl.add t.tbl series cell;
+    cell
+
+let add t ~series value =
+  let cell = points t series in
+  cell := (Sim.now t.sim, value) :: !cell
+
+let sample_every t ~series ~every ?until probe =
+  if not (Time_ns.is_positive every) then invalid_arg "Trace.sample_every: period must be positive";
+  let rec tick () =
+    let due = Time_ns.add (Sim.now t.sim) every in
+    match until with
+    | Some limit when Time_ns.compare due limit > 0 -> ()
+    | Some _ | None ->
+      ignore
+        (Sim.schedule t.sim ~at:due (fun () ->
+             add t ~series (probe ());
+             tick ()))
+  in
+  tick ()
+
+let series t name =
+  match Hashtbl.find_opt t.tbl name with None -> [] | Some cell -> List.rev !cell
+
+let series_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.tbl [] |> List.sort String.compare
+
+let to_csv t ~name =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "time_s,value\n";
+  List.iter
+    (fun (at, v) -> Buffer.add_string buf (Printf.sprintf "%.6f,%.6f\n" (Time_ns.to_float_sec at) v))
+    (series t name);
+  Buffer.contents buf
+
+let downsample pts ~max_points =
+  let n = List.length pts in
+  if max_points <= 0 then invalid_arg "Trace.downsample: max_points must be positive";
+  if n <= max_points then pts
+  else begin
+    let arr = Array.of_list pts in
+    let stride = float_of_int (n - 1) /. float_of_int (max_points - 1) in
+    List.init max_points (fun i ->
+        let idx = int_of_float (Float.round (float_of_int i *. stride)) in
+        arr.(Stdlib.min idx (n - 1)))
+  end

@@ -1,0 +1,31 @@
+(** Time-series collection for experiments.
+
+    A trace holds named series of (simulation time, value) points. Series
+    are either pushed explicitly (e.g., cwnd on every update) or sampled
+    periodically by a registered probe (e.g., queue depth every 10 ms). *)
+
+open Ccp_util
+open Ccp_eventsim
+
+type t
+
+val create : Sim.t -> t
+
+val add : t -> series:string -> float -> unit
+(** Record a point on [series] at the current simulation time. *)
+
+val sample_every :
+  t -> series:string -> every:Time_ns.t -> ?until:Time_ns.t -> (unit -> float) -> unit
+(** Register a periodic probe. Sampling starts one period in and stops at
+    [until] if given (otherwise it runs as long as the simulation does). *)
+
+val series : t -> string -> (Time_ns.t * float) list
+(** Points of a series in chronological order; empty if unknown. *)
+
+val series_names : t -> string list
+
+val to_csv : t -> name:string -> string
+(** One series as "time_s,value" CSV lines with a header. *)
+
+val downsample : (Time_ns.t * float) list -> max_points:int -> (Time_ns.t * float) list
+(** Thin a series for display, keeping first and last points. *)

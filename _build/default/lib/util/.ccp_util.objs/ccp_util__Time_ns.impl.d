@@ -1,0 +1,1 @@
+lib/util/time_ns.ml: Float Format Int Stdlib

@@ -1,0 +1,82 @@
+type 'a entry = { value : 'a; seq : int }
+
+type 'a t = {
+  compare : 'a -> 'a -> int;
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create ~compare = { compare; data = [||]; len = 0; next_seq = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let entry_compare t a b =
+  let c = t.compare a.value b.value in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+(* [grow t fill] ensures room for one more entry; [fill] seeds fresh cells
+   so no dummy value is ever fabricated. *)
+let grow t fill =
+  let cap = Array.length t.data in
+  if t.len = cap then
+    if cap = 0 then t.data <- Array.make 16 fill
+    else begin
+      let bigger = Array.make (2 * cap) fill in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger
+    end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_compare t t.data.(i) t.data.(parent) < 0 then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.len && entry_compare t t.data.(left) t.data.(!smallest) < 0 then smallest := left;
+  if right < t.len && entry_compare t t.data.(right) t.data.(!smallest) < 0 then smallest := right;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t value =
+  let entry = { value; seq = t.next_seq } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.data.(t.len) <- entry;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let peek t = if t.len = 0 then None else Some t.data.(0).value
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0).value in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let clear t =
+  t.len <- 0;
+  t.data <- [||]
+
+let to_list t =
+  let rec collect i acc = if i < 0 then acc else collect (i - 1) (t.data.(i).value :: acc) in
+  collect (t.len - 1) []

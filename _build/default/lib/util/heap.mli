@@ -1,0 +1,26 @@
+(** A polymorphic binary min-heap.
+
+    The event queue of the discrete-event simulator sits on this structure,
+    so stability matters: entries are ordered first by the client's key and,
+    for equal keys, by insertion order. *)
+
+type 'a t
+
+val create : compare:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. Ties are broken by insertion
+    order (FIFO among equal keys). *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** All elements in unspecified order (for inspection/tests). *)

@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generation.
+
+    A self-contained xoshiro256** generator seeded via splitmix64, so that
+    every simulation is bit-reproducible for a given seed and independent
+    of the OCaml stdlib [Random] state. Includes the samplers the
+    reproduction needs: uniform, exponential, log-normal and Pareto. *)
+
+type t
+
+val create : seed:int -> t
+(** Create a generator from a 63-bit seed. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator; advances [t]. *)
+
+val copy : t -> t
+
+val bits64 : t -> int64
+(** Next raw 64 random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in \[0, bound). Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in \[0, bound). *)
+
+val bool : t -> bool
+
+val uniform : t -> lo:float -> hi:float -> float
+
+val exponential : t -> mean:float -> float
+(** Exponential with the given mean (= 1/lambda). *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box–Muller normal sample. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** exp of a normal(mu, sigma) sample; used by IPC latency models. *)
+
+val pareto : t -> shape:float -> scale:float -> float
+(** Pareto(shape, scale): heavy-tailed sizes; requires shape > 0. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,170 @@
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+    mutable sum : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity; sum = 0.0 }
+
+  (* Welford's online algorithm keeps the variance numerically stable. *)
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x;
+    t.sum <- t.sum +. x
+
+  let count t = t.count
+  let mean t = t.mean
+  let variance t = if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+  let sum t = t.sum
+end
+
+module Samples = struct
+  type t = {
+    mutable data : float array;
+    mutable len : int;
+    mutable sorted : bool;
+  }
+
+  let create () = { data = Array.make 64 0.0; len = 0; sorted = true }
+
+  let add t x =
+    if t.len = Array.length t.data then begin
+      let bigger = Array.make (2 * t.len) 0.0 in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger
+    end;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1;
+    t.sorted <- false
+
+  let count t = t.len
+
+  let ensure_sorted t =
+    if not t.sorted then begin
+      let slice = Array.sub t.data 0 t.len in
+      Array.sort Float.compare slice;
+      Array.blit slice 0 t.data 0 t.len;
+      t.sorted <- true
+    end
+
+  let percentile t p =
+    if t.len = 0 then invalid_arg "Stats.Samples.percentile: empty";
+    if p < 0.0 || p > 100.0 then invalid_arg "Stats.Samples.percentile: p out of range";
+    ensure_sorted t;
+    let rank = p /. 100.0 *. float_of_int (t.len - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then t.data.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      t.data.(lo) +. (frac *. (t.data.(hi) -. t.data.(lo)))
+    end
+
+  let median t = percentile t 50.0
+
+  let mean t =
+    if t.len = 0 then invalid_arg "Stats.Samples.mean: empty";
+    let s = ref 0.0 in
+    for i = 0 to t.len - 1 do
+      s := !s +. t.data.(i)
+    done;
+    !s /. float_of_int t.len
+
+  let cdf t ~points =
+    if points <= 0 then invalid_arg "Stats.Samples.cdf: points must be positive";
+    List.init points (fun i ->
+        let frac = float_of_int (i + 1) /. float_of_int points in
+        (percentile t (frac *. 100.0), frac))
+
+  let to_array t =
+    ensure_sorted t;
+    Array.sub t.data 0 t.len
+end
+
+module Ewma = struct
+  type t = { alpha : float; mutable value : float option }
+
+  let create ~alpha =
+    if alpha <= 0.0 || alpha > 1.0 then invalid_arg "Stats.Ewma.create: alpha in (0,1]";
+    { alpha; value = None }
+
+  let add t x =
+    match t.value with
+    | None -> t.value <- Some x
+    | Some v -> t.value <- Some (v +. (t.alpha *. (x -. v)))
+
+  let value t = Option.value t.value ~default:0.0
+  let value_opt t = t.value
+end
+
+(* Windowed extrema use a monotonic deque of (time, value): entries the new
+   sample dominates are evicted from the back, expired entries from the
+   front, so the front is always the current extremum. *)
+module Windowed_min = struct
+  type entry = { at : Time_ns.t; v : float }
+  type t = { window : Time_ns.t; mutable entries : entry list }
+
+  let create ~window = { window; entries = [] }
+
+  let add t ~now v =
+    let rec trim = function
+      | e :: rest when v <= e.v -> trim rest
+      | keep -> keep
+    in
+    let rev = trim (List.rev t.entries) in
+    t.entries <- List.rev ({ at = now; v } :: rev)
+
+  let get t ~now =
+    let cutoff = Time_ns.sub now t.window in
+    let rec drop = function
+      | e :: rest when Time_ns.compare e.at cutoff < 0 -> drop rest
+      | keep -> keep
+    in
+    t.entries <- drop t.entries;
+    match t.entries with [] -> None | e :: _ -> Some e.v
+end
+
+module Windowed_max = struct
+  type entry = { at : Time_ns.t; v : float }
+  type t = { window : Time_ns.t; mutable entries : entry list }
+
+  let create ~window = { window; entries = [] }
+
+  let add t ~now v =
+    let rec trim = function
+      | e :: rest when v >= e.v -> trim rest
+      | keep -> keep
+    in
+    let rev = trim (List.rev t.entries) in
+    t.entries <- List.rev ({ at = now; v } :: rev)
+
+  let get t ~now =
+    let cutoff = Time_ns.sub now t.window in
+    let rec drop = function
+      | e :: rest when Time_ns.compare e.at cutoff < 0 -> drop rest
+      | keep -> keep
+    in
+    t.entries <- drop t.entries;
+    match t.entries with [] -> None | e :: _ -> Some e.v
+end
+
+let jain_fairness xs =
+  let n = Array.length xs in
+  if n = 0 then 1.0
+  else begin
+    let sum = Array.fold_left ( +. ) 0.0 xs in
+    let sumsq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+    if sumsq = 0.0 then 1.0 else sum *. sum /. (float_of_int n *. sumsq)
+  end

@@ -1,0 +1,1 @@
+test/test_agent.ml: Agent Alcotest Algorithm Ccp_agent Ccp_eventsim Ccp_ipc Ccp_lang Ccp_util Channel Latency_model List Message Policy Sim Time_ns

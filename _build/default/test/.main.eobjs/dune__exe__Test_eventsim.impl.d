@@ -1,0 +1,1 @@
+test/test_eventsim.ml: Alcotest Ccp_eventsim Ccp_util Fun List Rng Sim Time_ns

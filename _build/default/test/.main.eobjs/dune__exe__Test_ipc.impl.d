@@ -1,0 +1,1 @@
+test/test_ipc.ml: Alcotest Array Ccp_eventsim Ccp_ipc Ccp_lang Ccp_util Channel Codec Float Fun Latency_model List Message Printf QCheck QCheck_alcotest Rng Sim Stats Time_ns Wire

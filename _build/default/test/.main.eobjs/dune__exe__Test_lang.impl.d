@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Ccp_lang Eval Float Fold Lexer List Parser Pretty Printf QCheck QCheck_alcotest Typecheck

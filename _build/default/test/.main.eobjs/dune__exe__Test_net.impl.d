@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Ccp_eventsim Ccp_net Ccp_util Link List Offload Packet Queue_disc Rng Sim String Time_ns Topology Trace

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ccp_util Float Fun Gen Heap Int List Option QCheck QCheck_alcotest Rng Stats Time_ns

@@ -1,0 +1,7 @@
+(* Aggregate test runner: one alcotest binary over all suites. *)
+
+let () =
+  Alcotest.run "ccp"
+    (Test_util.suite @ Test_eventsim.suite @ Test_net.suite @ Test_lang.suite
+   @ Test_ipc.suite @ Test_datapath.suite @ Test_agent.suite @ Test_algorithms.suite
+   @ Test_core.suite @ Test_extensions.suite @ Test_integration.suite)

@@ -1,0 +1,122 @@
+(* Tests for the discrete-event engine: ordering, determinism, timers. *)
+
+open Ccp_util
+open Ccp_eventsim
+
+let test_fires_in_time_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let note tag () = log := (tag, Sim.now sim) :: !log in
+  ignore (Sim.schedule sim ~at:(Time_ns.ms 30) (note "c"));
+  ignore (Sim.schedule sim ~at:(Time_ns.ms 10) (note "a"));
+  ignore (Sim.schedule sim ~at:(Time_ns.ms 20) (note "b"));
+  Sim.run sim;
+  Alcotest.(check (list (pair string int)))
+    "order and clock"
+    [ ("a", Time_ns.ms 10); ("b", Time_ns.ms 20); ("c", Time_ns.ms 30) ]
+    (List.rev !log)
+
+let test_same_time_fifo () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    ignore (Sim.schedule sim ~at:(Time_ns.ms 5) (fun () -> log := i :: !log))
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "fifo among equal times" (List.init 10 Fun.id) (List.rev !log)
+
+let test_schedule_in_past_raises () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~at:(Time_ns.ms 10) (fun () -> ()));
+  Sim.run sim;
+  Alcotest.(check bool) "clock advanced" true (Sim.now sim = Time_ns.ms 10);
+  match Sim.schedule sim ~at:(Time_ns.ms 5) (fun () -> ()) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_schedule_after_clamps_negative () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  ignore (Sim.schedule_after sim ~delay:(-5) (fun () -> fired := true));
+  Sim.run sim;
+  Alcotest.(check bool) "fired at now" true !fired
+
+let test_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let timer = Sim.schedule sim ~at:(Time_ns.ms 1) (fun () -> fired := true) in
+  Alcotest.(check bool) "pending" true (Sim.is_pending timer);
+  Sim.cancel timer;
+  Alcotest.(check bool) "not pending" false (Sim.is_pending timer);
+  Sim.run sim;
+  Alcotest.(check bool) "cancelled event silent" false !fired;
+  (* Double cancel is a no-op. *)
+  Sim.cancel timer
+
+let test_run_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    ignore (Sim.schedule_after sim ~delay:(Time_ns.ms 10) tick)
+  in
+  ignore (Sim.schedule sim ~at:Time_ns.zero tick);
+  Sim.run ~until:(Time_ns.ms 100) sim;
+  (* Events at 0,10,...,100 inclusive fire: 11 of them. *)
+  Alcotest.(check int) "events up to horizon" 11 !count;
+  Alcotest.(check int) "clock at horizon" (Time_ns.ms 100) (Sim.now sim)
+
+let test_max_events_guard () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec spin () =
+    incr count;
+    ignore (Sim.schedule_after sim ~delay:1 spin)
+  in
+  ignore (Sim.schedule sim ~at:Time_ns.zero spin);
+  Sim.run ~max_events:500 sim;
+  Alcotest.(check int) "stopped by budget" 500 !count
+
+let test_step () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  ignore (Sim.schedule sim ~at:(Time_ns.ms 1) (fun () -> incr fired));
+  ignore (Sim.schedule sim ~at:(Time_ns.ms 2) (fun () -> incr fired));
+  Alcotest.(check bool) "step 1" true (Sim.step sim);
+  Alcotest.(check int) "one fired" 1 !fired;
+  Alcotest.(check bool) "step 2" true (Sim.step sim);
+  Alcotest.(check bool) "exhausted" false (Sim.step sim)
+
+let test_events_scheduled_during_run () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Sim.schedule sim ~at:(Time_ns.ms 1) (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Sim.schedule_after sim ~delay:(Time_ns.ms 1) (fun () -> log := "inner" :: !log))));
+  Sim.run sim;
+  Alcotest.(check (list string)) "nested event ran" [ "outer"; "inner" ] (List.rev !log)
+
+let test_rng_access () =
+  let a = Sim.create ~seed:3 () in
+  let b = Sim.create ~seed:3 () in
+  Alcotest.(check int64) "same seed same stream" (Rng.bits64 (Sim.rng a))
+    (Rng.bits64 (Sim.rng b))
+
+let suite =
+  [
+    ( "eventsim",
+      [
+        Alcotest.test_case "time ordering" `Quick test_fires_in_time_order;
+        Alcotest.test_case "same-time FIFO" `Quick test_same_time_fifo;
+        Alcotest.test_case "past scheduling rejected" `Quick test_schedule_in_past_raises;
+        Alcotest.test_case "negative delay clamps" `Quick test_schedule_after_clamps_negative;
+        Alcotest.test_case "cancel" `Quick test_cancel;
+        Alcotest.test_case "run until horizon" `Quick test_run_until;
+        Alcotest.test_case "max events guard" `Quick test_max_events_guard;
+        Alcotest.test_case "single step" `Quick test_step;
+        Alcotest.test_case "nested scheduling" `Quick test_events_scheduled_during_run;
+        Alcotest.test_case "seeded rng" `Quick test_rng_access;
+      ] );
+  ]

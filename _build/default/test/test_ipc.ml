@@ -1,0 +1,285 @@
+(* Tests for the IPC substrate: wire primitives, the message codec, the
+   latency models, and the simulated channel. *)
+
+open Ccp_util
+open Ccp_eventsim
+open Ccp_ipc
+
+(* --- Wire --- *)
+
+let test_varint_round_trip () =
+  List.iter
+    (fun n ->
+      let w = Wire.Writer.create () in
+      Wire.Writer.varint w n;
+      let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+      Alcotest.(check int) (Printf.sprintf "varint %d" n) n (Wire.Reader.varint r);
+      Alcotest.(check bool) "consumed" true (Wire.Reader.at_end r))
+    [ 0; 1; 127; 128; 300; 16_384; 1_000_000; max_int ]
+
+let test_varint_compact () =
+  let w = Wire.Writer.create () in
+  Wire.Writer.varint w 127;
+  Alcotest.(check int) "small value one byte" 1 (Wire.Writer.length w)
+
+let test_varint_rejects_negative () =
+  Alcotest.check_raises "negative" (Invalid_argument "Wire.Writer.varint: negative") (fun () ->
+      Wire.Writer.varint (Wire.Writer.create ()) (-1))
+
+let test_zigzag_round_trip () =
+  List.iter
+    (fun n ->
+      let w = Wire.Writer.create () in
+      Wire.Writer.zigzag w n;
+      let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+      Alcotest.(check int) (Printf.sprintf "zigzag %d" n) n (Wire.Reader.zigzag r))
+    [ 0; 1; -1; 2; -2; 1_000_000; -1_000_000 ]
+
+let test_float_and_string () =
+  let w = Wire.Writer.create () in
+  Wire.Writer.float w 16.125;
+  Wire.Writer.float w (-0.0);
+  Wire.Writer.string w "cwnd";
+  Wire.Writer.string w "";
+  let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+  Alcotest.(check (float 0.0)) "float exact" 16.125 (Wire.Reader.float r);
+  Alcotest.(check (float 0.0)) "negative zero" (-0.0) (Wire.Reader.float r);
+  Alcotest.(check string) "string" "cwnd" (Wire.Reader.string r);
+  Alcotest.(check string) "empty string" "" (Wire.Reader.string r)
+
+let test_reader_truncation () =
+  let r = Wire.Reader.of_string "\x80" in
+  (* continuation bit set but no next byte *)
+  match Wire.Reader.varint r with
+  | _ -> Alcotest.fail "expected Truncated"
+  | exception Wire.Reader.Truncated -> ()
+
+let prop_wire_round_trip =
+  QCheck.Test.make ~name:"wire int/float/string round-trip" ~count:300
+    QCheck.(triple (int_bound max_int) float string)
+    (fun (n, f, s) ->
+      QCheck.assume (not (Float.is_nan f));
+      let w = Wire.Writer.create () in
+      Wire.Writer.varint w n;
+      Wire.Writer.float w f;
+      Wire.Writer.string w s;
+      let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+      Wire.Reader.varint r = n && Wire.Reader.float r = f && Wire.Reader.string r = s)
+
+(* --- Codec --- *)
+
+let sample_program =
+  Ccp_lang.Parser.parse_program
+    "Measure(fold { init { acked = 0; minrtt = 1e12 } update { acked = acked + \
+     pkt.bytes_acked; minrtt = min(minrtt, pkt.rtt_us) } }).Cwnd(cwnd + 2 * \
+     mss).Rate(1.25 * rate).WaitRtts(1.0).Report()"
+
+let all_message_kinds : Message.t list =
+  [
+    Message.Ready { flow = 1; mss = 1448; init_cwnd = 14480 };
+    Message.Report { flow = 2; fields = [| ("acked", 1.5); ("_cwnd", 99.0) |] };
+    Message.Report_vector
+      {
+        flow = 3;
+        columns = [| "rtt_us"; "bytes_acked" |];
+        rows = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |]; [| 5.0; 6.0 |] |];
+      };
+    Message.Urgent
+      { flow = 4; kind = Message.Dup_ack_loss; cwnd_at_event = 10; inflight_at_event = 20 };
+    Message.Urgent { flow = 4; kind = Message.Timeout; cwnd_at_event = 1; inflight_at_event = 0 };
+    Message.Urgent { flow = 4; kind = Message.Ecn; cwnd_at_event = 5; inflight_at_event = 5 };
+    Message.Closed { flow = 5 };
+    Message.Install { flow = 6; program = sample_program };
+    Message.Set_cwnd { flow = 7; bytes = 123_456 };
+    Message.Set_rate { flow = 8; bytes_per_sec = 1.25e9 };
+  ]
+
+let test_codec_round_trip_all () =
+  List.iter
+    (fun msg ->
+      let decoded = Codec.decode (Codec.encode msg) in
+      Alcotest.(check bool) (Message.describe msg) true (Message.equal msg decoded))
+    all_message_kinds
+
+let test_codec_rejects_garbage () =
+  (match Codec.decode "\xff\x01\x02" with
+  | _ -> Alcotest.fail "expected decode error"
+  | exception Codec.Decode_error _ -> ());
+  (* Trailing bytes after a valid message are an error too. *)
+  let valid = Codec.encode (Message.Closed { flow = 1 }) in
+  match Codec.decode (valid ^ "x") with
+  | _ -> Alcotest.fail "expected trailing-bytes error"
+  | exception Codec.Decode_error _ -> ()
+
+let test_codec_program_round_trip () =
+  let decoded = Codec.decode_program (Codec.encode_program sample_program) in
+  Alcotest.(check bool) "program" true (Ccp_lang.Ast.equal_program sample_program decoded)
+
+let test_codec_size_reasonable () =
+  (* One fold report with the reserved fields should be well under an MTU
+     — the paper's premise that reports are cheap. *)
+  let report =
+    Message.Report
+      {
+        flow = 1;
+        fields = Array.init 18 (fun i -> (Printf.sprintf "_field%d" i, float_of_int i));
+      }
+  in
+  Alcotest.(check bool) "report < 400 bytes" true (Codec.encoded_size report < 400)
+
+let gen_message : Message.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let small_string = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+  oneof
+    [
+      map3
+        (fun flow mss init_cwnd -> Message.Ready { flow; mss; init_cwnd })
+        (int_bound 1000) (int_bound 9000) (int_bound 1_000_000);
+      map2
+        (fun flow fields -> Message.Report { flow; fields = Array.of_list fields })
+        (int_bound 1000)
+        (list_size (int_range 0 10) (pair small_string (float_bound_inclusive 1e9)));
+      map2
+        (fun flow bytes -> Message.Set_cwnd { flow; bytes })
+        (int_bound 1000) (int_bound 10_000_000);
+      map2
+        (fun flow kind ->
+          Message.Urgent { flow; kind; cwnd_at_event = 1; inflight_at_event = 2 })
+        (int_bound 1000)
+        (oneofl [ Message.Dup_ack_loss; Message.Timeout; Message.Ecn ]);
+    ]
+
+let prop_codec_round_trip =
+  QCheck.Test.make ~name:"codec round-trip (random messages)" ~count:300
+    (QCheck.make gen_message ~print:Message.describe)
+    (fun msg -> Message.equal msg (Codec.decode (Codec.encode msg)))
+
+(* --- Latency model --- *)
+
+let test_latency_calibration () =
+  List.iter
+    (fun (model, p99) ->
+      Alcotest.(check (float 0.5)) "analytic p99" p99 (Latency_model.p99_us model))
+    [
+      (Latency_model.netlink_idle, 48.0);
+      (Latency_model.unix_idle, 80.0);
+      (Latency_model.netlink_busy, 18.0);
+      (Latency_model.unix_busy, 35.0);
+    ]
+
+let test_latency_sampled_matches_analytic () =
+  let model = Latency_model.calibrated ~median_us:12.0 ~p99_us:48.0 in
+  let rng = Rng.create ~seed:11 in
+  let samples = Stats.Samples.create () in
+  for _ = 1 to 60_000 do
+    Stats.Samples.add samples (Time_ns.to_float_us (Latency_model.sample model rng))
+  done;
+  Alcotest.(check bool) "median within 5%" true
+    (Float.abs (Stats.Samples.median samples -. 12.0) < 0.6);
+  Alcotest.(check bool) "p99 within 10%" true
+    (Float.abs (Stats.Samples.percentile samples 99.0 -. 48.0) < 4.8)
+
+let test_latency_constant_and_shifted () =
+  let rng = Rng.create ~seed:1 in
+  Alcotest.(check int) "constant" (Time_ns.us 5)
+    (Latency_model.sample (Latency_model.Constant (Time_ns.us 5)) rng);
+  let shifted =
+    Latency_model.Shifted { base = Time_ns.us 10; rest = Latency_model.Constant (Time_ns.us 5) }
+  in
+  Alcotest.(check int) "shifted" (Time_ns.us 15) (Latency_model.sample shifted rng);
+  Alcotest.(check (float 1e-9)) "shifted median" 15.0 (Latency_model.median_us shifted)
+
+let test_latency_validation () =
+  match Latency_model.calibrated ~median_us:50.0 ~p99_us:20.0 with
+  | _ -> Alcotest.fail "expected rejection"
+  | exception Invalid_argument _ -> ()
+
+(* --- Channel --- *)
+
+let make_channel ?(latency = Latency_model.Constant (Time_ns.us 20)) () =
+  let sim = Sim.create () in
+  let channel = Channel.create ~sim ~latency () in
+  (sim, channel)
+
+let test_channel_delivery_and_latency () =
+  let sim, channel = make_channel () in
+  let received = ref [] in
+  Channel.on_receive channel Channel.Agent_end (fun msg ->
+      received := (Sim.now sim, msg) :: !received);
+  Channel.on_receive channel Channel.Datapath_end (fun _ -> ());
+  let msg = Message.Ready { flow = 1; mss = 1448; init_cwnd = 14480 } in
+  Channel.send channel ~from:Channel.Datapath_end msg;
+  Sim.run sim;
+  match !received with
+  | [ (at, got) ] ->
+    (* One-way latency = half the 20 us round-trip model. *)
+    Alcotest.(check int) "arrival" (Time_ns.us 10) at;
+    Alcotest.(check bool) "content" true (Message.equal msg got)
+  | _ -> Alcotest.fail "expected one delivery"
+
+let test_channel_fifo_order () =
+  let sim, channel = make_channel ~latency:(Latency_model.calibrated ~median_us:20.0 ~p99_us:200.0) () in
+  let received = ref [] in
+  Channel.on_receive channel Channel.Agent_end (fun msg ->
+      received := Message.flow msg :: !received);
+  for i = 0 to 49 do
+    Channel.send channel ~from:Channel.Datapath_end (Message.Closed { flow = i })
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "in order despite random latency" (List.init 50 Fun.id)
+    (List.rev !received)
+
+let test_channel_stats () =
+  let sim, channel = make_channel () in
+  Channel.on_receive channel Channel.Agent_end (fun _ -> ());
+  Channel.on_receive channel Channel.Datapath_end (fun _ -> ());
+  Channel.send channel ~from:Channel.Datapath_end (Message.Closed { flow = 1 });
+  Channel.send channel ~from:Channel.Agent_end (Message.Set_cwnd { flow = 1; bytes = 10 });
+  Channel.send channel ~from:Channel.Agent_end (Message.Set_rate { flow = 1; bytes_per_sec = 1.0 });
+  Sim.run sim;
+  Alcotest.(check int) "datapath sent" 1 (Channel.messages_sent channel Channel.Datapath_end);
+  Alcotest.(check int) "agent sent" 2 (Channel.messages_sent channel Channel.Agent_end);
+  Alcotest.(check bool) "bytes counted" true (Channel.bytes_sent channel Channel.Agent_end > 0);
+  Alcotest.(check int) "no decode failures" 0 (Channel.decode_failures channel)
+
+let test_channel_requires_handler () =
+  let _, channel = make_channel () in
+  Alcotest.check_raises "unregistered destination"
+    (Invalid_argument "Channel.send: destination handler not registered") (fun () ->
+      Channel.send channel ~from:Channel.Datapath_end (Message.Closed { flow = 1 }))
+
+let suite =
+  [
+    ( "ipc.wire",
+      [
+        Alcotest.test_case "varint round-trip" `Quick test_varint_round_trip;
+        Alcotest.test_case "varint compactness" `Quick test_varint_compact;
+        Alcotest.test_case "varint negative" `Quick test_varint_rejects_negative;
+        Alcotest.test_case "zigzag round-trip" `Quick test_zigzag_round_trip;
+        Alcotest.test_case "float and string" `Quick test_float_and_string;
+        Alcotest.test_case "truncation" `Quick test_reader_truncation;
+        QCheck_alcotest.to_alcotest prop_wire_round_trip;
+      ] );
+    ( "ipc.codec",
+      [
+        Alcotest.test_case "round-trip all message kinds" `Quick test_codec_round_trip_all;
+        Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage;
+        Alcotest.test_case "program round-trip" `Quick test_codec_program_round_trip;
+        Alcotest.test_case "report size" `Quick test_codec_size_reasonable;
+        QCheck_alcotest.to_alcotest prop_codec_round_trip;
+      ] );
+    ( "ipc.latency",
+      [
+        Alcotest.test_case "calibration" `Quick test_latency_calibration;
+        Alcotest.test_case "sampled vs analytic" `Slow test_latency_sampled_matches_analytic;
+        Alcotest.test_case "constant and shifted" `Quick test_latency_constant_and_shifted;
+        Alcotest.test_case "validation" `Quick test_latency_validation;
+      ] );
+    ( "ipc.channel",
+      [
+        Alcotest.test_case "delivery and latency" `Quick test_channel_delivery_and_latency;
+        Alcotest.test_case "fifo ordering" `Quick test_channel_fifo_order;
+        Alcotest.test_case "statistics" `Quick test_channel_stats;
+        Alcotest.test_case "handler required" `Quick test_channel_requires_handler;
+      ] );
+  ]

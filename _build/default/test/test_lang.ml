@@ -1,0 +1,352 @@
+(* Tests for the control-program language: lexer, parser, validation,
+   evaluation, folds, and pretty-printer round-trips. *)
+
+open Ccp_lang
+
+let parse = Parser.parse_program
+let parse_e = Parser.parse_expr
+
+(* --- Lexer --- *)
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokenize "Rate(1.25 * r) # comment\n.Report()" in
+  Alcotest.(check int) "token count" 11 (List.length toks);
+  match toks with
+  | Lexer.IDENT "Rate" :: Lexer.LPAREN :: Lexer.NUMBER f :: Lexer.STAR :: Lexer.IDENT "r" :: _
+    ->
+    Alcotest.(check (float 1e-9)) "number" 1.25 f
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_lexer_number_vs_dot () =
+  (* "1.0.Report" must lex as NUMBER 1.0, DOT, IDENT. *)
+  match Lexer.tokenize "WaitRtts(1.0).Report()" with
+  | [ Lexer.IDENT "WaitRtts"; Lexer.LPAREN; Lexer.NUMBER f; Lexer.RPAREN; Lexer.DOT;
+      Lexer.IDENT "Report"; Lexer.LPAREN; Lexer.RPAREN; Lexer.EOF ] ->
+    Alcotest.(check (float 1e-9)) "1.0" 1.0 f
+  | _ -> Alcotest.fail "dot disambiguation failed"
+
+let test_lexer_scientific () =
+  match Lexer.tokenize "1e12 2.5e-3" with
+  | [ Lexer.NUMBER a; Lexer.NUMBER b; Lexer.EOF ] ->
+    Alcotest.(check (float 1e-9)) "1e12" 1e12 a;
+    Alcotest.(check (float 1e-12)) "2.5e-3" 2.5e-3 b
+  | _ -> Alcotest.fail "scientific notation"
+
+let test_lexer_error () =
+  match Lexer.tokenize "Rate($)" with
+  | exception Lexer.Lex_error { position = 5; _ } -> ()
+  | exception Lexer.Lex_error _ -> Alcotest.fail "wrong position"
+  | _ -> Alcotest.fail "expected lex error"
+
+(* --- Parser --- *)
+
+let test_parse_precedence () =
+  let e = parse_e "1 + 2 * 3" in
+  Alcotest.(check bool) "mul binds tighter" true
+    (Ast.equal_expr e (Ast.Bin (Ast.Add, Ast.Const 1.0, Ast.Bin (Ast.Mul, Ast.Const 2.0, Ast.Const 3.0))));
+  let e2 = parse_e "(1 + 2) * 3" in
+  Alcotest.(check bool) "parens override" true
+    (Ast.equal_expr e2
+       (Ast.Bin (Ast.Mul, Ast.Bin (Ast.Add, Ast.Const 1.0, Ast.Const 2.0), Ast.Const 3.0)));
+  let e3 = parse_e "10 - 3 - 2" in
+  Alcotest.(check bool) "left assoc" true
+    (Ast.equal_expr e3
+       (Ast.Bin (Ast.Sub, Ast.Bin (Ast.Sub, Ast.Const 10.0, Ast.Const 3.0), Ast.Const 2.0)))
+
+let test_parse_pkt_and_calls () =
+  let e = parse_e "min(pkt.rtt_us, minrtt_us) + mss" in
+  match e with
+  | Ast.Bin (Ast.Add, Ast.Call ("min", [ Ast.Pkt "rtt_us"; Ast.Var "minrtt_us" ]), Ast.Var "mss")
+    ->
+    ()
+  | _ -> Alcotest.fail "pkt/call parse"
+
+let test_parse_bbr_program () =
+  let p =
+    parse
+      "Measure(rtt_us).Rate(1.25 * rate).WaitRtts(1.0).Report().Rate(0.75 * \
+       rate).WaitRtts(1.0).Report().Rate(rate).WaitRtts(6.0).Report()"
+  in
+  Alcotest.(check int) "ten primitives" 10 (List.length p.Ast.prims);
+  Alcotest.(check bool) "repeats by default" true p.Ast.repeat
+
+let test_parse_once () =
+  let p = parse "Cwnd(10000).Report().Once()" in
+  Alcotest.(check bool) "once" false p.Ast.repeat;
+  Alcotest.(check int) "once not a prim" 2 (List.length p.Ast.prims)
+
+let test_parse_fold () =
+  let p =
+    parse
+      "Measure(fold { init { acked = 0; minrtt = 1e12 } update { acked = acked + \
+       pkt.bytes_acked; minrtt = min(minrtt, pkt.rtt_us) } }).WaitRtts(1.0).Report()"
+  in
+  match p.Ast.prims with
+  | Ast.Measure (Ast.Fold { init; update }) :: _ ->
+    Alcotest.(check (list string)) "init fields" [ "acked"; "minrtt" ] (List.map fst init);
+    Alcotest.(check (list string)) "update fields" [ "acked"; "minrtt" ] (List.map fst update)
+  | _ -> Alcotest.fail "expected fold"
+
+let test_parse_vector () =
+  match (parse "Measure(rtt_us, bytes_acked).WaitRtts(1.0).Report()").Ast.prims with
+  | Ast.Measure (Ast.Vector fields) :: _ ->
+    Alcotest.(check (list string)) "fields" [ "rtt_us"; "bytes_acked" ] fields
+  | _ -> Alcotest.fail "expected vector"
+
+let expect_parse_error src =
+  match parse src with
+  | _ -> Alcotest.fail ("expected parse error for: " ^ src)
+  | exception Parser.Parse_error _ -> ()
+
+let test_parse_errors () =
+  expect_parse_error "";
+  expect_parse_error "Bogus(1)";
+  expect_parse_error "Rate(1";
+  expect_parse_error "Rate(1))";
+  expect_parse_error "Rate(1).";
+  expect_parse_error "Measure(fold { update { x = 1 } init { x = 0 } })" (* wrong order *)
+
+(* --- Typecheck --- *)
+
+let ok src =
+  match Typecheck.check (parse src) with
+  | Ok _ -> ()
+  | Error (e :: _) -> Alcotest.failf "unexpected error: %a" Typecheck.pp_error e
+  | Error [] -> assert false
+
+let bad src =
+  match Typecheck.check (parse src) with
+  | Ok _ -> Alcotest.failf "expected rejection of %s" src
+  | Error _ -> ()
+
+let test_typecheck_accepts () =
+  ok "Cwnd(cwnd + 2 * mss).WaitRtts(1.0).Report()";
+  ok "Rate(min(rate, 1e9)).Wait(5000).Report()";
+  ok
+    "Measure(fold { init { a = 0 } update { a = a + pkt.bytes_acked } \
+     }).Cwnd(cwnd).WaitRtts(1.0).Report()";
+  ok "Cwnd(10000).Once()"
+
+let test_typecheck_rejects () =
+  bad "Cwnd(nonexistent).WaitRtts(1.0).Report()";
+  bad "Cwnd(pkt.rtt_us).WaitRtts(1.0).Report()" (* pkt outside fold *);
+  bad "Cwnd(min(1)).WaitRtts(1.0).Report()" (* arity *);
+  bad "Cwnd(frobnicate(1, 2)).WaitRtts(1.0).Report()" (* unknown function *);
+  bad "Measure(nonfield).WaitRtts(1.0).Report()" (* unknown vector field *);
+  bad
+    "Measure(fold { init { a = 0; a = 1 } update { } }).WaitRtts(1.0).Report()"
+    (* duplicate field *);
+  bad
+    "Measure(fold { init { a = 0 } update { b = 1 } }).WaitRtts(1.0).Report()"
+    (* assign to undeclared *);
+  bad "Cwnd(10000).Report()" (* repeating program with no wait *)
+
+let test_typecheck_warnings () =
+  (match Typecheck.check (parse "Cwnd(10000).WaitRtts(1.0)") with
+  | Ok warnings -> Alcotest.(check bool) "warns on no report" true (warnings <> [])
+  | Error _ -> Alcotest.fail "should pass with warning");
+  match Typecheck.check (parse "Report().Cwnd(1000).Once()") with
+  | Ok warnings -> Alcotest.(check bool) "warns on trailing prims" true (warnings <> [])
+  | Error _ -> Alcotest.fail "should pass with warning"
+
+(* --- Eval --- *)
+
+let env ?(vars = []) ?(pkts = []) () =
+  { Eval.lookup_var = (fun n -> List.assoc_opt n vars);
+    lookup_pkt = (fun n -> List.assoc_opt n pkts) }
+
+let test_eval_arithmetic () =
+  let e = env ~vars:[ ("x", 10.0) ] () in
+  Alcotest.(check (float 1e-9)) "expr" 31.0 (Eval.eval e (parse_e "3 * x + 1"));
+  Alcotest.(check (float 1e-9)) "sub/div" 4.5 (Eval.eval e (parse_e "(x - 1) / 2"));
+  Alcotest.(check (float 1e-9)) "neg" (-10.0) (Eval.eval e (parse_e "-x"))
+
+let test_eval_builtins () =
+  let e = env () in
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Eval.eval e (parse_e "min(2, 3)"));
+  Alcotest.(check (float 1e-9)) "max" 3.0 (Eval.eval e (parse_e "max(2, 3)"));
+  Alcotest.(check (float 1e-9)) "abs" 4.0 (Eval.eval e (parse_e "abs(0 - 4)"));
+  Alcotest.(check (float 1e-9)) "sqrt" 3.0 (Eval.eval e (parse_e "sqrt(9)"));
+  Alcotest.(check (float 1e-6)) "pow cube root" 2.0 (Eval.eval e (parse_e "pow(8, 1 / 3)"));
+  Alcotest.(check (float 1e-9)) "if_lt true" 1.0 (Eval.eval e (parse_e "if_lt(1, 2, 1, 0)"));
+  Alcotest.(check (float 1e-9)) "if_lt false" 0.0 (Eval.eval e (parse_e "if_lt(3, 2, 1, 0)"));
+  Alcotest.(check (float 1e-9)) "if_ge" 7.0 (Eval.eval e (parse_e "if_ge(2, 2, 7, 0)"))
+
+let test_eval_total () =
+  let incidents = Eval.fresh_counter () in
+  let e = env () in
+  Alcotest.(check (float 1e-9)) "div by zero -> 0" 0.0
+    (Eval.eval ~incidents e (parse_e "1 / 0"));
+  Alcotest.(check int) "incident counted" 1 incidents.Eval.div_by_zero;
+  Alcotest.(check (float 1e-9)) "unknown var -> 0" 0.0
+    (Eval.eval ~incidents e (parse_e "mystery"));
+  Alcotest.(check int) "unknown counted" 1 incidents.Eval.unknown_name;
+  Alcotest.(check (float 1e-9)) "sqrt of negative -> 0" 0.0
+    (Eval.eval e (parse_e "sqrt(0 - 1)"))
+
+(* --- Fold --- *)
+
+let vegas_like_fold =
+  match
+    parse
+      "Measure(fold { init { basertt = 1e12; count = 0 } update { basertt = min(basertt, \
+       pkt.rtt_us); count = count + 1 } }).WaitRtts(1.0).Report()"
+  with
+  | { Ast.prims = Ast.Measure (Ast.Fold def) :: _; _ } -> def
+  | _ -> assert false
+
+let test_fold_lifecycle () =
+  let flow_env = function "minrtt_us" -> Some 5000.0 | _ -> None in
+  let fold = Fold.create vegas_like_fold ~flow_env in
+  Alcotest.(check (option (float 1e-9))) "init" (Some 1e12) (Fold.get fold "basertt");
+  let pkt rtt = function "rtt_us" -> Some rtt | _ -> None in
+  Fold.step fold ~flow_env ~pkt_env:(pkt 10_000.0);
+  Fold.step fold ~flow_env ~pkt_env:(pkt 8_000.0);
+  Fold.step fold ~flow_env ~pkt_env:(pkt 9_000.0);
+  Alcotest.(check (option (float 1e-9))) "min tracked" (Some 8_000.0) (Fold.get fold "basertt");
+  Alcotest.(check (option (float 1e-9))) "count" (Some 3.0) (Fold.get fold "count");
+  Alcotest.(check int) "packet_count" 3 (Fold.packet_count fold);
+  Fold.reset fold ~flow_env;
+  Alcotest.(check (option (float 1e-9))) "reset" (Some 1e12) (Fold.get fold "basertt");
+  Alcotest.(check int) "count reset" 0 (Fold.packet_count fold)
+
+let test_fold_simultaneous_update () =
+  (* swap-like updates must read the OLD state on both right-hand sides. *)
+  let def =
+    { Ast.init = [ ("a", Ast.Const 1.0); ("b", Ast.Const 2.0) ];
+      update = [ ("a", Ast.Var "b"); ("b", Ast.Var "a") ] }
+  in
+  let flow_env _ = None in
+  let fold = Fold.create def ~flow_env in
+  Fold.step fold ~flow_env ~pkt_env:(fun _ -> None);
+  Alcotest.(check (option (float 1e-9))) "a = old b" (Some 2.0) (Fold.get fold "a");
+  Alcotest.(check (option (float 1e-9))) "b = old a" (Some 1.0) (Fold.get fold "b")
+
+let test_fold_state_shadows_flow_vars () =
+  (* A state field named like a flow variable shadows it in updates. *)
+  let def =
+    { Ast.init = [ ("cwnd", Ast.Const 111.0) ]; update = [ ("cwnd", Ast.Bin (Ast.Add, Ast.Var "cwnd", Ast.Const 1.0)) ] }
+  in
+  let flow_env = function "cwnd" -> Some 999.0 | _ -> None in
+  let fold = Fold.create def ~flow_env in
+  Fold.step fold ~flow_env ~pkt_env:(fun _ -> None);
+  Alcotest.(check (option (float 1e-9))) "shadowed" (Some 112.0) (Fold.get fold "cwnd")
+
+(* --- Pretty / round-trip --- *)
+
+let test_pretty_round_trip_examples () =
+  let sources =
+    [
+      "Measure(rtt_us, bytes_acked).Cwnd(cwnd + 2.0 * mss).WaitRtts(1.0).Report()";
+      "Rate(1.25 * rate).WaitRtts(1.0).Report().Rate(0.75 * rate).WaitRtts(1.0).Report()";
+      "Measure(fold { init { a = 0.0 } update { a = a + pkt.bytes_acked } \
+       }).WaitRtts(1.0).Report()";
+      "Cwnd(10000.0).Report().Once()";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let p = parse src in
+      let printed = Pretty.program_to_string p in
+      let reparsed = parse printed in
+      Alcotest.(check bool) (Printf.sprintf "round-trip %s" src) true
+        (Ast.equal_program p reparsed))
+    sources
+
+(* Random program generator for the parse/print round-trip property. *)
+let gen_expr =
+  let open QCheck.Gen in
+  sized (fun size ->
+      fix
+        (fun self (size, pkt_ok) ->
+          let leaf =
+            oneof
+              ([ map (fun f -> Ast.Const (Float.abs f)) (float_bound_inclusive 1e6);
+                 oneofl (List.map (fun (v, _) -> Ast.Var v) Ast.Vars.flow_vars) ]
+              @
+              if pkt_ok then
+                [ oneofl (List.map (fun (f, _) -> Ast.Pkt f) Ast.Vars.pkt_fields) ]
+              else [])
+          in
+          if size <= 1 then leaf
+          else
+            oneof
+              [
+                leaf;
+                map2
+                  (fun op (l, r) -> Ast.Bin (op, l, r))
+                  (oneofl [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div ])
+                  (pair (self (size / 2, pkt_ok)) (self (size / 2, pkt_ok)));
+                map (fun e -> Ast.Neg e) (self (size - 1, pkt_ok));
+                map2
+                  (fun (l, r) name -> Ast.Call (name, [ l; r ]))
+                  (pair (self (size / 2, pkt_ok)) (self (size / 2, pkt_ok)))
+                  (oneofl [ "min"; "max"; "pow" ]);
+              ])
+        (min size 8, false))
+
+let gen_program =
+  let open QCheck.Gen in
+  let prim =
+    oneof
+      [
+        map (fun e -> Ast.Rate e) gen_expr;
+        map (fun e -> Ast.Cwnd e) gen_expr;
+        map (fun e -> Ast.Wait e) gen_expr;
+        map (fun e -> Ast.Wait_rtts e) gen_expr;
+        return Ast.Report;
+      ]
+  in
+  map2
+    (fun prims repeat -> { Ast.prims; repeat })
+    (list_size (int_range 1 6) prim)
+    bool
+
+let prop_pretty_parse_round_trip =
+  QCheck.Test.make ~name:"pretty/parse round-trip" ~count:300
+    (QCheck.make gen_program ~print:Pretty.program_to_string)
+    (fun p -> Ast.equal_program p (parse (Pretty.program_to_string p)))
+
+let suite =
+  [
+    ( "lang.lexer",
+      [
+        Alcotest.test_case "tokens and comments" `Quick test_lexer_tokens;
+        Alcotest.test_case "number/dot disambiguation" `Quick test_lexer_number_vs_dot;
+        Alcotest.test_case "scientific notation" `Quick test_lexer_scientific;
+        Alcotest.test_case "error position" `Quick test_lexer_error;
+      ] );
+    ( "lang.parser",
+      [
+        Alcotest.test_case "precedence" `Quick test_parse_precedence;
+        Alcotest.test_case "pkt fields and calls" `Quick test_parse_pkt_and_calls;
+        Alcotest.test_case "bbr program" `Quick test_parse_bbr_program;
+        Alcotest.test_case "once" `Quick test_parse_once;
+        Alcotest.test_case "fold" `Quick test_parse_fold;
+        Alcotest.test_case "vector" `Quick test_parse_vector;
+        Alcotest.test_case "errors" `Quick test_parse_errors;
+      ] );
+    ( "lang.typecheck",
+      [
+        Alcotest.test_case "accepts valid" `Quick test_typecheck_accepts;
+        Alcotest.test_case "rejects invalid" `Quick test_typecheck_rejects;
+        Alcotest.test_case "warnings" `Quick test_typecheck_warnings;
+      ] );
+    ( "lang.eval",
+      [
+        Alcotest.test_case "arithmetic" `Quick test_eval_arithmetic;
+        Alcotest.test_case "builtins" `Quick test_eval_builtins;
+        Alcotest.test_case "totality" `Quick test_eval_total;
+      ] );
+    ( "lang.fold",
+      [
+        Alcotest.test_case "lifecycle" `Quick test_fold_lifecycle;
+        Alcotest.test_case "simultaneous update" `Quick test_fold_simultaneous_update;
+        Alcotest.test_case "state shadows flow vars" `Quick test_fold_state_shadows_flow_vars;
+      ] );
+    ( "lang.pretty",
+      [
+        Alcotest.test_case "round-trip examples" `Quick test_pretty_round_trip_examples;
+        QCheck_alcotest.to_alcotest prop_pretty_parse_round_trip;
+      ] );
+  ]

@@ -1,0 +1,266 @@
+(* Unit and property tests for Ccp_util: time arithmetic, the PRNG, the
+   statistics containers, and the binary heap. *)
+
+open Ccp_util
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Time_ns --- *)
+
+let test_time_units () =
+  check_int "us" 1_000 (Time_ns.us 1);
+  check_int "ms" 1_000_000 (Time_ns.ms 1);
+  check_int "sec" 1_000_000_000 (Time_ns.sec 1);
+  check_int "of_float_sec" 1_500_000_000 (Time_ns.of_float_sec 1.5);
+  check_float "to_float_sec" 0.25 (Time_ns.to_float_sec 250_000_000);
+  check_float "to_float_us" 12.5 (Time_ns.to_float_us 12_500);
+  check_float "to_float_ms" 1.25 (Time_ns.to_float_ms 1_250_000)
+
+let test_time_arith () =
+  check_int "add" 300 (Time_ns.add 100 200);
+  check_int "sub negative" (-100) (Time_ns.sub 100 200);
+  check_int "diff" 100 (Time_ns.diff 100 200);
+  check_int "scale" 150 (Time_ns.scale 100 1.5);
+  check_int "scale rounds" 333 (Time_ns.scale 1000 0.3333);
+  check_bool "is_positive" true (Time_ns.is_positive 1);
+  check_bool "zero not positive" false (Time_ns.is_positive 0)
+
+let test_time_pp () =
+  Alcotest.(check string) "ns" "500ns" (Time_ns.to_string (Time_ns.ns 500));
+  Alcotest.(check string) "us" "48.00us" (Time_ns.to_string (Time_ns.us 48));
+  Alcotest.(check string) "ms" "16.10ms" (Time_ns.to_string (Time_ns.of_float_sec 0.0161));
+  Alcotest.(check string) "s" "30.000s" (Time_ns.to_string (Time_ns.sec 30))
+
+let test_bytes_time () =
+  (* 1500 bytes at 1 Gbit/s = 12 us. *)
+  check_int "serialization" 12_000 (Time_ns.bytes_time ~bytes:1500 ~rate_bps:1e9)
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done;
+  let c = Rng.create ~seed:8 in
+  check_bool "different seed differs" true (Rng.bits64 (Rng.create ~seed:7) <> Rng.bits64 c)
+
+let test_rng_ranges () =
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    check_bool "int in range" true (v >= 0 && v < 17);
+    let f = Rng.float rng 3.0 in
+    check_bool "float in range" true (f >= 0.0 && f < 3.0);
+    let u = Rng.uniform rng ~lo:5.0 ~hi:6.0 in
+    check_bool "uniform in range" true (u >= 5.0 && u < 6.0)
+  done
+
+let test_rng_int_rejects_bad_bound () =
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int (Rng.create ~seed:1) 0))
+
+let test_rng_distributions () =
+  let rng = Rng.create ~seed:42 in
+  let n = 200_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:3.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "exponential mean ~3" true (Float.abs (mean -. 3.0) < 0.05);
+  (* Log-normal median = exp mu. *)
+  let samples = Stats.Samples.create () in
+  for _ = 1 to n do
+    Stats.Samples.add samples (Rng.lognormal rng ~mu:(log 10.0) ~sigma:0.5)
+  done;
+  let median = Stats.Samples.median samples in
+  check_bool "lognormal median ~10" true (Float.abs (median -. 10.0) < 0.2);
+  (* Pareto samples never fall below the scale. *)
+  for _ = 1 to 1_000 do
+    check_bool "pareto >= scale" true (Rng.pareto rng ~shape:1.5 ~scale:2.0 >= 2.0)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create ~seed:9 in
+  let child = Rng.split parent in
+  (* The child must not replay the parent's stream. *)
+  let p = Array.init 20 (fun _ -> Rng.bits64 parent) in
+  let c = Array.init 20 (fun _ -> Rng.bits64 child) in
+  check_bool "split independent" true (p <> c)
+
+let test_rng_shuffle () =
+  let rng = Rng.create ~seed:5 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted;
+  check_bool "actually shuffled" true (arr <> Array.init 50 Fun.id)
+
+(* --- Stats --- *)
+
+let test_summary () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_int "count" 8 (Stats.Summary.count s);
+  check_float "mean" 5.0 (Stats.Summary.mean s);
+  check_float "min" 2.0 (Stats.Summary.min s);
+  check_float "max" 9.0 (Stats.Summary.max s);
+  check_float "sum" 40.0 (Stats.Summary.sum s);
+  Alcotest.(check (float 1e-6)) "variance (sample)" (32.0 /. 7.0) (Stats.Summary.variance s)
+
+let test_samples_percentiles () =
+  let s = Stats.Samples.create () in
+  List.iter (Stats.Samples.add s) [ 15.0; 20.0; 35.0; 40.0; 50.0 ];
+  check_float "p0 = min" 15.0 (Stats.Samples.percentile s 0.0);
+  check_float "p100 = max" 50.0 (Stats.Samples.percentile s 100.0);
+  check_float "median" 35.0 (Stats.Samples.median s);
+  (* p25 of 5 values lands exactly on the 2nd order statistic... *)
+  check_float "p25" 20.0 (Stats.Samples.percentile s 25.0);
+  (* ... and p37.5 interpolates halfway between the 2nd and 3rd. *)
+  check_float "p37.5 interpolated" 27.5 (Stats.Samples.percentile s 37.5);
+  check_float "mean" 32.0 (Stats.Samples.mean s);
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Stats.Samples.percentile: empty") (fun () ->
+      ignore (Stats.Samples.percentile (Stats.Samples.create ()) 50.0))
+
+let test_samples_cdf () =
+  let s = Stats.Samples.create () in
+  for i = 1 to 100 do
+    Stats.Samples.add s (float_of_int i)
+  done;
+  let cdf = Stats.Samples.cdf s ~points:10 in
+  check_int "points" 10 (List.length cdf);
+  let fractions = List.map snd cdf in
+  check_float "last fraction" 1.0 (List.nth fractions 9);
+  let values = List.map fst cdf in
+  check_bool "values nondecreasing" true
+    (List.for_all2 ( <= ) (List.filteri (fun i _ -> i < 9) values) (List.tl values))
+
+let test_ewma () =
+  let e = Stats.Ewma.create ~alpha:0.5 in
+  Alcotest.(check (option (float 1e-9))) "empty" None (Stats.Ewma.value_opt e);
+  Stats.Ewma.add e 10.0;
+  check_float "first = value" 10.0 (Stats.Ewma.value e);
+  Stats.Ewma.add e 20.0;
+  check_float "second" 15.0 (Stats.Ewma.value e);
+  Alcotest.check_raises "bad alpha" (Invalid_argument "Stats.Ewma.create: alpha in (0,1]")
+    (fun () -> ignore (Stats.Ewma.create ~alpha:0.0))
+
+let test_windowed_min_max () =
+  let m = Stats.Windowed_min.create ~window:(Time_ns.ms 10) in
+  Stats.Windowed_min.add m ~now:(Time_ns.ms 0) 5.0;
+  Stats.Windowed_min.add m ~now:(Time_ns.ms 2) 3.0;
+  Stats.Windowed_min.add m ~now:(Time_ns.ms 4) 7.0;
+  Alcotest.(check (option (float 1e-9))) "min" (Some 3.0)
+    (Stats.Windowed_min.get m ~now:(Time_ns.ms 5));
+  (* After the 3.0 sample expires, the 7.0 one remains. *)
+  Alcotest.(check (option (float 1e-9))) "expired min" (Some 7.0)
+    (Stats.Windowed_min.get m ~now:(Time_ns.ms 13));
+  Alcotest.(check (option (float 1e-9))) "all expired" None
+    (Stats.Windowed_min.get m ~now:(Time_ns.ms 30));
+  let x = Stats.Windowed_max.create ~window:(Time_ns.ms 10) in
+  Stats.Windowed_max.add x ~now:(Time_ns.ms 0) 5.0;
+  Stats.Windowed_max.add x ~now:(Time_ns.ms 2) 9.0;
+  Stats.Windowed_max.add x ~now:(Time_ns.ms 4) 4.0;
+  Alcotest.(check (option (float 1e-9))) "max" (Some 9.0)
+    (Stats.Windowed_max.get x ~now:(Time_ns.ms 5));
+  Alcotest.(check (option (float 1e-9))) "expired max" (Some 4.0)
+    (Stats.Windowed_max.get x ~now:(Time_ns.ms 13))
+
+let test_jain () =
+  check_float "equal shares" 1.0 (Stats.jain_fairness [| 5.0; 5.0; 5.0 |]);
+  check_float "single flow" 1.0 (Stats.jain_fairness [| 42.0 |]);
+  check_float "empty" 1.0 (Stats.jain_fairness [||]);
+  (* One flow hogging: 1/n in the limit. *)
+  Alcotest.(check (float 1e-6)) "starved" 0.5 (Stats.jain_fairness [| 10.0; 0.0 |])
+
+(* --- Heap --- *)
+
+let test_heap_ordering () =
+  let h = Heap.create ~compare:Int.compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 5; 9; 2; 6 ];
+  check_int "length" 8 (Heap.length h);
+  let popped = List.init 8 (fun _ -> Option.get (Heap.pop h)) in
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 2; 4; 5; 5; 6; 9 ] popped;
+  check_bool "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h)
+
+let test_heap_fifo_stability () =
+  (* Entries with equal keys come out in insertion order. *)
+  let h = Heap.create ~compare:(fun (a, _) (b, _) -> Int.compare a b) in
+  List.iter (Heap.push h) [ (1, "a"); (0, "x"); (1, "b"); (1, "c") ];
+  Alcotest.(check (option (pair int string))) "first" (Some (0, "x")) (Heap.pop h);
+  Alcotest.(check (option (pair int string))) "fifo a" (Some (1, "a")) (Heap.pop h);
+  Alcotest.(check (option (pair int string))) "fifo b" (Some (1, "b")) (Heap.pop h);
+  Alcotest.(check (option (pair int string))) "fifo c" (Some (1, "c")) (Heap.pop h)
+
+let test_heap_peek_clear () =
+  let h = Heap.create ~compare:Int.compare in
+  Heap.push h 3;
+  Heap.push h 1;
+  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+  check_int "peek keeps" 2 (Heap.length h);
+  Heap.clear h;
+  check_bool "cleared" true (Heap.is_empty h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~compare:Int.compare in
+      List.iter (Heap.push h) xs;
+      let out = List.init (List.length xs) (fun _ -> Option.get (Heap.pop h)) in
+      out = List.sort compare xs)
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~name:"percentile within min..max" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 50) (float_bound_exclusive 1000.0))
+              (float_bound_inclusive 100.0))
+    (fun (xs, p) ->
+      let s = Stats.Samples.create () in
+      List.iter (Stats.Samples.add s) xs;
+      let v = Stats.Samples.percentile s p in
+      let lo = List.fold_left Float.min infinity xs in
+      let hi = List.fold_left Float.max neg_infinity xs in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let suite =
+  [
+    ( "util.time",
+      [
+        Alcotest.test_case "units" `Quick test_time_units;
+        Alcotest.test_case "arithmetic" `Quick test_time_arith;
+        Alcotest.test_case "pretty printing" `Quick test_time_pp;
+        Alcotest.test_case "serialization time" `Quick test_bytes_time;
+      ] );
+    ( "util.rng",
+      [
+        Alcotest.test_case "deterministic per seed" `Quick test_rng_deterministic;
+        Alcotest.test_case "ranges" `Quick test_rng_ranges;
+        Alcotest.test_case "bad bound" `Quick test_rng_int_rejects_bad_bound;
+        Alcotest.test_case "distribution sanity" `Slow test_rng_distributions;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "shuffle" `Quick test_rng_shuffle;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "running summary" `Quick test_summary;
+        Alcotest.test_case "percentiles" `Quick test_samples_percentiles;
+        Alcotest.test_case "cdf" `Quick test_samples_cdf;
+        Alcotest.test_case "ewma" `Quick test_ewma;
+        Alcotest.test_case "windowed extrema" `Quick test_windowed_min_max;
+        Alcotest.test_case "jain fairness" `Quick test_jain;
+      ] );
+    ( "util.heap",
+      [
+        Alcotest.test_case "ordering" `Quick test_heap_ordering;
+        Alcotest.test_case "fifo stability" `Quick test_heap_fifo_stability;
+        Alcotest.test_case "peek and clear" `Quick test_heap_peek_clear;
+        QCheck_alcotest.to_alcotest prop_heap_sorts;
+        QCheck_alcotest.to_alcotest prop_percentile_bounds;
+      ] );
+  ]
