@@ -65,6 +65,77 @@ let ecn_bdp =
   let doc = "Enable ECN marking at this fraction of the buffer (e.g. 0.2); 0 disables." in
   Arg.(value & opt float 0.0 & info [ "ecn" ] ~docv:"FRAC" ~doc)
 
+(* --- IPC fault-injection options (docs/fault-injection.md) --- *)
+
+let ipc_drop =
+  let doc = "Drop each IPC message with this probability." in
+  Arg.(value & opt float 0.0 & info [ "ipc-drop" ] ~docv:"PROB" ~doc)
+
+let ipc_dup =
+  let doc = "Duplicate each IPC message with this probability." in
+  Arg.(value & opt float 0.0 & info [ "ipc-dup" ] ~docv:"PROB" ~doc)
+
+let ipc_spike =
+  let doc =
+    "IPC latency spikes: $(i,PROB:MS) adds MS milliseconds to a message's one-way \
+     latency with probability PROB."
+  in
+  Arg.(value & opt (some string) None & info [ "ipc-spike" ] ~docv:"PROB:MS" ~doc)
+
+let ipc_reorder =
+  let doc =
+    "Bounded IPC reordering: $(i,PROB:MS) lets a message slip up to MS milliseconds \
+     past its FIFO slot with probability PROB."
+  in
+  Arg.(value & opt (some string) None & info [ "ipc-reorder" ] ~docv:"PROB:MS" ~doc)
+
+let agent_crash =
+  let doc = "Crash the agent at $(i,T1) seconds and restart it at $(i,T2) seconds." in
+  Arg.(value & opt (some string) None & info [ "agent-crash" ] ~docv:"T1:T2" ~doc)
+
+let fallback_rtts =
+  let doc =
+    "Arm the datapath watchdog: after this many base RTTs of agent silence the flow \
+     reverts to native NewReno until the agent returns. 0 disables."
+  in
+  Arg.(value & opt float 0.0 & info [ "fallback-rtts" ] ~docv:"K" ~doc)
+
+let parse_pair ~what spec =
+  let num s =
+    match float_of_string_opt (String.trim s) with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "%s: %S is not a number (in %S)" what s spec)
+  in
+  match String.split_on_char ':' spec with
+  | [ a; b ] -> (num a, num b)
+  | _ -> failwith (Printf.sprintf "%s: expected A:B, got %S" what spec)
+
+let build_faults ~ipc_drop ~ipc_dup ~ipc_spike ~ipc_reorder ~agent_crash =
+  let spike =
+    Option.map
+      (fun spec ->
+        let probability, ms = parse_pair ~what:"--ipc-spike" spec in
+        { Ccp_ipc.Fault_plan.probability; extra = Time_ns.of_float_sec (ms /. 1e3) })
+      ipc_spike
+  in
+  let reorder =
+    Option.map
+      (fun spec ->
+        let probability, ms = parse_pair ~what:"--ipc-reorder" spec in
+        { Ccp_ipc.Fault_plan.probability; window = Time_ns.of_float_sec (ms /. 1e3) })
+      ipc_reorder
+  in
+  let plan =
+    Ccp_ipc.Fault_plan.make ~drop_probability:ipc_drop ~duplicate_probability:ipc_dup
+      ?spike ?reorder ()
+  in
+  match agent_crash with
+  | None -> plan
+  | Some spec ->
+    let at_s, restart_s = parse_pair ~what:"--agent-crash" spec in
+    Ccp_ipc.Fault_plan.crash ~at:(Time_ns.of_float_sec at_s)
+      ~restart:(Time_ns.of_float_sec restart_s) plan
+
 let parse_flows spec =
   String.split_on_char ',' spec
   |> List.map (fun entry ->
@@ -118,20 +189,53 @@ let print_result (r : Experiment.result) =
     Printf.printf
       "CCP agent: %d reports, %d urgents, %d installs, %d handler errors; IPC bytes %d up / %d down\n"
       s.Experiment.reports s.Experiment.urgents s.Experiment.installs s.Experiment.handler_errors
-      s.Experiment.ipc_bytes_to_agent s.Experiment.ipc_bytes_to_datapath
+      s.Experiment.ipc_bytes_to_agent s.Experiment.ipc_bytes_to_datapath;
+    let f = s.Experiment.ipc_faults in
+    if
+      s.Experiment.fallbacks > 0
+      || f.Ccp_ipc.Channel.dropped + f.Ccp_ipc.Channel.duplicated + f.Ccp_ipc.Channel.delayed
+         + f.Ccp_ipc.Channel.reordered + f.Ccp_ipc.Channel.partition_dropped
+         > 0
+    then
+      Printf.printf
+        "IPC faults: %d dropped, %d duplicated, %d delayed, %d reordered, %d lost to \
+         partitions; %d fallback activations, %d probes\n"
+        f.Ccp_ipc.Channel.dropped f.Ccp_ipc.Channel.duplicated f.Ccp_ipc.Channel.delayed
+        f.Ccp_ipc.Channel.reordered f.Ccp_ipc.Channel.partition_dropped s.Experiment.fallbacks
+        s.Experiment.fallback_probes
   | None -> ())
 
 let run_cmd =
-  let action rate_mbps rtt_ms duration_s buffer_bdp seed flows ecn_bdp =
+  let action rate_mbps rtt_ms duration_s buffer_bdp seed flows ecn_bdp ipc_drop ipc_dup
+      ipc_spike ipc_reorder agent_crash fallback_rtts =
     let config =
       build_config ~rate_mbps ~rtt_ms ~duration_s ~buffer_bdp ~seed ~flows ~ecn_bdp
     in
-    print_result (Experiment.run config)
+    let faults =
+      try build_faults ~ipc_drop ~ipc_dup ~ipc_spike ~ipc_reorder ~agent_crash
+      with Invalid_argument msg | Failure msg ->
+        Printf.eprintf "ccp_sim: %s\n%!" msg;
+        exit Cmd.Exit.cli_error
+    in
+    let datapath =
+      if fallback_rtts <= 0.0 then config.Experiment.datapath
+      else
+        {
+          config.Experiment.datapath with
+          Ccp_datapath.Ccp_ext.fallback =
+            Some
+              (Ccp_datapath.Ccp_ext.native_fallback
+                 ~after:(Time_ns.scale config.Experiment.base_rtt fallback_rtts)
+                 Ccp_algorithms.Native_reno.create);
+        }
+    in
+    print_result (Experiment.run { config with Experiment.faults; datapath })
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one dumbbell experiment.")
     Term.(
-      const action $ rate_mbps $ rtt_ms $ duration_s $ buffer_bdp $ seed $ flows_arg $ ecn_bdp)
+      const action $ rate_mbps $ rtt_ms $ duration_s $ buffer_bdp $ seed $ flows_arg $ ecn_bdp
+      $ ipc_drop $ ipc_dup $ ipc_spike $ ipc_reorder $ agent_crash $ fallback_rtts)
 
 let csv_cmd =
   let series =
@@ -179,6 +283,37 @@ let ablations_cmd = simple "ablations" "Run the design ablations."
         ~urgent:(Scenarios.Ablation.urgent ())
         ~batching:(Scenarios.Ablation.batching_mode ()))
 
+let degraded_cmd =
+  let action seed =
+    let c = Scenarios.Degraded.crash_restart ~seed () in
+    let line label (r : Experiment.result) =
+      let s = Option.get r.Experiment.agent_stats in
+      Printf.printf "%-18s utilization %5.1f%%  median RTT %-10s fallbacks %d  probes %d\n"
+        label
+        (100.0 *. r.Experiment.utilization)
+        (Time_ns.to_string r.Experiment.median_rtt)
+        s.Experiment.fallbacks s.Experiment.fallback_probes
+    in
+    Printf.printf "Agent crash at 5 s, restart at 10 s (20 s run, CCP Reno):\n";
+    line "clean" c.Scenarios.Degraded.clean;
+    line "crash, no fallback" c.Scenarios.Degraded.without_fallback;
+    line "crash + fallback" c.Scenarios.Degraded.with_fallback;
+    Printf.printf "\nLossy IPC sweep (native-Reno fallback armed):\n";
+    Printf.printf "%-8s %-12s %-12s %-10s %s\n" "drop" "utilization" "median RTT" "dropped"
+      "fallbacks";
+    List.iter
+      (fun (p : Scenarios.Degraded.lossy_point) ->
+        Printf.printf "%-8.2f %-12.3f %-12s %-10d %d\n" p.Scenarios.Degraded.drop_probability
+          p.Scenarios.Degraded.utilization
+          (Time_ns.to_string p.Scenarios.Degraded.median_rtt)
+          p.Scenarios.Degraded.messages_dropped p.Scenarios.Degraded.fallbacks)
+      (Scenarios.Degraded.lossy_ipc ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "degraded"
+       ~doc:"Run the degraded-control-plane scenarios (agent crash, lossy IPC).")
+    Term.(const action $ seed)
+
 let sweep_cmd = simple "sweep" "CCP vs native Reno across a grid of operating points."
     (fun () ->
       Sweep.render
@@ -191,7 +326,7 @@ let main =
        ~doc:"Congestion-control-plane reproduction (HotNets 2017).")
     [
       run_cmd; csv_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; table1_cmd; batching_cmd;
-      ablations_cmd; sweep_cmd;
+      ablations_cmd; sweep_cmd; degraded_cmd;
     ]
 
 let () = exit (Cmd.eval main)

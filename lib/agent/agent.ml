@@ -107,6 +107,8 @@ let create ~sim ~channel ~choose ?(policy = fun _ -> Policy.unrestricted) () =
 
 let with_algorithm ~sim ~channel algorithm = create ~sim ~channel ~choose:(fun _ -> algorithm) ()
 
+let reset t = Hashtbl.reset t.flows
+
 let flow_count t = Hashtbl.length t.flows
 
 let algorithm_name t ~flow =

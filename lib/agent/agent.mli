@@ -26,6 +26,14 @@ val create :
 val with_algorithm : sim:Sim.t -> channel:Channel.t -> Algorithm.t -> t
 (** Convenience: every flow runs the same algorithm, no policy. *)
 
+val reset : t -> unit
+(** Drop every per-flow algorithm instance, as a crashed-and-restarted
+    agent process would: counters survive (they are observability, not
+    state) but flows must re-register via [Ready] before the agent serves
+    them again. The datapath watchdog's fallback probes provide exactly
+    that re-handshake. Used by fault-injection experiments
+    ({!Ccp_ipc.Fault_plan} agent outages). *)
+
 (** {1 Introspection} *)
 
 val flow_count : t -> int

@@ -22,6 +22,15 @@ type offload_spec = {
   receiver : Offload.Receiver_path.config;
 }
 
+(* Live handles to the CCP plumbing of a running experiment, for tests
+   that need to observe or poke mid-run (schedule assertions on h_sim). *)
+type handles = {
+  h_sim : Sim.t;
+  h_channel : Ccp_ipc.Channel.t;
+  h_datapath : Ccp_ext.t;
+  h_agent : Ccp_agent.Agent.t;
+}
+
 type config = {
   seed : int;
   rate_bps : float;
@@ -39,6 +48,8 @@ type config = {
   policy : (Ccp_agent.Algorithm.flow_info -> Ccp_agent.Policy.t) option;
   jitter : Time_ns.t;
   rate_schedule : (Time_ns.t * float) list;
+  faults : Ccp_ipc.Fault_plan.t;
+  inspect : (handles -> unit) option;
 }
 
 let default_config ~rate_bps ~base_rtt ~duration =
@@ -60,6 +71,8 @@ let default_config ~rate_bps ~base_rtt ~duration =
     policy = None;
     jitter = Time_ns.zero;
     rate_schedule = [];
+    faults = Ccp_ipc.Fault_plan.none;
+    inspect = None;
   }
 
 type flow_result = {
@@ -96,6 +109,9 @@ and agent_stats = {
   handler_errors : int;
   ipc_bytes_to_agent : int;
   ipc_bytes_to_datapath : int;
+  fallbacks : int;
+  fallback_probes : int;
+  ipc_faults : Ccp_ipc.Channel.fault_stats;
 }
 
 and cpu_stats = {
@@ -132,7 +148,7 @@ let run (config : config) =
   let ccp_parts =
     if not (has_ccp_flows config) then None
     else begin
-      let channel = Ccp_ipc.Channel.create ~sim ~latency:config.ipc () in
+      let channel = Ccp_ipc.Channel.create ~sim ~latency:config.ipc ~faults:config.faults () in
       let ccp_ext = Ccp_ext.create ~sim ~channel ~config:config.datapath () in
       let algorithms = Hashtbl.create 4 in
       let choose (info : Ccp_agent.Algorithm.flow_info) =
@@ -144,6 +160,20 @@ let run (config : config) =
         Ccp_agent.Agent.create ~sim ~channel ~choose
           ?policy:config.policy ()
       in
+      (* A crashed agent loses its per-flow state; model the restart as a
+         reset at the end of each outage. The channel already blackholes
+         its traffic for the interval, so the pair gives the full crash:
+         silence, then an amnesiac process waiting for Ready probes. *)
+      List.iter
+        (fun (o : Ccp_ipc.Fault_plan.interval) ->
+          ignore
+            (Sim.schedule sim ~at:o.Ccp_ipc.Fault_plan.until (fun () ->
+                 Ccp_agent.Agent.reset agent)))
+        config.faults.Ccp_ipc.Fault_plan.agent_outages;
+      Option.iter
+        (fun inspect ->
+          inspect { h_sim = sim; h_channel = channel; h_datapath = ccp_ext; h_agent = agent })
+        config.inspect;
       Some (channel, ccp_ext, agent, algorithms)
     end
   in
@@ -297,7 +327,7 @@ let run (config : config) =
   let qdisc = Link.qdisc (Topology.Dumbbell.forward dumbbell) in
   let agent_stats =
     Option.map
-      (fun (channel, _, agent, _) ->
+      (fun (channel, ccp_ext, agent, _) ->
         {
           reports = Ccp_agent.Agent.reports_received agent;
           urgents = Ccp_agent.Agent.urgents_received agent;
@@ -305,6 +335,9 @@ let run (config : config) =
           handler_errors = Ccp_agent.Agent.handler_errors agent;
           ipc_bytes_to_agent = Ccp_ipc.Channel.bytes_sent channel Ccp_ipc.Channel.Datapath_end;
           ipc_bytes_to_datapath = Ccp_ipc.Channel.bytes_sent channel Ccp_ipc.Channel.Agent_end;
+          fallbacks = Ccp_ext.fallbacks_triggered ccp_ext;
+          fallback_probes = Ccp_ext.fallback_probes_sent ccp_ext;
+          ipc_faults = Ccp_ipc.Channel.fault_stats channel;
         })
       ccp_parts
   in

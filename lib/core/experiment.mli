@@ -30,6 +30,17 @@ type offload_spec = {
   receiver : Offload.Receiver_path.config;
 }
 
+(** Live handles to the shared CCP plumbing, passed to [config.inspect]
+    just after wiring and before the simulation runs. Intended for tests
+    and scenarios that schedule mid-run observations (e.g. "is the flow in
+    fallback at t=7s?") on [h_sim]. *)
+type handles = {
+  h_sim : Ccp_eventsim.Sim.t;
+  h_channel : Ccp_ipc.Channel.t;
+  h_datapath : Ccp_ext.t;
+  h_agent : Ccp_agent.Agent.t;
+}
+
 type config = {
   seed : int;
   rate_bps : float;
@@ -49,6 +60,12 @@ type config = {
   rate_schedule : (Time_ns.t * float) list;
       (** piecewise-constant bottleneck capacity (cellular-style); empty =
           the fixed [rate_bps] *)
+  faults : Ccp_ipc.Fault_plan.t;
+      (** IPC fault injection; agent outages additionally reset the agent's
+          flow table at each restart instant. [Fault_plan.none] = clean. *)
+  inspect : (handles -> unit) option;
+      (** called once after CCP wiring when any flow is CCP; ignored
+          otherwise *)
 }
 
 val default_config : rate_bps:float -> base_rtt:Time_ns.t -> duration:Time_ns.t -> config
@@ -91,6 +108,9 @@ and agent_stats = {
   handler_errors : int;
   ipc_bytes_to_agent : int;
   ipc_bytes_to_datapath : int;
+  fallbacks : int;  (** watchdog fallback activations across all flows *)
+  fallback_probes : int;  (** [Ready] re-handshakes sent from fallback *)
+  ipc_faults : Ccp_ipc.Channel.fault_stats;  (** all-zero under a clean channel *)
 }
 
 and cpu_stats = {

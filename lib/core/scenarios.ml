@@ -200,6 +200,71 @@ module Fig5 = struct
       [ All_on; Tso_off; All_off ]
 end
 
+module Degraded = struct
+  let default_rate_bps = 48e6
+  let default_base_rtt = Time_ns.ms 20
+
+  (* k=4 RTTs of silence before the datapath takes the flow back. *)
+  let watchdog_after = Time_ns.scale default_base_rtt 4.0
+
+  let reno_fallback () =
+    Ccp_datapath.Ccp_ext.native_fallback ~after:watchdog_after Native_reno.create
+
+  let run_one ?(duration = Time_ns.sec 15) ?(seed = 42)
+      ?(faults = Ccp_ipc.Fault_plan.none) ?fallback () =
+    let base =
+      Experiment.default_config ~rate_bps:default_rate_bps ~base_rtt:default_base_rtt
+        ~duration
+    in
+    Experiment.run
+      {
+        base with
+        Experiment.seed;
+        warmup = Time_ns.scale duration 0.05;
+        datapath = { Ccp_datapath.Ccp_ext.default_config with fallback };
+        faults;
+        flows = [ Experiment.flow (Experiment.Ccp_cc (Ccp_reno.create ())) ];
+      }
+
+  type crash_comparison = {
+    clean : Experiment.result;
+    without_fallback : Experiment.result;
+    with_fallback : Experiment.result;
+  }
+
+  let crash_restart ?(crash_at = Time_ns.sec 5) ?(restart_at = Time_ns.sec 10)
+      ?(duration = Time_ns.sec 20) ?(seed = 42) () =
+    let faults = Ccp_ipc.Fault_plan.crash ~at:crash_at ~restart:restart_at Ccp_ipc.Fault_plan.none in
+    {
+      clean = run_one ~duration ~seed ();
+      without_fallback = run_one ~duration ~seed ~faults ();
+      with_fallback = run_one ~duration ~seed ~faults ~fallback:(reno_fallback ()) ();
+    }
+
+  type lossy_point = {
+    drop_probability : float;
+    utilization : float;
+    median_rtt : Time_ns.t;
+    messages_dropped : int;
+    fallbacks : int;
+  }
+
+  let lossy_ipc ?(duration = Time_ns.sec 12) ?(seed = 42) () =
+    List.map
+      (fun drop_probability ->
+        let faults = Ccp_ipc.Fault_plan.make ~drop_probability () in
+        let r = run_one ~duration ~seed ~faults ~fallback:(reno_fallback ()) () in
+        let stats = Option.get r.Experiment.agent_stats in
+        {
+          drop_probability;
+          utilization = r.Experiment.utilization;
+          median_rtt = r.Experiment.median_rtt;
+          messages_dropped = stats.Experiment.ipc_faults.Ccp_ipc.Channel.dropped;
+          fallbacks = stats.Experiment.fallbacks;
+        })
+      [ 0.0; 0.01; 0.05; 0.2; 0.5 ]
+end
+
 module Batching_load = struct
   type row = {
     link_bps : float;

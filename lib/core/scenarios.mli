@@ -70,6 +70,56 @@ module Fig5 : sig
   (** Six cells: 3 offload settings x 2 systems. *)
 end
 
+(** Beyond the paper: Fig. 3-style runs under a degraded control plane
+    (the §5 "what if the agent fails?" question, made concrete by
+    {!Ccp_ipc.Fault_plan} and the datapath's native-fallback watchdog). *)
+module Degraded : sig
+  val watchdog_after : Time_ns.t
+  (** The canned silence threshold: 4 base RTTs. *)
+
+  val reno_fallback : unit -> Ccp_datapath.Ccp_ext.fallback
+  (** Native NewReno stand-in with the canned threshold. *)
+
+  val run_one :
+    ?duration:Time_ns.t ->
+    ?seed:int ->
+    ?faults:Ccp_ipc.Fault_plan.t ->
+    ?fallback:Ccp_datapath.Ccp_ext.fallback ->
+    unit ->
+    Experiment.result
+  (** One CCP-Reno flow on a 48 Mbit/s, 20 ms dumbbell under the given
+      fault plan and fallback policy. *)
+
+  type crash_comparison = {
+    clean : Experiment.result;  (** no faults: the baseline *)
+    without_fallback : Experiment.result;  (** crash, watchdog disabled *)
+    with_fallback : Experiment.result;  (** crash, native-Reno watchdog *)
+  }
+
+  val crash_restart :
+    ?crash_at:Time_ns.t ->
+    ?restart_at:Time_ns.t ->
+    ?duration:Time_ns.t ->
+    ?seed:int ->
+    unit ->
+    crash_comparison
+  (** The headline degraded scenario: the agent crashes at 5 s and
+      restarts at 10 s of a 20 s run. Without fallback the flow coasts on
+      its last window; with it the datapath reverts to native Reno within
+      [watchdog_after] and hands back control after the restart. *)
+
+  type lossy_point = {
+    drop_probability : float;
+    utilization : float;
+    median_rtt : Time_ns.t;
+    messages_dropped : int;
+    fallbacks : int;
+  }
+
+  val lossy_ipc : ?duration:Time_ns.t -> ?seed:int -> unit -> lossy_point list
+  (** Sweep i.i.d. IPC message loss from 0 to 50 %, native fallback armed. *)
+end
+
 (** The in-text §2.3 arithmetic: ACKs/s versus batches/s. *)
 module Batching_load : sig
   type row = {

@@ -3,10 +3,17 @@ open Ccp_eventsim
 open Ccp_lang
 open Ccp_ipc
 
+type fallback_mode =
+  | Clamp of { cwnd_segments : int }
+  | Native of (unit -> Congestion_iface.t)
+
 type fallback = {
   after : Time_ns.t;
-  cwnd_segments : int;
+  mode : fallback_mode;
 }
+
+let clamp_fallback ~after ~cwnd_segments = { after; mode = Clamp { cwnd_segments } }
+let native_fallback ~after make_cc = { after; mode = Native make_cc }
 
 type config = {
   urgent_on_loss : bool;
@@ -42,6 +49,8 @@ type flow_state = {
   mutable last_ecn_urgent : Time_ns.t;
   mutable last_agent_contact : Time_ns.t;
   mutable fallback_active : bool;
+  mutable fallback_cc : Congestion_iface.t option;
+      (* live native controller instance while a [Native] fallback holds the flow *)
   incidents : Eval.incident_counter;
 }
 
@@ -56,6 +65,7 @@ type t = {
   mutable installs_rejected : int;
   mutable vector_rows_dropped : int;
   mutable fallbacks_triggered : int;
+  mutable fallback_probes_sent : int;
 }
 
 (* --- evaluation environments --- *)
@@ -239,7 +249,12 @@ let install_program t fs program =
 
 let note_agent_contact t fs =
   fs.last_agent_contact <- Sim.now t.sim;
-  fs.fallback_active <- false
+  if fs.fallback_active then begin
+    (* Agent recovered: the native stand-in releases the flow before the
+       message is applied, so control is handed back atomically. *)
+    fs.fallback_active <- false;
+    fs.fallback_cc <- None
+  end
 
 let on_message t (msg : Message.t) =
   match msg with
@@ -279,6 +294,7 @@ let create ~sim ~channel ?(config = default_config) () =
       installs_rejected = 0;
       vector_rows_dropped = 0;
       fallbacks_triggered = 0;
+      fallback_probes_sent = 0;
     }
   in
   Channel.on_receive channel Channel.Datapath_end (on_message t);
@@ -287,9 +303,14 @@ let create ~sim ~channel ?(config = default_config) () =
 (* --- the Congestion_iface implementation --- *)
 
 (* The watchdog checks agent liveness once per [after] period. Entering
-   fallback clamps the window and disables pacing; the clamp is re-applied
-   on every tick while the silence lasts (an installed-but-orphaned
-   program could keep adjusting the knobs between ticks). *)
+   fallback always stops the orphaned program and disables pacing; what
+   happens next depends on the mode. [Clamp] pins a conservative window and
+   re-applies it on every tick while the silence lasts (an
+   installed-but-orphaned program could keep adjusting the knobs between
+   ticks). [Native] instantiates an in-datapath controller that takes over
+   ACK and loss handling until the agent returns. In either mode, every
+   tick spent in fallback re-sends [Ready] — a cheap re-handshake probe so
+   a restarted agent re-learns the flow and can reclaim it. *)
 let rec watchdog_tick t fs (fb : fallback) =
   let silence = Time_ns.sub (Sim.now t.sim) fs.last_agent_contact in
   if Time_ns.compare silence fb.after >= 0 then begin
@@ -299,10 +320,28 @@ let rec watchdog_tick t fs (fb : fallback) =
       (* Stop executing the orphaned program. *)
       cancel_wait fs;
       fs.program <- None;
-      fs.measurement <- No_measurement
+      fs.measurement <- No_measurement;
+      fs.ctl.Congestion_iface.set_rate 0.0;
+      match fb.mode with
+      | Clamp _ -> ()
+      | Native make_cc ->
+        let cc = make_cc () in
+        fs.fallback_cc <- Some cc;
+        cc.Congestion_iface.on_init fs.ctl
     end;
-    fs.ctl.Congestion_iface.set_cwnd (fb.cwnd_segments * fs.ctl.Congestion_iface.mss);
-    fs.ctl.Congestion_iface.set_rate 0.0
+    (match fb.mode with
+    | Clamp { cwnd_segments } ->
+      fs.ctl.Congestion_iface.set_cwnd (cwnd_segments * fs.ctl.Congestion_iface.mss);
+      fs.ctl.Congestion_iface.set_rate 0.0
+    | Native _ -> ());
+    t.fallback_probes_sent <- t.fallback_probes_sent + 1;
+    Channel.send t.channel ~from:Channel.Datapath_end
+      (Message.Ready
+         {
+           flow = fs.ctl.Congestion_iface.flow;
+           mss = fs.ctl.Congestion_iface.mss;
+           init_cwnd = fs.ctl.Congestion_iface.get_cwnd ();
+         })
   end;
   ignore
     (Sim.schedule_after t.sim ~delay:fb.after (fun () -> watchdog_tick t fs fb))
@@ -319,6 +358,7 @@ let on_init t ctl =
       last_ecn_urgent = Time_ns.zero;
       last_agent_contact = Sim.now t.sim;
       fallback_active = false;
+      fallback_cc = None;
       incidents = Eval.fresh_counter ();
     }
   in
@@ -353,6 +393,10 @@ let record_measurement t fs (ev : Congestion_iface.ack_event) ~bytes_lost =
 let on_ack t ctl (ev : Congestion_iface.ack_event) =
   match Hashtbl.find_opt t.flows ctl.Congestion_iface.flow with
   | None -> ()
+  | Some { fallback_active = true; fallback_cc = Some cc; _ } ->
+    (* The native stand-in owns the flow; no measurement aggregation and
+       no urgents while the agent is out. *)
+    cc.Congestion_iface.on_ack ctl ev
   | Some fs ->
     Option.iter (fun r -> fs.last_rtt_us <- Time_ns.to_float_us r) ev.rtt_sample;
     record_measurement t fs ev ~bytes_lost:0;
@@ -372,6 +416,8 @@ let on_ack t ctl (ev : Congestion_iface.ack_event) =
 let on_loss t ctl (loss : Congestion_iface.loss_event) =
   match Hashtbl.find_opt t.flows ctl.Congestion_iface.flow with
   | None -> ()
+  | Some { fallback_active = true; fallback_cc = Some cc; _ } ->
+    cc.Congestion_iface.on_loss ctl loss
   | Some fs -> (
     match loss.kind with
     | Congestion_iface.Rto ->
@@ -382,13 +428,19 @@ let on_loss t ctl (loss : Congestion_iface.loss_event) =
     | Congestion_iface.Dup_acks ->
       if t.config.urgent_on_loss then send_urgent t fs Message.Dup_ack_loss)
 
+let on_exit_recovery t ctl =
+  match Hashtbl.find_opt t.flows ctl.Congestion_iface.flow with
+  | Some { fallback_active = true; fallback_cc = Some cc; _ } ->
+    cc.Congestion_iface.on_exit_recovery ctl
+  | Some _ | None -> ()
+
 let congestion_control t : Congestion_iface.t =
   {
     name = "ccp";
     on_init = on_init t;
     on_ack = on_ack t;
     on_loss = on_loss t;
-    on_exit_recovery = (fun _ -> ());
+    on_exit_recovery = on_exit_recovery t;
   }
 
 let installed_program t ~flow =
@@ -404,8 +456,19 @@ let eval_incidents t ~flow =
   Option.map (fun fs -> fs.incidents) (Hashtbl.find_opt t.flows flow)
 
 let fallbacks_triggered t = t.fallbacks_triggered
+let fallback_probes_sent t = t.fallback_probes_sent
 
 let in_fallback t ~flow =
   match Hashtbl.find_opt t.flows flow with
   | Some fs -> fs.fallback_active
   | None -> false
+
+type controller = Agent_program | Native_fallback | Awaiting_agent
+
+let controller t ~flow =
+  Option.map
+    (fun fs ->
+      if fs.fallback_active then Native_fallback
+      else if fs.program <> None then Agent_program
+      else Awaiting_agent)
+    (Hashtbl.find_opt t.flows flow)

@@ -29,13 +29,28 @@ open Ccp_ipc
 
 (** Safe-fallback watchdog (§5, "Is CCP safe to deploy?"): if the agent
     goes silent — no Install/Set_cwnd/Set_rate for [after] — the datapath
-    clamps the flow to a conservative window and disables pacing, keeping
-    traffic flowing (slowly) until the agent returns. Any subsequent agent
-    message lifts the clamp. *)
+    takes the flow back. [Clamp] pins a conservative window and disables
+    pacing, keeping traffic flowing (slowly). [Native] hands the flow to a
+    freshly created in-datapath controller (e.g. [Native_reno.create]),
+    which then receives every ACK and loss event as if it had owned the
+    flow all along — full-speed operation with zero agent involvement.
+
+    While in fallback the watchdog also re-sends [Ready] once per period:
+    a restarted agent that lost its state re-learns the flow from the
+    probe, re-installs a program, and the datapath hands control back on
+    that first message. Any agent message for the flow lifts fallback. *)
+type fallback_mode =
+  | Clamp of { cwnd_segments : int }  (** conservative window while in fallback *)
+  | Native of (unit -> Congestion_iface.t)
+      (** fresh in-datapath controller per fallback episode *)
+
 type fallback = {
-  after : Time_ns.t;  (** silence threshold *)
-  cwnd_segments : int;  (** conservative window while in fallback *)
+  after : Time_ns.t;  (** silence threshold, and probe period while down *)
+  mode : fallback_mode;
 }
+
+val clamp_fallback : after:Time_ns.t -> cwnd_segments:int -> fallback
+val native_fallback : after:Time_ns.t -> (unit -> Congestion_iface.t) -> fallback
 
 type config = {
   urgent_on_loss : bool;
@@ -70,4 +85,17 @@ val vector_rows_dropped : t -> int
 val eval_incidents : t -> flow:int -> Ccp_lang.Eval.incident_counter option
 
 val fallbacks_triggered : t -> int
+
+val fallback_probes_sent : t -> int
+(** [Ready] re-handshakes emitted while flows sat in fallback. *)
+
 val in_fallback : t -> flow:int -> bool
+
+(** Who is driving a flow right now. The datapath maintains the invariant
+    that exactly one party controls each flow: an installed agent program
+    and an active native fallback are mutually exclusive by construction
+    ([Awaiting_agent] covers the startup window before the first install,
+    when the flow still runs at its initial window). *)
+type controller = Agent_program | Native_fallback | Awaiting_agent
+
+val controller : t -> flow:int -> controller option

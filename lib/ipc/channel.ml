@@ -10,26 +10,47 @@ type direction = {
   mutable last_delivery : Time_ns.t;  (* FIFO floor for this direction *)
 }
 
+type fault_stats = {
+  dropped : int;
+  duplicated : int;
+  delayed : int;
+  reordered : int;
+  partition_dropped : int;
+}
+
+let no_faults_yet =
+  { dropped = 0; duplicated = 0; delayed = 0; reordered = 0; partition_dropped = 0 }
+
 type t = {
   sim : Sim.t;
   latency : Latency_model.t;
   rng : Rng.t;
+  faults : Fault_plan.t;
+  (* Separate stream so fault decisions never perturb latency draws; only
+     split when the plan is non-empty, keeping clean runs byte-identical. *)
+  fault_rng : Rng.t option;
   to_agent : direction;
   to_datapath : direction;
   mutable decode_failures : int;
+  mutable fault_stats : fault_stats;
 }
 
 let fresh_direction () =
   { handler = None; messages = 0; bytes = 0; last_delivery = Time_ns.zero }
 
-let create ~sim ~latency () =
+let create ~sim ~latency ?(faults = Fault_plan.none) () =
+  let rng = Rng.split (Sim.rng sim) in
+  let fault_rng = if Fault_plan.is_none faults then None else Some (Rng.split (Sim.rng sim)) in
   {
     sim;
     latency;
-    rng = Rng.split (Sim.rng sim);
+    rng;
+    faults;
+    fault_rng;
     to_agent = fresh_direction ();
     to_datapath = fresh_direction ();
     decode_failures = 0;
+    fault_stats = no_faults_yet;
   }
 
 let direction_toward t = function
@@ -38,10 +59,29 @@ let direction_toward t = function
 
 let on_receive t endpoint handler = (direction_toward t endpoint).handler <- Some handler
 
+let deliver t handler bytes =
+  match Codec.decode bytes with
+  | decoded -> handler decoded
+  | exception (Codec.Decode_error _ | Wire.Reader.Truncated | Wire.Reader.Malformed _) ->
+    t.decode_failures <- t.decode_failures + 1
+
+(* Schedule one copy of [bytes]. [fifo] decides whether the arrival is
+   clamped to (and advances) the direction's FIFO floor; reordered and
+   duplicated copies skip the clamp so later sends may overtake them. *)
+let schedule_copy t dir ~toward handler ~arrival ~fifo bytes =
+  let arrival = if fifo then Time_ns.max arrival dir.last_delivery else arrival in
+  if fifo then dir.last_delivery <- arrival;
+  ignore
+    (Sim.schedule t.sim ~at:arrival (fun () ->
+         (* A crashed agent loses messages already in flight toward it. *)
+         if toward = Agent_end && Fault_plan.agent_down t.faults (Sim.now t.sim) then
+           t.fault_stats <-
+             { t.fault_stats with partition_dropped = t.fault_stats.partition_dropped + 1 }
+         else deliver t handler bytes))
+
 let send t ~from msg =
-  let dir =
-    match from with Datapath_end -> t.to_agent | Agent_end -> t.to_datapath
-  in
+  let toward = match from with Datapath_end -> Agent_end | Agent_end -> Datapath_end in
+  let dir = direction_toward t toward in
   let handler =
     match dir.handler with
     | Some h -> h
@@ -50,17 +90,57 @@ let send t ~from msg =
   let bytes = Codec.encode msg in
   dir.messages <- dir.messages + 1;
   dir.bytes <- dir.bytes + String.length bytes;
-  let delay = Latency_model.one_way t.latency t.rng in
-  let arrival = Time_ns.add (Sim.now t.sim) delay in
-  (* Preserve per-direction FIFO ordering under random latency draws. *)
-  let arrival = Time_ns.max arrival dir.last_delivery in
-  dir.last_delivery <- arrival;
-  ignore
-    (Sim.schedule t.sim ~at:arrival (fun () ->
-         match Codec.decode bytes with
-         | decoded -> handler decoded
-         | exception (Codec.Decode_error _ | Wire.Reader.Truncated | Wire.Reader.Malformed _) ->
-           t.decode_failures <- t.decode_failures + 1))
+  match t.fault_rng with
+  | None ->
+    (* Clean channel: the original delivery path, untouched. *)
+    let delay = Latency_model.one_way t.latency t.rng in
+    let arrival = Time_ns.add (Sim.now t.sim) delay in
+    (* Preserve per-direction FIFO ordering under random latency draws. *)
+    let arrival = Time_ns.max arrival dir.last_delivery in
+    dir.last_delivery <- arrival;
+    ignore (Sim.schedule t.sim ~at:arrival (fun () -> deliver t handler bytes))
+  | Some frng ->
+    let now = Sim.now t.sim in
+    let stats = t.fault_stats in
+    if Fault_plan.in_partition t.faults now then
+      t.fault_stats <- { stats with partition_dropped = stats.partition_dropped + 1 }
+    else if
+      t.faults.Fault_plan.drop_probability > 0.0
+      && Rng.float frng 1.0 < t.faults.Fault_plan.drop_probability
+    then t.fault_stats <- { stats with dropped = stats.dropped + 1 }
+    else begin
+      let delay = Latency_model.one_way t.latency t.rng in
+      let delay =
+        match t.faults.Fault_plan.spike with
+        | Some s when s.Fault_plan.probability > 0.0 && Rng.float frng 1.0 < s.Fault_plan.probability ->
+          t.fault_stats <- { t.fault_stats with delayed = t.fault_stats.delayed + 1 };
+          Time_ns.add delay s.Fault_plan.extra
+        | _ -> delay
+      in
+      let arrival = Time_ns.add now delay in
+      (match t.faults.Fault_plan.reorder with
+      | Some r
+        when r.Fault_plan.probability > 0.0 && Rng.float frng 1.0 < r.Fault_plan.probability ->
+        (* Bounded reordering: push the message at most [window] past its
+           FIFO slot without raising the floor, so later sends overtake. *)
+        let slot = Time_ns.max arrival dir.last_delivery in
+        (* Time_ns.t is integer nanoseconds, so the window bounds the draw. *)
+        let lag = Rng.int frng (max 1 (r.Fault_plan.window + 1)) in
+        t.fault_stats <- { t.fault_stats with reordered = t.fault_stats.reordered + 1 };
+        schedule_copy t dir ~toward handler ~arrival:(Time_ns.add slot (Time_ns.ns lag))
+          ~fifo:false bytes
+      | _ -> schedule_copy t dir ~toward handler ~arrival ~fifo:true bytes);
+      if
+        t.faults.Fault_plan.duplicate_probability > 0.0
+        && Rng.float frng 1.0 < t.faults.Fault_plan.duplicate_probability
+      then begin
+        (* The duplicate pays its own latency draw and floats free of the
+           FIFO floor, as a retransmitted datagram would. *)
+        let dup_arrival = Time_ns.add now (Latency_model.one_way t.latency t.rng) in
+        t.fault_stats <- { t.fault_stats with duplicated = t.fault_stats.duplicated + 1 };
+        schedule_copy t dir ~toward handler ~arrival:dup_arrival ~fifo:false bytes
+      end
+    end
 
 let messages_sent t = function
   | Datapath_end -> t.to_agent.messages
@@ -71,3 +151,5 @@ let bytes_sent t = function
   | Agent_end -> t.to_datapath.bytes
 
 let decode_failures t = t.decode_failures
+let fault_plan t = t.faults
+let fault_stats t = t.fault_stats

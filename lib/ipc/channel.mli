@@ -6,7 +6,14 @@
     experiences exactly the asynchrony the paper's architecture implies,
     and the codec is on the hot path. Messages in each direction are
     delivered in FIFO order even when latency draws would reorder them
-    (both Netlink and Unix sockets preserve ordering). *)
+    (both Netlink and Unix sockets preserve ordering).
+
+    A {!Fault_plan.t} degrades the channel on purpose: messages may be
+    dropped, duplicated, delayed, reordered within a bounded window, or
+    blackholed during partition/agent-crash intervals. Fault decisions come
+    from a dedicated RNG stream split off the simulator root, so degraded
+    runs stay deterministic — and the empty plan leaves the channel
+    byte-for-byte identical to one without fault injection. *)
 
 open Ccp_eventsim
 
@@ -14,9 +21,10 @@ type t
 
 type endpoint = Datapath_end | Agent_end
 
-val create : sim:Sim.t -> latency:Latency_model.t -> unit -> t
+val create : sim:Sim.t -> latency:Latency_model.t -> ?faults:Fault_plan.t -> unit -> t
 (** The latency model is interpreted as a round-trip distribution; each
-    message pays a one-way (half) draw. *)
+    message pays a one-way (half) draw. [faults] defaults to
+    {!Fault_plan.none}. *)
 
 val on_receive : t -> endpoint -> (Message.t -> unit) -> unit
 (** Register the handler that receives messages arriving {e at} the given
@@ -32,3 +40,18 @@ val messages_sent : t -> endpoint -> int
 
 val bytes_sent : t -> endpoint -> int
 val decode_failures : t -> int
+
+(** Cumulative effect of the fault plan on this channel, both directions
+    combined. All-zero when the plan is {!Fault_plan.none}. *)
+type fault_stats = {
+  dropped : int;  (** random per-message losses *)
+  duplicated : int;  (** extra copies delivered *)
+  delayed : int;  (** latency spikes applied *)
+  reordered : int;  (** messages released from the FIFO floor *)
+  partition_dropped : int;
+      (** losses to partitions and agent outages, including in-flight
+          messages that arrived at a crashed agent *)
+}
+
+val fault_plan : t -> Fault_plan.t
+val fault_stats : t -> fault_stats

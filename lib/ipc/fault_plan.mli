@@ -1,0 +1,80 @@
+(** Composable fault injection for the simulated IPC channel.
+
+    A fault plan describes how the channel between the datapath and the
+    user-space agent misbehaves: random message loss and duplication,
+    latency spikes, bounded reordering windows, full partition intervals,
+    and agent crash/restart episodes. The {!Channel} draws every random
+    decision from its own RNG stream (split off the simulator root), so a
+    faulty run is exactly as reproducible as a clean one.
+
+    The empty plan ({!none}) is the identity: a channel created with it
+    performs {e no} extra RNG draws and behaves byte-for-byte like a
+    channel without fault injection. *)
+
+open Ccp_util
+
+(** Half-open interval [\[from_, until)] of simulated time. *)
+type interval = { from_ : Time_ns.t; until : Time_ns.t }
+
+type spike = {
+  probability : float;  (** chance a message pays the extra delay *)
+  extra : Time_ns.t;  (** additional one-way latency when it fires *)
+}
+
+type reorder = {
+  probability : float;  (** chance a message escapes the FIFO floor *)
+  window : Time_ns.t;
+      (** bound on how far past its FIFO slot the straggler may land;
+          later messages are free to overtake it inside the window *)
+}
+
+type t = {
+  drop_probability : float;  (** i.i.d. per-message loss, both directions *)
+  duplicate_probability : float;  (** deliver a second copy after a fresh latency draw *)
+  spike : spike option;
+  reorder : reorder option;
+  partitions : interval list;
+      (** while a partition is open, every send (either direction) is
+          silently dropped — the channel carries nothing *)
+  agent_outages : interval list;
+      (** agent crash/restart episodes: like a partition, but messages
+          already in flight toward the agent are also lost on arrival, and
+          {!Ccp_core.Experiment} additionally resets the agent's per-flow
+          state at the restart instant (the process lost its memory) *)
+}
+
+val none : t
+(** No faults. The identity plan. *)
+
+val is_none : t -> bool
+(** [true] iff the plan can never affect a message; channels skip the
+    fault path (and its RNG draws) entirely in that case. *)
+
+val make :
+  ?drop_probability:float ->
+  ?duplicate_probability:float ->
+  ?spike:spike ->
+  ?reorder:reorder ->
+  ?partitions:interval list ->
+  ?agent_outages:interval list ->
+  unit ->
+  t
+(** Validating constructor. Raises [Invalid_argument] if a probability is
+    outside \[0, 1\], a spike/reorder duration is negative, or an interval
+    has [until <= from_]. *)
+
+val crash : at:Time_ns.t -> restart:Time_ns.t -> t -> t
+(** [crash ~at ~restart plan] adds one agent outage episode. *)
+
+val in_partition : t -> Time_ns.t -> bool
+(** The instant falls inside a partition {e or} agent outage. *)
+
+val agent_down : t -> Time_ns.t -> bool
+(** The instant falls inside an agent outage. *)
+
+val partition_time : t -> Time_ns.t
+(** Total scheduled unavailability: summed lengths of partitions and agent
+    outages (overlaps counted twice; plans normally keep them disjoint). *)
+
+val describe : t -> string
+(** One-line human-readable summary, ["none"] for the empty plan. *)

@@ -1,0 +1,60 @@
+(* Lightweight seeded property-based test runner.
+
+   A thin layer over {!Ccp_util.Rng}: each property runs [cases] random
+   inputs drawn from a generator, all derived from one fixed seed so runs
+   are deterministic and failures reproducible. Override the seed with
+   [CCP_PROP_SEED=<n> dune exec test/main.exe] for soak runs (bin/ci.sh
+   does this). Unlike qcheck there is no shrinking — inputs are kept small
+   by construction instead — but failure reports carry the case index,
+   seed, and the generated input. *)
+
+open Ccp_util
+
+let default_cases = 100
+
+let seed =
+  match Sys.getenv_opt "CCP_PROP_SEED" with
+  | None | Some "" -> 0x5EED
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> n
+      | None -> Printf.ksprintf failwith "CCP_PROP_SEED=%S is not an integer" s)
+
+exception Falsified of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Falsified m)) fmt
+let require what cond = if not cond then fail "%s" what
+
+let check_eq ~what show expected actual =
+  if expected <> actual then
+    fail "%s: expected %s, got %s" what (show expected) (show actual)
+
+(* Each case gets its own generator split off a per-property root (the
+   fixed seed xor a hash of the property name, so properties sharing the
+   seed still see decorrelated inputs), so adding draws to one case cannot
+   shift the inputs of later cases. *)
+let run ?(cases = default_cases) ~name ~gen ~show prop () =
+  let root = Rng.create ~seed:(seed lxor Hashtbl.hash name) in
+  for i = 1 to cases do
+    let case_rng = Rng.split root in
+    let x = gen case_rng in
+    try prop x with
+    | Falsified msg ->
+        Alcotest.failf "property %s: case %d/%d (CCP_PROP_SEED=%d)@\ninput: %s@\n%s" name i
+          cases seed (show x) msg
+    | e ->
+        Alcotest.failf "property %s: case %d/%d (CCP_PROP_SEED=%d)@\ninput: %s@\nraised %s"
+          name i cases seed (show x) (Printexc.to_string e)
+  done
+
+let test_case ?cases ~name ~gen ~show prop =
+  Alcotest.test_case name `Quick (run ?cases ~name ~gen ~show prop)
+
+(* --- generator helpers --- *)
+
+let int_range rng lo hi = lo + Rng.int rng (hi - lo + 1)
+let list rng ?(min = 0) ~max gen = List.init (int_range rng min max) (fun _ -> gen rng)
+let choose rng xs = List.nth xs (Rng.int rng (List.length xs))
+
+let string rng ?(max = 12) () =
+  String.init (Rng.int rng (max + 1)) (fun _ -> Char.chr (int_range rng 32 126))

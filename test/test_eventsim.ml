@@ -104,6 +104,49 @@ let test_rng_access () =
   Alcotest.(check int64) "same seed same stream" (Rng.bits64 (Sim.rng a))
     (Rng.bits64 (Sim.rng b))
 
+(* --- edge-case regressions (fault-injection PR) --- *)
+
+let test_event_at_exactly_until_fires () =
+  let sim = Sim.create () in
+  let fired = ref false and late = ref false in
+  ignore (Sim.schedule sim ~at:(Time_ns.ms 50) (fun () -> fired := true));
+  ignore (Sim.schedule sim ~at:(Time_ns.ms 50 + 1) (fun () -> late := true));
+  Sim.run ~until:(Time_ns.ms 50) sim;
+  Alcotest.(check bool) "event at the horizon fires" true !fired;
+  Alcotest.(check bool) "event one ns past does not" false !late;
+  Alcotest.(check int) "clock stops at the horizon" (Time_ns.ms 50) (Sim.now sim)
+
+let test_same_instant_fifo_mixed_apis () =
+  (* schedule ~at and schedule_after landing on the same instant must
+     still fire in submission order, regardless of which API queued them. *)
+  let sim = Sim.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore
+    (Sim.schedule sim ~at:(Time_ns.ms 1) (fun () ->
+         ignore (Sim.schedule sim ~at:(Time_ns.ms 5) (note "a"));
+         ignore (Sim.schedule_after sim ~delay:(Time_ns.ms 4) (note "b"));
+         ignore (Sim.schedule sim ~at:(Time_ns.ms 5) (note "c"));
+         ignore (Sim.schedule_after sim ~delay:(Time_ns.ms 4) (note "d"))));
+  Sim.run sim;
+  Alcotest.(check (list string)) "submission order at equal instants"
+    [ "a"; "b"; "c"; "d" ] (List.rev !log)
+
+let test_cancel_fired_timer_noop () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let timer = Sim.schedule sim ~at:(Time_ns.ms 1) (fun () -> incr count) in
+  Sim.run sim;
+  Alcotest.(check int) "fired once" 1 !count;
+  Alcotest.(check bool) "no longer pending" false (Sim.is_pending timer);
+  (* Cancelling after the fact must not raise, resurrect, or affect
+     anything scheduled later. *)
+  Sim.cancel timer;
+  Sim.cancel timer;
+  ignore (Sim.schedule sim ~at:(Time_ns.ms 2) (fun () -> incr count));
+  Sim.run sim;
+  Alcotest.(check int) "later event unaffected" 2 !count
+
 let suite =
   [
     ( "eventsim",
@@ -118,5 +161,11 @@ let suite =
         Alcotest.test_case "single step" `Quick test_step;
         Alcotest.test_case "nested scheduling" `Quick test_events_scheduled_during_run;
         Alcotest.test_case "seeded rng" `Quick test_rng_access;
+        Alcotest.test_case "event at exactly until fires" `Quick
+          test_event_at_exactly_until_fires;
+        Alcotest.test_case "same-instant FIFO across APIs" `Quick
+          test_same_instant_fifo_mixed_apis;
+        Alcotest.test_case "cancel on fired timer is no-op" `Quick
+          test_cancel_fired_timer_noop;
       ] );
   ]

@@ -41,7 +41,7 @@ let watchdog_env () =
   let config =
     {
       Ccp_ext.default_config with
-      fallback = Some { Ccp_ext.after = Time_ns.ms 100; cwnd_segments = 4 };
+      fallback = Some (Ccp_ext.clamp_fallback ~after:(Time_ns.ms 100) ~cwnd_segments:4);
     }
   in
   let ext = Ccp_ext.create ~sim ~channel ~config () in
@@ -99,7 +99,7 @@ let test_watchdog_in_full_experiment () =
       Experiment.datapath =
         {
           Ccp_ext.default_config with
-          fallback = Some { Ccp_ext.after = Time_ns.ms 200; cwnd_segments = 20 };
+          fallback = Some (Ccp_ext.clamp_fallback ~after:(Time_ns.ms 200) ~cwnd_segments:20);
         };
       flows = [ Experiment.flow (Experiment.Ccp_cc silent) ];
     }
@@ -111,6 +111,113 @@ let test_watchdog_in_full_experiment () =
     (Printf.sprintf "fallback keeps traffic flowing (%.1f Mbit/s)" (goodput /. 1e6))
     true
     (goodput > 8e6 && goodput < 14e6)
+
+(* --- native in-datapath fallback --- *)
+
+let counting_cc () =
+  (* A deterministic stand-in controller: fixed window on init, +1 MSS per
+     ACK, halve on loss. Lets the tests see exactly who is driving. *)
+  let acks = ref 0 and losses = ref 0 in
+  let cc : Congestion_iface.t =
+    {
+      name = "counting";
+      on_init = (fun ctl -> ctl.Congestion_iface.set_cwnd (10 * ctl.Congestion_iface.mss));
+      on_ack =
+        (fun ctl _ev ->
+          incr acks;
+          ctl.Congestion_iface.set_cwnd
+            (ctl.Congestion_iface.get_cwnd () + ctl.Congestion_iface.mss));
+      on_loss =
+        (fun ctl _ev ->
+          incr losses;
+          ctl.Congestion_iface.set_cwnd (ctl.Congestion_iface.get_cwnd () / 2));
+      on_exit_recovery = (fun _ -> ());
+    }
+  in
+  (cc, acks, losses)
+
+let native_env () =
+  let sim = Sim.create () in
+  let channel =
+    Ccp_ipc.Channel.create ~sim ~latency:(Ccp_ipc.Latency_model.Constant (Time_ns.us 20)) ()
+  in
+  let to_agent = ref [] in
+  Ccp_ipc.Channel.on_receive channel Ccp_ipc.Channel.Agent_end (fun m ->
+      to_agent := m :: !to_agent);
+  let acks = ref (ref 0) and losses = ref (ref 0) in
+  let make_cc () =
+    let cc, a, l = counting_cc () in
+    acks := a;
+    losses := l;
+    cc
+  in
+  let config =
+    {
+      Ccp_ext.default_config with
+      fallback = Some (Ccp_ext.native_fallback ~after:(Time_ns.ms 100) make_cc);
+    }
+  in
+  let ext = Ccp_ext.create ~sim ~channel ~config () in
+  (sim, channel, ext, to_agent, acks, losses)
+
+let ack_event sim : Congestion_iface.ack_event =
+  {
+    Congestion_iface.now = Sim.now sim;
+    bytes_acked = 1448;
+    rtt_sample = Some (Time_ns.ms 10);
+    ecn_echo = false;
+    send_rate = None;
+    delivery_rate = None;
+    inflight_after = 0;
+  }
+
+let test_native_fallback_takes_over () =
+  let sim, _, ext, to_agent, acks, _ = native_env () in
+  let ctl, cwnd, _ = fake_ctl sim ~flow:1 in
+  let iface = Ccp_ext.congestion_control ext in
+  iface.Congestion_iface.on_init ctl;
+  Alcotest.(check bool)
+    "awaiting agent before silence" true
+    (Ccp_ext.controller ext ~flow:1 = Some Ccp_ext.Awaiting_agent);
+  Sim.run ~until:(Time_ns.ms 350) sim;
+  Alcotest.(check bool)
+    "native controller active" true
+    (Ccp_ext.controller ext ~flow:1 = Some Ccp_ext.Native_fallback);
+  Alcotest.(check int) "native on_init set the window" (10 * 1448) !cwnd;
+  iface.Congestion_iface.on_ack ctl (ack_event sim);
+  iface.Congestion_iface.on_ack ctl (ack_event sim);
+  Alcotest.(check int) "native cc saw the ACKs" 2 !(!acks);
+  Alcotest.(check int) "and grew the window" (12 * 1448) !cwnd;
+  let ready =
+    List.length
+      (List.filter
+         (function Ccp_ipc.Message.Ready _ -> true | _ -> false)
+         !to_agent)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "re-handshake probes sent (%d)" ready)
+    true (ready >= 2);
+  (* One Ready is the flow's original registration; the rest are probes. *)
+  Alcotest.(check int) "probe counter matches" (ready - 1) (Ccp_ext.fallback_probes_sent ext)
+
+let test_native_fallback_hands_back_on_recovery () =
+  let sim, channel, ext, _, acks, _ = native_env () in
+  let ctl, cwnd, _ = fake_ctl sim ~flow:1 in
+  let iface = Ccp_ext.congestion_control ext in
+  iface.Congestion_iface.on_init ctl;
+  Sim.run ~until:(Time_ns.ms 350) sim;
+  Alcotest.(check bool)
+    "in native fallback" true
+    (Ccp_ext.controller ext ~flow:1 = Some Ccp_ext.Native_fallback);
+  Ccp_ipc.Channel.send channel ~from:Ccp_ipc.Channel.Agent_end
+    (Ccp_ipc.Message.Set_cwnd { flow = 1; bytes = 60_000 });
+  Sim.run ~until:(Time_ns.ms 360) sim;
+  Alcotest.(check bool) "fallback lifted" false (Ccp_ext.in_fallback ext ~flow:1);
+  Alcotest.(check int) "agent window applied over native's" 60_000 !cwnd;
+  let before = !(!acks) in
+  iface.Congestion_iface.on_ack ctl (ack_event sim);
+  Alcotest.(check int) "native cc no longer consulted" before !(!acks);
+  Alcotest.(check int) "agent window untouched by the ACK" 60_000 !cwnd
 
 (* --- jitter / reordering --- *)
 
@@ -283,6 +390,12 @@ let suite =
         Alcotest.test_case "quiet while agent talks" `Quick test_watchdog_quiet_while_agent_talks;
         Alcotest.test_case "keeps traffic flowing end-to-end" `Slow
           test_watchdog_in_full_experiment;
+      ] );
+    ( "ext.native_fallback",
+      [
+        Alcotest.test_case "takes over on silence" `Quick test_native_fallback_takes_over;
+        Alcotest.test_case "hands back on recovery" `Quick
+          test_native_fallback_hands_back_on_recovery;
       ] );
     ( "ext.jitter",
       [

@@ -1,0 +1,212 @@
+(* Invariant tests for the fault-injection layer: random {!Fault_plan}s
+   exercised at the channel level (conservation of messages, FIFO when
+   reordering is off, determinism) and end-to-end through {!Experiment}
+   (cwnd floor, exactly one active controller at any sampled instant). *)
+
+open Ccp_util
+open Ccp_eventsim
+open Ccp_net
+open Ccp_datapath
+open Ccp_core
+
+(* --- random fault plans --- *)
+
+let show_plan = Ccp_ipc.Fault_plan.describe
+
+let gen_interval rng ~horizon =
+  let from_ = Rng.int rng (horizon / 2) in
+  let len = 1 + Rng.int rng (horizon / 4) in
+  { Ccp_ipc.Fault_plan.from_; until = from_ + len }
+
+(* [allow_reorder]/[allow_dup] let the FIFO property restrict itself to
+   plans where FIFO is actually promised. *)
+let gen_plan ?(allow_reorder = true) ?(allow_dup = true) rng ~horizon =
+  let maybe p f = if Rng.float rng 1.0 < p then Some (f rng) else None in
+  Ccp_ipc.Fault_plan.make
+    ~drop_probability:(Rng.float rng 0.4)
+    ~duplicate_probability:(if allow_dup then Rng.float rng 0.3 else 0.0)
+    ?spike:
+      (maybe 0.5 (fun rng ->
+           {
+             Ccp_ipc.Fault_plan.probability = Rng.float rng 0.5;
+             extra = Time_ns.us (1 + Rng.int rng 5_000);
+           }))
+    ?reorder:
+      (if allow_reorder then
+         maybe 0.5 (fun rng ->
+             {
+               Ccp_ipc.Fault_plan.probability = Rng.float rng 0.5;
+               window = Time_ns.us (1 + Rng.int rng 2_000);
+             })
+       else None)
+    ~partitions:(if Rng.bool rng then [ gen_interval rng ~horizon ] else [])
+    ~agent_outages:(if Rng.bool rng then [ gen_interval rng ~horizon ] else [])
+    ()
+
+(* --- channel-level invariants --- *)
+
+(* Push [n] sequence-numbered messages through a faulty channel (the
+   sequence number rides in the [flow] field) and return what each end
+   received, in arrival order, plus the channel itself for its counters. *)
+let run_channel ~seed ~plan ~n =
+  let sim = Sim.create ~seed () in
+  let channel =
+    Ccp_ipc.Channel.create ~sim
+      ~latency:(Ccp_ipc.Latency_model.Constant (Time_ns.us 40))
+      ~faults:plan ()
+  in
+  let at_agent = ref [] and at_datapath = ref [] in
+  Ccp_ipc.Channel.on_receive channel Ccp_ipc.Channel.Agent_end (fun m ->
+      at_agent := Ccp_ipc.Message.flow m :: !at_agent);
+  Ccp_ipc.Channel.on_receive channel Ccp_ipc.Channel.Datapath_end (fun m ->
+      at_datapath := Ccp_ipc.Message.flow m :: !at_datapath);
+  let horizon = Time_ns.ms 100 in
+  for i = 0 to n - 1 do
+    let at = Time_ns.ns (i * (horizon / n)) in
+    ignore
+      (Sim.schedule sim ~at (fun () ->
+           Ccp_ipc.Channel.send channel ~from:Ccp_ipc.Channel.Datapath_end
+             (Ccp_ipc.Message.Closed { flow = i });
+           Ccp_ipc.Channel.send channel ~from:Ccp_ipc.Channel.Agent_end
+             (Ccp_ipc.Message.Set_cwnd { flow = i; bytes = 1448 })))
+  done;
+  Sim.run ~until:(Time_ns.ms 500) sim;
+  (List.rev !at_agent, List.rev !at_datapath, channel)
+
+let gen_case ?allow_reorder ?allow_dup rng =
+  let plan = gen_plan ?allow_reorder ?allow_dup rng ~horizon:(Time_ns.ms 100) in
+  let seed = Rng.int rng 1_000_000 in
+  (seed, plan)
+
+let show_case (seed, plan) = Printf.sprintf "seed=%d plan=%s" seed (show_plan plan)
+
+let prop_conservation =
+  Prop.test_case ~cases:150 ~name:"message conservation under faults" ~gen:gen_case
+    ~show:show_case (fun (seed, plan) ->
+      let at_agent, at_datapath, channel = run_channel ~seed ~plan ~n:60 in
+      let s = Ccp_ipc.Channel.fault_stats channel in
+      let sent =
+        Ccp_ipc.Channel.messages_sent channel Ccp_ipc.Channel.Datapath_end
+        + Ccp_ipc.Channel.messages_sent channel Ccp_ipc.Channel.Agent_end
+      in
+      let delivered = List.length at_agent + List.length at_datapath in
+      (* Every copy is accounted for: delivered = sent + duplicates made
+         - random drops - partition/outage losses. *)
+      Prop.check_eq ~what:"delivered = sent + dup - drop - partition" string_of_int
+        (sent + s.Ccp_ipc.Channel.duplicated - s.Ccp_ipc.Channel.dropped
+        - s.Ccp_ipc.Channel.partition_dropped)
+        delivered;
+      (* Nothing is invented: every delivered sequence number was sent. *)
+      List.iter
+        (fun seq -> Prop.require "delivered seq was sent" (seq >= 0 && seq < 60))
+        (at_agent @ at_datapath))
+
+let prop_fifo_without_reordering =
+  Prop.test_case ~cases:150 ~name:"FIFO per direction when reordering off"
+    ~gen:(gen_case ~allow_reorder:false ~allow_dup:false)
+    ~show:show_case
+    (fun (seed, plan) ->
+      let at_agent, at_datapath, _ = run_channel ~seed ~plan ~n:60 in
+      let sorted l = List.sort_uniq compare l = l in
+      (* Drops and spikes are allowed; overtaking is not. *)
+      Prop.require "to-agent direction in order" (sorted at_agent);
+      Prop.require "to-datapath direction in order" (sorted at_datapath))
+
+let prop_deterministic =
+  Prop.test_case ~cases:50 ~name:"faulty runs are reproducible" ~gen:gen_case
+    ~show:show_case (fun (seed, plan) ->
+      let a1, d1, c1 = run_channel ~seed ~plan ~n:40 in
+      let a2, d2, c2 = run_channel ~seed ~plan ~n:40 in
+      Prop.require "same deliveries to agent" (a1 = a2);
+      Prop.require "same deliveries to datapath" (d1 = d2);
+      Prop.require "same counters"
+        (Ccp_ipc.Channel.fault_stats c1 = Ccp_ipc.Channel.fault_stats c2))
+
+let test_clean_channel_stats_zero () =
+  let at_agent, at_datapath, channel =
+    run_channel ~seed:3 ~plan:Ccp_ipc.Fault_plan.none ~n:60
+  in
+  Alcotest.(check int) "all delivered to agent" 60 (List.length at_agent);
+  Alcotest.(check int) "all delivered to datapath" 60 (List.length at_datapath);
+  let s = Ccp_ipc.Channel.fault_stats channel in
+  Alcotest.(check bool) "all counters zero" true
+    (s = { Ccp_ipc.Channel.dropped = 0; duplicated = 0; delayed = 0; reordered = 0;
+           partition_dropped = 0 })
+
+(* --- end-to-end invariants under random fault plans --- *)
+
+(* Sampled assertions wired in through [Experiment.config.inspect]: at
+   every sampled instant the flow has exactly one active controller, and
+   cwnd (recorded on every change in the trace) never drops below 1 MSS. *)
+let test_random_plans_end_to_end () =
+  (* Same topology as Scenarios.Degraded, random plans, inspect wired. *)
+  let rng = Rng.create ~seed:(Prop.seed lxor 0xE2E) in
+  for case = 1 to 10 do
+    let plan = gen_plan rng ~horizon:(Time_ns.sec 3) in
+    let seed = Rng.int rng 1_000_000 in
+    let violations = ref [] in
+    let duration = Time_ns.sec 3 in
+    let base =
+      Experiment.default_config ~rate_bps:48e6 ~base_rtt:(Time_ns.ms 20) ~duration
+    in
+    let config =
+      {
+        base with
+        Experiment.seed;
+        faults = plan;
+        flows = [ Experiment.flow (Experiment.Ccp_cc (Ccp_algorithms.Ccp_reno.create ())) ];
+        datapath =
+          {
+            Ccp_ext.default_config with
+            fallback = Some (Scenarios.Degraded.reno_fallback ());
+          };
+        inspect =
+          Some
+            (fun { Experiment.h_sim; h_datapath; _ } ->
+              let rec sample at =
+                if Time_ns.compare at duration < 0 then
+                  ignore
+                    (Sim.schedule h_sim ~at (fun () ->
+                         (match Ccp_ext.controller h_datapath ~flow:0 with
+                         | None -> ()
+                         | Some c ->
+                             let in_fb = Ccp_ext.in_fallback h_datapath ~flow:0 in
+                             if in_fb <> (c = Ccp_ext.Native_fallback) then
+                               violations :=
+                                 Printf.sprintf "t=%s: fallback flag %b vs controller"
+                                   (Time_ns.to_string at) in_fb
+                                 :: !violations);
+                         sample (Time_ns.add at (Time_ns.ms 100))))
+              in
+              sample (Time_ns.ms 100));
+      }
+    in
+    let r = Experiment.run config in
+    Alcotest.(check (list string))
+      (Printf.sprintf "case %d (%s): one active controller" case (show_plan plan))
+      [] !violations;
+    let cwnd = Trace.series r.Experiment.trace "cwnd.0" in
+    Alcotest.(check bool)
+      (Printf.sprintf "case %d: cwnd trace nonempty" case)
+      true (cwnd <> []);
+    List.iter
+      (fun (at, v) ->
+        if v < 1448.0 then
+          Alcotest.failf "case %d (%s): cwnd %.0f < 1 MSS at %s" case (show_plan plan) v
+            (Time_ns.to_string at))
+      cwnd
+  done
+
+let suite =
+  [
+    ( "faults.channel",
+      [
+        prop_conservation;
+        prop_fifo_without_reordering;
+        prop_deterministic;
+        Alcotest.test_case "clean channel: zero fault stats" `Quick
+          test_clean_channel_stats_zero;
+      ] );
+    ( "faults.e2e",
+      [ Alcotest.test_case "random plans keep invariants" `Slow test_random_plans_end_to_end ] );
+  ]

@@ -235,6 +235,88 @@ let test_batching_table_matches_paper_arithmetic () =
   Alcotest.(check bool) "8M acks" true (Float.abs (row.acks_per_sec -. 8.33e6) < 0.2e6);
   Alcotest.(check (float 1.0)) "100k batches" 100_000.0 row.batches_per_sec
 
+let test_agent_crash_fallback_and_recovery () =
+  (* The fault-injection PR's acceptance scenario: the agent crashes at
+     t=5 s and restarts at t=10 s of a 20 s run. The watchdog (silence
+     threshold 4 base RTTs = 80 ms) must hand the flow to native Reno
+     shortly after the crash, and the restarted agent must win it back
+     via the Ready re-handshake — with goodput flowing throughout. *)
+  let crash_at = Time_ns.sec 5 and restart_at = Time_ns.sec 10 in
+  let base_rtt = Time_ns.ms 20 in
+  let watchdog_after = Time_ns.scale base_rtt 4.0 in
+  let duration = Time_ns.sec 20 in
+  let base = Experiment.default_config ~rate_bps:48e6 ~base_rtt ~duration in
+  let probes = ref [] in
+  (* (when, in_fallback, controller) samples around the two transitions. *)
+  let sample_points =
+    [
+      Time_ns.ms 4_900;
+      (* just before the crash: agent in charge *)
+      Time_ns.add crash_at (Time_ns.scale watchdog_after 3.0);
+      (* within a few watchdog periods of the crash: native in charge *)
+      Time_ns.sec 8;
+      (* mid-outage: still native *)
+      Time_ns.sec 19;
+      (* well after restart: agent back in charge *)
+    ]
+  in
+  let config =
+    {
+      base with
+      Experiment.faults =
+        Ccp_ipc.Fault_plan.(crash ~at:crash_at ~restart:restart_at none);
+      flows = [ Experiment.flow (Experiment.Ccp_cc (Ccp_reno.create ())) ];
+      datapath =
+        {
+          Ccp_datapath.Ccp_ext.default_config with
+          fallback =
+            Some
+              (Ccp_datapath.Ccp_ext.native_fallback ~after:watchdog_after
+                 Native_reno.create);
+        };
+      inspect =
+        Some
+          (fun { Experiment.h_sim; h_datapath; _ } ->
+            List.iter
+              (fun at ->
+                ignore
+                  (Ccp_eventsim.Sim.schedule h_sim ~at (fun () ->
+                       probes :=
+                         ( at,
+                           Ccp_datapath.Ccp_ext.in_fallback h_datapath ~flow:0,
+                           Ccp_datapath.Ccp_ext.controller h_datapath ~flow:0 )
+                         :: !probes)))
+              sample_points);
+    }
+  in
+  let r = Experiment.run config in
+  let at t =
+    match List.find_opt (fun (t', _, _) -> t' = t) !probes with
+    | Some (_, fb, c) -> (fb, c)
+    | None -> Alcotest.failf "no probe at %s" (Time_ns.to_string t)
+  in
+  let open Ccp_datapath in
+  let fb, c = at (Time_ns.ms 4_900) in
+  Alcotest.(check bool) "agent in charge before crash" true
+    ((not fb) && c = Some Ccp_ext.Agent_program);
+  let fb, c = at (Time_ns.add crash_at (Time_ns.scale watchdog_after 3.0)) in
+  Alcotest.(check bool) "fallback within a few watchdog periods" true
+    (fb && c = Some Ccp_ext.Native_fallback);
+  let fb, _ = at (Time_ns.sec 8) in
+  Alcotest.(check bool) "still native mid-outage" true fb;
+  let fb, c = at (Time_ns.sec 19) in
+  Alcotest.(check bool) "agent resumed control after restart" true
+    ((not fb) && c = Some Ccp_ext.Agent_program);
+  let stats = Option.get r.Experiment.agent_stats in
+  Alcotest.(check int) "exactly one fallback episode" 1 stats.Experiment.fallbacks;
+  Alcotest.(check bool) "re-handshake probes were sent" true
+    (stats.Experiment.fallback_probes > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "goodput flowed through the outage (utilization %.2f)"
+       r.Experiment.utilization)
+    true
+    (r.Experiment.utilization > 0.7)
+
 let suite =
   [
     ( "integration",
@@ -253,5 +335,7 @@ let suite =
         Alcotest.test_case "fig2 percentiles" `Quick test_fig2_percentiles_match_paper;
         Alcotest.test_case "batching arithmetic (§2.3)" `Quick
           test_batching_table_matches_paper_arithmetic;
+        Alcotest.test_case "agent crash: fallback and recovery" `Slow
+          test_agent_crash_fallback_and_recovery;
       ] );
   ]
