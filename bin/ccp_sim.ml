@@ -28,6 +28,11 @@ let algorithms : (string * (unit -> Experiment.cc_spec)) list =
     ("ccp-pcc", fun () -> Experiment.Ccp_cc (Ccp_algorithms.Ccp_pcc.create ()));
     ("ccp-aimd", fun () -> Experiment.Ccp_cc (Ccp_algorithms.Ccp_aimd.create ()));
   ]
+  @ List.map
+      (fun (name, prog) ->
+        ( "hostile-" ^ name,
+          fun () -> Experiment.Ccp_cc (Scenarios.Hostile.attacker name prog) ))
+      Scenarios.Hostile.all
 
 let algorithm_names = String.concat ", " (List.map fst algorithms)
 
@@ -99,6 +104,41 @@ let fallback_rtts =
      reverts to native NewReno until the agent returns. 0 disables."
   in
   Arg.(value & opt float 0.0 & info [ "fallback-rtts" ] ~docv:"K" ~doc)
+
+(* --- guard-envelope options (docs/safety.md) --- *)
+
+let guard_min_cwnd =
+  let doc = "Guard envelope: cwnd floor in segments." in
+  Arg.(value & opt int 1 & info [ "guard-min-cwnd" ] ~docv:"SEGMENTS" ~doc)
+
+let guard_max_rate =
+  let doc = "Guard envelope: pacing-rate ceiling in Mbit/s." in
+  Arg.(value & opt float 1e6 & info [ "guard-max-rate" ] ~docv:"MBPS" ~doc)
+
+let guard_report_us =
+  let doc = "Guard envelope: minimum interval between reports, in microseconds." in
+  Arg.(value & opt float 10.0 & info [ "guard-report-interval" ] ~docv:"US" ~doc)
+
+let guard_quarantine =
+  let doc =
+    "Arm quarantine: when a flow accumulates this many guard incidents its program is \
+     cancelled and the flow falls back to native NewReno until a corrected install is \
+     accepted. 0 disables (incidents are still counted)."
+  in
+  Arg.(value & opt int 0 & info [ "guard-quarantine" ] ~docv:"N" ~doc)
+
+let build_guard ~guard_min_cwnd ~guard_max_rate ~guard_report_us ~guard_quarantine =
+  {
+    Ccp_datapath.Ccp_ext.default_guard with
+    Ccp_datapath.Ccp_ext.min_cwnd_segments = guard_min_cwnd;
+    max_rate_bytes_per_sec = guard_max_rate *. 1e6 /. 8.0;
+    min_report_interval = Time_ns.of_float_sec (guard_report_us *. 1e-6);
+    quarantine_after = guard_quarantine;
+    quarantine_mode =
+      (if guard_quarantine > 0 then
+         Some (Ccp_datapath.Ccp_ext.Native Ccp_algorithms.Native_reno.create)
+       else None);
+  }
 
 let parse_pair ~what spec =
   let num s =
@@ -202,12 +242,22 @@ let print_result (r : Experiment.result) =
          partitions; %d fallback activations, %d probes\n"
         f.Ccp_ipc.Channel.dropped f.Ccp_ipc.Channel.duplicated f.Ccp_ipc.Channel.delayed
         f.Ccp_ipc.Channel.reordered f.Ccp_ipc.Channel.partition_dropped s.Experiment.fallbacks
-        s.Experiment.fallback_probes
+        s.Experiment.fallback_probes;
+    if
+      s.Experiment.installs_refused > 0 || s.Experiment.quarantines > 0
+      || s.Experiment.guard_incidents > 0
+    then
+      Printf.printf
+        "datapath self-protection: %d installs admitted, %d refused; %d guard incidents, \
+         %d quarantines\n"
+        s.Experiment.installs_admitted s.Experiment.installs_refused
+        s.Experiment.guard_incidents s.Experiment.quarantines
   | None -> ())
 
 let run_cmd =
   let action rate_mbps rtt_ms duration_s buffer_bdp seed flows ecn_bdp ipc_drop ipc_dup
-      ipc_spike ipc_reorder agent_crash fallback_rtts =
+      ipc_spike ipc_reorder agent_crash fallback_rtts guard_min_cwnd guard_max_rate
+      guard_report_us guard_quarantine =
     let config =
       build_config ~rate_mbps ~rtt_ms ~duration_s ~buffer_bdp ~seed ~flows ~ecn_bdp
     in
@@ -218,10 +268,17 @@ let run_cmd =
         exit Cmd.Exit.cli_error
     in
     let datapath =
-      if fallback_rtts <= 0.0 then config.Experiment.datapath
+      {
+        config.Experiment.datapath with
+        Ccp_datapath.Ccp_ext.guard =
+          build_guard ~guard_min_cwnd ~guard_max_rate ~guard_report_us ~guard_quarantine;
+      }
+    in
+    let datapath =
+      if fallback_rtts <= 0.0 then datapath
       else
         {
-          config.Experiment.datapath with
+          datapath with
           Ccp_datapath.Ccp_ext.fallback =
             Some
               (Ccp_datapath.Ccp_ext.native_fallback
@@ -235,7 +292,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one dumbbell experiment.")
     Term.(
       const action $ rate_mbps $ rtt_ms $ duration_s $ buffer_bdp $ seed $ flows_arg $ ecn_bdp
-      $ ipc_drop $ ipc_dup $ ipc_spike $ ipc_reorder $ agent_crash $ fallback_rtts)
+      $ ipc_drop $ ipc_dup $ ipc_spike $ ipc_reorder $ agent_crash $ fallback_rtts
+      $ guard_min_cwnd $ guard_max_rate $ guard_report_us $ guard_quarantine)
 
 let csv_cmd =
   let series =
@@ -314,6 +372,33 @@ let degraded_cmd =
        ~doc:"Run the degraded-control-plane scenarios (agent crash, lossy IPC).")
     Term.(const action $ seed)
 
+let hostile_cmd =
+  let threshold =
+    let doc = "Quarantine incident threshold." in
+    Arg.(value & opt int 25 & info [ "threshold" ] ~docv:"N" ~doc)
+  in
+  let action seed threshold =
+    Printf.printf
+      "Hostile-program sweep (48 Mbit/s, 20 ms; quarantine to native Reno at %d incidents):\n"
+      threshold;
+    Printf.printf "%-16s %-8s %-9s %-9s %-11s %-11s %-10s %s\n" "program" "util" "admitted"
+      "refused" "incidents" "quarantines" "recovered" "min cwnd";
+    List.iter
+      (fun (p : Scenarios.Hostile.point) ->
+        Printf.printf "%-16s %-8.3f %-9d %-9d %-11d %-11d %-10b %d\n" p.Scenarios.Hostile.name
+          p.Scenarios.Hostile.utilization p.Scenarios.Hostile.installs_admitted
+          p.Scenarios.Hostile.installs_refused p.Scenarios.Hostile.guard_incidents
+          p.Scenarios.Hostile.quarantines p.Scenarios.Hostile.recovered
+          p.Scenarios.Hostile.min_cwnd_seen)
+      (Scenarios.Hostile.sweep ~seed ~threshold ())
+  in
+  Cmd.v
+    (Cmd.info "hostile"
+       ~doc:
+         "Run the adversarial-program suite against the datapath's admission control, guard \
+          envelope, and quarantine.")
+    Term.(const action $ seed $ threshold)
+
 let sweep_cmd = simple "sweep" "CCP vs native Reno across a grid of operating points."
     (fun () ->
       Sweep.render
@@ -326,7 +411,7 @@ let main =
        ~doc:"Congestion-control-plane reproduction (HotNets 2017).")
     [
       run_cmd; csv_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; table1_cmd; batching_cmd;
-      ablations_cmd; sweep_cmd; degraded_cmd;
+      ablations_cmd; sweep_cmd; degraded_cmd; hostile_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -16,7 +16,11 @@ dune build @all
 echo "== test (fixed seed) =="
 dune runtest --force
 
+echo "== fuzz smoke (fixed seed) =="
+dune exec bin/fuzz_smoke.exe -- 500
+
 if [ -n "${SOAK_SEED:-}" ]; then
   echo "== soak (CCP_PROP_SEED=$SOAK_SEED) =="
   CCP_PROP_SEED="$SOAK_SEED" dune exec test/main.exe -- test -e
+  CCP_PROP_SEED="$SOAK_SEED" dune exec bin/fuzz_smoke.exe -- 500
 fi

@@ -1,0 +1,136 @@
+(* CI fuzz smoke stage: hammer the admission/codec/eval pipeline with
+   seeded adversarial ASTs and check the safety contracts the datapath
+   relies on — admission never raises, the codec round-trips whatever is
+   admitted, and evaluation is total and finite (the clamp holds) even
+   under a hostile variable environment.
+
+   Reuses CCP_PROP_SEED (same convention as test/prop.ml) so a CI soak
+   run exercises fresh programs while the default run stays
+   reproducible. Usage: fuzz_smoke [cases] (default 500). *)
+
+open Ccp_util
+open Ccp_lang
+open Ccp_ipc
+
+let default_seed = 0x5EED
+
+let seed () =
+  match Sys.getenv_opt "CCP_PROP_SEED" with
+  | None | Some "" -> default_seed
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> n
+      | None ->
+          Printf.eprintf "fuzz_smoke: CCP_PROP_SEED=%S is not an integer\n" s;
+          exit 2)
+
+let cases () =
+  match Sys.argv with
+  | [| _ |] -> 500
+  | [| _; n |] -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 -> n
+      | _ ->
+          Printf.eprintf "usage: fuzz_smoke [cases>0]\n";
+          exit 2)
+  | _ ->
+      Printf.eprintf "usage: fuzz_smoke [cases>0]\n";
+      exit 2
+
+let failures = ref 0
+
+let fail case fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.eprintf "FAIL case %d: %s\n%!" case msg)
+    fmt
+
+(* A hostile evaluation environment: known names resolve, but to values
+   chosen to provoke overflow and division blow-ups (zeros, denormals,
+   huge magnitudes) alongside plausible ones. *)
+let hostile_env rng =
+  let poison = [| 0.0; 4.9e-324; -0.0; 1e308; -1e308; 1.0; 1448.0; 5e7 |] in
+  let value () =
+    if Rng.bool rng then poison.(Rng.int rng (Array.length poison))
+    else Rng.uniform rng ~lo:(-1e6) ~hi:1e6
+  in
+  {
+    Eval.lookup_var =
+      (fun name -> if Ast.Vars.is_flow_var name then Some (value ()) else None);
+    lookup_pkt =
+      (fun name -> if Ast.Vars.is_pkt_field name then Some (value ()) else None);
+  }
+
+let prim_exprs = function
+  | Ast.Rate e | Ast.Cwnd e | Ast.Wait e | Ast.Wait_rtts e -> [ e ]
+  | Ast.Report -> []
+  | Ast.Measure (Ast.Vector _) -> []
+  | Ast.Measure (Ast.Fold { init; update }) ->
+      List.map snd init @ List.map snd update
+
+let check_admission case program =
+  match Limits.admit program with
+  | verdict -> verdict
+  | exception e ->
+      fail case "Limits.admit raised %s" (Printexc.to_string e);
+      Error (Limits.Invalid_program, "raised")
+
+let check_codec case program =
+  let msg = Message.Install { flow = case; program } in
+  match Codec.decode (Codec.encode msg) with
+  | decoded ->
+      if not (Message.equal msg decoded) then
+        fail case "Install codec round-trip mismatch: %s" (Message.describe msg)
+  | exception e ->
+      fail case "Install codec raised %s on %s" (Printexc.to_string e)
+        (Message.describe msg)
+
+let check_eval case rng program =
+  let env = hostile_env rng in
+  let incidents = Eval.fresh_counter () in
+  List.iter
+    (fun prim ->
+      List.iter
+        (fun e ->
+          match Eval.eval ~incidents env e with
+          | v ->
+              if not (Float.is_finite v) then
+                fail case "eval produced non-finite %h (clamp failed)" v
+          | exception ex ->
+              fail case "eval raised %s" (Printexc.to_string ex))
+        (prim_exprs prim))
+    program.Ast.prims
+
+let () =
+  let seed = seed () in
+  let cases = cases () in
+  let rng = Rng.create ~seed in
+  let admitted = ref 0 in
+  let rejected = ref 0 in
+  for case = 1 to cases do
+    (* Adversarial draw: admission must classify it without raising, and
+       anything it lets through must survive the codec and evaluate
+       finitely. *)
+    let program = Ast_gen.program rng in
+    (match check_admission case program with
+    | Ok () ->
+        incr admitted;
+        check_codec case program;
+        check_eval case rng program
+    | Error _ -> incr rejected);
+    (* Well-typed draw: must be admitted, and the same runtime contracts
+       hold. *)
+    let wt = Ast_gen.well_typed_program rng in
+    (match check_admission case wt with
+    | Ok () -> ()
+    | Error (reason, detail) ->
+        fail case "well_typed_program refused (%s: %s)"
+          (Limits.reason_to_string reason) detail);
+    check_codec case wt;
+    check_eval case rng wt
+  done;
+  Printf.printf
+    "fuzz_smoke: %d cases (seed %d): %d adversarial admitted, %d rejected, %d failures\n"
+    cases seed !admitted !rejected !failures;
+  if !failures > 0 then exit 1

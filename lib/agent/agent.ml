@@ -18,6 +18,9 @@ type t = {
   mutable urgents_received : int;
   mutable installs_sent : int;
   mutable handler_errors : int;
+  mutable install_results_received : int;
+  mutable install_rejects : int;
+  mutable quarantines_seen : int;
 }
 
 let guard t f =
@@ -83,6 +86,28 @@ let on_message t (msg : Message.t) =
     match Hashtbl.find_opt t.flows urgent.Message.flow with
     | Some entry -> guard t (fun () -> entry.handlers.Algorithm.on_urgent urgent)
     | None -> ())
+  | Message.Install_result result -> (
+    t.install_results_received <- t.install_results_received + 1;
+    (match result.Message.verdict with
+    | Message.Accepted -> ()
+    | Message.Rejected { reason; detail } ->
+      t.install_rejects <- t.install_rejects + 1;
+      Logs.warn (fun m ->
+          m "agent: datapath rejected install for flow %d: %s (%s)" result.Message.flow
+            (Ccp_lang.Limits.reason_to_string reason)
+            detail));
+    match Hashtbl.find_opt t.flows result.Message.flow with
+    | Some entry -> guard t (fun () -> entry.handlers.Algorithm.on_install_result result)
+    | None -> ())
+  | Message.Quarantined q -> (
+    t.quarantines_seen <- t.quarantines_seen + 1;
+    Logs.warn (fun m ->
+        m "agent: flow %d quarantined after %d incidents (dominant %s)" q.Message.flow
+          q.Message.incidents
+          (Message.incident_kind_to_string q.Message.dominant));
+    match Hashtbl.find_opt t.flows q.Message.flow with
+    | Some entry -> guard t (fun () -> entry.handlers.Algorithm.on_quarantine q)
+    | None -> ())
   | Message.Closed { flow } -> Hashtbl.remove t.flows flow
   | Message.Install _ | Message.Set_cwnd _ | Message.Set_rate _ ->
     (* Datapath-bound traffic is never delivered to the agent end. *)
@@ -100,6 +125,9 @@ let create ~sim ~channel ~choose ?(policy = fun _ -> Policy.unrestricted) () =
       urgents_received = 0;
       installs_sent = 0;
       handler_errors = 0;
+      install_results_received = 0;
+      install_rejects = 0;
+      quarantines_seen = 0;
     }
   in
   Channel.on_receive channel Channel.Agent_end (on_message t);
@@ -118,3 +146,6 @@ let reports_received t = t.reports_received
 let urgents_received t = t.urgents_received
 let installs_sent t = t.installs_sent
 let handler_errors t = t.handler_errors
+let install_results_received t = t.install_results_received
+let install_rejects t = t.install_rejects
+let quarantines_seen t = t.quarantines_seen

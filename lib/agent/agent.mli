@@ -44,3 +44,10 @@ val installs_sent : t -> int
 val handler_errors : t -> int
 (** Exceptions raised by algorithm handlers; the agent isolates them so a
     buggy algorithm cannot take down other flows (§5 safety). *)
+
+val install_results_received : t -> int
+val install_rejects : t -> int
+(** Installs the datapath's admission control refused. *)
+
+val quarantines_seen : t -> int
+(** Quarantine events received from the datapath. *)

@@ -16,6 +16,8 @@ type handlers = {
   on_report : Message.report -> unit;
   on_report_vector : Message.vector_report -> unit;
   on_urgent : Message.urgent -> unit;
+  on_install_result : Message.install_result -> unit;
+  on_quarantine : Message.quarantine -> unit;
 }
 
 type t = {
@@ -29,6 +31,8 @@ let no_op_handlers =
     on_report = (fun _ -> ());
     on_report_vector = (fun _ -> ());
     on_urgent = (fun _ -> ());
+    on_install_result = (fun _ -> ());
+    on_quarantine = (fun _ -> ());
   }
 
 let field (report : Message.report) name =

@@ -28,6 +28,11 @@ type handlers = {
   on_report : Message.report -> unit;
   on_report_vector : Message.vector_report -> unit;
   on_urgent : Message.urgent -> unit;
+  on_install_result : Message.install_result -> unit;
+      (** the datapath's admission verdict for this flow's last [Install] *)
+  on_quarantine : Message.quarantine -> unit;
+      (** the datapath quarantined the flow to native CC; re-[install] a
+          corrected program to win it back *)
 }
 
 type t = {

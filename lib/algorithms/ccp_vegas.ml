@@ -135,7 +135,7 @@ let create_with ?(alpha = 2.0) ?(beta = 4.0) ?(interval_rtts = 1.0) mode =
       | Ccp_ipc.Message.Timeout -> st.cwnd <- mss);
       push ()
     in
-    { Algorithm.on_ready = push; on_report; on_report_vector; on_urgent }
+    { Algorithm.no_op_handlers with on_ready = push; on_report; on_report_vector; on_urgent }
   in
   let name = match mode with `Vector -> "ccp-vegas-vector" | `Fold -> "ccp-vegas-fold" in
   { Algorithm.name; make }

@@ -112,6 +112,10 @@ and agent_stats = {
   fallbacks : int;
   fallback_probes : int;
   ipc_faults : Ccp_ipc.Channel.fault_stats;
+  installs_admitted : int;
+  installs_refused : int;
+  quarantines : int;
+  guard_incidents : int;
 }
 
 and cpu_stats = {
@@ -338,6 +342,10 @@ let run (config : config) =
           fallbacks = Ccp_ext.fallbacks_triggered ccp_ext;
           fallback_probes = Ccp_ext.fallback_probes_sent ccp_ext;
           ipc_faults = Ccp_ipc.Channel.fault_stats channel;
+          installs_admitted = Ccp_ext.installs_accepted ccp_ext;
+          installs_refused = Ccp_ext.installs_rejected ccp_ext;
+          quarantines = Ccp_ext.quarantines_triggered ccp_ext;
+          guard_incidents = Ccp_ext.guard_incident_total ccp_ext;
         })
       ccp_parts
   in

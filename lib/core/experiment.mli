@@ -111,6 +111,10 @@ and agent_stats = {
   fallbacks : int;  (** watchdog fallback activations across all flows *)
   fallback_probes : int;  (** [Ready] re-handshakes sent from fallback *)
   ipc_faults : Ccp_ipc.Channel.fault_stats;  (** all-zero under a clean channel *)
+  installs_admitted : int;  (** installs the datapath's admission control accepted *)
+  installs_refused : int;  (** installs rejected with an [Install_result] reason *)
+  quarantines : int;  (** guard-envelope quarantines entered *)
+  guard_incidents : int;  (** total runtime-guardrail incidents, all flows *)
 }
 
 and cpu_stats = {

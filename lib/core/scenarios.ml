@@ -395,3 +395,145 @@ module Ablation = struct
         })
       [ ("fold", Ccp_vegas.create `Fold); ("vector", Ccp_vegas.create `Vector) ]
 end
+
+(* Adversarial programs against the datapath's self-protection (admission
+   control, guard envelope, quarantine). Each one is statically valid — it
+   passes the agent's own Typecheck — so without the guard layers it would
+   run unchecked. *)
+module Hostile = struct
+  open Ccp_lang.Ast
+
+  (* Hide a constant from admission's static wait floor: the value only
+     materialises at runtime, which is exactly the layer the guard
+     envelope covers. *)
+  let nonconst f = Bin (Mul, Const f, Const 1.0)
+
+  let zero_cwnd = program [ Cwnd (Const 0.0); Wait_rtts (Const 0.5); Report ]
+
+  let huge_rate =
+    program [ Rate (Const 1e300); Cwnd (Const 1e15); Wait_rtts (Const 0.5); Report ]
+
+  let report_spam =
+    program [ Cwnd (Bin (Mul, Const 10.0, Var "mss")); Wait (nonconst 1.0); Report ]
+
+  let div_storm =
+    program
+      [ Cwnd (Bin (Div, Var "cwnd", Const 0.0)); Wait (nonconst 200.0); Report ]
+
+  let diverging_fold =
+    program
+      [
+        Measure (Fold { init = [ ("x", Const 1.0) ]; update = [ ("x", Bin (Mul, Var "x", Const 1e6)) ] });
+        Cwnd (Bin (Mul, Const 10.0, Var "mss"));
+        Wait_rtts (Const 0.5);
+        Report;
+      ]
+
+  let spin = program [ Cwnd (Bin (Mul, Var "cwnd", Const 1.0)); Wait (nonconst 0.0); Report ]
+
+  (* Statically detectable: the only one admission refuses outright
+     (WaitRtts below the 0.1 floor) instead of quarantining at runtime. *)
+  let wait_too_short =
+    program [ Cwnd (Bin (Mul, Const 10.0, Var "mss")); Wait_rtts (Const 0.05); Report ]
+
+  let all =
+    [
+      ("zero-cwnd", zero_cwnd);
+      ("huge-rate", huge_rate);
+      ("report-spam", report_spam);
+      ("div-storm", div_storm);
+      ("diverging-fold", diverging_fold);
+      ("spin", spin);
+      ("wait-too-short", wait_too_short);
+    ]
+
+  (* An agent algorithm that installs a hostile program, then — when the
+     datapath pushes back with a rejection or a quarantine — swaps in a
+     corrected window program, modelling an operator shipping a fix. *)
+  let attacker ?(recover = true) name hostile : Ccp_agent.Algorithm.t =
+    let make (handle : Ccp_agent.Algorithm.handle) =
+      let corrected () =
+        Prog.window_program ~cwnd:(10 * handle.Ccp_agent.Algorithm.info.Ccp_agent.Algorithm.mss) ()
+      in
+      {
+        Ccp_agent.Algorithm.no_op_handlers with
+        on_ready = (fun () -> handle.Ccp_agent.Algorithm.install hostile);
+        on_quarantine =
+          (fun _ -> if recover then handle.Ccp_agent.Algorithm.install (corrected ()));
+        on_install_result =
+          (fun r ->
+            match r.Ccp_ipc.Message.verdict with
+            | Ccp_ipc.Message.Rejected _ when recover ->
+              handle.Ccp_agent.Algorithm.install (corrected ())
+            | _ -> ());
+      }
+    in
+    { Ccp_agent.Algorithm.name = "hostile-" ^ name; make }
+
+  let default_rate_bps = 48e6
+  let default_base_rtt = Time_ns.ms 20
+
+  let armed_guard ?(threshold = 25) () =
+    {
+      Ccp_datapath.Ccp_ext.default_guard with
+      Ccp_datapath.Ccp_ext.quarantine_after = threshold;
+      quarantine_mode = Some (Ccp_datapath.Ccp_ext.Native Native_reno.create);
+    }
+
+  type point = {
+    name : string;
+    utilization : float;
+    installs_admitted : int;
+    installs_refused : int;
+    quarantines : int;
+    guard_incidents : int;
+    recovered : bool;
+    min_cwnd_seen : int;
+  }
+
+  let run_one ?(duration = Time_ns.sec 5) ?(seed = 42) ?(threshold = 25) ?(recover = true)
+      (name, hostile) =
+    let dp = ref None in
+    let base =
+      Experiment.default_config ~rate_bps:default_rate_bps ~base_rtt:default_base_rtt ~duration
+    in
+    let config =
+      {
+        base with
+        Experiment.seed;
+        datapath =
+          {
+            Ccp_datapath.Ccp_ext.default_config with
+            Ccp_datapath.Ccp_ext.guard = armed_guard ~threshold ();
+          };
+        flows = [ Experiment.flow (Experiment.Ccp_cc (attacker ~recover name hostile)) ];
+        inspect = Some (fun h -> dp := Some h.Experiment.h_datapath);
+      }
+    in
+    let r = Experiment.run config in
+    let stats = Option.get r.Experiment.agent_stats in
+    let recovered =
+      match !dp with
+      | Some dp ->
+        Ccp_datapath.Ccp_ext.controller dp ~flow:0 = Some Ccp_datapath.Ccp_ext.Agent_program
+      | None -> false
+    in
+    let min_cwnd_seen =
+      match Trace.series r.Experiment.trace "cwnd.0" with
+      | [] -> 0
+      | points -> List.fold_left (fun acc (_, v) -> min acc (int_of_float v)) max_int points
+    in
+    {
+      name;
+      utilization = r.Experiment.utilization;
+      installs_admitted = stats.Experiment.installs_admitted;
+      installs_refused = stats.Experiment.installs_refused;
+      quarantines = stats.Experiment.quarantines;
+      guard_incidents = stats.Experiment.guard_incidents;
+      recovered;
+      min_cwnd_seen;
+    }
+
+  let sweep ?(duration = Time_ns.sec 5) ?(seed = 42) ?(threshold = 25) () =
+    List.map (fun entry -> run_one ~duration ~seed ~threshold entry) all
+end

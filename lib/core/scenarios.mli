@@ -172,3 +172,66 @@ module Ablation : sig
   val batching_mode : ?seed:int -> unit -> batching_point list
   (** Vegas fold vs vector (§2.4): same behaviour, different IPC cost. *)
 end
+
+(** Adversarial programs against the datapath's self-protection layers
+    (admission control, runtime guard envelope, quarantine-to-native-CC) —
+    the robustness counterpart of {!Degraded}. Every program here passes
+    the agent-side static checks; the datapath must defend itself. *)
+module Hostile : sig
+  val zero_cwnd : Ccp_lang.Ast.program
+  (** [Cwnd(0)] loop: stalls the flow without the guard cwnd floor. *)
+
+  val huge_rate : Ccp_lang.Ast.program
+  (** [Rate(1e300)] + [Cwnd(1e15)]: absurd knob values, clamped. *)
+
+  val report_spam : Ccp_lang.Ast.program
+  (** A report every microsecond, against the report rate limiter. *)
+
+  val div_storm : Ccp_lang.Ast.program
+  (** Divides by zero on every tick. *)
+
+  val diverging_fold : Ccp_lang.Ast.program
+  (** Fold state multiplied by 1e6 per packet; trips divergence
+      detection. *)
+
+  val spin : Ccp_lang.Ast.program
+  (** Computed zero-length wait; runs into the runtime wait floor. *)
+
+  val wait_too_short : Ccp_lang.Ast.program
+  (** [WaitRtts(0.05)], below the static floor — the one admission
+      rejects outright. *)
+
+  val all : (string * Ccp_lang.Ast.program) list
+
+  val attacker : ?recover:bool -> string -> Ccp_lang.Ast.program -> Ccp_agent.Algorithm.t
+  (** Installs the hostile program on ready; on rejection or quarantine,
+      installs a corrected window program iff [recover] (default true). *)
+
+  val armed_guard : ?threshold:int -> unit -> Ccp_datapath.Ccp_ext.guard_envelope
+  (** Default guard envelope with quarantine armed: native NewReno mode,
+      incident threshold 25. *)
+
+  type point = {
+    name : string;
+    utilization : float;
+    installs_admitted : int;
+    installs_refused : int;
+    quarantines : int;
+    guard_incidents : int;
+    recovered : bool;  (** a CCP program controls the flow at run end *)
+    min_cwnd_seen : int;  (** floor of the cwnd trace, bytes *)
+  }
+
+  val run_one :
+    ?duration:Time_ns.t ->
+    ?seed:int ->
+    ?threshold:int ->
+    ?recover:bool ->
+    string * Ccp_lang.Ast.program ->
+    point
+  (** One attacker flow on a 48 Mbit/s, 20 ms dumbbell with the armed
+      guard envelope. *)
+
+  val sweep : ?duration:Time_ns.t -> ?seed:int -> ?threshold:int -> unit -> point list
+  (** {!run_one} over {!all}. *)
+end

@@ -15,6 +15,79 @@ type fallback = {
 let clamp_fallback ~after ~cwnd_segments = { after; mode = Clamp { cwnd_segments } }
 let native_fallback ~after make_cc = { after; mode = Native make_cc }
 
+type guard_envelope = {
+  min_cwnd_segments : int;
+  max_cwnd_bytes : int;
+  max_rate_bytes_per_sec : float;
+  min_wait : Time_ns.t;
+  max_eval_steps : int;
+  min_report_interval : Time_ns.t;
+  div_storm_unit : int;
+  divergence_limit : float;
+  quarantine_after : int;
+  quarantine_mode : fallback_mode option;
+}
+
+let default_guard =
+  {
+    min_cwnd_segments = 1;
+    max_cwnd_bytes = 1 lsl 30;
+    max_rate_bytes_per_sec = 125e9 (* 1 Tbit/s *);
+    min_wait = Time_ns.us 1;
+    max_eval_steps = 10_000;
+    min_report_interval = Time_ns.us 10;
+    div_storm_unit = 50;
+    divergence_limit = 1e18;
+    quarantine_after = 50;
+    quarantine_mode = None;
+  }
+
+type guard_incidents = {
+  mutable cwnd_clamped : int;
+  mutable rate_clamped : int;
+  mutable wait_clamped : int;
+  mutable non_finite : int;
+  mutable div_storms : int;
+  mutable report_throttled : int;
+  mutable fold_divergence : int;
+  mutable eval_budget : int;
+}
+
+let fresh_guard_incidents () =
+  {
+    cwnd_clamped = 0;
+    rate_clamped = 0;
+    wait_clamped = 0;
+    non_finite = 0;
+    div_storms = 0;
+    report_throttled = 0;
+    fold_divergence = 0;
+    eval_budget = 0;
+  }
+
+let guard_total g =
+  g.cwnd_clamped + g.rate_clamped + g.wait_clamped + g.non_finite + g.div_storms
+  + g.report_throttled + g.fold_divergence + g.eval_budget
+
+let dominant_incident g : Message.incident_kind =
+  let counts =
+    [
+      (g.cwnd_clamped, Message.Cwnd_clamped);
+      (g.rate_clamped, Message.Rate_clamped);
+      (g.wait_clamped, Message.Wait_clamped);
+      (g.non_finite, Message.Non_finite);
+      (g.div_storms, Message.Div_by_zero_storm);
+      (g.report_throttled, Message.Report_throttled);
+      (g.fold_divergence, Message.Fold_divergence);
+      (g.eval_budget, Message.Eval_budget_exhausted);
+    ]
+  in
+  snd
+    (List.fold_left
+       (fun (best, kind) (n, k) -> if n > best then (n, k) else (best, kind))
+       (-1, Message.Cwnd_clamped)
+       counts)
+
 type config = {
   urgent_on_loss : bool;
   urgent_on_ecn : bool;
@@ -22,6 +95,8 @@ type config = {
   default_wait : Time_ns.t;
   max_vector_rows : int;
   fallback : fallback option;
+  limits : Limits.t;
+  guard : guard_envelope;
 }
 
 let default_config =
@@ -32,6 +107,8 @@ let default_config =
     default_wait = Time_ns.ms 10;
     max_vector_rows = 4096;
     fallback = None;
+    limits = Limits.default;
+    guard = default_guard;
   }
 
 type measurement =
@@ -52,6 +129,14 @@ type flow_state = {
   mutable fallback_cc : Congestion_iface.t option;
       (* live native controller instance while a [Native] fallback holds the flow *)
   incidents : Eval.incident_counter;
+  mutable quarantined : bool;
+  mutable quarantine_cc : Congestion_iface.t option;
+      (* live native controller while the guard envelope has the flow quarantined *)
+  mutable last_report_at : Time_ns.t option;
+  mutable div_baseline : int;
+      (* raw eval div-by-zero count at the last guard reset *)
+  mutable nonfinite_baseline : int;
+  guard : guard_incidents;
 }
 
 type t = {
@@ -66,6 +151,9 @@ type t = {
   mutable vector_rows_dropped : int;
   mutable fallbacks_triggered : int;
   mutable fallback_probes_sent : int;
+  mutable quarantines : int;
+  retired_guard : guard_incidents;
+      (* incidents from guard windows closed by an accepted re-install *)
 }
 
 (* --- evaluation environments --- *)
@@ -165,19 +253,75 @@ let eval_flow fs expr =
     { Eval.lookup_var = flow_env fs; lookup_pkt = (fun _ -> None) }
     expr
 
+(* --- runtime guardrails and quarantine --- *)
+
+(* Fold the evaluator's raw incident counts (cumulative for the flow's
+   lifetime) into the current guard window. Division-by-zero only scores
+   once per [div_storm_unit] occurrences: isolated div-by-zero is a normal
+   hazard of measurement-driven programs, a sustained storm is not. *)
+let absorb_eval_incidents t fs =
+  fs.guard.non_finite <- fs.incidents.Eval.non_finite - fs.nonfinite_baseline;
+  fs.guard.div_storms <-
+    (fs.incidents.Eval.div_by_zero - fs.div_baseline) / t.config.guard.div_storm_unit
+
+let quarantine t fs =
+  let g = t.config.guard in
+  fs.quarantined <- true;
+  t.quarantines <- t.quarantines + 1;
+  (* The offending program is cancelled outright; only an accepted
+     re-install brings CCP control back. *)
+  cancel_wait fs;
+  fs.program <- None;
+  fs.measurement <- No_measurement;
+  fs.ctl.Congestion_iface.set_rate 0.0;
+  (match g.quarantine_mode with
+  | Some (Clamp { cwnd_segments }) ->
+    fs.ctl.Congestion_iface.set_cwnd (cwnd_segments * fs.ctl.Congestion_iface.mss)
+  | Some (Native make_cc) ->
+    let cc = make_cc () in
+    fs.quarantine_cc <- Some cc;
+    cc.Congestion_iface.on_init fs.ctl
+  | None -> assert false (* only called when a mode is armed *));
+  Channel.send t.channel ~from:Channel.Datapath_end
+    (Message.Quarantined
+       {
+         flow = fs.ctl.Congestion_iface.flow;
+         incidents = guard_total fs.guard;
+         dominant = dominant_incident fs.guard;
+       })
+
+let maybe_quarantine t fs =
+  let g = t.config.guard in
+  match g.quarantine_mode with
+  | None -> ()
+  | Some _ ->
+    if (not fs.quarantined) && g.quarantine_after > 0 && guard_total fs.guard >= g.quarantine_after
+    then quarantine t fs
+
+(* Absorb eval-side incidents and re-check the threshold; call after any
+   guarded evaluation or fold step. *)
+let guard_note t fs =
+  absorb_eval_incidents t fs;
+  maybe_quarantine t fs
+
 (* Execute primitives from [fs.pc] until the program blocks on a wait or
    finishes. The step budget guards against zero-length waits in repeating
    programs (typecheck rejects wait-free loops, but the datapath cannot
-   trust the agent). *)
+   trust the agent); every [Cwnd]/[Rate]/[Wait] result passes through the
+   guard envelope before it touches the flow. *)
 let rec advance t fs =
-  let budget = ref 10_000 in
+  let g = t.config.guard in
+  let budget = ref (max 1 g.max_eval_steps) in
   let rec step () =
     decr budget;
     if !budget <= 0 then begin
-      fs.wait_timer <-
-        Some (Sim.schedule_after t.sim ~delay:(Time_ns.us 1) (fun () ->
-                  fs.wait_timer <- None;
-                  advance t fs))
+      fs.guard.eval_budget <- fs.guard.eval_budget + 1;
+      maybe_quarantine t fs;
+      if not fs.quarantined then
+        fs.wait_timer <-
+          Some (Sim.schedule_after t.sim ~delay:(Time_ns.us 1) (fun () ->
+                    fs.wait_timer <- None;
+                    advance t fs))
     end
     else
       match fs.program with
@@ -198,16 +342,26 @@ let rec advance t fs =
             install_measurement fs spec;
             step ()
           | Ast.Rate e ->
-            let rate = Float.max 0.0 (eval_flow fs e) in
+            let raw = eval_flow fs e in
+            let rate = Float.min (Float.max 0.0 raw) g.max_rate_bytes_per_sec in
+            if rate <> raw then fs.guard.rate_clamped <- fs.guard.rate_clamped + 1;
             fs.ctl.Congestion_iface.set_rate rate;
+            guard_note t fs;
             step ()
           | Ast.Cwnd e ->
-            let cwnd = int_of_float (Float.max 0.0 (eval_flow fs e)) in
-            fs.ctl.Congestion_iface.set_cwnd cwnd;
+            let raw = eval_flow fs e in
+            let lo = float_of_int (g.min_cwnd_segments * fs.ctl.Congestion_iface.mss) in
+            let hi = float_of_int g.max_cwnd_bytes in
+            let cwnd = Float.min (Float.max lo raw) hi in
+            if cwnd <> raw then fs.guard.cwnd_clamped <- fs.guard.cwnd_clamped + 1;
+            fs.ctl.Congestion_iface.set_cwnd (int_of_float cwnd);
+            guard_note t fs;
             step ()
           | Ast.Wait e ->
             let us = Float.max 0.0 (eval_flow fs e) in
-            block_for t fs (Time_ns.of_float_sec (us *. 1e-6))
+            guard_note t fs;
+            let duration = guarded_wait t fs (Time_ns.of_float_sec (us *. 1e-6)) in
+            if not fs.quarantined then block_for t fs duration
           | Ast.Wait_rtts e ->
             let rtts = Float.max 0.0 (eval_flow fs e) in
             let base =
@@ -215,13 +369,41 @@ let rec advance t fs =
               | Some srtt -> srtt
               | None -> t.config.default_wait
             in
-            block_for t fs (Time_ns.scale base rtts)
+            guard_note t fs;
+            let duration = guarded_wait t fs (Time_ns.scale base rtts) in
+            if not fs.quarantined then block_for t fs duration
           | Ast.Report ->
-            send_report t fs;
-            step ()
+            let now = Sim.now t.sim in
+            let throttled =
+              match fs.last_report_at with
+              | Some last ->
+                Time_ns.compare (Time_ns.sub now last) t.config.guard.min_report_interval < 0
+              | None -> false
+            in
+            if throttled then begin
+              (* Skip the send but keep aggregating: the pending state goes
+                 out with the next unthrottled report. *)
+              fs.guard.report_throttled <- fs.guard.report_throttled + 1;
+              maybe_quarantine t fs
+            end
+            else begin
+              fs.last_report_at <- Some now;
+              send_report t fs
+            end;
+            if not fs.quarantined then step ()
         end
   in
   step ()
+
+(* A computed wait below the envelope floor would spin the simulator (or a
+   real datapath's CPU) at one timestamp; floor it and count the clamp. *)
+and guarded_wait t fs duration =
+  if Time_ns.compare duration t.config.guard.min_wait < 0 then begin
+    fs.guard.wait_clamped <- fs.guard.wait_clamped + 1;
+    maybe_quarantine t fs;
+    t.config.guard.min_wait
+  end
+  else duration
 
 and block_for t fs duration =
   cancel_wait fs;
@@ -230,20 +412,60 @@ and block_for t fs duration =
               fs.wait_timer <- None;
               advance t fs))
 
+(* Close the current guard window: bank its incidents in the datapath-wide
+   accumulator and start the new program with a clean slate (otherwise a
+   corrected re-install would be re-quarantined on inherited incidents). *)
+let reset_guard_window t fs =
+  let g = fs.guard and r = t.retired_guard in
+  r.cwnd_clamped <- r.cwnd_clamped + g.cwnd_clamped;
+  r.rate_clamped <- r.rate_clamped + g.rate_clamped;
+  r.wait_clamped <- r.wait_clamped + g.wait_clamped;
+  r.non_finite <- r.non_finite + g.non_finite;
+  r.div_storms <- r.div_storms + g.div_storms;
+  r.report_throttled <- r.report_throttled + g.report_throttled;
+  r.fold_divergence <- r.fold_divergence + g.fold_divergence;
+  r.eval_budget <- r.eval_budget + g.eval_budget;
+  g.cwnd_clamped <- 0;
+  g.rate_clamped <- 0;
+  g.wait_clamped <- 0;
+  g.non_finite <- 0;
+  g.div_storms <- 0;
+  g.report_throttled <- 0;
+  g.fold_divergence <- 0;
+  g.eval_budget <- 0;
+  fs.div_baseline <- fs.incidents.Eval.div_by_zero;
+  fs.nonfinite_baseline <- fs.incidents.Eval.non_finite
+
+let send_install_result t fs verdict =
+  Channel.send t.channel ~from:Channel.Datapath_end
+    (Message.Install_result { flow = fs.ctl.Congestion_iface.flow; verdict })
+
+(* Admission control (§2.4): the datapath trusts neither the agent nor the
+   channel, so every [Install] re-runs the static checks and the resource
+   limits and answers with an [Install_result] either way. An accepted
+   install atomically wins the flow back from quarantine. *)
 let install_program t fs program =
-  let accepted =
-    if not t.config.validate_installs then true
-    else match Typecheck.check program with Ok _ -> true | Error _ -> false
+  let verdict =
+    if not t.config.validate_installs then Ok ()
+    else Limits.admit ~limits:t.config.limits program
   in
-  if accepted then begin
+  match verdict with
+  | Ok () ->
     t.installs_accepted <- t.installs_accepted + 1;
+    if fs.quarantined then begin
+      fs.quarantined <- false;
+      fs.quarantine_cc <- None
+    end;
+    reset_guard_window t fs;
     cancel_wait fs;
     fs.program <- Some program;
     fs.pc <- 0;
     fs.measurement <- No_measurement;
+    send_install_result t fs Message.Accepted;
     advance t fs
-  end
-  else t.installs_rejected <- t.installs_rejected + 1
+  | Error (reason, detail) ->
+    t.installs_rejected <- t.installs_rejected + 1;
+    send_install_result t fs (Message.Rejected { reason; detail })
 
 (* --- agent -> datapath messages --- *)
 
@@ -268,16 +490,18 @@ let on_message t (msg : Message.t) =
     match Hashtbl.find_opt t.flows flow with
     | Some fs ->
       note_agent_contact t fs;
-      fs.ctl.Congestion_iface.set_cwnd bytes
+      (* Direct knob commands cannot release a quarantine — only an
+         accepted [Install] proves the agent has a corrected program. *)
+      if not fs.quarantined then fs.ctl.Congestion_iface.set_cwnd bytes
     | None -> ())
   | Message.Set_rate { flow; bytes_per_sec } -> (
     match Hashtbl.find_opt t.flows flow with
     | Some fs ->
       note_agent_contact t fs;
-      fs.ctl.Congestion_iface.set_rate (Float.max 0.0 bytes_per_sec)
+      if not fs.quarantined then fs.ctl.Congestion_iface.set_rate (Float.max 0.0 bytes_per_sec)
     | None -> ())
   | Message.Ready _ | Message.Report _ | Message.Report_vector _ | Message.Urgent _
-  | Message.Closed _ ->
+  | Message.Closed _ | Message.Install_result _ | Message.Quarantined _ ->
     (* Agent-bound traffic is never delivered to the datapath end. *)
     ()
 
@@ -295,6 +519,8 @@ let create ~sim ~channel ?(config = default_config) () =
       vector_rows_dropped = 0;
       fallbacks_triggered = 0;
       fallback_probes_sent = 0;
+      quarantines = 0;
+      retired_guard = fresh_guard_incidents ();
     }
   in
   Channel.on_receive channel Channel.Datapath_end (on_message t);
@@ -313,6 +539,23 @@ let create ~sim ~channel ?(config = default_config) () =
    a restarted agent re-learns the flow and can reclaim it. *)
 let rec watchdog_tick t fs (fb : fallback) =
   let silence = Time_ns.sub (Sim.now t.sim) fs.last_agent_contact in
+  if fs.quarantined then begin
+    (* Quarantine supersedes the watchdog: the guard envelope already holds
+       the flow. Still probe a silent agent so a restarted one re-learns
+       the flow and can send the corrected install. *)
+    if Time_ns.compare silence fb.after >= 0 then begin
+      t.fallback_probes_sent <- t.fallback_probes_sent + 1;
+      Channel.send t.channel ~from:Channel.Datapath_end
+        (Message.Ready
+           {
+             flow = fs.ctl.Congestion_iface.flow;
+             mss = fs.ctl.Congestion_iface.mss;
+             init_cwnd = fs.ctl.Congestion_iface.get_cwnd ();
+           })
+    end;
+    ignore (Sim.schedule_after t.sim ~delay:fb.after (fun () -> watchdog_tick t fs fb))
+  end
+  else begin
   if Time_ns.compare silence fb.after >= 0 then begin
     if not fs.fallback_active then begin
       fs.fallback_active <- true;
@@ -345,6 +588,7 @@ let rec watchdog_tick t fs (fb : fallback) =
   end;
   ignore
     (Sim.schedule_after t.sim ~delay:fb.after (fun () -> watchdog_tick t fs fb))
+  end
 
 let on_init t ctl =
   let fs =
@@ -360,6 +604,12 @@ let on_init t ctl =
       fallback_active = false;
       fallback_cc = None;
       incidents = Eval.fresh_counter ();
+      quarantined = false;
+      quarantine_cc = None;
+      last_report_at = None;
+      div_baseline = 0;
+      nonfinite_baseline = 0;
+      guard = fresh_guard_incidents ();
     }
   in
   Hashtbl.replace t.flows ctl.Congestion_iface.flow fs;
@@ -379,7 +629,10 @@ let record_measurement t fs (ev : Congestion_iface.ack_event) ~bytes_lost =
   | No_measurement -> ()
   | Fold_state fold ->
     Fold.step ~incidents:fs.incidents fold ~flow_env:(flow_env fs)
-      ~pkt_env:(pkt_env ev ~bytes_lost)
+      ~pkt_env:(pkt_env ev ~bytes_lost);
+    if Fold.diverged fold ~limit:t.config.guard.divergence_limit then
+      fs.guard.fold_divergence <- fs.guard.fold_divergence + 1;
+    guard_note t fs
   | Vector v ->
     if v.count >= t.config.max_vector_rows then
       t.vector_rows_dropped <- t.vector_rows_dropped + 1
@@ -393,6 +646,13 @@ let record_measurement t fs (ev : Congestion_iface.ack_event) ~bytes_lost =
 let on_ack t ctl (ev : Congestion_iface.ack_event) =
   match Hashtbl.find_opt t.flows ctl.Congestion_iface.flow with
   | None -> ()
+  | Some { quarantined = true; quarantine_cc = Some cc; _ } ->
+    (* The quarantine controller owns the flow until an accepted
+       re-install; no measurement aggregation, no urgents. *)
+    cc.Congestion_iface.on_ack ctl ev
+  | Some { quarantined = true; _ } ->
+    (* Clamp-mode quarantine: the pinned window rides out the episode. *)
+    ()
   | Some { fallback_active = true; fallback_cc = Some cc; _ } ->
     (* The native stand-in owns the flow; no measurement aggregation and
        no urgents while the agent is out. *)
@@ -416,6 +676,14 @@ let on_ack t ctl (ev : Congestion_iface.ack_event) =
 let on_loss t ctl (loss : Congestion_iface.loss_event) =
   match Hashtbl.find_opt t.flows ctl.Congestion_iface.flow with
   | None -> ()
+  | Some { quarantined = true; quarantine_cc = Some cc; _ } ->
+    cc.Congestion_iface.on_loss ctl loss
+  | Some { quarantined = true; _ } -> (
+    (* Clamp-mode quarantine keeps the kernel-style RTO collapse but sends
+       no urgent: the agent lost the flow until it re-installs. *)
+    match loss.kind with
+    | Congestion_iface.Rto -> ctl.Congestion_iface.set_cwnd ctl.Congestion_iface.mss
+    | Congestion_iface.Dup_acks -> ())
   | Some { fallback_active = true; fallback_cc = Some cc; _ } ->
     cc.Congestion_iface.on_loss ctl loss
   | Some fs -> (
@@ -430,7 +698,8 @@ let on_loss t ctl (loss : Congestion_iface.loss_event) =
 
 let on_exit_recovery t ctl =
   match Hashtbl.find_opt t.flows ctl.Congestion_iface.flow with
-  | Some { fallback_active = true; fallback_cc = Some cc; _ } ->
+  | Some { quarantined = true; quarantine_cc = Some cc; _ }
+  | Some { quarantined = false; fallback_active = true; fallback_cc = Some cc; _ } ->
     cc.Congestion_iface.on_exit_recovery ctl
   | Some _ | None -> ()
 
@@ -463,12 +732,25 @@ let in_fallback t ~flow =
   | Some fs -> fs.fallback_active
   | None -> false
 
-type controller = Agent_program | Native_fallback | Awaiting_agent
+let quarantines_triggered t = t.quarantines
+
+let in_quarantine t ~flow =
+  match Hashtbl.find_opt t.flows flow with
+  | Some fs -> fs.quarantined
+  | None -> false
+
+let guard_incidents t ~flow = Option.map (fun fs -> fs.guard) (Hashtbl.find_opt t.flows flow)
+
+let guard_incident_total t =
+  Hashtbl.fold (fun _ fs acc -> acc + guard_total fs.guard) t.flows (guard_total t.retired_guard)
+
+type controller = Agent_program | Native_fallback | Quarantined | Awaiting_agent
 
 let controller t ~flow =
   Option.map
     (fun fs ->
-      if fs.fallback_active then Native_fallback
+      if fs.quarantined then Quarantined
+      else if fs.fallback_active then Native_fallback
       else if fs.program <> None then Agent_program
       else Awaiting_agent)
     (Hashtbl.find_opt t.flows flow)

@@ -52,18 +52,69 @@ type fallback = {
 val clamp_fallback : after:Time_ns.t -> cwnd_segments:int -> fallback
 val native_fallback : after:Time_ns.t -> (unit -> Congestion_iface.t) -> fallback
 
+(** Runtime guardrails (§2.4 self-protection): hard bounds the datapath
+    enforces on every value an installed program produces, no matter what
+    admission control let through — a statically valid program can still
+    compute a zero window, an absurd rate, or a sub-microsecond wait. Each
+    violation is clamped {e and counted}; when a flow's incident score
+    reaches [quarantine_after] and a [quarantine_mode] is armed, the
+    program is cancelled, the mode takes the flow (exactly like a watchdog
+    fallback episode), and the agent is told via [Quarantined]. Only a
+    subsequently {e accepted} [Install] wins the flow back. *)
+type guard_envelope = {
+  min_cwnd_segments : int;  (** cwnd floor, in segments (× mss) *)
+  max_cwnd_bytes : int;  (** cwnd ceiling *)
+  max_rate_bytes_per_sec : float;  (** pacing-rate ceiling *)
+  min_wait : Time_ns.t;
+      (** floor on {e computed} waits; a shorter wait would spin the
+          datapath at one timestamp *)
+  max_eval_steps : int;  (** per-tick program-step budget *)
+  min_report_interval : Time_ns.t;  (** report rate limiter *)
+  div_storm_unit : int;
+      (** divisions-by-zero per incident point: isolated div-by-zero is
+          tolerated, a sustained storm scores *)
+  divergence_limit : float;  (** fold state magnitude bound *)
+  quarantine_after : int;  (** incident score that triggers quarantine *)
+  quarantine_mode : fallback_mode option;  (** [None] = count but never quarantine *)
+}
+
+val default_guard : guard_envelope
+(** 1-segment cwnd floor, 1 GiB ceiling, 1 Tbit/s rate ceiling, 1 us wait
+    floor, 10k steps per tick, 10 us report interval, 50 div-by-zero per
+    point, 1e18 fold bound, quarantine at 50 with no mode armed. *)
+
+(** Per-flow incident counters, one per {!Ccp_ipc.Message.incident_kind}.
+    Mutable for the datapath's own accounting; treat as read-only. *)
+type guard_incidents = {
+  mutable cwnd_clamped : int;
+  mutable rate_clamped : int;
+  mutable wait_clamped : int;
+  mutable non_finite : int;
+  mutable div_storms : int;
+  mutable report_throttled : int;
+  mutable fold_divergence : int;
+  mutable eval_budget : int;
+}
+
+val guard_total : guard_incidents -> int
+(** The flow's incident score: the plain sum of the counters. *)
+
 type config = {
   urgent_on_loss : bool;
   urgent_on_ecn : bool;
   validate_installs : bool;
+      (** run admission ({!Ccp_lang.Limits.admit}) on every [Install] *)
   default_wait : Time_ns.t;  (** WaitRtts fallback before the first RTT sample *)
   max_vector_rows : int;  (** vector-mode memory bound; overflow rows are dropped and counted *)
   fallback : fallback option;
+  limits : Ccp_lang.Limits.t;  (** static admission limits *)
+  guard : guard_envelope;
 }
 
 val default_config : config
 (** Loss urgent on, ECN urgent off, validation on, 10 ms default wait,
-    4096-row vectors, watchdog disabled. *)
+    4096-row vectors, watchdog disabled, {!Ccp_lang.Limits.default}
+    admission limits, {!default_guard} envelope. *)
 
 type t
 
@@ -91,11 +142,25 @@ val fallback_probes_sent : t -> int
 
 val in_fallback : t -> flow:int -> bool
 
+val quarantines_triggered : t -> int
+(** Guard-envelope quarantines entered across all flows. *)
+
+val in_quarantine : t -> flow:int -> bool
+
+val guard_incidents : t -> flow:int -> guard_incidents option
+(** The flow's counters for the {e current} guard window (reset on every
+    accepted install). *)
+
+val guard_incident_total : t -> int
+(** Incidents across all flows and all closed guard windows — the
+    datapath-wide "how badly were we abused" number for experiment
+    stats. *)
+
 (** Who is driving a flow right now. The datapath maintains the invariant
-    that exactly one party controls each flow: an installed agent program
-    and an active native fallback are mutually exclusive by construction
-    ([Awaiting_agent] covers the startup window before the first install,
-    when the flow still runs at its initial window). *)
-type controller = Agent_program | Native_fallback | Awaiting_agent
+    that exactly one party controls each flow: an installed agent program,
+    an active native fallback, and a quarantine are mutually exclusive by
+    construction ([Awaiting_agent] covers the startup window before the
+    first install, when the flow still runs at its initial window). *)
+type controller = Agent_program | Native_fallback | Quarantined | Awaiting_agent
 
 val controller : t -> flow:int -> controller option

@@ -151,6 +151,44 @@ let decode_program s = read_program (Wire.Reader.of_string s)
 
 (* --- messages --- *)
 
+let reason_tag : Ccp_lang.Limits.reason -> int = function
+  | Program_too_long -> 0
+  | Expr_too_deep -> 1
+  | Fold_too_large -> 2
+  | Vector_too_wide -> 3
+  | Wait_too_short -> 4
+  | Invalid_program -> 5
+
+let reason_of_tag : int -> Ccp_lang.Limits.reason = function
+  | 0 -> Program_too_long
+  | 1 -> Expr_too_deep
+  | 2 -> Fold_too_large
+  | 3 -> Vector_too_wide
+  | 4 -> Wait_too_short
+  | 5 -> Invalid_program
+  | n -> fail "bad install-reject reason tag %d" n
+
+let incident_tag : Message.incident_kind -> int = function
+  | Cwnd_clamped -> 0
+  | Rate_clamped -> 1
+  | Wait_clamped -> 2
+  | Non_finite -> 3
+  | Div_by_zero_storm -> 4
+  | Report_throttled -> 5
+  | Fold_divergence -> 6
+  | Eval_budget_exhausted -> 7
+
+let incident_of_tag : int -> Message.incident_kind = function
+  | 0 -> Cwnd_clamped
+  | 1 -> Rate_clamped
+  | 2 -> Wait_clamped
+  | 3 -> Non_finite
+  | 4 -> Div_by_zero_storm
+  | 5 -> Report_throttled
+  | 6 -> Fold_divergence
+  | 7 -> Eval_budget_exhausted
+  | n -> fail "bad incident-kind tag %d" n
+
 let write_message w (msg : Message.t) =
   match msg with
   | Ready { flow; mss; init_cwnd } ->
@@ -189,6 +227,20 @@ let write_message w (msg : Message.t) =
   | Closed { flow } ->
     Wire.Writer.byte w 4;
     Wire.Writer.varint w flow
+  | Install_result { flow; verdict } ->
+    Wire.Writer.byte w 8;
+    Wire.Writer.varint w flow;
+    (match verdict with
+    | Message.Accepted -> Wire.Writer.byte w 0
+    | Message.Rejected { reason; detail } ->
+      Wire.Writer.byte w 1;
+      Wire.Writer.byte w (reason_tag reason);
+      Wire.Writer.string w detail)
+  | Quarantined { flow; incidents; dominant } ->
+    Wire.Writer.byte w 9;
+    Wire.Writer.varint w flow;
+    Wire.Writer.varint w incidents;
+    Wire.Writer.byte w (incident_tag dominant)
   | Install { flow; program } ->
     Wire.Writer.byte w 5;
     Wire.Writer.varint w flow;
@@ -253,6 +305,23 @@ let read_message r : Message.t =
     let flow = Wire.Reader.varint r in
     let bytes_per_sec = Wire.Reader.float r in
     Set_rate { flow; bytes_per_sec }
+  | 8 ->
+    let flow = Wire.Reader.varint r in
+    let verdict =
+      match Wire.Reader.byte r with
+      | 0 -> Message.Accepted
+      | 1 ->
+        let reason = reason_of_tag (Wire.Reader.byte r) in
+        let detail = Wire.Reader.string r in
+        Message.Rejected { reason; detail }
+      | v -> fail "bad install verdict %d" v
+    in
+    Install_result { flow; verdict }
+  | 9 ->
+    let flow = Wire.Reader.varint r in
+    let incidents = Wire.Reader.varint r in
+    let dominant = incident_of_tag (Wire.Reader.byte r) in
+    Quarantined { flow; incidents; dominant }
   | tag -> fail "bad message tag %d" tag
 
 let encode msg =

@@ -4,12 +4,32 @@ type report = { flow : int; fields : (string * float) array }
 type vector_report = { flow : int; columns : string array; rows : float array array }
 type urgent = { flow : int; kind : urgent_kind; cwnd_at_event : int; inflight_at_event : int }
 
+type install_verdict =
+  | Accepted
+  | Rejected of { reason : Ccp_lang.Limits.reason; detail : string }
+
+type install_result = { flow : int; verdict : install_verdict }
+
+type incident_kind =
+  | Cwnd_clamped
+  | Rate_clamped
+  | Wait_clamped
+  | Non_finite
+  | Div_by_zero_storm
+  | Report_throttled
+  | Fold_divergence
+  | Eval_budget_exhausted
+
+type quarantine = { flow : int; incidents : int; dominant : incident_kind }
+
 type t =
   | Ready of { flow : int; mss : int; init_cwnd : int }
   | Report of report
   | Report_vector of vector_report
   | Urgent of urgent
   | Closed of { flow : int }
+  | Install_result of install_result
+  | Quarantined of quarantine
   | Install of { flow : int; program : Ccp_lang.Ast.program }
   | Set_cwnd of { flow : int; bytes : int }
   | Set_rate of { flow : int; bytes_per_sec : float }
@@ -20,6 +40,8 @@ let flow = function
   | Report_vector { flow; _ }
   | Urgent { flow; _ }
   | Closed { flow }
+  | Install_result { flow; _ }
+  | Quarantined { flow; _ }
   | Install { flow; _ }
   | Set_cwnd { flow; _ }
   | Set_rate { flow; _ } ->
@@ -30,6 +52,22 @@ let urgent_kind_to_string = function
   | Timeout -> "timeout"
   | Ecn -> "ecn"
 
+let incident_kind_to_string = function
+  | Cwnd_clamped -> "cwnd-clamped"
+  | Rate_clamped -> "rate-clamped"
+  | Wait_clamped -> "wait-clamped"
+  | Non_finite -> "non-finite"
+  | Div_by_zero_storm -> "div-by-zero-storm"
+  | Report_throttled -> "report-throttled"
+  | Fold_divergence -> "fold-divergence"
+  | Eval_budget_exhausted -> "eval-budget-exhausted"
+
+let all_incident_kinds =
+  [
+    Cwnd_clamped; Rate_clamped; Wait_clamped; Non_finite; Div_by_zero_storm; Report_throttled;
+    Fold_divergence; Eval_budget_exhausted;
+  ]
+
 let describe = function
   | Ready { flow; mss; init_cwnd } ->
     Printf.sprintf "ready(flow=%d mss=%d cwnd=%d)" flow mss init_cwnd
@@ -38,6 +76,13 @@ let describe = function
     Printf.sprintf "report-vector(flow=%d rows=%d)" flow (Array.length rows)
   | Urgent { flow; kind; _ } -> Printf.sprintf "urgent(flow=%d %s)" flow (urgent_kind_to_string kind)
   | Closed { flow } -> Printf.sprintf "closed(flow=%d)" flow
+  | Install_result { flow; verdict = Accepted } -> Printf.sprintf "install-result(flow=%d ok)" flow
+  | Install_result { flow; verdict = Rejected { reason; _ } } ->
+    Printf.sprintf "install-result(flow=%d rejected: %s)" flow
+      (Ccp_lang.Limits.reason_to_string reason)
+  | Quarantined { flow; incidents; dominant } ->
+    Printf.sprintf "quarantined(flow=%d incidents=%d dominant=%s)" flow incidents
+      (incident_kind_to_string dominant)
   | Install { flow; _ } -> Printf.sprintf "install(flow=%d)" flow
   | Set_cwnd { flow; bytes } -> Printf.sprintf "set-cwnd(flow=%d %d)" flow bytes
   | Set_rate { flow; bytes_per_sec } -> Printf.sprintf "set-rate(flow=%d %.0f)" flow bytes_per_sec
@@ -50,11 +95,20 @@ let equal a b =
     v1.flow = v2.flow && v1.columns = v2.columns && v1.rows = v2.rows
   | Urgent u1, Urgent u2 -> u1 = u2
   | Closed c1, Closed c2 -> c1.flow = c2.flow
+  | Install_result r1, Install_result r2 ->
+    r1.flow = r2.flow
+    && (match (r1.verdict, r2.verdict) with
+       | Accepted, Accepted -> true
+       | Rejected a, Rejected b ->
+         Ccp_lang.Limits.equal_reason a.reason b.reason && String.equal a.detail b.detail
+       | (Accepted | Rejected _), _ -> false)
+  | Quarantined q1, Quarantined q2 ->
+    q1.flow = q2.flow && q1.incidents = q2.incidents && q1.dominant = q2.dominant
   | Install i1, Install i2 ->
     i1.flow = i2.flow && Ccp_lang.Ast.equal_program i1.program i2.program
   | Set_cwnd s1, Set_cwnd s2 -> s1.flow = s2.flow && s1.bytes = s2.bytes
   | Set_rate s1, Set_rate s2 -> s1.flow = s2.flow && Float.equal s1.bytes_per_sec s2.bytes_per_sec
-  | ( ( Ready _ | Report _ | Report_vector _ | Urgent _ | Closed _ | Install _ | Set_cwnd _
-      | Set_rate _ ),
+  | ( ( Ready _ | Report _ | Report_vector _ | Urgent _ | Closed _ | Install_result _
+      | Quarantined _ | Install _ | Set_cwnd _ | Set_rate _ ),
       _ ) ->
     false

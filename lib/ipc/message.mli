@@ -29,6 +29,28 @@ type urgent = {
   inflight_at_event : int;
 }
 
+(** Datapath's answer to an [Install]: admission control (§2.4) makes
+    rejection observable instead of a silent drop. *)
+type install_verdict =
+  | Accepted
+  | Rejected of { reason : Ccp_lang.Limits.reason; detail : string }
+
+type install_result = { flow : int; verdict : install_verdict }
+
+(** Runtime-guardrail incident classes the datapath counts per flow; the
+    dominant kind is reported when a flow is quarantined. *)
+type incident_kind =
+  | Cwnd_clamped  (** Cwnd eval outside the guard envelope *)
+  | Rate_clamped  (** Rate eval above the rate ceiling *)
+  | Wait_clamped  (** computed wait below the runtime floor *)
+  | Non_finite  (** NaN/±∞ clamped during evaluation *)
+  | Div_by_zero_storm  (** sustained division by zero *)
+  | Report_throttled  (** report sent faster than the rate limiter allows *)
+  | Fold_divergence  (** fold state went non-finite or past the limit *)
+  | Eval_budget_exhausted  (** per-tick eval-step budget hit *)
+
+type quarantine = { flow : int; incidents : int; dominant : incident_kind }
+
 type t =
   (* datapath -> agent *)
   | Ready of { flow : int; mss : int; init_cwnd : int }
@@ -36,6 +58,10 @@ type t =
   | Report_vector of vector_report
   | Urgent of urgent
   | Closed of { flow : int }
+  | Install_result of install_result
+  | Quarantined of quarantine
+      (** incidents crossed the threshold; the flow fell back to native CC
+          and only an accepted re-[Install] wins it back *)
   (* agent -> datapath *)
   | Install of { flow : int; program : Ccp_lang.Ast.program }
   | Set_cwnd of { flow : int; bytes : int }
@@ -44,4 +70,6 @@ type t =
 val flow : t -> int
 val describe : t -> string
 val urgent_kind_to_string : urgent_kind -> string
+val incident_kind_to_string : incident_kind -> string
+val all_incident_kinds : incident_kind list
 val equal : t -> t -> bool

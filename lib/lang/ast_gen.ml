@@ -1,0 +1,109 @@
+open Ccp_util
+open Ast
+
+let known_vars = List.map fst Vars.flow_vars
+let known_pkts = List.map fst Vars.pkt_fields
+let known_calls = List.map fst Vars.builtins
+
+let pick rng xs = List.nth xs (Rng.int rng (List.length xs))
+
+let gen_name rng ~known =
+  if Rng.int rng 4 > 0 then pick rng known
+  else
+    (* Garbage names: admission must reject them without raising. *)
+    String.init (1 + Rng.int rng 8) (fun _ -> Char.chr (97 + Rng.int rng 26))
+
+let gen_const rng =
+  match Rng.int rng 8 with
+  | 0 -> 0.0
+  | 1 -> -1.0 *. Rng.float rng 1e6
+  | 2 -> 1e300 (* overflows under Mul/pow: exercises the non-finite clamp *)
+  | 3 -> 4.9e-324 (* denormal divisor *)
+  | 4 -> Rng.float rng 1.0
+  | _ -> Rng.float rng 1e9
+
+let rec expr rng ~depth =
+  if depth <= 0 then
+    match Rng.int rng 3 with
+    | 0 -> Const (gen_const rng)
+    | 1 -> Var (gen_name rng ~known:known_vars)
+    | _ -> Pkt (gen_name rng ~known:known_pkts)
+  else
+    match Rng.int rng 6 with
+    | 0 | 1 ->
+      let op = pick rng [ Add; Sub; Mul; Div ] in
+      Bin (op, expr rng ~depth:(depth - 1), expr rng ~depth:(depth - 1))
+    | 2 -> Neg (expr rng ~depth:(depth - 1))
+    | 3 ->
+      let name = gen_name rng ~known:known_calls in
+      let arity =
+        match Vars.builtin_arity name with
+        | Some a when Rng.int rng 5 > 0 -> a
+        | _ -> Rng.int rng 5 (* wrong arity on purpose, sometimes *)
+      in
+      Call (name, List.init arity (fun _ -> expr rng ~depth:(depth - 1)))
+    | _ -> Const (gen_const rng)
+
+let gen_fold rng =
+  let n = 1 + Rng.int rng 4 in
+  let fields = List.init n (fun i -> Printf.sprintf "f%d" i) in
+  let binding rng name =
+    let e =
+      if Rng.int rng 8 = 0 then expr rng ~depth:2
+      else
+        (* Usually reference declared state so some folds typecheck. *)
+        match Rng.int rng 3 with
+        | 0 -> Bin (Add, Var name, Pkt (gen_name rng ~known:known_pkts))
+        | 1 -> Bin (Mul, Var name, Const (gen_const rng))
+        | _ -> Const (gen_const rng)
+    in
+    (name, e)
+  in
+  {
+    init = List.map (fun f -> (f, Const (gen_const rng))) fields;
+    update = List.map (binding rng) fields;
+  }
+
+let prim rng =
+  match Rng.int rng 8 with
+  | 0 ->
+    let fields =
+      (* Sometimes empty (must be rejected), sometimes too wide. *)
+      match Rng.int rng 6 with
+      | 0 -> []
+      | 1 -> List.init 70 (fun i -> Printf.sprintf "c%d" i)
+      | _ ->
+        List.sort_uniq compare
+          (List.init (1 + Rng.int rng 4) (fun _ -> gen_name rng ~known:known_pkts))
+    in
+    Measure (Vector fields)
+  | 1 -> Measure (Fold (gen_fold rng))
+  | 2 -> Rate (expr rng ~depth:(Rng.int rng 4))
+  | 3 -> Cwnd (expr rng ~depth:(Rng.int rng 4))
+  | 4 -> Wait (expr rng ~depth:(Rng.int rng 3))
+  | 5 -> Wait_rtts (expr rng ~depth:(Rng.int rng 3))
+  | _ -> Report
+
+let program rng =
+  let n =
+    match Rng.int rng 10 with
+    | 0 -> 0 (* empty: rejected *)
+    | 1 -> 300 (* over the prim budget: rejected *)
+    | _ -> 1 + Rng.int rng 8
+  in
+  let prims = List.init n (fun _ -> prim rng) in
+  let prims = if Rng.bool rng then prims @ [ Report ] else prims in
+  Ast.program ~repeat:(Rng.bool rng) prims
+
+let well_typed_program rng =
+  (* Rejection-sample the wild generator through admission; the fixed
+     fallback keeps this total (and the fallback itself must admit). *)
+  let rec search tries =
+    if tries = 0 then
+      Ast.program
+        [ Cwnd (Bin (Mul, Const 2.0, Var "mss")); Wait_rtts (Const 1.0); Report ]
+    else
+      let p = program rng in
+      match Limits.admit p with Ok () -> p | Error _ -> search (tries - 1)
+  in
+  search 50

@@ -1,0 +1,21 @@
+(** Seeded random program generator for fuzzing the admission and
+    evaluation pipeline.
+
+    Deliberately adversarial: unknown names, wrong arities, division by
+    zero and by denormals, huge constants that overflow to infinity,
+    empty and oversized measure specs, zero-length and over-long
+    programs. Admission ({!Limits.admit}) must classify every output
+    without raising, and evaluation must stay total and finite on
+    whatever is admitted. Used by [bin/fuzz_smoke] (the CI fuzz stage)
+    and the property-test suites; all draws come from the given
+    {!Ccp_util.Rng} stream, so runs are reproducible per seed. *)
+
+open Ccp_util
+
+val expr : Rng.t -> depth:int -> Ast.expr
+val prim : Rng.t -> Ast.prim
+val program : Rng.t -> Ast.program
+
+val well_typed_program : Rng.t -> Ast.program
+(** A program that passes {!Limits.admit} (rejection-sampled, with a
+    fixed valid fallback so the function is total). *)

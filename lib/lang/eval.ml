@@ -5,9 +5,13 @@ type env = {
   lookup_pkt : string -> float option;
 }
 
-type incident_counter = { mutable div_by_zero : int; mutable unknown_name : int }
+type incident_counter = {
+  mutable div_by_zero : int;
+  mutable unknown_name : int;
+  mutable non_finite : int;
+}
 
-let fresh_counter () = { div_by_zero = 0; unknown_name = 0 }
+let fresh_counter () = { div_by_zero = 0; unknown_name = 0; non_finite = 0 }
 
 let apply_builtin name args =
   match (name, args) with
@@ -16,8 +20,9 @@ let apply_builtin name args =
   | "abs", [ a ] -> Some (Float.abs a)
   | "sqrt", [ a ] -> Some (if a < 0.0 then 0.0 else sqrt a)
   | "pow", [ a; b ] ->
-    let r = a ** b in
-    Some (if Float.is_nan r then 0.0 else r)
+    (* Raw result; [eval]'s finiteness clamp catches pow(10,1000) → ∞
+       and 0**-1 → ∞ alike, and counts them. *)
+    Some (a ** b)
   | "if_lt", [ a; b; x; y ] -> Some (if a < b then x else y)
   | "if_le", [ a; b; x; y ] -> Some (if a <= b then x else y)
   | "if_gt", [ a; b; x; y ] -> Some (if a > b then x else y)
@@ -29,39 +34,52 @@ let eval ?incidents env expr =
   let note_unknown () =
     match incidents with Some c -> c.unknown_name <- c.unknown_name + 1 | None -> ()
   in
-  let rec go = function
-    | Const f -> f
-    | Var name -> (
-      match env.lookup_var name with
-      | Some v -> v
-      | None ->
-        note_unknown ();
-        0.0)
-    | Pkt field -> (
-      match env.lookup_pkt field with
-      | Some v -> v
-      | None ->
-        note_unknown ();
-        0.0)
-    | Neg e -> -.go e
-    | Bin (op, l, r) -> (
-      let a = go l and b = go r in
-      match op with
-      | Add -> a +. b
-      | Sub -> a -. b
-      | Mul -> a *. b
-      | Div ->
-        if b = 0.0 then begin
-          note_div ();
-          0.0
-        end
-        else a /. b)
-    | Call (name, args) -> (
-      let vals = List.map go args in
-      match apply_builtin name vals with
-      | Some v -> v
-      | None ->
-        note_unknown ();
-        0.0)
+  (* Every sub-expression result passes through [fin]: NaN and ±∞ (from
+     overflow, division by a denormal, pow, or a poisoned environment
+     value) collapse to 0.0 and are counted, so no non-finite value can
+     propagate into cwnd/rate/fold state. *)
+  let fin v =
+    if Float.is_finite v then v
+    else begin
+      (match incidents with Some c -> c.non_finite <- c.non_finite + 1 | None -> ());
+      0.0
+    end
+  in
+  let rec go e =
+    fin
+      (match e with
+      | Const f -> f
+      | Var name -> (
+        match env.lookup_var name with
+        | Some v -> v
+        | None ->
+          note_unknown ();
+          0.0)
+      | Pkt field -> (
+        match env.lookup_pkt field with
+        | Some v -> v
+        | None ->
+          note_unknown ();
+          0.0)
+      | Neg e -> -.go e
+      | Bin (op, l, r) -> (
+        let a = go l and b = go r in
+        match op with
+        | Add -> a +. b
+        | Sub -> a -. b
+        | Mul -> a *. b
+        | Div ->
+          if b = 0.0 then begin
+            note_div ();
+            0.0
+          end
+          else a /. b)
+      | Call (name, args) -> (
+        let vals = List.map go args in
+        match apply_builtin name vals with
+        | Some v -> v
+        | None ->
+          note_unknown ();
+          0.0))
   in
   go expr

@@ -2,8 +2,10 @@
 
     Evaluation never raises at runtime: the datapath must stay safe no
     matter what program the agent installs (§5, "Is CCP safe to deploy?").
-    Division by zero yields 0, unknown builtins or variables yield 0, and
-    every such incident is counted so tests and operators can see it.
+    Division by zero yields 0, unknown builtins or variables yield 0, any
+    non-finite intermediate result (overflow to ∞, [pow] blowing up,
+    division by a denormal, NaN from a poisoned input) is clamped to 0,
+    and every such incident is counted so tests and operators can see it.
     Static rejection of bad programs is {!Typecheck}'s job. *)
 
 type env = {
@@ -12,13 +14,19 @@ type env = {
   lookup_pkt : string -> float option;  (** per-packet fields; [None] outside folds *)
 }
 
-type incident_counter = { mutable div_by_zero : int; mutable unknown_name : int }
+type incident_counter = {
+  mutable div_by_zero : int;
+  mutable unknown_name : int;
+  mutable non_finite : int;  (** NaN/±∞ results clamped to 0.0 *)
+}
 
 val fresh_counter : unit -> incident_counter
 
 val eval : ?incidents:incident_counter -> env -> Ast.expr -> float
-(** Total evaluation against [env]. *)
+(** Total evaluation against [env]. The result (and every intermediate
+    value) is finite. *)
 
 val apply_builtin : string -> float list -> float option
 (** [apply_builtin name args] is [None] for an unknown name or wrong
-    arity. *)
+    arity. May return a non-finite value (e.g. [pow] overflow); {!eval}
+    clamps and counts it. *)

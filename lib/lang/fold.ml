@@ -48,6 +48,9 @@ let step ?incidents t ~flow_env ~pkt_env =
 
 let fields t = Array.to_list (Array.mapi (fun i name -> (name, t.values.(i))) t.names)
 
+let diverged t ~limit =
+  Array.exists (fun v -> (not (Float.is_finite v)) || Float.abs v > limit) t.values
+
 let reset t ~flow_env =
   run_init t.def ~flow_env t.values t.names;
   t.packets <- 0

@@ -25,6 +25,11 @@ val get : t -> string -> float option
 val fields : t -> (string * float) list
 (** Current state in declaration order. *)
 
+val diverged : t -> limit:float -> bool
+(** True when any state field is non-finite or exceeds [limit] in
+    magnitude — a runaway fold (e.g. [x <- x *. 1e6]) that the guard
+    envelope should quarantine before it poisons reports. *)
+
 val reset : t -> flow_env:(string -> float option) -> unit
 (** Re-run the init bindings (after a [Report] flushes the state). *)
 

@@ -1,0 +1,97 @@
+open Ast
+
+type t = {
+  max_prims : int;
+  max_expr_depth : int;
+  max_fold_fields : int;
+  max_vector_columns : int;
+  min_wait_us : float;
+  min_wait_rtts : float;
+}
+
+let default =
+  {
+    max_prims = 256;
+    max_expr_depth = 32;
+    max_fold_fields = 64;
+    max_vector_columns = 32;
+    min_wait_us = 100.0;
+    min_wait_rtts = 0.1;
+  }
+
+type reason =
+  | Program_too_long
+  | Expr_too_deep
+  | Fold_too_large
+  | Vector_too_wide
+  | Wait_too_short
+  | Invalid_program
+
+let all_reasons =
+  [
+    Program_too_long; Expr_too_deep; Fold_too_large; Vector_too_wide; Wait_too_short;
+    Invalid_program;
+  ]
+
+let reason_to_string = function
+  | Program_too_long -> "program-too-long"
+  | Expr_too_deep -> "expr-too-deep"
+  | Fold_too_large -> "fold-too-large"
+  | Vector_too_wide -> "vector-too-wide"
+  | Wait_too_short -> "wait-too-short"
+  | Invalid_program -> "invalid-program"
+
+let equal_reason (a : reason) (b : reason) = a = b
+let pp_reason fmt r = Format.pp_print_string fmt (reason_to_string r)
+
+let rec expr_depth = function
+  | Const _ | Var _ | Pkt _ -> 1
+  | Neg e -> 1 + expr_depth e
+  | Bin (_, l, r) -> 1 + max (expr_depth l) (expr_depth r)
+  | Call (_, args) -> 1 + List.fold_left (fun acc e -> max acc (expr_depth e)) 0 args
+
+let prim_exprs = function
+  | Measure (Vector _) -> []
+  | Measure (Fold { init; update }) -> List.map snd init @ List.map snd update
+  | Rate e | Cwnd e | Wait e | Wait_rtts e -> [ e ]
+  | Report -> []
+
+(* Static resource limits only; [admit] combines them with {!Typecheck}.
+   The wait floors can only be enforced statically on constant arguments —
+   computed waits are the runtime guard envelope's job. *)
+let check ?(limits = default) (program : program) =
+  let err reason fmt = Format.kasprintf (fun detail -> Error (reason, detail)) fmt in
+  let n = List.length program.prims in
+  if n > limits.max_prims then
+    err Program_too_long "program has %d primitives (limit %d)" n limits.max_prims
+  else
+    let rec scan = function
+      | [] -> Ok ()
+      | prim :: rest -> (
+        let too_deep =
+          List.find_opt (fun e -> expr_depth e > limits.max_expr_depth) (prim_exprs prim)
+        in
+        match (too_deep, prim) with
+        | Some e, _ ->
+          err Expr_too_deep "expression depth %d exceeds limit %d" (expr_depth e)
+            limits.max_expr_depth
+        | None, Measure (Fold { init; _ }) when List.length init > limits.max_fold_fields ->
+          err Fold_too_large "fold declares %d state fields (limit %d)" (List.length init)
+            limits.max_fold_fields
+        | None, Measure (Vector fields) when List.length fields > limits.max_vector_columns ->
+          err Vector_too_wide "vector report has %d columns (limit %d)" (List.length fields)
+            limits.max_vector_columns
+        | None, Wait (Const us) when us < limits.min_wait_us ->
+          err Wait_too_short "Wait(%g us) is below the %g us floor" us limits.min_wait_us
+        | None, Wait_rtts (Const rtts) when rtts < limits.min_wait_rtts ->
+          err Wait_too_short "WaitRtts(%g) is below the %g RTT floor" rtts limits.min_wait_rtts
+        | None, _ -> scan rest)
+    in
+    scan program.prims
+
+let admit ?limits program =
+  match Typecheck.check program with
+  | Error (first :: _) ->
+    Error (Invalid_program, (first : Typecheck.error).message)
+  | Error [] -> Error (Invalid_program, "unknown static error")
+  | Ok _warnings -> check ?limits program

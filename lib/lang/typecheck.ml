@@ -58,6 +58,7 @@ let check_fold ctx (def : fold_def) =
   if def.update = [] then warn ctx "fold has no update bindings; state never changes"
 
 let check_measure ctx = function
+  | Vector [] -> err ctx "Measure: vector spec has no fields; it would report nothing"
   | Vector fields ->
     check_duplicates ctx ~where:"Measure" fields;
     List.iter
@@ -69,7 +70,11 @@ let check_prim ctx = function
   | Measure spec -> check_measure ctx spec
   | Rate e -> check_expr ctx ~state:None ~pkt_ok:false ~where:"Rate" e
   | Cwnd e -> check_expr ctx ~state:None ~pkt_ok:false ~where:"Cwnd" e
+  | Wait (Const us) when not (us > 0.0) ->
+    err ctx "Wait: duration %g us is not positive; the program would never advance" us
   | Wait e -> check_expr ctx ~state:None ~pkt_ok:false ~where:"Wait" e
+  | Wait_rtts (Const rtts) when not (rtts > 0.0) ->
+    err ctx "WaitRtts: duration %g RTTs is not positive; the program would never advance" rtts
   | Wait_rtts e -> check_expr ctx ~state:None ~pkt_ok:false ~where:"WaitRtts" e
   | Report -> ()
 

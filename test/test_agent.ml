@@ -24,7 +24,8 @@ let recording_algorithm events : Algorithm.t =
   let make (handle : Algorithm.handle) =
     let note tag = events := tag :: !events in
     {
-      Algorithm.on_ready =
+      Algorithm.no_op_handlers with
+      on_ready =
         (fun () ->
           note "ready";
           handle.Algorithm.install_text "Cwnd(20000).WaitRtts(1.0).Report()");

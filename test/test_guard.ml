@@ -1,0 +1,373 @@
+(* Datapath self-protection tests: static admission control
+   ({!Ccp_lang.Limits}), the typecheck and evaluator hardening that rides
+   along with it, the runtime guard envelope (clamps + incident
+   accounting), and the quarantine-to-native-CC lifecycle — both against
+   a fake controller harness and end-to-end through {!Experiment} with
+   the one-active-controller invariant sampled mid-run. *)
+
+open Ccp_util
+open Ccp_eventsim
+open Ccp_net
+open Ccp_datapath
+open Ccp_core
+open Ccp_lang
+
+let reason = Alcotest.testable Limits.pp_reason Limits.equal_reason
+
+let check_reason what expected p =
+  match Limits.check p with
+  | Ok () -> Alcotest.failf "%s: admitted, expected %s" what (Limits.reason_to_string expected)
+  | Error (r, _) -> Alcotest.check reason what expected r
+
+(* --- static admission limits --- *)
+
+let rec deep n = if n = 0 then Ast.Const 1.0 else Ast.Neg (deep (n - 1))
+
+let test_limits_rejections () =
+  check_reason "too long" Limits.Program_too_long
+    (Ast.program (List.init 300 (fun _ -> Ast.Cwnd (Ast.Const 1.0))));
+  check_reason "too deep" Limits.Expr_too_deep
+    (Ast.program [ Ast.Cwnd (deep 40); Ast.Wait_rtts (Ast.Const 1.0) ]);
+  let wide_fold =
+    let fields = List.init 70 (fun i -> (Printf.sprintf "f%d" i, Ast.Const 0.0)) in
+    Ast.Measure (Ast.Fold { Ast.init = fields; update = fields })
+  in
+  check_reason "fold too large" Limits.Fold_too_large
+    (Ast.program [ wide_fold; Ast.Wait_rtts (Ast.Const 1.0); Ast.Report ]);
+  check_reason "vector too wide" Limits.Vector_too_wide
+    (Ast.program
+       [
+         Ast.Measure (Ast.Vector (List.init 40 (fun _ -> "rtt_us")));
+         Ast.Wait_rtts (Ast.Const 1.0);
+         Ast.Report;
+       ]);
+  check_reason "constant wait below floor" Limits.Wait_too_short
+    (Ast.program [ Ast.Cwnd (Ast.Const 14480.0); Ast.Wait (Ast.Const 10.0); Ast.Report ]);
+  check_reason "constant wait_rtts below floor" Limits.Wait_too_short
+    (Ast.program
+       [ Ast.Cwnd (Ast.Const 14480.0); Ast.Wait_rtts (Ast.Const 0.05); Ast.Report ])
+
+let test_admit_full_decision () =
+  (* [admit] = typecheck + limits: an ill-typed program maps to
+     [Invalid_program], and a sane one passes both layers. *)
+  (match Limits.admit (Ast.program [ Ast.Cwnd (Ast.Var "no_such_var"); Ast.Wait_rtts (Ast.Const 1.0) ]) with
+  | Ok () -> Alcotest.fail "ill-typed program admitted"
+  | Error (r, _) -> Alcotest.check reason "ill-typed" Limits.Invalid_program r);
+  match Limits.admit (Ccp_algorithms.Prog.window_program ~cwnd:14_480 ()) with
+  | Ok () -> ()
+  | Error (r, detail) ->
+      Alcotest.failf "window program refused: %s (%s)" (Limits.reason_to_string r) detail
+
+(* --- typecheck hardening satellites --- *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let check_typecheck_error what ~sub p =
+  match Typecheck.check p with
+  | Ok _ -> Alcotest.failf "%s: typechecked, expected an error" what
+  | Error errs ->
+      if not (List.exists (fun (e : Typecheck.error) -> contains ~sub e.message) errs) then
+        Alcotest.failf "%s: no error mentions %S (got: %s)" what sub
+          (String.concat " | " (List.map (fun (e : Typecheck.error) -> e.message) errs))
+
+let test_typecheck_rejects_degenerate_prims () =
+  check_typecheck_error "Wait(0)" ~sub:"not positive"
+    (Ast.program [ Ast.Cwnd (Ast.Const 14480.0); Ast.Wait (Ast.Const 0.0); Ast.Report ]);
+  check_typecheck_error "WaitRtts(-1)" ~sub:"not positive"
+    (Ast.program [ Ast.Cwnd (Ast.Const 14480.0); Ast.Wait_rtts (Ast.Const (-1.0)); Ast.Report ]);
+  check_typecheck_error "empty vector" ~sub:"no fields"
+    (Ast.program
+       [ Ast.Measure (Ast.Vector []); Ast.Cwnd (Ast.Const 14480.0);
+         Ast.Wait_rtts (Ast.Const 1.0); Ast.Report ])
+
+(* --- evaluator totality satellites --- *)
+
+let const_env = { Eval.lookup_var = (fun _ -> None); Eval.lookup_pkt = (fun _ -> None) }
+
+let test_eval_clamps_non_finite () =
+  let incidents = Eval.fresh_counter () in
+  (* pow overflows to infinity; the clamp must hide it and count it. *)
+  let v = Eval.eval ~incidents const_env (Ast.Call ("pow", [ Ast.Const 1e300; Ast.Const 10.0 ])) in
+  Alcotest.(check (float 0.0)) "pow overflow clamped" 0.0 v;
+  Alcotest.(check bool) "pow overflow counted" true (incidents.Eval.non_finite >= 1);
+  (* Division by a denormal overflows without tripping the div-by-zero
+     branch — the finiteness clamp is the last line of defence. *)
+  let incidents = Eval.fresh_counter () in
+  let v = Eval.eval ~incidents const_env (Ast.Bin (Ast.Div, Ast.Const 1.0, Ast.Const 4.9e-324)) in
+  Alcotest.(check (float 0.0)) "denormal division clamped" 0.0 v;
+  Alcotest.(check int) "denormal division counted" 1 incidents.Eval.non_finite;
+  (* Plain div-by-zero still lands in its own counter, not the clamp's. *)
+  let incidents = Eval.fresh_counter () in
+  let v = Eval.eval ~incidents const_env (Ast.Bin (Ast.Div, Ast.Const 1.0, Ast.Const 0.0)) in
+  Alcotest.(check (float 0.0)) "div by zero yields 0" 0.0 v;
+  Alcotest.(check int) "div by zero counted" 1 incidents.Eval.div_by_zero;
+  Alcotest.(check int) "div by zero is not non-finite" 0 incidents.Eval.non_finite
+
+(* --- datapath harness (no TCP, fake controller) --- *)
+
+let fake_ctl sim ~flow =
+  let cwnd = ref 14_480 and rate = ref 0.0 in
+  let ctl : Congestion_iface.ctl =
+    {
+      flow;
+      mss = 1448;
+      now = (fun () -> Sim.now sim);
+      get_cwnd = (fun () -> !cwnd);
+      set_cwnd = (fun b -> cwnd := b);
+      get_rate = (fun () -> !rate);
+      set_rate = (fun r -> rate := r);
+      srtt = (fun () -> Some (Time_ns.ms 10));
+      latest_rtt = (fun () -> Some (Time_ns.ms 11));
+      min_rtt = (fun () -> Some (Time_ns.ms 10));
+      inflight = (fun () -> 0);
+      send_rate_ewma = (fun () -> None);
+      delivery_rate_ewma = (fun () -> None);
+    }
+  in
+  (ctl, cwnd, rate)
+
+let guard_env ?(config = Ccp_ext.default_config) () =
+  let sim = Sim.create () in
+  let channel =
+    Ccp_ipc.Channel.create ~sim ~latency:(Ccp_ipc.Latency_model.Constant (Time_ns.us 20)) ()
+  in
+  let to_agent = ref [] in
+  Ccp_ipc.Channel.on_receive channel Ccp_ipc.Channel.Agent_end (fun m ->
+      to_agent := m :: !to_agent);
+  let ext = Ccp_ext.create ~sim ~channel ~config () in
+  let install program ~flow =
+    Ccp_ipc.Channel.send channel ~from:Ccp_ipc.Channel.Agent_end
+      (Ccp_ipc.Message.Install { flow; program })
+  in
+  (sim, channel, ext, to_agent, install)
+
+let verdicts msgs =
+  List.filter_map
+    (function Ccp_ipc.Message.Install_result { verdict; _ } -> Some verdict | _ -> None)
+    (List.rev msgs)
+
+let sane_program = Ast.program
+    [ Ast.Cwnd (Ast.Bin (Ast.Mul, Ast.Const 10.0, Ast.Var "mss"));
+      Ast.Wait_rtts (Ast.Const 1.0); Ast.Report ]
+
+let test_admission_answers_install () =
+  let sim, _, ext, to_agent, install = guard_env () in
+  let ctl, _, _ = fake_ctl sim ~flow:1 in
+  (Ccp_ext.congestion_control ext).Congestion_iface.on_init ctl;
+  install Scenarios.Hostile.wait_too_short ~flow:1;
+  Sim.run ~until:(Time_ns.ms 1) sim;
+  Alcotest.(check int) "rejected count" 1 (Ccp_ext.installs_rejected ext);
+  Alcotest.(check bool) "nothing installed" true
+    (Ccp_ext.installed_program ext ~flow:1 = None);
+  (match verdicts !to_agent with
+  | [ Ccp_ipc.Message.Rejected { reason = r; _ } ] ->
+      Alcotest.check reason "rejection reason" Limits.Wait_too_short r
+  | vs -> Alcotest.failf "expected one rejection, got %d verdicts" (List.length vs));
+  install sane_program ~flow:1;
+  Sim.run ~until:(Time_ns.ms 2) sim;
+  Alcotest.(check int) "accepted count" 1 (Ccp_ext.installs_accepted ext);
+  Alcotest.(check bool) "program installed" true
+    (Ccp_ext.installed_program ext ~flow:1 <> None);
+  match verdicts !to_agent with
+  | [ _; Ccp_ipc.Message.Accepted ] -> ()
+  | _ -> Alcotest.fail "expected a second, accepting verdict"
+
+let test_guard_clamps_cwnd_and_rate () =
+  let sim, _, ext, _, install = guard_env () in
+  let ctl, cwnd, rate = fake_ctl sim ~flow:1 in
+  (Ccp_ext.congestion_control ext).Congestion_iface.on_init ctl;
+  install Scenarios.Hostile.zero_cwnd ~flow:1;
+  Sim.run ~until:(Time_ns.ms 50) sim;
+  Alcotest.(check int) "cwnd pinned at the 1-segment floor" 1448 !cwnd;
+  let g = Option.get (Ccp_ext.guard_incidents ext ~flow:1) in
+  Alcotest.(check bool) "cwnd clamps counted" true (g.Ccp_ext.cwnd_clamped > 0);
+  Alcotest.(check bool) "still under agent control" true
+    (Ccp_ext.controller ext ~flow:1 = Some Ccp_ext.Agent_program);
+  (* Same flow, new program: absurd rate and window both hit ceilings. *)
+  install Scenarios.Hostile.huge_rate ~flow:1;
+  Sim.run ~until:(Time_ns.ms 100) sim;
+  let guard = Ccp_ext.default_guard in
+  Alcotest.(check bool) "rate within ceiling" true
+    (!rate <= guard.Ccp_ext.max_rate_bytes_per_sec);
+  Alcotest.(check bool) "cwnd within ceiling" true (!cwnd <= guard.Ccp_ext.max_cwnd_bytes);
+  let g = Option.get (Ccp_ext.guard_incidents ext ~flow:1) in
+  Alcotest.(check bool) "rate clamps counted" true (g.Ccp_ext.rate_clamped > 0);
+  Alcotest.(check bool) "fresh window after accepted install" true
+    (g.Ccp_ext.cwnd_clamped > 0)
+
+let test_report_rate_limiter () =
+  let sim, _, ext, to_agent, install = guard_env () in
+  let ctl, _, _ = fake_ctl sim ~flow:1 in
+  (Ccp_ext.congestion_control ext).Congestion_iface.on_init ctl;
+  install Scenarios.Hostile.report_spam ~flow:1;
+  Sim.run ~until:(Time_ns.ms 1) sim;
+  (* The program asks for a report every ~1 us; the envelope allows one
+     per 10 us, so at most ~100 fit in the first millisecond. *)
+  let reports =
+    List.length
+      (List.filter (function Ccp_ipc.Message.Report _ -> true | _ -> false) !to_agent)
+  in
+  Alcotest.(check bool) "reports throttled" true (reports > 0 && reports <= 110);
+  let g = Option.get (Ccp_ext.guard_incidents ext ~flow:1) in
+  Alcotest.(check bool) "throttling counted" true (g.Ccp_ext.report_throttled > 0)
+
+let test_quarantine_lifecycle () =
+  let config =
+    {
+      Ccp_ext.default_config with
+      guard =
+        {
+          Ccp_ext.default_guard with
+          quarantine_after = 5;
+          quarantine_mode = Some (Ccp_ext.Clamp { cwnd_segments = 2 });
+        };
+    }
+  in
+  let sim, channel, ext, to_agent, install = guard_env ~config () in
+  let ctl, cwnd, rate = fake_ctl sim ~flow:1 in
+  (Ccp_ext.congestion_control ext).Congestion_iface.on_init ctl;
+  install Scenarios.Hostile.zero_cwnd ~flow:1;
+  (* One incident per ~5 ms loop: five loops trip the threshold. *)
+  Sim.run ~until:(Time_ns.ms 100) sim;
+  Alcotest.(check bool) "quarantined" true (Ccp_ext.in_quarantine ext ~flow:1);
+  Alcotest.(check int) "one quarantine" 1 (Ccp_ext.quarantines_triggered ext);
+  Alcotest.(check bool) "controller is the quarantine" true
+    (Ccp_ext.controller ext ~flow:1 = Some Ccp_ext.Quarantined);
+  Alcotest.(check bool) "offending program cancelled" true
+    (Ccp_ext.installed_program ext ~flow:1 = None);
+  Alcotest.(check int) "clamp window applied" (2 * 1448) !cwnd;
+  Alcotest.(check (float 1e-9)) "pacing disabled" 0.0 !rate;
+  (match
+     List.find_opt
+       (function Ccp_ipc.Message.Quarantined _ -> true | _ -> false)
+       !to_agent
+   with
+  | Some (Ccp_ipc.Message.Quarantined q) ->
+      Alcotest.(check bool) "reported incidents reach threshold" true
+        (q.Ccp_ipc.Message.incidents >= 5);
+      Alcotest.(check string) "dominant incident" "cwnd-clamped"
+        (Ccp_ipc.Message.incident_kind_to_string q.Ccp_ipc.Message.dominant)
+  | _ -> Alcotest.fail "agent never told about the quarantine");
+  (* Knob commands must not release the flow. *)
+  Ccp_ipc.Channel.send channel ~from:Ccp_ipc.Channel.Agent_end
+    (Ccp_ipc.Message.Set_cwnd { flow = 1; bytes = 60_000 });
+  Sim.run ~until:(Time_ns.ms 101) sim;
+  Alcotest.(check bool) "set_cwnd ignored while quarantined" true
+    (!cwnd = 2 * 1448 && Ccp_ext.in_quarantine ext ~flow:1);
+  (* Neither must a re-install that fails admission. *)
+  install Scenarios.Hostile.wait_too_short ~flow:1;
+  Sim.run ~until:(Time_ns.ms 102) sim;
+  Alcotest.(check bool) "rejected install keeps quarantine" true
+    (Ccp_ext.in_quarantine ext ~flow:1);
+  (* An accepted install atomically wins the flow back. *)
+  install sane_program ~flow:1;
+  Sim.run ~until:(Time_ns.ms 150) sim;
+  Alcotest.(check bool) "quarantine lifted" false (Ccp_ext.in_quarantine ext ~flow:1);
+  Alcotest.(check bool) "agent program back in control" true
+    (Ccp_ext.controller ext ~flow:1 = Some Ccp_ext.Agent_program);
+  Alcotest.(check int) "corrected window running" (10 * 1448) !cwnd;
+  Alcotest.(check int) "still just the one quarantine" 1 (Ccp_ext.quarantines_triggered ext)
+
+(* --- end to end through Experiment --- *)
+
+let test_hostile_flow_end_to_end () =
+  (* A hostile agent on a real dumbbell, with the one-active-controller
+     invariant sampled every 100 ms: quarantine flags, fallback flags and
+     the installed program must always agree with [controller]. *)
+  let duration = Time_ns.sec 5 in
+  let violations = ref [] in
+  let base = Experiment.default_config ~rate_bps:48e6 ~base_rtt:(Time_ns.ms 20) ~duration in
+  let config =
+    {
+      base with
+      Experiment.flows =
+        [
+          Experiment.flow
+            (Experiment.Ccp_cc (Scenarios.Hostile.attacker "zero-cwnd" Scenarios.Hostile.zero_cwnd));
+        ];
+      datapath =
+        { Ccp_ext.default_config with guard = Scenarios.Hostile.armed_guard ~threshold:25 () };
+      inspect =
+        Some
+          (fun { Experiment.h_sim; h_datapath; _ } ->
+            let rec sample at =
+              if Time_ns.compare at duration < 0 then
+                ignore
+                  (Sim.schedule h_sim ~at (fun () ->
+                       (match Ccp_ext.controller h_datapath ~flow:0 with
+                       | None -> ()
+                       | Some c ->
+                           let q = Ccp_ext.in_quarantine h_datapath ~flow:0 in
+                           let fb = Ccp_ext.in_fallback h_datapath ~flow:0 in
+                           let prog = Ccp_ext.installed_program h_datapath ~flow:0 <> None in
+                           let consistent =
+                             match c with
+                             | Ccp_ext.Quarantined -> q && not prog
+                             | Ccp_ext.Native_fallback -> fb && (not q) && not prog
+                             | Ccp_ext.Agent_program -> prog && not q
+                             | Ccp_ext.Awaiting_agent -> (not prog) && (not q) && not fb
+                           in
+                           if not consistent then
+                             violations :=
+                               Printf.sprintf
+                                 "t=%s: controller disagrees (quarantine=%b fallback=%b program=%b)"
+                                 (Time_ns.to_string at) q fb prog
+                               :: !violations);
+                       sample (Time_ns.add at (Time_ns.ms 100))))
+            in
+            sample (Time_ns.ms 100));
+    }
+  in
+  let r = Experiment.run config in
+  Alcotest.(check (list string)) "one active controller throughout" [] !violations;
+  let stats = Option.get r.Experiment.agent_stats in
+  Alcotest.(check int) "one quarantine" 1 stats.Experiment.quarantines;
+  Alcotest.(check int) "hostile then corrected install" 2 stats.Experiment.installs_admitted;
+  Alcotest.(check bool) "incidents scored" true (stats.Experiment.guard_incidents >= 25);
+  List.iter
+    (fun (at, v) ->
+      if v < 1448.0 then
+        Alcotest.failf "cwnd %.0f below the guard floor at %s" v (Time_ns.to_string at))
+    (Trace.series r.Experiment.trace "cwnd.0");
+  Alcotest.(check bool) "traffic kept flowing" true (r.Experiment.utilization > 0.05)
+
+let test_unrecovered_attacker_stays_quarantined () =
+  let p =
+    Scenarios.Hostile.run_one ~duration:(Time_ns.sec 3) ~recover:false
+      ("div-storm", Scenarios.Hostile.div_storm)
+  in
+  Alcotest.(check int) "quarantined once" 1 p.Scenarios.Hostile.quarantines;
+  Alcotest.(check bool) "never recovered" false p.Scenarios.Hostile.recovered;
+  Alcotest.(check bool) "native CC keeps the flow moving" true
+    (p.Scenarios.Hostile.utilization > 0.2);
+  Alcotest.(check bool) "cwnd floor held" true (p.Scenarios.Hostile.min_cwnd_seen >= 1448)
+
+let suite =
+  [
+    ( "guard.admission",
+      [
+        Alcotest.test_case "limits reject oversized programs" `Quick test_limits_rejections;
+        Alcotest.test_case "admit = typecheck + limits" `Quick test_admit_full_decision;
+        Alcotest.test_case "typecheck rejects degenerate prims" `Quick
+          test_typecheck_rejects_degenerate_prims;
+        Alcotest.test_case "eval clamps non-finite results" `Quick test_eval_clamps_non_finite;
+      ] );
+    ( "guard.datapath",
+      [
+        Alcotest.test_case "install answered with a verdict" `Quick test_admission_answers_install;
+        Alcotest.test_case "cwnd and rate clamped to the envelope" `Quick
+          test_guard_clamps_cwnd_and_rate;
+        Alcotest.test_case "report rate limiter" `Quick test_report_rate_limiter;
+        Alcotest.test_case "quarantine and recovery lifecycle" `Quick test_quarantine_lifecycle;
+      ] );
+    ( "guard.e2e",
+      [
+        Alcotest.test_case "hostile flow: invariants and recovery" `Slow
+          test_hostile_flow_end_to_end;
+        Alcotest.test_case "unrecovered attacker stays quarantined" `Slow
+          test_unrecovered_attacker_stays_quarantined;
+      ] );
+  ]

@@ -58,7 +58,7 @@ let gen_program rng =
 
 let gen_message rng : Ccp_ipc.Message.t =
   let flow = Rng.int rng 1_000 in
-  match Rng.int rng 8 with
+  match Rng.int rng 10 with
   | 0 ->
       Ccp_ipc.Message.Ready
         { flow; mss = Prop.int_range rng 500 9000; init_cwnd = Rng.int rng 1_000_000 }
@@ -88,7 +88,26 @@ let gen_message rng : Ccp_ipc.Message.t =
   | 4 -> Ccp_ipc.Message.Closed { flow }
   | 5 -> Ccp_ipc.Message.Install { flow; program = gen_program rng }
   | 6 -> Ccp_ipc.Message.Set_cwnd { flow; bytes = Rng.int rng 10_000_000 }
-  | _ -> Ccp_ipc.Message.Set_rate { flow; bytes_per_sec = Float.abs (gen_float rng) }
+  | 7 -> Ccp_ipc.Message.Set_rate { flow; bytes_per_sec = Float.abs (gen_float rng) }
+  | 8 ->
+      let verdict =
+        if Rng.bool rng then Ccp_ipc.Message.Accepted
+        else
+          Ccp_ipc.Message.Rejected
+            {
+              reason = Prop.choose rng Limits.all_reasons;
+              detail =
+                Prop.choose rng [ ""; "too long"; "Wait(0.05) below floor" ];
+            }
+      in
+      Ccp_ipc.Message.Install_result { flow; verdict }
+  | _ ->
+      Ccp_ipc.Message.Quarantined
+        {
+          flow;
+          incidents = Rng.int rng 1_000;
+          dominant = Prop.choose rng Ccp_ipc.Message.all_incident_kinds;
+        }
 
 let prop_codec_roundtrip =
   Prop.test_case ~cases:300 ~name:"codec round-trip (programs included)" ~gen:gen_message
