@@ -8,8 +8,12 @@
      evaluation and prints measured-vs-paper summaries.
 
    Usage: main.exe [sections...] where sections are any of
-   micro table1 batching fig2 fig3 fig4 fig5 ablations (default: all).
-   Set QUICK=1 to shrink simulation durations (CI-friendly). *)
+   micro perack table1 batching fig2 fig3 fig4 fig5 ablations (default: all).
+   Set QUICK=1 to shrink simulation durations (CI-friendly).
+
+   Bechamel sections also append their ns/op estimates to
+   BENCH_pr3.json in the working directory, so the perf trajectory is
+   machine-readable run over run. *)
 
 open Bechamel
 open Toolkit
@@ -21,7 +25,8 @@ let quick = match Sys.getenv_opt "QUICK" with Some ("1" | "true") -> true | _ ->
 let sections =
   match Array.to_list Sys.argv with
   | _ :: (_ :: _ as rest) -> rest
-  | _ -> [ "micro"; "table1"; "batching"; "fig2"; "fig3"; "fig4"; "fig5"; "ablations"; "sweep" ]
+  | _ ->
+    [ "micro"; "perack"; "table1"; "batching"; "fig2"; "fig3"; "fig4"; "fig5"; "ablations"; "sweep" ]
 
 let enabled name = List.mem name sections
 
@@ -86,6 +91,52 @@ let pkt_env = function
   | "recv_rate" -> Some 1.21e7
   | _ -> Some 0.0
 
+(* Run a bechamel test group and return sorted (name, ns/op, r^2) rows;
+   every row also lands in the JSON accumulator flushed at exit. *)
+let json_rows : (string * float) list ref = ref []
+
+let measure_rows tests =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) -> (name, est, Analyze.OLS.r_square ols) :: acc
+        | _ -> acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  in
+  Printf.printf "%-34s %14s %8s\n" "benchmark" "ns/op" "r^2";
+  List.iter
+    (fun (name, est, r2) ->
+      Printf.printf "%-34s %14.1f %8s\n" name est
+        (match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "-"))
+    rows;
+  json_rows := !json_rows @ List.map (fun (name, est, _) -> (name, est)) rows;
+  rows
+
+let row_cost rows name =
+  match List.find_opt (fun (n, _, _) -> n = name) rows with
+  | Some (_, est, _) -> est
+  | None -> 0.0
+
+let write_bench_json () =
+  match !json_rows with
+  | [] -> ()
+  | rows ->
+    let oc = open_out "BENCH_pr3.json" in
+    output_string oc "{\n";
+    List.iteri
+      (fun i (name, ns) ->
+        Printf.fprintf oc "  %S: %.2f%s\n" name ns (if i = List.length rows - 1 then "" else ","))
+      rows;
+    output_string oc "}\n";
+    close_out oc;
+    Printf.printf "\nwrote BENCH_pr3.json (%d entries)\n" (List.length rows)
+
 let micro_tests () =
   let fold_state = Ccp_lang.Fold.create fold_def ~flow_env in
   let cubic_expr = Ccp_lang.Parser.parse_expr "max(0.0, cwnd + 0.4 * mss * srtt_us / 1000)" in
@@ -104,6 +155,11 @@ let micro_tests () =
         (Staged.stage (fun () -> Ccp_lang.Eval.eval eval_env cubic_expr));
       Test.make ~name:"ipc/encode-report"
         (Staged.stage (fun () -> Ccp_ipc.Codec.encode sample_report));
+      (* The pre-scratch behaviour (fresh buffer per message), kept as
+         the before/after baseline for the scratch-writer fix. *)
+      Test.make ~name:"ipc/encode-report-fresh"
+        (Staged.stage (fun () ->
+             Ccp_ipc.Codec.encode_with (Ccp_ipc.Wire.Writer.create ()) sample_report));
       Test.make ~name:"ipc/decode-report"
         (Staged.stage (fun () -> Ccp_ipc.Codec.decode encoded_report));
       Test.make ~name:"ipc/encode-install"
@@ -116,30 +172,8 @@ let micro_tests () =
 
 let run_micro () =
   heading "Micro-benchmarks (bechamel)";
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
-  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (micro_tests ()) in
-  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
-    Hashtbl.fold
-      (fun name ols acc ->
-        match Analyze.OLS.estimates ols with
-        | Some (est :: _) -> (name, est, Analyze.OLS.r_square ols) :: acc
-        | _ -> acc)
-      results []
-    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
-  in
-  Printf.printf "%-34s %14s %8s\n" "benchmark" "ns/op" "r^2";
-  List.iter
-    (fun (name, est, r2) ->
-      Printf.printf "%-34s %14.1f %8s\n" name est
-        (match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "-"))
-    rows;
-  let cost name =
-    match List.find_opt (fun (n, _, _) -> n = name) rows with
-    | Some (_, est, _) -> est
-    | None -> 0.0
-  in
+  let rows = measure_rows (micro_tests ()) in
+  let cost = row_cost rows in
   let fold_ns = cost "ccp/lang/fold-step-per-ack" in
   let report_ns = cost "ccp/ipc/encode-report" +. cost "ccp/ipc/decode-report" in
   Printf.printf
@@ -150,6 +184,89 @@ let run_micro () =
     (fold_ns *. 8.3e6 /. 1e6)
     (String.length encoded_report)
     (report_ns *. 100_000.0 /. 1e6)
+
+(* --- per-ACK fast path: interpreter vs compiled (PR 3 headline) --- *)
+
+module Lang = Ccp_lang
+
+let perack_program =
+  Lang.Parser.parse_program
+    "Measure(fold { init { acked = 0; minrtt = 1e12; maxrate = 0 } update { acked = acked + \
+     pkt.bytes_acked; minrtt = min(minrtt, pkt.rtt_us); maxrate = max(maxrate, pkt.recv_rate) \
+     } }).Cwnd(cwnd + 2 * mss).WaitRtts(1.0).Report()"
+
+let run_perack () =
+  heading "Per-ACK path: interpreted vs compiled (install-time compilation)";
+  let cwnd_expr, wait_expr =
+    match perack_program.Lang.Ast.prims with
+    | [ _; Lang.Ast.Cwnd c; Lang.Ast.Wait_rtts w; Lang.Ast.Report ] -> (c, w)
+    | _ -> assert false
+  in
+  (* Interpreter side: string-keyed environments, as the datapath ran
+     before install-time compilation. *)
+  let ifold = Lang.Fold.create fold_def ~flow_env in
+  let eval_env = { Lang.Eval.lookup_var = flow_env; lookup_pkt = (fun _ -> None) } in
+  (* Compiled side: slot tables prefilled with the same values. *)
+  let cp = Lang.Compile.compile_exn perack_program in
+  let m = Lang.Compile.machine_for cp in
+  List.iteri
+    (fun i (name, _) -> m.Lang.Compile.flow.(i) <- Option.value (flow_env name) ~default:0.0)
+    Lang.Ast.Vars.flow_vars;
+  List.iteri
+    (fun i (name, _) -> m.Lang.Compile.pkt.(i) <- Option.value (pkt_env name) ~default:0.0)
+    Lang.Ast.Vars.pkt_fields;
+  let plan, cwnd_code, wait_code =
+    match cp.Lang.Compile.prims with
+    | [| Lang.Compile.Measure_fold p; Lang.Compile.Cwnd c; Lang.Compile.Wait_rtts w;
+         Lang.Compile.Report |] ->
+      (p, c, w)
+    | _ -> assert false
+  in
+  let cfold = Lang.Compile.Fold.create plan ~m in
+  let incidents = Lang.Eval.fresh_counter () in
+  (* Each benched closure folds [batch] ACKs (or runs [batch] ticks) so
+     the harness's per-call closure overhead — identical for both
+     sides, but large next to a ~40 ns compiled step — amortizes out of
+     the comparison. Printed speedups are per single step. *)
+  let batch = 10 in
+  let rows =
+    measure_rows
+      (Test.make_grouped ~name:"perack"
+         [
+           Test.make ~name:(Printf.sprintf "fold-step-x%d/interpreted" batch)
+             (Staged.stage (fun () ->
+                  for _ = 1 to batch do
+                    Lang.Fold.step ifold ~flow_env ~pkt_env
+                  done));
+           Test.make ~name:(Printf.sprintf "fold-step-x%d/compiled" batch)
+             (Staged.stage (fun () ->
+                  for _ = 1 to batch do
+                    Lang.Compile.Fold.step cfold ~m ~incidents
+                  done));
+           Test.make ~name:(Printf.sprintf "tick-x%d/interpreted" batch)
+             (Staged.stage (fun () ->
+                  for _ = 1 to batch do
+                    ignore (Lang.Eval.eval eval_env cwnd_expr : float);
+                    ignore (Lang.Eval.eval eval_env wait_expr : float)
+                  done));
+           Test.make ~name:(Printf.sprintf "tick-x%d/compiled" batch)
+             (Staged.stage (fun () ->
+                  for _ = 1 to batch do
+                    Lang.Compile.exec cwnd_code ~m ~slots:Lang.Compile.no_slots ~incidents;
+                    Lang.Compile.exec wait_code ~m ~slots:Lang.Compile.no_slots ~incidents
+                  done));
+         ])
+  in
+  let cost = row_cost rows in
+  let speedup what interp compiled =
+    let i = cost interp /. float_of_int batch and c = cost compiled /. float_of_int batch in
+    if c > 0.0 then Printf.printf "%s speedup: %.1fx (%.1f ns -> %.1f ns per step)\n" what (i /. c) i c
+  in
+  print_newline ();
+  speedup "fold step " (Printf.sprintf "perack/fold-step-x%d/interpreted" batch)
+    (Printf.sprintf "perack/fold-step-x%d/compiled" batch);
+  speedup "program tick" (Printf.sprintf "perack/tick-x%d/interpreted" batch)
+    (Printf.sprintf "perack/tick-x%d/compiled" batch)
 
 (* --- figure harness --- *)
 
@@ -207,6 +324,7 @@ let run_sweep () =
 
 let () =
   if enabled "micro" then run_micro ();
+  if enabled "perack" then run_perack ();
   if enabled "table1" then run_table1 ();
   if enabled "batching" then run_batching ();
   if enabled "fig2" then run_fig2 ();
@@ -215,4 +333,5 @@ let () =
   if enabled "fig5" then run_fig5 ();
   if enabled "ablations" then run_ablations ();
   if enabled "sweep" then run_sweep ();
+  write_bench_json ();
   Printf.printf "\ndone.\n"

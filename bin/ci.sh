@@ -19,6 +19,12 @@ dune runtest --force
 echo "== fuzz smoke (fixed seed) =="
 dune exec bin/fuzz_smoke.exe -- 500
 
+echo "== bench smoke =="
+# Exercises the bechamel sections (including the compiled-vs-interpreted
+# per-ACK comparison) end to end; numbers land in BENCH_pr3.json but are
+# not gated here — see docs/perf.md for the expected band.
+QUICK=1 dune exec bench/main.exe -- micro perack
+
 if [ -n "${SOAK_SEED:-}" ]; then
   echo "== soak (CCP_PROP_SEED=$SOAK_SEED) =="
   CCP_PROP_SEED="$SOAK_SEED" dune exec test/main.exe -- test -e

@@ -113,12 +113,21 @@ let default_config =
 
 type measurement =
   | No_measurement
-  | Fold_state of Fold.t
-  | Vector of { fields : string array; mutable rows : float array list; mutable count : int }
+  | Fold_state of Compile.Fold.t
+  | Vector of {
+      columns : string array;
+      col_idx : int array;
+      mutable rows : float array list;
+      mutable count : int;
+    }
 
 type flow_state = {
   ctl : Congestion_iface.ctl;
   mutable program : Ast.program option;
+      (* the source AST, kept for introspection ([installed_program]) *)
+  mutable exec : (Compile.program * Compile.machine) option;
+      (* the compiled form actually run, with its preallocated machine;
+         set and cleared together with [program] *)
   mutable pc : int;
   mutable wait_timer : Sim.timer option;
   mutable measurement : measurement;
@@ -156,34 +165,61 @@ type t = {
       (* incidents from guard windows closed by an accepted re-install *)
 }
 
-(* --- evaluation environments --- *)
+(* --- slot tables ---
+
+   Compiled code reads flow variables and packet fields from the
+   machine's preallocated [float array]s instead of string-keyed
+   environments. The slot layout is fixed by {!Compile}; we resolve it
+   once at module initialisation and refresh only the slots the code
+   about to run actually reads (its [flow_mask]). *)
 
 let us_of_opt = function Some d -> Time_ns.to_float_us d | None -> 0.0
 
-let flow_env fs name =
-  let ctl = fs.ctl in
-  match name with
-  | "cwnd" -> Some (float_of_int (ctl.Congestion_iface.get_cwnd ()))
-  | "rate" -> Some (ctl.Congestion_iface.get_rate ())
-  | "mss" -> Some (float_of_int ctl.Congestion_iface.mss)
-  | "srtt_us" -> Some (us_of_opt (ctl.Congestion_iface.srtt ()))
-  | "rtt_us" -> Some fs.last_rtt_us
-  | "minrtt_us" -> Some (us_of_opt (ctl.Congestion_iface.min_rtt ()))
-  | "inflight_bytes" -> Some (float_of_int (ctl.Congestion_iface.inflight ()))
-  | "now_us" -> Some (Time_ns.to_float_us (ctl.Congestion_iface.now ()))
-  | _ -> None
+let fslot_cwnd = Compile.flow_index_exn "cwnd"
+let fslot_rate = Compile.flow_index_exn "rate"
+let fslot_mss = Compile.flow_index_exn "mss"
+let fslot_srtt_us = Compile.flow_index_exn "srtt_us"
+let fslot_rtt_us = Compile.flow_index_exn "rtt_us"
+let fslot_minrtt_us = Compile.flow_index_exn "minrtt_us"
+let fslot_inflight = Compile.flow_index_exn "inflight_bytes"
+let fslot_now_us = Compile.flow_index_exn "now_us"
+let pslot_rtt_us = Compile.pkt_index_exn "rtt_us"
+let pslot_bytes_acked = Compile.pkt_index_exn "bytes_acked"
+let pslot_bytes_lost = Compile.pkt_index_exn "bytes_lost"
+let pslot_ecn = Compile.pkt_index_exn "ecn"
+let pslot_send_rate = Compile.pkt_index_exn "send_rate"
+let pslot_recv_rate = Compile.pkt_index_exn "recv_rate"
+let pslot_inflight = Compile.pkt_index_exn "inflight_bytes"
+let pslot_now_us = Compile.pkt_index_exn "now_us"
 
-let pkt_env (ev : Congestion_iface.ack_event) ~bytes_lost name =
-  match name with
-  | "rtt_us" -> Some (us_of_opt ev.rtt_sample)
-  | "bytes_acked" -> Some (float_of_int ev.bytes_acked)
-  | "bytes_lost" -> Some (float_of_int bytes_lost)
-  | "ecn" -> Some (if ev.ecn_echo then 1.0 else 0.0)
-  | "send_rate" -> Some (Option.value ev.send_rate ~default:0.0)
-  | "recv_rate" -> Some (Option.value ev.delivery_rate ~default:0.0)
-  | "inflight_bytes" -> Some (float_of_int ev.inflight_after)
-  | "now_us" -> Some (Time_ns.to_float_us ev.now)
-  | _ -> None
+let refresh_flow fs (m : Compile.machine) mask =
+  let ctl = fs.ctl in
+  let f = m.Compile.flow in
+  if mask land (1 lsl fslot_cwnd) <> 0 then
+    f.(fslot_cwnd) <- float_of_int (ctl.Congestion_iface.get_cwnd ());
+  if mask land (1 lsl fslot_rate) <> 0 then f.(fslot_rate) <- ctl.Congestion_iface.get_rate ();
+  if mask land (1 lsl fslot_mss) <> 0 then
+    f.(fslot_mss) <- float_of_int ctl.Congestion_iface.mss;
+  if mask land (1 lsl fslot_srtt_us) <> 0 then
+    f.(fslot_srtt_us) <- us_of_opt (ctl.Congestion_iface.srtt ());
+  if mask land (1 lsl fslot_rtt_us) <> 0 then f.(fslot_rtt_us) <- fs.last_rtt_us;
+  if mask land (1 lsl fslot_minrtt_us) <> 0 then
+    f.(fslot_minrtt_us) <- us_of_opt (ctl.Congestion_iface.min_rtt ());
+  if mask land (1 lsl fslot_inflight) <> 0 then
+    f.(fslot_inflight) <- float_of_int (ctl.Congestion_iface.inflight ());
+  if mask land (1 lsl fslot_now_us) <> 0 then
+    f.(fslot_now_us) <- Time_ns.to_float_us (ctl.Congestion_iface.now ())
+
+let refresh_pkt (m : Compile.machine) (ev : Congestion_iface.ack_event) ~bytes_lost =
+  let p = m.Compile.pkt in
+  p.(pslot_rtt_us) <- us_of_opt ev.rtt_sample;
+  p.(pslot_bytes_acked) <- float_of_int ev.bytes_acked;
+  p.(pslot_bytes_lost) <- float_of_int bytes_lost;
+  p.(pslot_ecn) <- (if ev.ecn_echo then 1.0 else 0.0);
+  p.(pslot_send_rate) <- Option.value ev.send_rate ~default:0.0;
+  p.(pslot_recv_rate) <- Option.value ev.delivery_rate ~default:0.0;
+  p.(pslot_inflight) <- float_of_int ev.inflight_after;
+  p.(pslot_now_us) <- Time_ns.to_float_us ev.now
 
 (* --- reporting --- *)
 
@@ -210,18 +246,20 @@ let send_report t fs =
     let fields = reserved_fields fs ~packets:0 in
     Channel.send t.channel ~from:Channel.Datapath_end (Message.Report { flow; fields })
   | Fold_state fold ->
-    let packets = Fold.packet_count fold in
-    let fields =
-      Array.append (Array.of_list (Fold.fields fold)) (reserved_fields fs ~packets)
-    in
+    let packets = Compile.Fold.packet_count fold in
+    let fields = Array.append (Compile.Fold.fields fold) (reserved_fields fs ~packets) in
     Channel.send t.channel ~from:Channel.Datapath_end (Message.Report { flow; fields });
-    Fold.reset fold ~flow_env:(flow_env fs)
+    (match fs.exec with
+    | Some (_, m) ->
+      refresh_flow fs m (Compile.Fold.init_flow_mask (Compile.Fold.plan fold));
+      Compile.Fold.reset fold ~m
+    | None -> ())
   | Vector v ->
     let rows = Array.of_list (List.rev v.rows) in
     v.rows <- [];
     v.count <- 0;
     Channel.send t.channel ~from:Channel.Datapath_end
-      (Message.Report_vector { flow; columns = v.fields; rows }));
+      (Message.Report_vector { flow; columns = v.columns; rows }));
   t.reports_sent <- t.reports_sent + 1
 
 let send_urgent t fs kind =
@@ -242,16 +280,10 @@ let cancel_wait fs =
   Option.iter Sim.cancel fs.wait_timer;
   fs.wait_timer <- None
 
-let install_measurement fs spec =
-  match spec with
-  | Ast.Vector fields ->
-    fs.measurement <- Vector { fields = Array.of_list fields; rows = []; count = 0 }
-  | Ast.Fold def -> fs.measurement <- Fold_state (Fold.create def ~flow_env:(flow_env fs))
-
-let eval_flow fs expr =
-  Eval.eval ~incidents:fs.incidents
-    { Eval.lookup_var = flow_env fs; lookup_pkt = (fun _ -> None) }
-    expr
+let eval_flow fs (m : Compile.machine) (code : Compile.code) =
+  refresh_flow fs m code.Compile.flow_mask;
+  Compile.exec code ~m ~slots:Compile.no_slots ~incidents:fs.incidents;
+  m.Compile.stack.(0)
 
 (* --- runtime guardrails and quarantine --- *)
 
@@ -272,6 +304,7 @@ let quarantine t fs =
      re-install brings CCP control back. *)
   cancel_wait fs;
   fs.program <- None;
+  fs.exec <- None;
   fs.measurement <- No_measurement;
   fs.ctl.Congestion_iface.set_rate 0.0;
   (match g.quarantine_mode with
@@ -324,12 +357,12 @@ let rec advance t fs =
                     advance t fs))
     end
     else
-      match fs.program with
+      match fs.exec with
       | None -> ()
-      | Some program ->
-        let prims = Array.of_list program.Ast.prims in
+      | Some (cp, m) ->
+        let prims = cp.Compile.prims in
         if fs.pc >= Array.length prims then begin
-          if program.Ast.repeat then begin
+          if cp.Compile.repeat then begin
             fs.pc <- 0;
             step ()
           end
@@ -338,18 +371,22 @@ let rec advance t fs =
           let prim = prims.(fs.pc) in
           fs.pc <- fs.pc + 1;
           match prim with
-          | Ast.Measure spec ->
-            install_measurement fs spec;
+          | Compile.Measure_vector { columns; col_idx } ->
+            fs.measurement <- Vector { columns; col_idx; rows = []; count = 0 };
             step ()
-          | Ast.Rate e ->
-            let raw = eval_flow fs e in
+          | Compile.Measure_fold plan ->
+            refresh_flow fs m (Compile.Fold.init_flow_mask plan);
+            fs.measurement <- Fold_state (Compile.Fold.create plan ~m);
+            step ()
+          | Compile.Rate code ->
+            let raw = eval_flow fs m code in
             let rate = Float.min (Float.max 0.0 raw) g.max_rate_bytes_per_sec in
             if rate <> raw then fs.guard.rate_clamped <- fs.guard.rate_clamped + 1;
             fs.ctl.Congestion_iface.set_rate rate;
             guard_note t fs;
             step ()
-          | Ast.Cwnd e ->
-            let raw = eval_flow fs e in
+          | Compile.Cwnd code ->
+            let raw = eval_flow fs m code in
             let lo = float_of_int (g.min_cwnd_segments * fs.ctl.Congestion_iface.mss) in
             let hi = float_of_int g.max_cwnd_bytes in
             let cwnd = Float.min (Float.max lo raw) hi in
@@ -357,13 +394,13 @@ let rec advance t fs =
             fs.ctl.Congestion_iface.set_cwnd (int_of_float cwnd);
             guard_note t fs;
             step ()
-          | Ast.Wait e ->
-            let us = Float.max 0.0 (eval_flow fs e) in
+          | Compile.Wait code ->
+            let us = Float.max 0.0 (eval_flow fs m code) in
             guard_note t fs;
             let duration = guarded_wait t fs (Time_ns.of_float_sec (us *. 1e-6)) in
             if not fs.quarantined then block_for t fs duration
-          | Ast.Wait_rtts e ->
-            let rtts = Float.max 0.0 (eval_flow fs e) in
+          | Compile.Wait_rtts code ->
+            let rtts = Float.max 0.0 (eval_flow fs m code) in
             let base =
               match fs.ctl.Congestion_iface.srtt () with
               | Some srtt -> srtt
@@ -372,7 +409,7 @@ let rec advance t fs =
             guard_note t fs;
             let duration = guarded_wait t fs (Time_ns.scale base rtts) in
             if not fs.quarantined then block_for t fs duration
-          | Ast.Report ->
+          | Compile.Report ->
             let now = Sim.now t.sim in
             let throttled =
               match fs.last_report_at with
@@ -450,19 +487,30 @@ let install_program t fs program =
     else Limits.admit ~limits:t.config.limits program
   in
   match verdict with
-  | Ok () ->
-    t.installs_accepted <- t.installs_accepted + 1;
-    if fs.quarantined then begin
-      fs.quarantined <- false;
-      fs.quarantine_cc <- None
-    end;
-    reset_guard_window t fs;
-    cancel_wait fs;
-    fs.program <- Some program;
-    fs.pc <- 0;
-    fs.measurement <- No_measurement;
-    send_install_result t fs Message.Accepted;
-    advance t fs
+  | Ok () -> (
+    (* Compilation is part of admission: a program that names unknown
+       variables, fields or builtins is refused here — even with
+       [validate_installs = false], since the datapath cannot execute
+       what it cannot compile — instead of limping along emitting
+       unknown-name incidents per packet like the old interpreter. *)
+    match Compile.compile program with
+    | Error detail ->
+      t.installs_rejected <- t.installs_rejected + 1;
+      send_install_result t fs (Message.Rejected { reason = Limits.Invalid_program; detail })
+    | Ok cp ->
+      t.installs_accepted <- t.installs_accepted + 1;
+      if fs.quarantined then begin
+        fs.quarantined <- false;
+        fs.quarantine_cc <- None
+      end;
+      reset_guard_window t fs;
+      cancel_wait fs;
+      fs.program <- Some program;
+      fs.exec <- Some (cp, Compile.machine_for cp);
+      fs.pc <- 0;
+      fs.measurement <- No_measurement;
+      send_install_result t fs Message.Accepted;
+      advance t fs)
   | Error (reason, detail) ->
     t.installs_rejected <- t.installs_rejected + 1;
     send_install_result t fs (Message.Rejected { reason; detail })
@@ -563,6 +611,7 @@ let rec watchdog_tick t fs (fb : fallback) =
       (* Stop executing the orphaned program. *)
       cancel_wait fs;
       fs.program <- None;
+      fs.exec <- None;
       fs.measurement <- No_measurement;
       fs.ctl.Congestion_iface.set_rate 0.0;
       match fb.mode with
@@ -595,6 +644,7 @@ let on_init t ctl =
     {
       ctl;
       program = None;
+      exec = None;
       pc = 0;
       wait_timer = None;
       measurement = No_measurement;
@@ -624,21 +674,26 @@ let on_init t ctl =
          init_cwnd = ctl.Congestion_iface.get_cwnd ();
        })
 
+(* The per-ACK fast path: refresh only the flow slots the update code
+   reads, copy the packet into the slot table, and run the compiled
+   fold — no strings, no closures, no allocation. *)
 let record_measurement t fs (ev : Congestion_iface.ack_event) ~bytes_lost =
-  match fs.measurement with
-  | No_measurement -> ()
-  | Fold_state fold ->
-    Fold.step ~incidents:fs.incidents fold ~flow_env:(flow_env fs)
-      ~pkt_env:(pkt_env ev ~bytes_lost);
-    if Fold.diverged fold ~limit:t.config.guard.divergence_limit then
+  match (fs.measurement, fs.exec) with
+  | No_measurement, _ | _, None -> ()
+  | Fold_state fold, Some (_, m) ->
+    let plan = Compile.Fold.plan fold in
+    refresh_flow fs m (Compile.Fold.step_flow_mask plan);
+    refresh_pkt m ev ~bytes_lost;
+    Compile.Fold.step fold ~m ~incidents:fs.incidents;
+    if Compile.Fold.diverged fold ~limit:t.config.guard.divergence_limit then
       fs.guard.fold_divergence <- fs.guard.fold_divergence + 1;
     guard_note t fs
-  | Vector v ->
+  | Vector v, Some (_, m) ->
     if v.count >= t.config.max_vector_rows then
       t.vector_rows_dropped <- t.vector_rows_dropped + 1
     else begin
-      let env = pkt_env ev ~bytes_lost in
-      let row = Array.map (fun f -> Option.value (env f) ~default:0.0) v.fields in
+      refresh_pkt m ev ~bytes_lost;
+      let row = Array.map (fun i -> m.Compile.pkt.(i)) v.col_idx in
       v.rows <- row :: v.rows;
       v.count <- v.count + 1
     end

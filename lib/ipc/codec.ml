@@ -142,10 +142,15 @@ let read_program r =
   let prims = List.init n (fun _ -> read_prim r) in
   { prims; repeat }
 
+(* One module-level scratch writer serves every encode: [reset] keeps
+   the grown buffer, so the steady-state encode path allocates only the
+   result string instead of a fresh 128-byte buffer per message. *)
+let scratch = Wire.Writer.create ()
+
 let encode_program p =
-  let w = Wire.Writer.create () in
-  write_program w p;
-  Wire.Writer.contents w
+  Wire.Writer.reset scratch;
+  write_program scratch p;
+  Wire.Writer.contents scratch
 
 let decode_program s = read_program (Wire.Reader.of_string s)
 
@@ -324,10 +329,12 @@ let read_message r : Message.t =
     Quarantined { flow; incidents; dominant }
   | tag -> fail "bad message tag %d" tag
 
-let encode msg =
-  let w = Wire.Writer.create () in
+let encode_with w msg =
+  Wire.Writer.reset w;
   write_message w msg;
   Wire.Writer.contents w
+
+let encode msg = encode_with scratch msg
 
 let decode s =
   let r = Wire.Reader.of_string s in

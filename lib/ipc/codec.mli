@@ -8,6 +8,14 @@
 exception Decode_error of string
 
 val encode : Message.t -> string
+(** Encodes via a module-level scratch {!Wire.Writer} that is reset and
+    reused across calls, so steady-state encoding allocates only the
+    result string. Not reentrant (fine: the simulator is single
+    threaded); use {!encode_with} with a private writer otherwise. *)
+
+val encode_with : Wire.Writer.t -> Message.t -> string
+(** [encode_with w msg] resets [w] and encodes into it. *)
+
 val decode : string -> Message.t
 (** Raises {!Decode_error} (or {!Wire.Reader.Truncated}) on malformed
     input; the datapath treats that as a hostile agent and drops the

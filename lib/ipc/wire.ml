@@ -2,6 +2,7 @@ module Writer = struct
   type t = Buffer.t
 
   let create () = Buffer.create 128
+  let reset = Buffer.clear
   let byte t b = Buffer.add_char t (Char.chr (b land 0xff))
 
   let varint t n =

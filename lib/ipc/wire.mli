@@ -8,6 +8,12 @@ module Writer : sig
   type t
 
   val create : unit -> t
+
+  val reset : t -> unit
+  (** Empty the writer, keeping its internal buffer for reuse — the
+      encode path recycles one scratch writer instead of allocating a
+      fresh buffer per message. *)
+
   val byte : t -> int -> unit
   val varint : t -> int -> unit
   (** Non-negative integers only; raises [Invalid_argument] on negatives. *)

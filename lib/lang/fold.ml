@@ -11,20 +11,15 @@ let index_of t name =
   in
   find 0
 
-let init_env ~flow_env = { Eval.lookup_var = flow_env; lookup_pkt = (fun _ -> None) }
-
-let run_init def ~flow_env values names =
-  List.iteri
-    (fun i (_, expr) ->
-      ignore names;
-      values.(i) <- Eval.eval (init_env ~flow_env) expr)
-    def.Ast.init
+let run_init def ~flow_env values =
+  let env = { Eval.lookup_var = flow_env; lookup_pkt = (fun _ -> None) } in
+  List.iteri (fun i (_, expr) -> values.(i) <- Eval.eval env expr) def.Ast.init
 
 let create def ~flow_env =
   let names = Array.of_list (List.map fst def.Ast.init) in
   let values = Array.make (Array.length names) 0.0 in
   let t = { def; names; values; packets = 0 } in
-  run_init def ~flow_env values names;
+  run_init def ~flow_env values;
   t
 
 let get t name = Option.map (fun i -> t.values.(i)) (index_of t name)
@@ -52,7 +47,7 @@ let diverged t ~limit =
   Array.exists (fun v -> (not (Float.is_finite v)) || Float.abs v > limit) t.values
 
 let reset t ~flow_env =
-  run_init t.def ~flow_env t.values t.names;
+  run_init t.def ~flow_env t.values;
   t.packets <- 0
 
 let packet_count t = t.packets
