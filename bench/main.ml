@@ -8,12 +8,14 @@
      evaluation and prints measured-vs-paper summaries.
 
    Usage: main.exe [sections...] where sections are any of
-   micro perack table1 batching fig2 fig3 fig4 fig5 ablations (default: all).
+   micro perack obs table1 batching fig2 fig3 fig4 fig5 ablations (default: all).
    Set QUICK=1 to shrink simulation durations (CI-friendly).
 
-   Bechamel sections also append their ns/op estimates to
-   BENCH_pr3.json in the working directory, so the perf trajectory is
-   machine-readable run over run. *)
+   Bechamel sections also append their ns/op estimates to BENCH.json in
+   the working directory — a flat list of {"name","value","unit"} rows
+   (the Ccp_obs.Metrics snapshot schema, validated by
+   test/test_obs.ml) — so the perf trajectory is machine-readable run
+   over run. *)
 
 open Bechamel
 open Toolkit
@@ -26,7 +28,8 @@ let sections =
   match Array.to_list Sys.argv with
   | _ :: (_ :: _ as rest) -> rest
   | _ ->
-    [ "micro"; "perack"; "table1"; "batching"; "fig2"; "fig3"; "fig4"; "fig5"; "ablations"; "sweep" ]
+    [ "micro"; "perack"; "obs"; "table1"; "batching"; "fig2"; "fig3"; "fig4"; "fig5";
+      "ablations"; "sweep" ]
 
 let enabled name = List.mem name sections
 
@@ -126,16 +129,21 @@ let row_cost rows name =
 let write_bench_json () =
   match !json_rows with
   | [] -> ()
-  | rows ->
-    let oc = open_out "BENCH_pr3.json" in
-    output_string oc "{\n";
-    List.iteri
-      (fun i (name, ns) ->
-        Printf.fprintf oc "  %S: %.2f%s\n" name ns (if i = List.length rows - 1 then "" else ","))
-      rows;
-    output_string oc "}\n";
+  | pairs ->
+    let rows =
+      List.map
+        (fun (name, ns) -> { Ccp_obs.Metrics.name; value = ns; unit_ = "ns/op" })
+        pairs
+    in
+    let json = Ccp_obs.Metrics.rows_to_json rows in
+    (match Ccp_obs.Metrics.validate_rows_json json with
+    | Ok _ -> ()
+    | Error e -> failwith ("BENCH.json failed its own schema check: " ^ e));
+    let oc = open_out "BENCH.json" in
+    output_string oc (Ccp_obs.Json.to_string json);
+    output_string oc "\n";
     close_out oc;
-    Printf.printf "\nwrote BENCH_pr3.json (%d entries)\n" (List.length rows)
+    Printf.printf "\nwrote BENCH.json (%d entries)\n" (List.length rows)
 
 let micro_tests () =
   let fold_state = Ccp_lang.Fold.create fold_def ~flow_env in
@@ -268,6 +276,116 @@ let run_perack () =
   speedup "program tick" (Printf.sprintf "perack/tick-x%d/interpreted" batch)
     (Printf.sprintf "perack/tick-x%d/compiled" batch)
 
+(* --- observability overhead: the per-ACK path with obs off vs on --- *)
+
+(* A fabricated ctl over plain refs (the test suite's trick), with every
+   option preallocated so the ctl itself contributes zero allocation —
+   what the Gc delta below then measures is the datapath's own path. *)
+let obs_ctl sim ~flow =
+  let cwnd = ref 140_000 and rate = ref 0.0 in
+  let srtt = Some (Time_ns.ms 10) and latest = Some (Time_ns.ms 11) in
+  let send_rate = Some 1e6 and delivery = Some 9e5 in
+  let ctl : Ccp_datapath.Congestion_iface.ctl =
+    {
+      flow;
+      mss = 1448;
+      now = (fun () -> Ccp_eventsim.Sim.now sim);
+      get_cwnd = (fun () -> !cwnd);
+      set_cwnd = (fun b -> cwnd := max 1448 b);
+      get_rate = (fun () -> !rate);
+      set_rate = (fun r -> rate := r);
+      srtt = (fun () -> srtt);
+      latest_rtt = (fun () -> latest);
+      min_rtt = (fun () -> srtt);
+      inflight = (fun () -> 5000);
+      send_rate_ewma = (fun () -> send_rate);
+      delivery_rate_ewma = (fun () -> delivery);
+    }
+  in
+  ctl
+
+let obs_fold_program =
+  Ccp_lang.Parser.parse_program
+    "Measure(fold { init { acked = 0; minrtt = 1e12 } update { acked = acked + \
+     pkt.bytes_acked; minrtt = min(minrtt, pkt.rtt_us) } }).Cwnd(cwnd + 2 * \
+     mss).WaitRtts(1.0).Report()"
+
+let obs_datapath ?obs () =
+  let sim = Ccp_eventsim.Sim.create () in
+  let channel =
+    Ccp_ipc.Channel.create ~sim ~latency:(Ccp_ipc.Latency_model.Constant (Time_ns.us 20))
+      ?obs ()
+  in
+  let ext = Ccp_datapath.Ccp_ext.create ~sim ~channel ?obs () in
+  Ccp_ipc.Channel.on_receive channel Ccp_ipc.Channel.Agent_end (fun _ -> ());
+  let ctl = obs_ctl sim ~flow:1 in
+  let cc = Ccp_datapath.Ccp_ext.congestion_control ext in
+  cc.Ccp_datapath.Congestion_iface.on_init ctl;
+  Ccp_eventsim.Sim.run sim;
+  Ccp_ipc.Channel.send channel ~from:Ccp_ipc.Channel.Agent_end
+    (Ccp_ipc.Message.Install { flow = 1; program = obs_fold_program });
+  Ccp_eventsim.Sim.run ~until:(Time_ns.add (Ccp_eventsim.Sim.now sim) (Time_ns.ms 5)) sim;
+  (cc, ctl)
+
+let obs_ack_event : Ccp_datapath.Congestion_iface.ack_event =
+  {
+    now = Time_ns.ms 50;
+    bytes_acked = 1448;
+    rtt_sample = Some (Time_ns.ms 11);
+    ecn_echo = false;
+    send_rate = Some 1e6;
+    delivery_rate = Some 9e5;
+    inflight_after = 5000;
+  }
+
+let run_obs () =
+  heading "Observability overhead (flight recorder + metrics, per-ACK path)";
+  let cc_off, ctl_off = obs_datapath () in
+  let obs = Ccp_obs.Obs.create () in
+  let cc_on, ctl_on = obs_datapath ~obs () in
+  let ev = obs_ack_event in
+  let reg = Ccp_obs.Metrics.create () in
+  let counter = Ccp_obs.Metrics.counter reg ~unit_:"ops" "bench.counter" in
+  let hist = Ccp_obs.Metrics.histogram reg ~unit_:"ns" "bench.histogram" in
+  let ring = Ccp_obs.Recorder.create () in
+  let sample = Ccp_obs.Recorder.Queue_sample { bytes = 12_345 } in
+  let batch = 10 in
+  let rows =
+    measure_rows
+      (Test.make_grouped ~name:"obs"
+         [
+           Test.make ~name:(Printf.sprintf "on-ack-x%d/disabled" batch)
+             (Staged.stage (fun () ->
+                  for _ = 1 to batch do
+                    cc_off.Ccp_datapath.Congestion_iface.on_ack ctl_off ev
+                  done));
+           Test.make ~name:(Printf.sprintf "on-ack-x%d/enabled" batch)
+             (Staged.stage (fun () ->
+                  for _ = 1 to batch do
+                    cc_on.Ccp_datapath.Congestion_iface.on_ack ctl_on ev
+                  done));
+           Test.make ~name:"metrics/counter-incr"
+             (Staged.stage (fun () -> Ccp_obs.Metrics.incr counter));
+           Test.make ~name:"metrics/histogram-observe"
+             (Staged.stage (fun () -> Ccp_obs.Metrics.observe hist 1234.0));
+           Test.make ~name:"recorder/record"
+             (Staged.stage (fun () -> Ccp_obs.Recorder.record ring ~at:0 sample));
+         ])
+  in
+  let cost = row_cost rows in
+  let off = cost (Printf.sprintf "obs/on-ack-x%d/disabled" batch) /. float_of_int batch in
+  let on = cost (Printf.sprintf "obs/on-ack-x%d/enabled" batch) /. float_of_int batch in
+  Printf.printf "\nper-ACK observability overhead: %+.1f ns (%.1f ns off -> %.1f ns on)\n"
+    (on -. off) off on;
+  (* The "zero cost disabled" acceptance bar, measured where the bench
+     already has the machinery set up; test_obs.ml asserts the same. *)
+  let words0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    cc_off.Ccp_datapath.Congestion_iface.on_ack ctl_off ev
+  done;
+  Printf.printf "obs-off allocation: %.4f minor words per ACK over 10k ACKs\n"
+    ((Gc.minor_words () -. words0) /. 10_000.0)
+
 (* --- figure harness --- *)
 
 let run_table1 () =
@@ -325,6 +443,7 @@ let run_sweep () =
 let () =
   if enabled "micro" then run_micro ();
   if enabled "perack" then run_perack ();
+  if enabled "obs" then run_obs ();
   if enabled "table1" then run_table1 ();
   if enabled "batching" then run_batching ();
   if enabled "fig2" then run_fig2 ();

@@ -70,6 +70,15 @@ let ecn_bdp =
   let doc = "Enable ECN marking at this fraction of the buffer (e.g. 0.2); 0 disables." in
   Arg.(value & opt float 0.0 & info [ "ecn" ] ~docv:"FRAC" ~doc)
 
+let trace_file =
+  let doc =
+    "Arm the flight recorder and write its event trace to $(docv) after the run. A \
+     $(b,.csv) extension dumps the per-flow samples as CSV; anything else writes JSONL \
+     (one event object per line). The written file is re-read and validated; a \
+     malformed line makes the command exit non-zero."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 (* --- IPC fault-injection options (docs/fault-injection.md) --- *)
 
 let ipc_drop =
@@ -254,8 +263,50 @@ let print_result (r : Experiment.result) =
         s.Experiment.guard_incidents s.Experiment.quarantines
   | None -> ())
 
+(* Flight-recorder sink for [run --trace]: write, then re-read and
+   validate what landed on disk — the trace is only useful to downstream
+   tooling if every line parses. *)
+let csv_header = "time_s,flow,cwnd_bytes,rate_bps,srtt_us,inflight_bytes,delivery_rate_bps"
+
+let write_trace ~path (obs : Ccp_obs.Obs.t) =
+  let recorder = Ccp_obs.Obs.recorder_exn obs in
+  let csv = Filename.check_suffix path ".csv" in
+  let data =
+    if csv then Ccp_obs.Recorder.flow_samples_csv recorder
+    else Ccp_obs.Recorder.to_jsonl recorder
+  in
+  let oc = open_out path in
+  output_string oc data;
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref 0 and bad = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lines;
+       let ok =
+         if csv then
+           if !lines = 1 then String.equal line csv_header
+           else List.length (String.split_on_char ',' line) = 7
+         else
+           match Ccp_obs.Json.parse line with
+           | Ok (Ccp_obs.Json.Obj _) -> true
+           | Ok _ | Error _ -> false
+       in
+       if not ok then incr bad
+     done
+   with End_of_file -> close_in ic);
+  Printf.printf "trace: wrote %s (%d lines; %d events held, %d dropped by the ring)\n" path
+    !lines
+    (Ccp_obs.Recorder.length recorder)
+    (Ccp_obs.Recorder.dropped recorder);
+  if !bad > 0 then begin
+    Printf.eprintf "ccp_sim: trace validation failed: %d malformed line(s) in %s\n%!" !bad path;
+    exit 1
+  end
+
 let run_cmd =
-  let action rate_mbps rtt_ms duration_s buffer_bdp seed flows ecn_bdp ipc_drop ipc_dup
+  let action rate_mbps rtt_ms duration_s buffer_bdp seed flows ecn_bdp trace ipc_drop ipc_dup
       ipc_spike ipc_reorder agent_crash fallback_rtts guard_min_cwnd guard_max_rate
       guard_report_us guard_quarantine =
     let config =
@@ -286,13 +337,17 @@ let run_cmd =
                  Ccp_algorithms.Native_reno.create);
         }
     in
-    print_result (Experiment.run { config with Experiment.faults; datapath })
+    let obs = Option.map (fun _ -> Ccp_obs.Obs.create ()) trace in
+    print_result (Experiment.run { config with Experiment.faults; datapath; obs });
+    (match (trace, obs) with
+    | Some path, Some obs -> write_trace ~path obs
+    | _ -> ())
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one dumbbell experiment.")
     Term.(
       const action $ rate_mbps $ rtt_ms $ duration_s $ buffer_bdp $ seed $ flows_arg $ ecn_bdp
-      $ ipc_drop $ ipc_dup $ ipc_spike $ ipc_reorder $ agent_crash $ fallback_rtts
+      $ trace_file $ ipc_drop $ ipc_dup $ ipc_spike $ ipc_reorder $ agent_crash $ fallback_rtts
       $ guard_min_cwnd $ guard_max_rate $ guard_report_us $ guard_quarantine)
 
 let csv_cmd =

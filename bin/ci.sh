@@ -20,10 +20,25 @@ echo "== fuzz smoke (fixed seed) =="
 dune exec bin/fuzz_smoke.exe -- 500
 
 echo "== bench smoke =="
-# Exercises the bechamel sections (including the compiled-vs-interpreted
-# per-ACK comparison) end to end; numbers land in BENCH_pr3.json but are
+# Exercises the bechamel sections (compiled-vs-interpreted per-ACK,
+# observability overhead) end to end; numbers land in BENCH.json
+# ({name,value,unit} rows, schema-checked by the writer itself) but are
 # not gated here — see docs/perf.md for the expected band.
-QUICK=1 dune exec bench/main.exe -- micro perack
+QUICK=1 dune exec bench/main.exe -- micro perack obs
+
+echo "== obs smoke =="
+# The flight recorder end to end: a short traced run whose JSONL the
+# driver re-parses after writing (a malformed line exits non-zero), plus
+# the same through the CSV sink. The metrics-off zero-allocation Gc
+# assertion runs as part of the suite above (obs: "per-ACK path
+# allocation-free with obs off").
+obs_tmp="$(mktemp -d)"
+dune exec bin/ccp_sim.exe -- run --rate 24 --duration 3 --flows ccp-reno \
+  --trace "$obs_tmp/trace.jsonl" > /dev/null
+dune exec bin/ccp_sim.exe -- run --rate 24 --duration 3 --flows ccp-reno,reno@1 \
+  --trace "$obs_tmp/trace.csv" > /dev/null
+test -s "$obs_tmp/trace.jsonl" && test -s "$obs_tmp/trace.csv"
+rm -rf "$obs_tmp"
 
 if [ -n "${SOAK_SEED:-}" ]; then
   echo "== soak (CCP_PROP_SEED=$SOAK_SEED) =="

@@ -21,12 +21,38 @@ type t = {
   mutable install_results_received : int;
   mutable install_rejects : int;
   mutable quarantines_seen : int;
+  obs : agent_obs option;
 }
+
+and agent_obs = {
+  o_reports : Ccp_obs.Metrics.counter;
+  o_urgents : Ccp_obs.Metrics.counter;
+  o_installs : Ccp_obs.Metrics.counter;
+  o_handler_errors : Ccp_obs.Metrics.counter;
+  o_rejects : Ccp_obs.Metrics.counter;
+  o_quarantines : Ccp_obs.Metrics.counter;
+}
+
+let make_agent_obs obs =
+  let open Ccp_obs in
+  let m = obs.Obs.metrics in
+  {
+    o_reports = Metrics.counter m ~unit_:"msgs" "agent.reports_received";
+    o_urgents = Metrics.counter m ~unit_:"msgs" "agent.urgents_received";
+    o_installs = Metrics.counter m ~unit_:"msgs" "agent.installs_sent";
+    o_handler_errors = Metrics.counter m ~unit_:"errors" "agent.handler_errors";
+    o_rejects = Metrics.counter m ~unit_:"msgs" "agent.install_rejects";
+    o_quarantines = Metrics.counter m ~unit_:"msgs" "agent.quarantines_seen";
+  }
+
+let obs_incr t pick =
+  match t.obs with Some h -> Ccp_obs.Metrics.incr (pick h) | None -> ()
 
 let guard t f =
   try f ()
   with exn ->
     t.handler_errors <- t.handler_errors + 1;
+    obs_incr t (fun h -> h.o_handler_errors);
     Logs.warn (fun m -> m "agent: algorithm handler raised %s" (Printexc.to_string exn))
 
 let make_handle t (info : Algorithm.flow_info) policy : Algorithm.handle =
@@ -39,6 +65,7 @@ let make_handle t (info : Algorithm.flow_info) policy : Algorithm.handle =
     | Error [] -> assert false);
     let program = Policy.apply_program policy program in
     t.installs_sent <- t.installs_sent + 1;
+    obs_incr t (fun h -> h.o_installs);
     Channel.send t.channel ~from:Channel.Agent_end
       (Message.Install { flow = info.Algorithm.flow; program })
   in
@@ -73,16 +100,19 @@ let on_message t (msg : Message.t) =
   | Message.Ready { flow; mss; init_cwnd } -> on_ready t ~flow ~mss ~init_cwnd
   | Message.Report report -> (
     t.reports_received <- t.reports_received + 1;
+    obs_incr t (fun h -> h.o_reports);
     match Hashtbl.find_opt t.flows report.Message.flow with
     | Some entry -> guard t (fun () -> entry.handlers.Algorithm.on_report report)
     | None -> ())
   | Message.Report_vector report -> (
     t.reports_received <- t.reports_received + 1;
+    obs_incr t (fun h -> h.o_reports);
     match Hashtbl.find_opt t.flows report.Message.flow with
     | Some entry -> guard t (fun () -> entry.handlers.Algorithm.on_report_vector report)
     | None -> ())
   | Message.Urgent urgent -> (
     t.urgents_received <- t.urgents_received + 1;
+    obs_incr t (fun h -> h.o_urgents);
     match Hashtbl.find_opt t.flows urgent.Message.flow with
     | Some entry -> guard t (fun () -> entry.handlers.Algorithm.on_urgent urgent)
     | None -> ())
@@ -92,6 +122,7 @@ let on_message t (msg : Message.t) =
     | Message.Accepted -> ()
     | Message.Rejected { reason; detail } ->
       t.install_rejects <- t.install_rejects + 1;
+      obs_incr t (fun h -> h.o_rejects);
       Logs.warn (fun m ->
           m "agent: datapath rejected install for flow %d: %s (%s)" result.Message.flow
             (Ccp_lang.Limits.reason_to_string reason)
@@ -101,6 +132,7 @@ let on_message t (msg : Message.t) =
     | None -> ())
   | Message.Quarantined q -> (
     t.quarantines_seen <- t.quarantines_seen + 1;
+    obs_incr t (fun h -> h.o_quarantines);
     Logs.warn (fun m ->
         m "agent: flow %d quarantined after %d incidents (dominant %s)" q.Message.flow
           q.Message.incidents
@@ -113,7 +145,7 @@ let on_message t (msg : Message.t) =
     (* Datapath-bound traffic is never delivered to the agent end. *)
     ()
 
-let create ~sim ~channel ~choose ?(policy = fun _ -> Policy.unrestricted) () =
+let create ~sim ~channel ~choose ?(policy = fun _ -> Policy.unrestricted) ?obs () =
   let t =
     {
       sim;
@@ -128,6 +160,7 @@ let create ~sim ~channel ~choose ?(policy = fun _ -> Policy.unrestricted) () =
       install_results_received = 0;
       install_rejects = 0;
       quarantines_seen = 0;
+      obs = Option.map make_agent_obs obs;
     }
   in
   Channel.on_receive channel Channel.Agent_end (on_message t);

@@ -17,11 +17,13 @@ val create :
   channel:Channel.t ->
   choose:(Algorithm.flow_info -> Algorithm.t) ->
   ?policy:(Algorithm.flow_info -> Policy.t) ->
+  ?obs:Ccp_obs.Obs.t ->
   unit ->
   t
 (** [choose] selects the algorithm for each new flow; [policy] (default
     unrestricted) selects its policy. Registers the agent as the channel's
-    agent-side endpoint. *)
+    agent-side endpoint. With [obs] the agent publishes
+    reports/urgents/installs/handler-error counters. *)
 
 val with_algorithm : sim:Sim.t -> channel:Channel.t -> Algorithm.t -> t
 (** Convenience: every flow runs the same algorithm, no policy. *)

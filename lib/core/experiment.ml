@@ -50,6 +50,9 @@ type config = {
   rate_schedule : (Time_ns.t * float) list;
   faults : Ccp_ipc.Fault_plan.t;
   inspect : (handles -> unit) option;
+  obs : Ccp_obs.Obs.t option;
+  obs_flow_sample_interval : Time_ns.t;
+      (* throttle for per-flow Flow_sample trace events; zero = every ACK *)
 }
 
 let default_config ~rate_bps ~base_rtt ~duration =
@@ -73,6 +76,8 @@ let default_config ~rate_bps ~base_rtt ~duration =
     rate_schedule = [];
     faults = Ccp_ipc.Fault_plan.none;
     inspect = None;
+    obs = None;
+    obs_flow_sample_interval = Time_ns.ms 10;
   }
 
 type flow_result = {
@@ -152,8 +157,11 @@ let run (config : config) =
   let ccp_parts =
     if not (has_ccp_flows config) then None
     else begin
-      let channel = Ccp_ipc.Channel.create ~sim ~latency:config.ipc ~faults:config.faults () in
-      let ccp_ext = Ccp_ext.create ~sim ~channel ~config:config.datapath () in
+      let channel =
+        Ccp_ipc.Channel.create ~sim ~latency:config.ipc ~faults:config.faults
+          ?obs:config.obs ()
+      in
+      let ccp_ext = Ccp_ext.create ~sim ~channel ~config:config.datapath ?obs:config.obs () in
       let algorithms = Hashtbl.create 4 in
       let choose (info : Ccp_agent.Algorithm.flow_info) =
         match Hashtbl.find_opt algorithms info.Ccp_agent.Algorithm.flow with
@@ -162,7 +170,7 @@ let run (config : config) =
       in
       let agent =
         Ccp_agent.Agent.create ~sim ~channel ~choose
-          ?policy:config.policy ()
+          ?policy:config.policy ?obs:config.obs ()
       in
       (* A crashed agent loses its per-flow state; model the restart as a
          reset at the end of each outage. The channel already blackholes
@@ -238,7 +246,10 @@ let run (config : config) =
       | Some path -> fun pkt -> Offload.Sender_path.send path pkt
       | None -> fun pkt -> Topology.Dumbbell.send_data dumbbell pkt
     in
-    let sender = Tcp_flow.create ~sim ~flow:id ~config:tcp_config ~cc ~transmit () in
+    let sender =
+      Tcp_flow.create ~sim ~flow:id ~config:tcp_config ~cc ~transmit ?obs:config.obs
+        ~obs_sample_interval:config.obs_flow_sample_interval ()
+    in
     sender_ref := Some sender;
     let ack_sink =
       match sender_path with
@@ -274,6 +285,17 @@ let run (config : config) =
     flows_only;
   Trace.sample_every trace ~series:"queue_bytes" ~every:config.sample_interval (fun () ->
       float_of_int (Queue_disc.backlog_bytes (Link.qdisc (Topology.Dumbbell.forward dumbbell))));
+  (* Mirror the queue series into the flight recorder. *)
+  (match config.obs with
+  | Some obs when obs.Ccp_obs.Obs.recorder <> None ->
+    let qdisc = Link.qdisc (Topology.Dumbbell.forward dumbbell) in
+    let rec sample_queue () =
+      Ccp_obs.Obs.record obs ~at:(Sim.now sim)
+        (Ccp_obs.Recorder.Queue_sample { bytes = Queue_disc.backlog_bytes qdisc });
+      ignore (Sim.schedule_after sim ~delay:config.sample_interval (fun () -> sample_queue ()))
+    in
+    ignore (Sim.schedule sim ~at:Time_ns.zero (fun () -> sample_queue ()))
+  | Some _ | None -> ());
   (* Snapshot delivered bytes at the end of warmup for goodput accounting. *)
   if Time_ns.is_positive config.warmup then
     ignore

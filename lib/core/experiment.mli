@@ -66,11 +66,18 @@ type config = {
   inspect : (handles -> unit) option;
       (** called once after CCP wiring when any flow is CCP; ignored
           otherwise *)
+  obs : Ccp_obs.Obs.t option;
+      (** observability bundle threaded through the channel, datapath
+          extension, agent, and every TCP flow; [None] (the default)
+          keeps all of them on their zero-cost paths *)
+  obs_flow_sample_interval : Time_ns.t;
+      (** minimum spacing of per-flow [Flow_sample] trace events
+          (default 10 ms); zero records one per ACK *)
 }
 
 val default_config : rate_bps:float -> base_rtt:Time_ns.t -> duration:Time_ns.t -> config
 (** Buffer defaults to 1 BDP; seed 42; no ECN; no warmup; no offloads;
-    Netlink-idle IPC; 100 ms sampling. *)
+    Netlink-idle IPC; 100 ms sampling; observability off. *)
 
 type flow_result = {
   flow_id : int;

@@ -42,13 +42,23 @@ let one_flow_config ~rate_bps ~base_rtt ~duration ~seed cc =
     flows = [ Experiment.flow cc ];
   }
 
+(* Arm a fresh observability bundle for one run. Each run gets its own
+   recorder/metrics so CCP and native traces never mix; the bundle stays
+   reachable through [result.config.obs] for post-run extraction. *)
+let armed_obs ~with_obs config =
+  if not with_obs then config
+  else { config with Experiment.obs = Some (Ccp_obs.Obs.create ()) }
+
 module Fig3 = struct
-  let rate_bps = 1e9
+  let default_rate_bps = 1e9
+  let rate_bps = default_rate_bps
   let base_rtt = Time_ns.ms 10
 
-  let run ?(duration = Time_ns.sec 30) ?(seed = 42) () =
+  let run ?(rate_bps = default_rate_bps) ?(duration = Time_ns.sec 30) ?(seed = 42)
+      ?(with_obs = false) () =
     let run_one cc =
-      Experiment.run (one_flow_config ~rate_bps ~base_rtt ~duration ~seed cc)
+      Experiment.run
+        (armed_obs ~with_obs (one_flow_config ~rate_bps ~base_rtt ~duration ~seed cc))
     in
     {
       ccp = run_one (Experiment.Ccp_cc (Ccp_cubic.create ()));
@@ -59,25 +69,29 @@ end
 module Fig4 = struct
   let second_flow_start = Time_ns.sec 20
 
-  let run ?(duration = Time_ns.sec 60) ?(seed = 42) () =
-    let rate_bps = 1e9 and base_rtt = Time_ns.ms 10 in
+  let run ?(rate_bps = 1e9) ?(second_flow_start = second_flow_start)
+      ?(duration = Time_ns.sec 60) ?(seed = 42) ?(with_obs = false) () =
+    let base_rtt = Time_ns.ms 10 in
     let run_one mk =
       let base = Experiment.default_config ~rate_bps ~base_rtt ~duration in
       Experiment.run
-        {
-          base with
-          Experiment.seed;
-          flows =
-            [ Experiment.flow (mk ()); Experiment.flow ~start_at:second_flow_start (mk ()) ];
-        }
+        (armed_obs ~with_obs
+           {
+             base with
+             Experiment.seed;
+             flows =
+               [ Experiment.flow (mk ()); Experiment.flow ~start_at:second_flow_start (mk ()) ];
+           })
     in
     {
       ccp = run_one (fun () -> Experiment.Ccp_cc (Ccp_reno.create ()));
       native = run_one (fun () -> Experiment.Native_cc Native_reno.create);
     }
 
-  (* Both flows within 25% of fair share, sustained for a full second. *)
-  let convergence_time (result : Experiment.result) =
+  (* Both flows within 25% of fair share, sustained for a full second.
+     [after] is when the second flow started (measurement begins there);
+     it defaults to the module-level [second_flow_start] used by [run]. *)
+  let convergence_time ?(after = second_flow_start) (result : Experiment.result) =
     let series i =
       Trace.series result.Experiment.trace (Printf.sprintf "throughput_mbps.%d" i)
     in
@@ -91,7 +105,7 @@ module Fig4 = struct
       else begin
         let at, v0 = s0.(i) in
         let _, v1 = s1.(i) in
-        if Time_ns.compare at second_flow_start < 0 then scan (i + 1) None
+        if Time_ns.compare at after < 0 then scan (i + 1) None
         else if ok v0 && ok v1 then begin
           match run_start with
           | None -> scan (i + 1) (Some at)
@@ -104,6 +118,38 @@ module Fig4 = struct
     in
     scan 0 None
 end
+
+(* Quantitative Figure-3/4 fidelity: extract the cwnd series of [flow]
+   from each run and hand both to {!Ccp_obs.Fidelity}. Prefers the flight
+   recorder's [Flow_sample] series when the run carried one (runs made
+   with [~with_obs:true]); otherwise falls back to the per-change
+   ["cwnd.<flow>"] trace series every run records. *)
+let fidelity ?(flow = 0) ?samples (cmp : comparison) =
+  let run_of (r : Experiment.result) =
+    let recorded =
+      match r.Experiment.config.Experiment.obs with
+      | Some obs -> (
+        match obs.Ccp_obs.Obs.recorder with
+        | Some rec_ ->
+          Ccp_obs.Recorder.flow_series rec_ ~flow (Ccp_obs.Recorder.cwnd_of_event ~flow)
+        | None -> [||])
+      | None -> [||]
+    in
+    let series =
+      if Array.length recorded > 0 then recorded
+      else
+        Array.of_list
+          (List.map
+             (fun (at, v) -> (Time_ns.to_float_sec at, v))
+             (Trace.series r.Experiment.trace (Printf.sprintf "cwnd.%d" flow)))
+    in
+    {
+      Ccp_obs.Fidelity.series;
+      utilization = r.Experiment.utilization;
+      median_rtt_ms = Time_ns.to_float_ms r.Experiment.median_rtt;
+    }
+  in
+  Ccp_obs.Fidelity.compare_runs ?samples ~ccp:(run_of cmp.ccp) ~native:(run_of cmp.native) ()
 
 module Fig5 = struct
   type offload_setting = All_on | Tso_off | All_off

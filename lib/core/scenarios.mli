@@ -32,9 +32,18 @@ module Fig3 : sig
   val rate_bps : float
   val base_rtt : Time_ns.t
 
-  val run : ?duration:Time_ns.t -> ?seed:int -> unit -> comparison
-  (** Default duration 30 s. Traces ["cwnd.0"] carry the window series the
-      paper plots. *)
+  val run :
+    ?rate_bps:float ->
+    ?duration:Time_ns.t ->
+    ?seed:int ->
+    ?with_obs:bool ->
+    unit ->
+    comparison
+  (** Default duration 30 s at the paper's 1 Gbit/s; [rate_bps] scales the
+      link down for quick regression runs. With [with_obs] each run gets a
+      fresh {!Ccp_obs.Obs.t} (retrievable from [result.config.obs]) so the
+      flight recorder captures the window series. Traces ["cwnd.0"] carry
+      the window series the paper plots. *)
 end
 
 (** Figure 4: NewReno reactivity — a second flow joins at t=20 s of 60;
@@ -42,12 +51,28 @@ end
 module Fig4 : sig
   val second_flow_start : Time_ns.t
 
-  val run : ?duration:Time_ns.t -> ?seed:int -> unit -> comparison
+  val run :
+    ?rate_bps:float ->
+    ?second_flow_start:Time_ns.t ->
+    ?duration:Time_ns.t ->
+    ?seed:int ->
+    ?with_obs:bool ->
+    unit ->
+    comparison
 
-  val convergence_time : Experiment.result -> Time_ns.t option
-  (** First time after the second flow starts at which both flows'
-      throughputs stay within 25 % of the fair share for one second. *)
+  val convergence_time : ?after:Time_ns.t -> Experiment.result -> Time_ns.t option
+  (** First time after the second flow starts (default
+      {!second_flow_start}; pass [after] when the run used a different
+      join time) at which both flows' throughputs stay within 25 % of the
+      fair share for one second. *)
 end
+
+val fidelity : ?flow:int -> ?samples:int -> comparison -> Ccp_obs.Fidelity.report
+(** Paper-fidelity report for a CCP-vs-native comparison: aligns the two
+    runs' cwnd series for [flow] (default 0) — preferring the flight
+    recorder's [Flow_sample] series when the runs were made [~with_obs],
+    falling back to the per-change ["cwnd.<i>"] trace — and returns the
+    normalized cwnd RMSE, utilization delta, and median-RTT delta. *)
 
 (** Figure 5: throughput with NIC offloads enabled/disabled on a
     10 Gbit/s link, averaged over 4 runs. *)

@@ -131,7 +131,9 @@ type flow_state = {
   mutable pc : int;
   mutable wait_timer : Sim.timer option;
   mutable measurement : measurement;
-  mutable last_rtt_us : float;
+  last_rtt_us : float array;
+      (* 1-element cell: a [mutable float] in this mixed record would box
+         on every store, and this is written on every ACK *)
   mutable last_ecn_urgent : Time_ns.t;
   mutable last_agent_contact : Time_ns.t;
   mutable fallback_active : bool;
@@ -148,6 +150,37 @@ type flow_state = {
   guard : guard_incidents;
 }
 
+(* Pre-resolved metric handles: the per-ACK path must not do name lookups,
+   and with [obs = None] it must not allocate at all. *)
+type obs_handles = {
+  obs : Ccp_obs.Obs.t;
+  o_reports : Ccp_obs.Metrics.counter;
+  o_urgents : Ccp_obs.Metrics.counter;
+  o_installs_accepted : Ccp_obs.Metrics.counter;
+  o_installs_rejected : Ccp_obs.Metrics.counter;
+  o_guard_incidents : Ccp_obs.Metrics.counter;
+  o_quarantines : Ccp_obs.Metrics.counter;
+  o_fallbacks : Ccp_obs.Metrics.counter;
+  o_acks : Ccp_obs.Metrics.counter;
+  o_fold_ns : Ccp_obs.Metrics.histogram;
+}
+
+let make_obs_handles obs =
+  let open Ccp_obs in
+  let m = obs.Obs.metrics in
+  {
+    obs;
+    o_reports = Metrics.counter m ~unit_:"msgs" "datapath.reports_sent";
+    o_urgents = Metrics.counter m ~unit_:"msgs" "datapath.urgents_sent";
+    o_installs_accepted = Metrics.counter m ~unit_:"msgs" "datapath.installs_accepted";
+    o_installs_rejected = Metrics.counter m ~unit_:"msgs" "datapath.installs_rejected";
+    o_guard_incidents = Metrics.counter m ~unit_:"events" "datapath.guard_incidents";
+    o_quarantines = Metrics.counter m ~unit_:"events" "datapath.quarantines";
+    o_fallbacks = Metrics.counter m ~unit_:"events" "datapath.fallbacks";
+    o_acks = Metrics.counter m ~unit_:"acks" "datapath.acks_processed";
+    o_fold_ns = Metrics.histogram m ~unit_:"ns" "datapath.fold_step_ns";
+  }
+
 type t = {
   sim : Sim.t;
   channel : Channel.t;
@@ -163,7 +196,18 @@ type t = {
   mutable quarantines : int;
   retired_guard : guard_incidents;
       (* incidents from guard windows closed by an accepted re-install *)
+  obs : obs_handles option;
 }
+
+let obs_record t event =
+  match t.obs with
+  | None -> ()
+  | Some h -> Ccp_obs.Obs.record h.obs ~at:(Sim.now t.sim) event
+
+let obs_guard_incident t =
+  match t.obs with
+  | None -> ()
+  | Some h -> Ccp_obs.Metrics.incr h.o_guard_incidents
 
 (* --- slot tables ---
 
@@ -173,7 +217,11 @@ type t = {
    once at module initialisation and refresh only the slots the code
    about to run actually reads (its [flow_mask]). *)
 
-let us_of_opt = function Some d -> Time_ns.to_float_us d | None -> 0.0
+(* [Time_ns.to_float_us] is a cross-module call; without flambda its
+   float result comes back boxed, which would put an allocation on the
+   per-ACK path. [Time_ns.t] is transparently [int], so convert inline. *)
+let[@inline always] us_of_ns (ns : Time_ns.t) = float_of_int ns /. 1e3
+let[@inline always] us_of_opt o = match o with Some d -> us_of_ns d | None -> 0.0
 
 let fslot_cwnd = Compile.flow_index_exn "cwnd"
 let fslot_rate = Compile.flow_index_exn "rate"
@@ -202,13 +250,13 @@ let refresh_flow fs (m : Compile.machine) mask =
     f.(fslot_mss) <- float_of_int ctl.Congestion_iface.mss;
   if mask land (1 lsl fslot_srtt_us) <> 0 then
     f.(fslot_srtt_us) <- us_of_opt (ctl.Congestion_iface.srtt ());
-  if mask land (1 lsl fslot_rtt_us) <> 0 then f.(fslot_rtt_us) <- fs.last_rtt_us;
+  if mask land (1 lsl fslot_rtt_us) <> 0 then f.(fslot_rtt_us) <- fs.last_rtt_us.(0);
   if mask land (1 lsl fslot_minrtt_us) <> 0 then
     f.(fslot_minrtt_us) <- us_of_opt (ctl.Congestion_iface.min_rtt ());
   if mask land (1 lsl fslot_inflight) <> 0 then
     f.(fslot_inflight) <- float_of_int (ctl.Congestion_iface.inflight ());
   if mask land (1 lsl fslot_now_us) <> 0 then
-    f.(fslot_now_us) <- Time_ns.to_float_us (ctl.Congestion_iface.now ())
+    f.(fslot_now_us) <- us_of_ns (ctl.Congestion_iface.now ())
 
 let refresh_pkt (m : Compile.machine) (ev : Congestion_iface.ack_event) ~bytes_lost =
   let p = m.Compile.pkt in
@@ -219,7 +267,7 @@ let refresh_pkt (m : Compile.machine) (ev : Congestion_iface.ack_event) ~bytes_l
   p.(pslot_send_rate) <- Option.value ev.send_rate ~default:0.0;
   p.(pslot_recv_rate) <- Option.value ev.delivery_rate ~default:0.0;
   p.(pslot_inflight) <- float_of_int ev.inflight_after;
-  p.(pslot_now_us) <- Time_ns.to_float_us ev.now
+  p.(pslot_now_us) <- us_of_ns ev.now
 
 (* --- reporting --- *)
 
@@ -230,7 +278,7 @@ let reserved_fields fs ~packets =
     ("_rate", ctl.Congestion_iface.get_rate ());
     ("_mss", float_of_int ctl.Congestion_iface.mss);
     ("_srtt_us", us_of_opt (ctl.Congestion_iface.srtt ()));
-    ("_rtt_us", fs.last_rtt_us);
+    ("_rtt_us", fs.last_rtt_us.(0));
     ("_minrtt_us", us_of_opt (ctl.Congestion_iface.min_rtt ()));
     ("_inflight_bytes", float_of_int (ctl.Congestion_iface.inflight ()));
     ("_send_rate", Option.value (ctl.Congestion_iface.send_rate_ewma ()) ~default:0.0);
@@ -260,11 +308,16 @@ let send_report t fs =
     v.count <- 0;
     Channel.send t.channel ~from:Channel.Datapath_end
       (Message.Report_vector { flow; columns = v.columns; rows }));
-  t.reports_sent <- t.reports_sent + 1
+  t.reports_sent <- t.reports_sent + 1;
+  (match t.obs with Some h -> Ccp_obs.Metrics.incr h.o_reports | None -> ());
+  obs_record t (Ccp_obs.Recorder.Report_sent { flow; urgent = false })
 
 let send_urgent t fs kind =
   let ctl = fs.ctl in
   t.urgents_sent <- t.urgents_sent + 1;
+  (match t.obs with Some h -> Ccp_obs.Metrics.incr h.o_urgents | None -> ());
+  obs_record t
+    (Ccp_obs.Recorder.Report_sent { flow = ctl.Congestion_iface.flow; urgent = true });
   Channel.send t.channel ~from:Channel.Datapath_end
     (Message.Urgent
        {
@@ -315,6 +368,14 @@ let quarantine t fs =
     fs.quarantine_cc <- Some cc;
     cc.Congestion_iface.on_init fs.ctl
   | None -> assert false (* only called when a mode is armed *));
+  (match t.obs with Some h -> Ccp_obs.Metrics.incr h.o_quarantines | None -> ());
+  obs_record t
+    (Ccp_obs.Recorder.Quarantine
+       {
+         flow = fs.ctl.Congestion_iface.flow;
+         incidents = guard_total fs.guard;
+         dominant = Message.incident_kind_to_string (dominant_incident fs.guard);
+       });
   Channel.send t.channel ~from:Channel.Datapath_end
     (Message.Quarantined
        {
@@ -349,6 +410,7 @@ let rec advance t fs =
     decr budget;
     if !budget <= 0 then begin
       fs.guard.eval_budget <- fs.guard.eval_budget + 1;
+      obs_guard_incident t;
       maybe_quarantine t fs;
       if not fs.quarantined then
         fs.wait_timer <-
@@ -381,7 +443,10 @@ let rec advance t fs =
           | Compile.Rate code ->
             let raw = eval_flow fs m code in
             let rate = Float.min (Float.max 0.0 raw) g.max_rate_bytes_per_sec in
-            if rate <> raw then fs.guard.rate_clamped <- fs.guard.rate_clamped + 1;
+            if rate <> raw then begin
+              fs.guard.rate_clamped <- fs.guard.rate_clamped + 1;
+              obs_guard_incident t
+            end;
             fs.ctl.Congestion_iface.set_rate rate;
             guard_note t fs;
             step ()
@@ -390,7 +455,10 @@ let rec advance t fs =
             let lo = float_of_int (g.min_cwnd_segments * fs.ctl.Congestion_iface.mss) in
             let hi = float_of_int g.max_cwnd_bytes in
             let cwnd = Float.min (Float.max lo raw) hi in
-            if cwnd <> raw then fs.guard.cwnd_clamped <- fs.guard.cwnd_clamped + 1;
+            if cwnd <> raw then begin
+              fs.guard.cwnd_clamped <- fs.guard.cwnd_clamped + 1;
+              obs_guard_incident t
+            end;
             fs.ctl.Congestion_iface.set_cwnd (int_of_float cwnd);
             guard_note t fs;
             step ()
@@ -421,6 +489,7 @@ let rec advance t fs =
               (* Skip the send but keep aggregating: the pending state goes
                  out with the next unthrottled report. *)
               fs.guard.report_throttled <- fs.guard.report_throttled + 1;
+              obs_guard_incident t;
               maybe_quarantine t fs
             end
             else begin
@@ -437,6 +506,7 @@ let rec advance t fs =
 and guarded_wait t fs duration =
   if Time_ns.compare duration t.config.guard.min_wait < 0 then begin
     fs.guard.wait_clamped <- fs.guard.wait_clamped + 1;
+    obs_guard_incident t;
     maybe_quarantine t fs;
     t.config.guard.min_wait
   end
@@ -496,9 +566,21 @@ let install_program t fs program =
     match Compile.compile program with
     | Error detail ->
       t.installs_rejected <- t.installs_rejected + 1;
+      (match t.obs with
+      | Some h -> Ccp_obs.Metrics.incr h.o_installs_rejected
+      | None -> ());
+      obs_record t
+        (Ccp_obs.Recorder.Install
+           { flow = fs.ctl.Congestion_iface.flow; accepted = false; detail });
       send_install_result t fs (Message.Rejected { reason = Limits.Invalid_program; detail })
     | Ok cp ->
       t.installs_accepted <- t.installs_accepted + 1;
+      (match t.obs with
+      | Some h -> Ccp_obs.Metrics.incr h.o_installs_accepted
+      | None -> ());
+      obs_record t
+        (Ccp_obs.Recorder.Install
+           { flow = fs.ctl.Congestion_iface.flow; accepted = true; detail = "" });
       if fs.quarantined then begin
         fs.quarantined <- false;
         fs.quarantine_cc <- None
@@ -513,6 +595,12 @@ let install_program t fs program =
       advance t fs)
   | Error (reason, detail) ->
     t.installs_rejected <- t.installs_rejected + 1;
+    (match t.obs with
+    | Some h -> Ccp_obs.Metrics.incr h.o_installs_rejected
+    | None -> ());
+    obs_record t
+      (Ccp_obs.Recorder.Install
+         { flow = fs.ctl.Congestion_iface.flow; accepted = false; detail });
     send_install_result t fs (Message.Rejected { reason; detail })
 
 (* --- agent -> datapath messages --- *)
@@ -523,7 +611,10 @@ let note_agent_contact t fs =
     (* Agent recovered: the native stand-in releases the flow before the
        message is applied, so control is handed back atomically. *)
     fs.fallback_active <- false;
-    fs.fallback_cc <- None
+    fs.fallback_cc <- None;
+    obs_record t
+      (Ccp_obs.Recorder.Fallback
+         { flow = fs.ctl.Congestion_iface.flow; entered = false })
   end
 
 let on_message t (msg : Message.t) =
@@ -553,7 +644,7 @@ let on_message t (msg : Message.t) =
     (* Agent-bound traffic is never delivered to the datapath end. *)
     ()
 
-let create ~sim ~channel ?(config = default_config) () =
+let create ~sim ~channel ?(config = default_config) ?obs () =
   let t =
     {
       sim;
@@ -569,6 +660,7 @@ let create ~sim ~channel ?(config = default_config) () =
       fallback_probes_sent = 0;
       quarantines = 0;
       retired_guard = fresh_guard_incidents ();
+      obs = Option.map make_obs_handles obs;
     }
   in
   Channel.on_receive channel Channel.Datapath_end (on_message t);
@@ -608,6 +700,10 @@ let rec watchdog_tick t fs (fb : fallback) =
     if not fs.fallback_active then begin
       fs.fallback_active <- true;
       t.fallbacks_triggered <- t.fallbacks_triggered + 1;
+      (match t.obs with Some h -> Ccp_obs.Metrics.incr h.o_fallbacks | None -> ());
+      obs_record t
+        (Ccp_obs.Recorder.Fallback
+           { flow = fs.ctl.Congestion_iface.flow; entered = true });
       (* Stop executing the orphaned program. *)
       cancel_wait fs;
       fs.program <- None;
@@ -648,7 +744,7 @@ let on_init t ctl =
       pc = 0;
       wait_timer = None;
       measurement = No_measurement;
-      last_rtt_us = 0.0;
+      last_rtt_us = [| 0.0 |];
       last_ecn_urgent = Time_ns.zero;
       last_agent_contact = Sim.now t.sim;
       fallback_active = false;
@@ -685,8 +781,10 @@ let record_measurement t fs (ev : Congestion_iface.ack_event) ~bytes_lost =
     refresh_flow fs m (Compile.Fold.step_flow_mask plan);
     refresh_pkt m ev ~bytes_lost;
     Compile.Fold.step fold ~m ~incidents:fs.incidents;
-    if Compile.Fold.diverged fold ~limit:t.config.guard.divergence_limit then
+    if Compile.Fold.diverged fold ~limit:t.config.guard.divergence_limit then begin
       fs.guard.fold_divergence <- fs.guard.fold_divergence + 1;
+      obs_guard_incident t
+    end;
     guard_note t fs
   | Vector v, Some (_, m) ->
     if v.count >= t.config.max_vector_rows then
@@ -698,35 +796,55 @@ let record_measurement t fs (ev : Congestion_iface.ack_event) ~bytes_lost =
       v.count <- v.count + 1
     end
 
-let on_ack t ctl (ev : Congestion_iface.ack_event) =
-  match Hashtbl.find_opt t.flows ctl.Congestion_iface.flow with
-  | None -> ()
-  | Some { quarantined = true; quarantine_cc = Some cc; _ } ->
-    (* The quarantine controller owns the flow until an accepted
-       re-install; no measurement aggregation, no urgents. *)
-    cc.Congestion_iface.on_ack ctl ev
-  | Some { quarantined = true; _ } ->
-    (* Clamp-mode quarantine: the pinned window rides out the episode. *)
-    ()
-  | Some { fallback_active = true; fallback_cc = Some cc; _ } ->
-    (* The native stand-in owns the flow; no measurement aggregation and
-       no urgents while the agent is out. *)
-    cc.Congestion_iface.on_ack ctl ev
-  | Some fs ->
-    Option.iter (fun r -> fs.last_rtt_us <- Time_ns.to_float_us r) ev.rtt_sample;
+(* The CCP half of the per-ACK fast path, after control-ownership
+   dispatch. Kept allocation-free when [t.obs = None]; with observability
+   on, the fold step is timed into the [datapath.fold_step_ns]
+   histogram. *)
+let on_ack_ccp t fs ctl (ev : Congestion_iface.ack_event) =
+  (match ev.rtt_sample with
+  | Some r -> fs.last_rtt_us.(0) <- us_of_ns r
+  | None -> ());
+  (match t.obs with
+  | None -> record_measurement t fs ev ~bytes_lost:0
+  | Some h ->
+    Ccp_obs.Metrics.incr h.o_acks;
+    let t0 = h.obs.Ccp_obs.Obs.clock () in
     record_measurement t fs ev ~bytes_lost:0;
-    if ev.ecn_echo && t.config.urgent_on_ecn then begin
-      (* Rate-limit ECN urgents to one per smoothed RTT. *)
-      let interval =
-        match ctl.Congestion_iface.srtt () with
-        | Some srtt -> srtt
-        | None -> t.config.default_wait
-      in
-      if Time_ns.compare (Time_ns.sub ev.now fs.last_ecn_urgent) interval >= 0 then begin
-        fs.last_ecn_urgent <- ev.now;
-        send_urgent t fs Message.Ecn
-      end
+    Ccp_obs.Metrics.observe h.o_fold_ns (h.obs.Ccp_obs.Obs.clock () -. t0));
+  if ev.ecn_echo && t.config.urgent_on_ecn then begin
+    (* Rate-limit ECN urgents to one per smoothed RTT. *)
+    let interval =
+      match ctl.Congestion_iface.srtt () with
+      | Some srtt -> srtt
+      | None -> t.config.default_wait
+    in
+    if Time_ns.compare (Time_ns.sub ev.now fs.last_ecn_urgent) interval >= 0 then begin
+      fs.last_ecn_urgent <- ev.now;
+      send_urgent t fs Message.Ecn
     end
+  end
+
+let on_ack t ctl (ev : Congestion_iface.ack_event) =
+  (* [Hashtbl.find] + exception instead of [find_opt]: the option would be
+     a fresh allocation on every ACK. *)
+  match Hashtbl.find t.flows ctl.Congestion_iface.flow with
+  | exception Not_found -> ()
+  | fs ->
+    if fs.quarantined then (
+      (* The quarantine controller owns the flow until an accepted
+         re-install; no measurement aggregation, no urgents. Clamp-mode
+         quarantine ([quarantine_cc = None]) pins the window and rides
+         out the episode. *)
+      match fs.quarantine_cc with
+      | Some cc -> cc.Congestion_iface.on_ack ctl ev
+      | None -> ())
+    else (
+      match fs.fallback_cc with
+      | Some cc when fs.fallback_active ->
+        (* The native stand-in owns the flow; no measurement aggregation
+           and no urgents while the agent is out. *)
+        cc.Congestion_iface.on_ack ctl ev
+      | Some _ | None -> on_ack_ccp t fs ctl ev)
 
 let on_loss t ctl (loss : Congestion_iface.loss_event) =
   match Hashtbl.find_opt t.flows ctl.Congestion_iface.flow with

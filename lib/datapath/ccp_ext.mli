@@ -118,8 +118,14 @@ val default_config : config
 
 type t
 
-val create : sim:Sim.t -> channel:Channel.t -> ?config:config -> unit -> t
-(** Registers itself as the channel's datapath-side endpoint. *)
+val create :
+  sim:Sim.t -> channel:Channel.t -> ?config:config -> ?obs:Ccp_obs.Obs.t -> unit -> t
+(** Registers itself as the channel's datapath-side endpoint. With [obs]
+    the extension publishes install/guard/quarantine/fallback/report
+    counters, times the per-ACK measurement step into the
+    [datapath.fold_step_ns] histogram, and records Install, Quarantine,
+    Fallback, and Report trace events. Without it, the per-ACK path stays
+    allocation-free. *)
 
 val congestion_control : t -> Congestion_iface.t
 (** The controller to hand to {!Tcp_flow.create}. Each flow that calls

@@ -75,9 +75,35 @@ type t = {
   (* listeners *)
   mutable cwnd_listener : (Time_ns.t -> int -> unit) option;
   mutable rtt_listener : (Time_ns.t -> Time_ns.t -> unit) option;
+  (* observability *)
+  obs_h : obs_handles option;
+  obs_sample_interval : Time_ns.t;
+  mutable last_flow_sample : Time_ns.t;
 }
 
-let create ~sim ~flow ~config ~cc ~transmit () =
+and obs_handles = {
+  obs : Ccp_obs.Obs.t;
+  o_rtt_us : Ccp_obs.Metrics.histogram;
+  o_segments : Ccp_obs.Metrics.counter;
+  o_retx : Ccp_obs.Metrics.counter;
+  o_timeouts : Ccp_obs.Metrics.counter;
+  o_recoveries : Ccp_obs.Metrics.counter;
+}
+
+(* Handles are shared across flows: the registry is get-or-create by name. *)
+let make_obs_handles obs =
+  let open Ccp_obs in
+  let m = obs.Obs.metrics in
+  {
+    obs;
+    o_rtt_us = Metrics.histogram m ~unit_:"us" "tcp.rtt_us";
+    o_segments = Metrics.counter m ~unit_:"segments" "tcp.segments_sent";
+    o_retx = Metrics.counter m ~unit_:"segments" "tcp.retransmits";
+    o_timeouts = Metrics.counter m ~unit_:"events" "tcp.timeouts";
+    o_recoveries = Metrics.counter m ~unit_:"events" "tcp.recoveries";
+  }
+
+let create ~sim ~flow ~config ~cc ~transmit ?obs ?(obs_sample_interval = Time_ns.zero) () =
   if config.mss <= 0 then invalid_arg "Tcp_flow: mss must be positive";
   {
     sim;
@@ -115,10 +141,47 @@ let create ~sim ~flow ~config ~cc ~transmit () =
     dup_acks = 0;
     cwnd_listener = None;
     rtt_listener = None;
+    obs_h = Option.map make_obs_handles obs;
+    obs_sample_interval;
+    last_flow_sample = Time_ns.ns (-1);
   }
 
 let now t = Sim.now t.sim
 let inflight t = t.pipe
+
+(* Sampled per-flow time series for the flight recorder, throttled to at
+   most one [Flow_sample] per [obs_sample_interval] (0 = every ACK). *)
+let maybe_flow_sample t at =
+  match t.obs_h with
+  | None -> ()
+  | Some h ->
+    if
+      Time_ns.compare (Time_ns.sub at t.last_flow_sample) t.obs_sample_interval
+      >= 0
+      || Time_ns.compare t.last_flow_sample Time_ns.zero < 0
+    then begin
+      t.last_flow_sample <- at;
+      let srtt_us =
+        match Rtt_estimator.srtt t.rtt_est with
+        | Some s -> Time_ns.to_float_us s
+        | None -> 0.0
+      in
+      let delivery_rate =
+        match Rate_estimator.delivery_rate_ewma t.rate_est with
+        | Some r -> r
+        | None -> 0.0
+      in
+      Ccp_obs.Obs.record h.obs ~at
+        (Ccp_obs.Recorder.Flow_sample
+           {
+             flow = t.flow;
+             cwnd = t.cwnd;
+             rate = Pacer.rate t.pacer;
+             srtt_us;
+             inflight = t.pipe;
+             delivery_rate;
+           })
+    end
 
 let notify_cwnd t =
   match t.cwnd_listener with Some f -> f (now t) t.cwnd | None -> ()
@@ -152,6 +215,11 @@ and emit t seg ~retransmit =
   seg.copies <- seg.copies + 1;
   t.pipe <- t.pipe + seg.len;
   t.segments_sent <- t.segments_sent + 1;
+  (match t.obs_h with
+  | Some h ->
+    Ccp_obs.Metrics.incr h.o_segments;
+    if retransmit then Ccp_obs.Metrics.incr h.o_retx
+  | None -> ());
   if retransmit then begin
     seg.retransmitted <- true;
     t.retransmit_count <- t.retransmit_count + 1
@@ -255,6 +323,9 @@ and on_rto t =
   t.rto_timer <- None;
   if t.snd_nxt > t.snd_una then begin
     t.timeout_count <- t.timeout_count + 1;
+    (match t.obs_h with
+    | Some h -> Ccp_obs.Metrics.incr h.o_timeouts
+    | None -> ());
     t.rto_backoff <- min 64 (t.rto_backoff * 2);
     (* RFC 6675 style: keep the SACK scoreboard, declare every unSACKed
        outstanding segment lost, and let the (collapsed) window slow-start
@@ -479,6 +550,9 @@ let on_ack t (pkt : Packet.t) =
     Option.iter
       (fun r ->
         Rtt_estimator.on_sample t.rtt_est r;
+        (match t.obs_h with
+        | Some h -> Ccp_obs.Metrics.observe h.o_rtt_us (Time_ns.to_float_us r)
+        | None -> ());
         match t.rtt_listener with Some f -> f at r | None -> ())
       rtt_sample;
     let sacked_bytes =
@@ -489,6 +563,9 @@ let on_ack t (pkt : Packet.t) =
     if newly_lost > 0 && t.recovery_point = None then begin
       t.recovery_point <- Some t.snd_nxt;
       t.recovery_count <- t.recovery_count + 1;
+      (match t.obs_h with
+      | Some h -> Ccp_obs.Metrics.incr h.o_recoveries
+      | None -> ());
       t.prr_delivered <- 0;
       t.prr_out <- 0;
       t.recover_fs <- max (t.pipe + newly_lost) t.config.mss;
@@ -529,6 +606,7 @@ let on_ack t (pkt : Packet.t) =
         }
       in
       t.cc.on_ack c event;
+      maybe_flow_sample t at;
       if t.snd_nxt > t.snd_una then arm_rto t else cancel_rto t;
       try_send t
     end
@@ -547,6 +625,7 @@ let on_ack t (pkt : Packet.t) =
         }
       in
       t.cc.on_ack c event;
+      maybe_flow_sample t at;
       try_send t
     end
 

@@ -37,8 +37,14 @@ val create :
   config:config ->
   cc:Congestion_iface.t ->
   transmit:(Packet.t -> unit) ->
+  ?obs:Ccp_obs.Obs.t ->
+  ?obs_sample_interval:Time_ns.t ->
   unit ->
   t
+(** With [obs] the flow publishes RTT/segment/retransmit/timeout/recovery
+    metrics and records a [Flow_sample] trace event (cwnd, pacing rate,
+    srtt, inflight, delivery rate) on ACKs, throttled to at most one per
+    [obs_sample_interval] (default: every ACK). *)
 
 val start : t -> unit
 (** Call the controller's [on_init] and begin transmitting. *)

@@ -21,6 +21,31 @@ type fault_stats = {
 let no_faults_yet =
   { dropped = 0; duplicated = 0; delayed = 0; reordered = 0; partition_dropped = 0 }
 
+(* Pre-registered handles so the send path never does a name lookup. *)
+type obs_handles = {
+  obs : Ccp_obs.Obs.t;
+  msg_to_agent : Ccp_obs.Metrics.counter;
+  msg_to_datapath : Ccp_obs.Metrics.counter;
+  bytes_to_agent : Ccp_obs.Metrics.counter;
+  bytes_to_datapath : Ccp_obs.Metrics.counter;
+  oneway_us : Ccp_obs.Metrics.histogram;
+  faults_injected : Ccp_obs.Metrics.counter;
+}
+
+let make_handles obs =
+  let open Ccp_obs in
+  {
+    obs;
+    msg_to_agent = Metrics.counter obs.Obs.metrics ~unit_:"msgs" "ipc.to_agent.messages";
+    msg_to_datapath =
+      Metrics.counter obs.Obs.metrics ~unit_:"msgs" "ipc.to_datapath.messages";
+    bytes_to_agent = Metrics.counter obs.Obs.metrics ~unit_:"bytes" "ipc.to_agent.bytes";
+    bytes_to_datapath =
+      Metrics.counter obs.Obs.metrics ~unit_:"bytes" "ipc.to_datapath.bytes";
+    oneway_us = Metrics.histogram obs.Obs.metrics ~unit_:"us" "ipc.oneway_latency_us";
+    faults_injected = Metrics.counter obs.Obs.metrics ~unit_:"events" "ipc.faults_injected";
+  }
+
 type t = {
   sim : Sim.t;
   latency : Latency_model.t;
@@ -33,12 +58,13 @@ type t = {
   to_datapath : direction;
   mutable decode_failures : int;
   mutable fault_stats : fault_stats;
+  handles : obs_handles option;
 }
 
 let fresh_direction () =
   { handler = None; messages = 0; bytes = 0; last_delivery = Time_ns.zero }
 
-let create ~sim ~latency ?(faults = Fault_plan.none) () =
+let create ~sim ~latency ?(faults = Fault_plan.none) ?obs () =
   let rng = Rng.split (Sim.rng sim) in
   let fault_rng = if Fault_plan.is_none faults then None else Some (Rng.split (Sim.rng sim)) in
   {
@@ -51,11 +77,32 @@ let create ~sim ~latency ?(faults = Fault_plan.none) () =
     to_datapath = fresh_direction ();
     decode_failures = 0;
     fault_stats = no_faults_yet;
+    handles = Option.map make_handles obs;
   }
 
 let direction_toward t = function
   | Agent_end -> t.to_agent
   | Datapath_end -> t.to_datapath
+
+let note_fault t kind =
+  match t.handles with
+  | None -> ()
+  | Some h ->
+    Ccp_obs.Metrics.incr h.faults_injected;
+    Ccp_obs.Obs.record h.obs ~at:(Sim.now t.sim) (Ccp_obs.Recorder.Ipc_fault { kind })
+
+let note_send t toward ~bytes ~delay =
+  match t.handles with
+  | None -> ()
+  | Some h ->
+    let msgs, byts =
+      match toward with
+      | Agent_end -> (h.msg_to_agent, h.bytes_to_agent)
+      | Datapath_end -> (h.msg_to_datapath, h.bytes_to_datapath)
+    in
+    Ccp_obs.Metrics.incr msgs;
+    Ccp_obs.Metrics.add byts bytes;
+    Ccp_obs.Metrics.observe h.oneway_us (Time_ns.to_float_us delay)
 
 let on_receive t endpoint handler = (direction_toward t endpoint).handler <- Some handler
 
@@ -74,9 +121,11 @@ let schedule_copy t dir ~toward handler ~arrival ~fifo bytes =
   ignore
     (Sim.schedule t.sim ~at:arrival (fun () ->
          (* A crashed agent loses messages already in flight toward it. *)
-         if toward = Agent_end && Fault_plan.agent_down t.faults (Sim.now t.sim) then
+         if toward = Agent_end && Fault_plan.agent_down t.faults (Sim.now t.sim) then begin
            t.fault_stats <-
-             { t.fault_stats with partition_dropped = t.fault_stats.partition_dropped + 1 }
+             { t.fault_stats with partition_dropped = t.fault_stats.partition_dropped + 1 };
+           note_fault t "agent_down"
+         end
          else deliver t handler bytes))
 
 let send t ~from msg =
@@ -94,6 +143,7 @@ let send t ~from msg =
   | None ->
     (* Clean channel: the original delivery path, untouched. *)
     let delay = Latency_model.one_way t.latency t.rng in
+    note_send t toward ~bytes:(String.length bytes) ~delay;
     let arrival = Time_ns.add (Sim.now t.sim) delay in
     (* Preserve per-direction FIFO ordering under random latency draws. *)
     let arrival = Time_ns.max arrival dir.last_delivery in
@@ -102,21 +152,28 @@ let send t ~from msg =
   | Some frng ->
     let now = Sim.now t.sim in
     let stats = t.fault_stats in
-    if Fault_plan.in_partition t.faults now then
-      t.fault_stats <- { stats with partition_dropped = stats.partition_dropped + 1 }
+    if Fault_plan.in_partition t.faults now then begin
+      t.fault_stats <- { stats with partition_dropped = stats.partition_dropped + 1 };
+      note_fault t "partition"
+    end
     else if
       t.faults.Fault_plan.drop_probability > 0.0
       && Rng.float frng 1.0 < t.faults.Fault_plan.drop_probability
-    then t.fault_stats <- { stats with dropped = stats.dropped + 1 }
+    then begin
+      t.fault_stats <- { stats with dropped = stats.dropped + 1 };
+      note_fault t "drop"
+    end
     else begin
       let delay = Latency_model.one_way t.latency t.rng in
       let delay =
         match t.faults.Fault_plan.spike with
         | Some s when s.Fault_plan.probability > 0.0 && Rng.float frng 1.0 < s.Fault_plan.probability ->
           t.fault_stats <- { t.fault_stats with delayed = t.fault_stats.delayed + 1 };
+          note_fault t "spike";
           Time_ns.add delay s.Fault_plan.extra
         | _ -> delay
       in
+      note_send t toward ~bytes:(String.length bytes) ~delay;
       let arrival = Time_ns.add now delay in
       (match t.faults.Fault_plan.reorder with
       | Some r
@@ -127,6 +184,7 @@ let send t ~from msg =
         (* Time_ns.t is integer nanoseconds, so the window bounds the draw. *)
         let lag = Rng.int frng (max 1 (r.Fault_plan.window + 1)) in
         t.fault_stats <- { t.fault_stats with reordered = t.fault_stats.reordered + 1 };
+        note_fault t "reorder";
         schedule_copy t dir ~toward handler ~arrival:(Time_ns.add slot (Time_ns.ns lag))
           ~fifo:false bytes
       | _ -> schedule_copy t dir ~toward handler ~arrival ~fifo:true bytes);
@@ -138,6 +196,7 @@ let send t ~from msg =
            FIFO floor, as a retransmitted datagram would. *)
         let dup_arrival = Time_ns.add now (Latency_model.one_way t.latency t.rng) in
         t.fault_stats <- { t.fault_stats with duplicated = t.fault_stats.duplicated + 1 };
+        note_fault t "duplicate";
         schedule_copy t dir ~toward handler ~arrival:dup_arrival ~fifo:false bytes
       end
     end

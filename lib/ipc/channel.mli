@@ -21,10 +21,19 @@ type t
 
 type endpoint = Datapath_end | Agent_end
 
-val create : sim:Sim.t -> latency:Latency_model.t -> ?faults:Fault_plan.t -> unit -> t
+val create :
+  sim:Sim.t ->
+  latency:Latency_model.t ->
+  ?faults:Fault_plan.t ->
+  ?obs:Ccp_obs.Obs.t ->
+  unit ->
+  t
 (** The latency model is interpreted as a round-trip distribution; each
     message pays a one-way (half) draw. [faults] defaults to
-    {!Fault_plan.none}. *)
+    {!Fault_plan.none}. When [obs] is given the channel publishes
+    per-direction message/byte counters, a one-way latency histogram
+    ([ipc.oneway_latency_us]) and an [ipc.faults_injected] counter, and
+    records an [Ipc_fault] trace event for every injected fault. *)
 
 val on_receive : t -> endpoint -> (Message.t -> unit) -> unit
 (** Register the handler that receives messages arriving {e at} the given

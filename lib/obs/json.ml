@@ -1,0 +1,242 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---- printing ---------------------------------------------------------- *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let num_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f ->
+    (* JSON has no NaN/inf; degrade to null rather than emit garbage. *)
+    if Float.is_nan f || Float.abs f = infinity then
+      Buffer.add_string buf "null"
+    else Buffer.add_string buf (num_to_string f)
+  | Str s ->
+    Buffer.add_char buf '"';
+    escape_into buf s;
+    Buffer.add_char buf '"'
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        escape_into buf k;
+        Buffer.add_string buf "\":";
+        write buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  write buf t;
+  Buffer.contents buf
+
+(* ---- parsing ----------------------------------------------------------- *)
+
+exception Fail of int * string
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek p = if p.pos < String.length p.src then Some p.src.[p.pos] else None
+
+let advance p = p.pos <- p.pos + 1
+
+let fail p msg = raise (Fail (p.pos, msg))
+
+let skip_ws p =
+  let continue = ref true in
+  while !continue do
+    match peek p with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance p
+    | _ -> continue := false
+  done
+
+let expect p c =
+  match peek p with
+  | Some c' when c' = c -> advance p
+  | _ -> fail p (Printf.sprintf "expected %c" c)
+
+let parse_literal p lit value =
+  let n = String.length lit in
+  if p.pos + n <= String.length p.src && String.sub p.src p.pos n = lit then (
+    p.pos <- p.pos + n;
+    value)
+  else fail p (Printf.sprintf "expected %s" lit)
+
+let parse_string_body p =
+  (* [p.pos] is just past the opening quote *)
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek p with
+    | None -> fail p "unterminated string"
+    | Some '"' -> advance p
+    | Some '\\' -> (
+      advance p;
+      match peek p with
+      | Some '"' -> advance p; Buffer.add_char buf '"'; loop ()
+      | Some '\\' -> advance p; Buffer.add_char buf '\\'; loop ()
+      | Some '/' -> advance p; Buffer.add_char buf '/'; loop ()
+      | Some 'n' -> advance p; Buffer.add_char buf '\n'; loop ()
+      | Some 'r' -> advance p; Buffer.add_char buf '\r'; loop ()
+      | Some 't' -> advance p; Buffer.add_char buf '\t'; loop ()
+      | Some 'b' -> advance p; Buffer.add_char buf '\b'; loop ()
+      | Some 'f' -> advance p; Buffer.add_char buf '\012'; loop ()
+      | Some 'u' ->
+        advance p;
+        if p.pos + 4 > String.length p.src then fail p "short \\u escape";
+        let hex = String.sub p.src p.pos 4 in
+        let code =
+          try int_of_string ("0x" ^ hex)
+          with _ -> fail p "bad \\u escape"
+        in
+        p.pos <- p.pos + 4;
+        (* Only BMP, encoded as UTF-8; enough for our own output. *)
+        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+        else if code < 0x800 then (
+          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))))
+        else (
+          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))));
+        loop ()
+      | _ -> fail p "bad escape")
+    | Some c ->
+      advance p;
+      Buffer.add_char buf c;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number p =
+  let start = p.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek p with Some c -> is_num_char c | None -> false) do
+    advance p
+  done;
+  if p.pos = start then fail p "expected number";
+  let s = String.sub p.src start (p.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail p ("bad number " ^ s)
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> fail p "unexpected end of input"
+  | Some 'n' -> parse_literal p "null" Null
+  | Some 't' -> parse_literal p "true" (Bool true)
+  | Some 'f' -> parse_literal p "false" (Bool false)
+  | Some '"' ->
+    advance p;
+    Str (parse_string_body p)
+  | Some '[' ->
+    advance p;
+    skip_ws p;
+    if peek p = Some ']' then (
+      advance p;
+      List [])
+    else
+      let rec items acc =
+        let v = parse_value p in
+        skip_ws p;
+        match peek p with
+        | Some ',' ->
+          advance p;
+          items (v :: acc)
+        | Some ']' ->
+          advance p;
+          List.rev (v :: acc)
+        | _ -> fail p "expected , or ]"
+      in
+      List (items [])
+  | Some '{' ->
+    advance p;
+    skip_ws p;
+    if peek p = Some '}' then (
+      advance p;
+      Obj [])
+    else
+      let field () =
+        skip_ws p;
+        expect p '"';
+        let k = parse_string_body p in
+        skip_ws p;
+        expect p ':';
+        let v = parse_value p in
+        (k, v)
+      in
+      let rec fields acc =
+        let kv = field () in
+        skip_ws p;
+        match peek p with
+        | Some ',' ->
+          advance p;
+          fields (kv :: acc)
+        | Some '}' ->
+          advance p;
+          List.rev (kv :: acc)
+        | _ -> fail p "expected , or }"
+      in
+      Obj (fields [])
+  | Some _ -> Num (parse_number p)
+
+let parse s =
+  let p = { src = s; pos = 0 } in
+  match
+    let v = parse_value p in
+    skip_ws p;
+    if p.pos <> String.length s then fail p "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Fail (pos, msg) ->
+    Error (Printf.sprintf "JSON parse error at %d: %s" pos msg)
+
+let parse_exn s =
+  match parse s with Ok v -> v | Error e -> invalid_arg e
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float = function Num f -> Some f | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None

@@ -1,0 +1,35 @@
+(** Minimal JSON: just enough for the observability sinks.
+
+    The flight recorder dumps JSONL, the metrics registry dumps a rows
+    array, and CI re-parses both to prove the output is machine-readable.
+    Pulling in a JSON package for that would be the only external
+    dependency of the whole library, so we carry ~150 lines instead.
+
+    Numbers are printed with ["%.12g"], which round-trips every value the
+    recorder produces and is deterministic — the golden-trace test relies
+    on byte-stable output for a fixed simulation. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering; object fields keep their order. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of one JSON value (surrounding whitespace allowed).
+    Errors carry a character offset. *)
+
+val parse_exn : string -> t
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] otherwise. *)
+
+val to_float : t -> float option
+(** [Num] payload; [None] otherwise. *)
+
+val to_str : t -> string option

@@ -1,0 +1,24 @@
+type t = {
+  metrics : Metrics.t;
+  recorder : Recorder.t option;
+  clock : unit -> float;
+}
+
+let default_clock () = Sys.time () *. 1e9
+
+let create ?recorder_capacity ?(recorder = true) ?(clock = default_clock) () =
+  let recorder =
+    if recorder then Some (Recorder.create ?capacity:recorder_capacity ())
+    else None
+  in
+  { metrics = Metrics.create (); recorder; clock }
+
+let record t ~at event =
+  match t.recorder with
+  | Some r -> Recorder.record r ~at event
+  | None -> ()
+
+let recorder_exn t =
+  match t.recorder with
+  | Some r -> r
+  | None -> invalid_arg "Obs.recorder_exn: bundle has no recorder"
