@@ -454,6 +454,142 @@ let hostile_cmd =
           envelope, and quarantine.")
     Term.(const action $ seed $ threshold)
 
+(* --- latency: Figure 2 measured end to end (docs/observability.md) --- *)
+
+let slug label =
+  let mapped =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | '0' .. '9' -> c
+        | 'A' .. 'Z' -> Char.lowercase_ascii c
+        | _ -> '_')
+      label
+  in
+  String.concat "_" (List.filter (fun s -> s <> "") (String.split_on_char '_' mapped))
+
+let write_chrome ~path (s : Scenarios.Reaction.series) =
+  let obs = Option.get s.Scenarios.Reaction.result.Experiment.config.Experiment.obs in
+  let recorder = Ccp_obs.Obs.recorder_exn obs in
+  let json = Ccp_obs.Tracer.chrome_of_recorder recorder in
+  let oc = open_out path in
+  output_string oc (Ccp_obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  (* Re-read and validate: the file is only useful if Perfetto loads it. *)
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Ccp_obs.Json.parse data with
+  | Error e ->
+    Printf.eprintf "ccp_sim: chrome trace %s does not parse: %s\n%!" path e;
+    exit 1
+  | Ok parsed -> (
+    match Ccp_obs.Tracer.validate_chrome parsed with
+    | Error e ->
+      Printf.eprintf "ccp_sim: chrome trace %s is malformed: %s\n%!" path e;
+      exit 1
+    | Ok n ->
+      Printf.printf "trace: wrote %s (%d trace events, series %S)\n" path n
+        s.Scenarios.Reaction.label)
+
+(* Clean series sanity: the measured reaction p99 must sit inside
+   [0.4, 1.1] x the calibrated model's RTT p99 — below it because a
+   reaction is two independent one-way draws (whose sum concentrates
+   under a single RTT draw's tail), and never meaningfully above. *)
+let check_reaction_consistency series =
+  let failures = ref 0 in
+  List.iter
+    (fun (s : Scenarios.Reaction.series) ->
+      let clean =
+        Ccp_ipc.Fault_plan.is_none
+          s.Scenarios.Reaction.result.Experiment.config.Experiment.faults
+      in
+      if clean && Stats.Samples.count s.Scenarios.Reaction.reaction_us > 0 then begin
+        let measured = Stats.Samples.percentile s.Scenarios.Reaction.reaction_us 99.0 in
+        let model = s.Scenarios.Reaction.model_p99_us in
+        let ok = measured >= 0.4 *. model && measured <= 1.1 *. model in
+        Printf.printf "%-36s measured p99 %6.1f us vs model p99 %6.1f us  [%s]\n"
+          s.Scenarios.Reaction.label measured model
+          (if ok then "consistent" else "OUT OF BAND");
+        if not ok then incr failures
+      end)
+    series;
+  !failures
+
+let reaction_rows series =
+  List.concat_map
+    (fun (s : Scenarios.Reaction.series) ->
+      if Stats.Samples.count s.Scenarios.Reaction.reaction_us = 0 then []
+      else begin
+        let base = "reaction." ^ slug s.Scenarios.Reaction.label in
+        let pct p = Stats.Samples.percentile s.Scenarios.Reaction.reaction_us p in
+        let st = s.Scenarios.Reaction.spans in
+        [
+          { Ccp_obs.Metrics.name = base ^ ".p50_us"; value = pct 50.0; unit_ = "us" };
+          { Ccp_obs.Metrics.name = base ^ ".p90_us"; value = pct 90.0; unit_ = "us" };
+          { Ccp_obs.Metrics.name = base ^ ".p99_us"; value = pct 99.0; unit_ = "us" };
+          {
+            Ccp_obs.Metrics.name = base ^ ".actuated";
+            value = float_of_int st.Ccp_obs.Tracer.actuated;
+            unit_ = "spans";
+          };
+          {
+            Ccp_obs.Metrics.name = base ^ ".orphaned";
+            value = float_of_int st.Ccp_obs.Tracer.orphaned;
+            unit_ = "spans";
+          };
+        ]
+      end)
+    series
+
+let latency_cmd =
+  let trace =
+    let doc =
+      "Write the first series' finalized spans as Chrome trace_event JSON to $(docv) \
+       (load in chrome://tracing or Perfetto). The file is re-read and validated; a \
+       malformed trace makes the command exit non-zero."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let bench_json =
+    let doc =
+      "Merge $(b,reaction.*) percentile and span-count rows into the BENCH.json-schema \
+       file at $(docv) (created when absent)."
+    in
+    Arg.(value & opt (some string) None & info [ "bench-json" ] ~docv:"FILE" ~doc)
+  in
+  let action duration_s seed trace bench_json =
+    let series =
+      Scenarios.Reaction.run ~duration:(Time_ns.of_float_sec duration_s) ~seed ()
+    in
+    print_string (Report.render_reaction series);
+    print_newline ();
+    let failures = check_reaction_consistency series in
+    (match trace with
+    | Some path -> write_chrome ~path (List.hd series)
+    | None -> ());
+    (match bench_json with
+    | Some path -> (
+      match Ccp_obs.Metrics.merge_rows_file ~path (reaction_rows series) with
+      | Ok n -> Printf.printf "bench-json: %s now holds %d rows\n" path n
+      | Error e ->
+        Printf.eprintf "ccp_sim: --bench-json: %s\n%!" e;
+        exit 1)
+    | None -> ());
+    if failures > 0 then begin
+      Printf.eprintf "ccp_sim: %d series measured p99 outside [0.4, 1.1] x model p99\n%!"
+        failures;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "latency"
+       ~doc:
+         "Figure 2 measured end to end: run the control loop with the span tracer armed \
+          and report reaction-latency CDFs under clean and degraded IPC.")
+    Term.(const action $ duration_s $ seed $ trace $ bench_json)
+
 let sweep_cmd = simple "sweep" "CCP vs native Reno across a grid of operating points."
     (fun () ->
       Sweep.render
@@ -466,7 +602,7 @@ let main =
        ~doc:"Congestion-control-plane reproduction (HotNets 2017).")
     [
       run_cmd; csv_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; table1_cmd; batching_cmd;
-      ablations_cmd; sweep_cmd; degraded_cmd; hostile_cmd;
+      ablations_cmd; sweep_cmd; degraded_cmd; hostile_cmd; latency_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -21,10 +21,13 @@ dune exec bin/fuzz_smoke.exe -- 500
 
 echo "== bench smoke =="
 # Exercises the bechamel sections (compiled-vs-interpreted per-ACK,
-# observability overhead) end to end; numbers land in BENCH.json
-# ({name,value,unit} rows, schema-checked by the writer itself) but are
-# not gated here — see docs/perf.md for the expected band.
-QUICK=1 dune exec bench/main.exe -- micro perack obs
+# observability and tracing overhead) end to end; numbers land in
+# BENCH.json ({name,value,unit} rows, schema-checked by the writer
+# itself). Timings are not gated here — see docs/perf.md for the
+# expected band — but the obs section Gc-asserts the obs-off per-ACK
+# path at 0 minor words and the tracing section bounds the span
+# lifecycle's float-boxing words.
+QUICK=1 dune exec bench/main.exe -- micro perack obs tracing
 
 echo "== obs smoke =="
 # The flight recorder end to end: a short traced run whose JSONL the
@@ -39,6 +42,19 @@ dune exec bin/ccp_sim.exe -- run --rate 24 --duration 3 --flows ccp-reno,reno@1 
   --trace "$obs_tmp/trace.csv" > /dev/null
 test -s "$obs_tmp/trace.jsonl" && test -s "$obs_tmp/trace.csv"
 rm -rf "$obs_tmp"
+
+echo "== trace smoke =="
+# The span tracer end to end: the Figure-2 reaction-latency scenario with
+# a Chrome trace_event export (re-parsed and re-validated by the driver
+# after writing) and reaction.* percentile rows merged into BENCH.json.
+# The driver exits non-zero if a clean series' measured p99 falls outside
+# the calibrated latency model's band.
+trace_tmp="$(mktemp -d)"
+dune exec bin/ccp_sim.exe -- latency --duration 4 \
+  --trace "$trace_tmp/chrome.json" --bench-json BENCH.json > /dev/null
+test -s "$trace_tmp/chrome.json"
+grep -q '"reaction\.' BENCH.json
+rm -rf "$trace_tmp"
 
 if [ -n "${SOAK_SEED:-}" ]; then
   echo "== soak (CCP_PROP_SEED=$SOAK_SEED) =="

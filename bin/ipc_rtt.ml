@@ -77,20 +77,52 @@ let report name samples =
     (percentile samples 99.0)
     samples.(Array.length samples - 1)
 
-let run rounds =
+(* BENCH.json-schema rows for one transport's sorted samples. *)
+let bench_rows slug samples =
+  let row suffix value =
+    { Ccp_obs.Metrics.name = Printf.sprintf "ipc_rtt.%s.%s" slug suffix; value; unit_ = "us" }
+  in
+  [
+    row "p50_us" (percentile samples 50.0);
+    row "p90_us" (percentile samples 90.0);
+    row "p99_us" (percentile samples 99.0);
+    row "max_us" samples.(Array.length samples - 1);
+  ]
+
+let run rounds bench_json =
   Printf.printf
     "Real IPC ping-pong round-trip times on this host (cf. Figure 2; paper p99s: netlink \
      idle 48us, unix idle 80us)\n";
-  report "unix domain socket" (measure ~make_channel:unix_socket_channel ~rounds ~warmup:1000);
-  report "pipe pair" (measure ~make_channel:pipe_channel ~rounds ~warmup:1000)
+  let socket = measure ~make_channel:unix_socket_channel ~rounds ~warmup:1000 in
+  report "unix domain socket" socket;
+  let pipe = measure ~make_channel:pipe_channel ~rounds ~warmup:1000 in
+  report "pipe pair" pipe;
+  match bench_json with
+  | None -> ()
+  | Some path -> (
+    match
+      Ccp_obs.Metrics.merge_rows_file ~path
+        (bench_rows "unix_socket" socket @ bench_rows "pipe" pipe)
+    with
+    | Ok n -> Printf.printf "bench-json: %s now holds %d rows\n" path n
+    | Error e ->
+      Printf.eprintf "ipc_rtt: --bench-json: %s\n%!" e;
+      exit 1)
 
 let rounds =
   let doc = "Number of measured ping-pongs per transport." in
   Arg.(value & opt int 60_000 & info [ "rounds" ] ~docv:"N" ~doc)
 
+let bench_json =
+  let doc =
+    "Merge $(b,ipc_rtt.*) percentile rows into the BENCH.json-schema file at $(docv) \
+     (created when absent), alongside the simulator's bench rows."
+  in
+  Arg.(value & opt (some string) None & info [ "bench-json" ] ~docv:"FILE" ~doc)
+
 let cmd =
   Cmd.v
     (Cmd.info "ipc_rtt" ~version:"1.0.0" ~doc:"Measure real IPC round-trip latency.")
-    Term.(const run $ rounds)
+    Term.(const run $ rounds $ bench_json)
 
 let () = exit (Cmd.eval cmd)

@@ -22,6 +22,7 @@ type t = {
   mutable install_rejects : int;
   mutable quarantines_seen : int;
   obs : agent_obs option;
+  tracer : Ccp_obs.Tracer.t option;
 }
 
 and agent_obs = {
@@ -95,7 +96,7 @@ let on_ready t ~flow ~mss ~init_cwnd =
     { info; algorithm_name = algorithm.Algorithm.name; handlers };
   guard t handlers.Algorithm.on_ready
 
-let on_message t (msg : Message.t) =
+let dispatch t (msg : Message.t) =
   match msg with
   | Message.Ready { flow; mss; init_cwnd } -> on_ready t ~flow ~mss ~init_cwnd
   | Message.Report report -> (
@@ -145,6 +146,22 @@ let on_message t (msg : Message.t) =
     (* Datapath-bound traffic is never delivered to the agent end. *)
     ()
 
+(* Handler dispatch runs inside the message's span (when it carries one):
+   [handler_begin] arms the span so control messages the algorithm sends
+   attach to it, and [handler_end] times the handler and finalizes spans
+   that produced no action. *)
+let on_message t (msg : Message.t) =
+  match t.tracer with
+  | None -> dispatch t msg
+  | Some tr ->
+    let span = Channel.rx_span t.channel in
+    if span < 0 then dispatch t msg
+    else begin
+      Ccp_obs.Tracer.handler_begin tr span;
+      dispatch t msg;
+      Ccp_obs.Tracer.handler_end tr span ~now:(Sim.now t.sim)
+    end
+
 let create ~sim ~channel ~choose ?(policy = fun _ -> Policy.unrestricted) ?obs () =
   let t =
     {
@@ -161,6 +178,7 @@ let create ~sim ~channel ~choose ?(policy = fun _ -> Policy.unrestricted) ?obs (
       install_rejects = 0;
       quarantines_seen = 0;
       obs = Option.map make_agent_obs obs;
+      tracer = (match obs with Some o -> o.Ccp_obs.Obs.tracer | None -> None);
     }
   in
   Channel.on_receive channel Channel.Agent_end (on_message t);

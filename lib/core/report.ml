@@ -49,6 +49,50 @@ let render_fig2 (series : Scenarios.Fig2.series list) =
     series;
   Buffer.contents buf
 
+let render_reaction (series : Scenarios.Reaction.series list) =
+  let buf = Buffer.create 4096 in
+  line buf "Figure 2, measured end to end: control-loop reaction latency";
+  line buf "(report departure at the datapath to control application, traced spans)";
+  line buf "%-34s %8s %8s %8s %10s %9s %9s" "configuration" "p50 us" "p90 us" "p99 us"
+    "model p99" "actuated" "orphaned";
+  List.iter
+    (fun (s : Scenarios.Reaction.series) ->
+      let st = s.Scenarios.Reaction.spans in
+      if Stats.Samples.count s.reaction_us = 0 then
+        line buf "%-34s %8s %8s %8s %10.1f %9d %9d" s.label "-" "-" "-" s.model_p99_us
+          st.Ccp_obs.Tracer.actuated st.Ccp_obs.Tracer.orphaned
+      else
+        line buf "%-34s %8.1f %8.1f %8.1f %10.1f %9d %9d" s.label
+          (Stats.Samples.percentile s.reaction_us 50.0)
+          (Stats.Samples.percentile s.reaction_us 90.0)
+          (Stats.Samples.percentile s.reaction_us 99.0)
+          s.model_p99_us st.Ccp_obs.Tracer.actuated st.Ccp_obs.Tracer.orphaned)
+    series;
+  line buf "";
+  line buf "reaction CDFs (note: a reaction is two one-way IPC trips, so it";
+  line buf "concentrates below the RTT model's p99):";
+  List.iter
+    (fun (s : Scenarios.Reaction.series) ->
+      if Stats.Samples.count s.reaction_us > 0 then begin
+        let cdf = Stats.Samples.cdf s.reaction_us ~points:40 in
+        line buf "  %-34s |%s|" s.label (sparkline (List.map fst cdf))
+      end)
+    series;
+  let extras =
+    List.filter_map
+      (fun (s : Scenarios.Reaction.series) ->
+        Option.map
+          (fun after -> Printf.sprintf "%s: fallback takeover %.1f ms after crash"
+               s.Scenarios.Reaction.label (Time_ns.to_float_ms after))
+          s.Scenarios.Reaction.fallback_after)
+      series
+  in
+  if extras <> [] then begin
+    line buf "";
+    List.iter (fun e -> line buf "  %s" e) extras
+  end;
+  Buffer.contents buf
+
 let util_pct r = 100.0 *. r.Experiment.utilization
 let med_ms r = Time_ns.to_float_ms r.Experiment.median_rtt
 

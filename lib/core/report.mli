@@ -9,6 +9,12 @@ val render_fig2 : Scenarios.Fig2.series list -> string
 (** Percentile table (p50/p90/p99) per configuration, the model's analytic
     values, the paper's p99, and a CDF sparkline. *)
 
+val render_reaction : Scenarios.Reaction.series list -> string
+(** Measured control-loop reaction latency table + CDF sparklines for
+    {!Scenarios.Reaction}: per-series measured p50/p90/p99 against the
+    calibrated model p99, span accounting, and (for the crash series)
+    the watchdog's fallback takeover time. *)
+
 val render_fig3 : Scenarios.comparison -> string
 (** Utilization and median RTT for CCP and native Cubic against the
     paper's 95.4 %/16.1 ms and 94.4 %/15.8 ms, plus cwnd sparklines of

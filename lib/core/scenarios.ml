@@ -583,3 +583,136 @@ module Hostile = struct
   let sweep ?(duration = Time_ns.sec 5) ?(seed = 42) ?(threshold = 25) () =
     List.map (fun entry -> run_one ~duration ~seed ~threshold entry) all
 end
+
+(* Figure 2, measured end to end. {!Fig2} samples the latency model
+   directly; here the full control loop runs with the span tracer armed
+   and reaction latency — report departure to control application at the
+   datapath — is read back from the recorder's [Span] events. The clean
+   series use the paper's four calibrated models; the degraded series add
+   latency spikes, message loss, and an agent crash, where the watchdog's
+   fallback reaction is the time from crash to native takeover. *)
+module Reaction = struct
+  type series = {
+    label : string;
+    model : Ccp_ipc.Latency_model.t;
+    model_p99_us : float;
+    reaction_us : Stats.Samples.t;
+    spans : Ccp_obs.Tracer.stats;
+    recorder_dropped : int;
+    fallback_after : Time_ns.t option;
+    result : Experiment.result;
+  }
+
+  let default_rate_bps = 48e6
+  let default_base_rtt = Time_ns.ms 20
+
+  (* Reaction time of every actuated span, in microseconds of simulated
+     time. A reaction is two one-way IPC trips (the handler itself is
+     instantaneous in simulated time), so against the model's RTT p99
+     these land lower: the sum of two independent half-RTT draws
+     concentrates below a single full draw's tail. *)
+  let reaction_samples obs =
+    let samples = Stats.Samples.create () in
+    (match obs.Ccp_obs.Obs.recorder with
+    | Some recorder ->
+      List.iter
+        (fun (_, event) ->
+          match event with
+          | Ccp_obs.Recorder.Span s
+            when s.Ccp_obs.Recorder.disposition = "actuated"
+                 && s.Ccp_obs.Recorder.started_at >= 0
+                 && s.Ccp_obs.Recorder.done_at >= 0 ->
+            Stats.Samples.add samples
+              (float_of_int (s.Ccp_obs.Recorder.done_at - s.Ccp_obs.Recorder.started_at)
+              /. 1e3)
+          | _ -> ())
+        (Ccp_obs.Recorder.to_list recorder)
+    | None -> ());
+    samples
+
+  let fallback_entry obs ~crash_at =
+    match obs.Ccp_obs.Obs.recorder with
+    | None -> None
+    | Some recorder ->
+      List.find_map
+        (fun (at, event) ->
+          match event with
+          | Ccp_obs.Recorder.Fallback { entered = true; _ }
+            when Time_ns.compare at crash_at >= 0 ->
+            Some (Time_ns.sub at crash_at)
+          | _ -> None)
+        (Ccp_obs.Recorder.to_list recorder)
+
+  let run_one ?(duration = Time_ns.sec 12) ?(seed = 42) ~label ~model ~model_p99_us
+      ?(faults = Ccp_ipc.Fault_plan.none) ?fallback ?crash_at () =
+    let obs = Ccp_obs.Obs.create ~tracer:true ~tracer_capacity:4096 () in
+    let base =
+      Experiment.default_config ~rate_bps:default_rate_bps ~base_rtt:default_base_rtt
+        ~duration
+    in
+    let config =
+      {
+        base with
+        Experiment.seed;
+        warmup = Time_ns.scale duration 0.05;
+        ipc = model;
+        faults;
+        datapath = { Ccp_datapath.Ccp_ext.default_config with fallback };
+        obs = Some obs;
+        flows = [ Experiment.flow (Experiment.Ccp_cc (Ccp_reno.create ())) ];
+      }
+    in
+    let result = Experiment.run config in
+    {
+      label;
+      model;
+      model_p99_us;
+      reaction_us = reaction_samples obs;
+      spans = Ccp_obs.Tracer.stats (Ccp_obs.Obs.tracer_exn obs);
+      recorder_dropped =
+        (match obs.Ccp_obs.Obs.recorder with
+        | Some r -> Ccp_obs.Recorder.dropped r
+        | None -> 0);
+      fallback_after =
+        (match crash_at with
+        | Some at -> fallback_entry obs ~crash_at:at
+        | None -> None);
+      result;
+    }
+
+  let run ?(duration = Time_ns.sec 12) ?(seed = 42) () =
+    let clean =
+      List.map
+        (fun (label, model, model_p99_us) ->
+          run_one ~duration ~seed ~label ~model ~model_p99_us ())
+        Fig2.configurations
+    in
+    let unix = Ccp_ipc.Latency_model.unix_idle and unix_p99 = 80.0 in
+    let spiky =
+      run_one ~duration ~seed ~label:"unix idle + 5% 2ms spikes" ~model:unix
+        ~model_p99_us:unix_p99
+        ~faults:
+          (Ccp_ipc.Fault_plan.make
+             ~spike:{ Ccp_ipc.Fault_plan.probability = 0.05; extra = Time_ns.ms 2 }
+             ())
+        ()
+    in
+    (* The fallback watchdog stays armed here: a dropped [Install] would
+       otherwise leave the flow uncontrolled (the agent only installs on
+       [Ready]), whereas fallback probes re-handshake until it lands. *)
+    let lossy =
+      run_one ~duration ~seed ~label:"unix idle + 20% message loss" ~model:unix
+        ~model_p99_us:unix_p99
+        ~faults:(Ccp_ipc.Fault_plan.make ~drop_probability:0.2 ())
+        ~fallback:(Degraded.reno_fallback ()) ()
+    in
+    let crash_at = Time_ns.scale duration 0.3 in
+    let restart_at = Time_ns.scale duration 0.7 in
+    let crashed =
+      run_one ~duration ~seed ~label:"unix idle + agent crash (fallback)" ~model:unix
+        ~model_p99_us:unix_p99
+        ~faults:(Ccp_ipc.Fault_plan.crash ~at:crash_at ~restart:restart_at Ccp_ipc.Fault_plan.none)
+        ~fallback:(Degraded.reno_fallback ()) ~crash_at ()
+    in
+    clean @ [ spiky; lossy; crashed ]
+end

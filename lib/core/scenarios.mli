@@ -260,3 +260,42 @@ module Hostile : sig
   val sweep : ?duration:Time_ns.t -> ?seed:int -> ?threshold:int -> unit -> point list
   (** {!run_one} over {!all}. *)
 end
+
+(** Figure 2 measured end to end: full control-loop runs with the span
+    tracer armed, reaction latency (report departure to control
+    application) read back from the flight recorder's [Span] events.
+    Four clean series on the paper's calibrated models, plus degraded
+    series (latency spikes, message loss, agent crash with the native
+    fallback watchdog). *)
+module Reaction : sig
+  type series = {
+    label : string;
+    model : Ccp_ipc.Latency_model.t;
+    model_p99_us : float;  (** calibrated RTT p99 (the paper's number) *)
+    reaction_us : Stats.Samples.t;
+        (** per-actuated-span reaction latency in µs of simulated time *)
+    spans : Ccp_obs.Tracer.stats;  (** span accounting for the whole run *)
+    recorder_dropped : int;  (** recorder ring overwrites during the run *)
+    fallback_after : Time_ns.t option;
+        (** crash series only: crash instant to native-fallback takeover *)
+    result : Experiment.result;
+  }
+
+  val run_one :
+    ?duration:Time_ns.t ->
+    ?seed:int ->
+    label:string ->
+    model:Ccp_ipc.Latency_model.t ->
+    model_p99_us:float ->
+    ?faults:Ccp_ipc.Fault_plan.t ->
+    ?fallback:Ccp_datapath.Ccp_ext.fallback ->
+    ?crash_at:Time_ns.t ->
+    unit ->
+    series
+  (** One CCP-Reno flow on a 48 Mbit/s, 20 ms dumbbell with tracer and
+      recorder armed. *)
+
+  val run : ?duration:Time_ns.t -> ?seed:int -> unit -> series list
+  (** The four clean calibrated series plus three degraded ones
+      (spikes, 20 % loss, agent crash + fallback). Default 12 s runs. *)
+end

@@ -197,6 +197,7 @@ type t = {
   retired_guard : guard_incidents;
       (* incidents from guard windows closed by an accepted re-install *)
   obs : obs_handles option;
+  tracer : Ccp_obs.Tracer.t option;
 }
 
 let obs_record t event =
@@ -289,14 +290,22 @@ let reserved_fields fs ~packets =
 
 let send_report t fs =
   let flow = fs.ctl.Congestion_iface.flow in
+  (* A span opens when the datapath decides to report; [Channel.send]
+     stamps it as sent, so the start->sent gap is summarize time. *)
+  let span =
+    match t.tracer with
+    | None -> Message.no_trace
+    | Some tr ->
+      Ccp_obs.Tracer.start tr ~now:(Sim.now t.sim) ~flow ~kind:Ccp_obs.Tracer.Report_span
+  in
   (match fs.measurement with
   | No_measurement ->
     let fields = reserved_fields fs ~packets:0 in
-    Channel.send t.channel ~from:Channel.Datapath_end (Message.Report { flow; fields })
+    Channel.send t.channel ~from:Channel.Datapath_end ~span (Message.Report { flow; fields })
   | Fold_state fold ->
     let packets = Compile.Fold.packet_count fold in
     let fields = Array.append (Compile.Fold.fields fold) (reserved_fields fs ~packets) in
-    Channel.send t.channel ~from:Channel.Datapath_end (Message.Report { flow; fields });
+    Channel.send t.channel ~from:Channel.Datapath_end ~span (Message.Report { flow; fields });
     (match fs.exec with
     | Some (_, m) ->
       refresh_flow fs m (Compile.Fold.init_flow_mask (Compile.Fold.plan fold));
@@ -306,7 +315,7 @@ let send_report t fs =
     let rows = Array.of_list (List.rev v.rows) in
     v.rows <- [];
     v.count <- 0;
-    Channel.send t.channel ~from:Channel.Datapath_end
+    Channel.send t.channel ~from:Channel.Datapath_end ~span
       (Message.Report_vector { flow; columns = v.columns; rows }));
   t.reports_sent <- t.reports_sent + 1;
   (match t.obs with Some h -> Ccp_obs.Metrics.incr h.o_reports | None -> ());
@@ -318,7 +327,14 @@ let send_urgent t fs kind =
   (match t.obs with Some h -> Ccp_obs.Metrics.incr h.o_urgents | None -> ());
   obs_record t
     (Ccp_obs.Recorder.Report_sent { flow = ctl.Congestion_iface.flow; urgent = true });
-  Channel.send t.channel ~from:Channel.Datapath_end
+  let span =
+    match t.tracer with
+    | None -> Message.no_trace
+    | Some tr ->
+      Ccp_obs.Tracer.start tr ~now:(Sim.now t.sim) ~flow:ctl.Congestion_iface.flow
+        ~kind:Ccp_obs.Tracer.Urgent_span
+  in
+  Channel.send t.channel ~from:Channel.Datapath_end ~span
     (Message.Urgent
        {
          flow = ctl.Congestion_iface.flow;
@@ -572,7 +588,8 @@ let install_program t fs program =
       obs_record t
         (Ccp_obs.Recorder.Install
            { flow = fs.ctl.Congestion_iface.flow; accepted = false; detail });
-      send_install_result t fs (Message.Rejected { reason = Limits.Invalid_program; detail })
+      send_install_result t fs (Message.Rejected { reason = Limits.Invalid_program; detail });
+      false
     | Ok cp ->
       t.installs_accepted <- t.installs_accepted + 1;
       (match t.obs with
@@ -592,7 +609,8 @@ let install_program t fs program =
       fs.pc <- 0;
       fs.measurement <- No_measurement;
       send_install_result t fs Message.Accepted;
-      advance t fs)
+      advance t fs;
+      true)
   | Error (reason, detail) ->
     t.installs_rejected <- t.installs_rejected + 1;
     (match t.obs with
@@ -601,7 +619,8 @@ let install_program t fs program =
     obs_record t
       (Ccp_obs.Recorder.Install
          { flow = fs.ctl.Congestion_iface.flow; accepted = false; detail });
-    send_install_result t fs (Message.Rejected { reason; detail })
+    send_install_result t fs (Message.Rejected { reason; detail });
+    false
 
 (* --- agent -> datapath messages --- *)
 
@@ -617,28 +636,72 @@ let note_agent_contact t fs =
          { flow = fs.ctl.Congestion_iface.flow; entered = false })
   end
 
+(* Spans close where control is applied. [rx_finish] finalizes the span
+   carried by the message currently being delivered (if any); [rx_actuate]
+   additionally times the actuation itself with the tracer's wall clock. *)
+let rx_finish t ~disposition =
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+    let span = Channel.rx_span t.channel in
+    if span >= 0 then
+      Ccp_obs.Tracer.finish tr span ~now:(Sim.now t.sim) ~disposition ~apply_ns:0.0
+
+let rx_actuate t apply =
+  match t.tracer with
+  | None -> apply ()
+  | Some tr ->
+    let span = Channel.rx_span t.channel in
+    if span < 0 then apply ()
+    else begin
+      let clock = Ccp_obs.Tracer.wall_clock tr in
+      let t0 = clock () in
+      apply ();
+      Ccp_obs.Tracer.finish tr span ~now:(Sim.now t.sim)
+        ~disposition:Ccp_obs.Tracer.Actuated
+        ~apply_ns:(Float.max 0.0 (clock () -. t0))
+    end
+
 let on_message t (msg : Message.t) =
   match msg with
   | Message.Install { flow; program } -> (
     match Hashtbl.find_opt t.flows flow with
-    | Some fs ->
+    | Some fs -> (
       note_agent_contact t fs;
-      install_program t fs program
-    | None -> ())
+      match t.tracer with
+      | None -> ignore (install_program t fs program : bool)
+      | Some tr ->
+        let span = Channel.rx_span t.channel in
+        if span < 0 then ignore (install_program t fs program : bool)
+        else begin
+          let clock = Ccp_obs.Tracer.wall_clock tr in
+          let t0 = clock () in
+          let accepted = install_program t fs program in
+          Ccp_obs.Tracer.finish tr span ~now:(Sim.now t.sim)
+            ~disposition:
+              (if accepted then Ccp_obs.Tracer.Actuated else Ccp_obs.Tracer.Rejected)
+            ~apply_ns:(Float.max 0.0 (clock () -. t0))
+        end)
+    | None -> rx_finish t ~disposition:Ccp_obs.Tracer.No_action)
   | Message.Set_cwnd { flow; bytes } -> (
     match Hashtbl.find_opt t.flows flow with
     | Some fs ->
       note_agent_contact t fs;
       (* Direct knob commands cannot release a quarantine — only an
          accepted [Install] proves the agent has a corrected program. *)
-      if not fs.quarantined then fs.ctl.Congestion_iface.set_cwnd bytes
-    | None -> ())
+      if not fs.quarantined then
+        rx_actuate t (fun () -> fs.ctl.Congestion_iface.set_cwnd bytes)
+      else rx_finish t ~disposition:Ccp_obs.Tracer.No_action
+    | None -> rx_finish t ~disposition:Ccp_obs.Tracer.No_action)
   | Message.Set_rate { flow; bytes_per_sec } -> (
     match Hashtbl.find_opt t.flows flow with
     | Some fs ->
       note_agent_contact t fs;
-      if not fs.quarantined then fs.ctl.Congestion_iface.set_rate (Float.max 0.0 bytes_per_sec)
-    | None -> ())
+      if not fs.quarantined then
+        rx_actuate t (fun () ->
+            fs.ctl.Congestion_iface.set_rate (Float.max 0.0 bytes_per_sec))
+      else rx_finish t ~disposition:Ccp_obs.Tracer.No_action
+    | None -> rx_finish t ~disposition:Ccp_obs.Tracer.No_action)
   | Message.Ready _ | Message.Report _ | Message.Report_vector _ | Message.Urgent _
   | Message.Closed _ | Message.Install_result _ | Message.Quarantined _ ->
     (* Agent-bound traffic is never delivered to the datapath end. *)
@@ -661,6 +724,7 @@ let create ~sim ~channel ?(config = default_config) ?obs () =
       quarantines = 0;
       retired_guard = fresh_guard_incidents ();
       obs = Option.map make_obs_handles obs;
+      tracer = (match obs with Some o -> o.Ccp_obs.Obs.tracer | None -> None);
     }
   in
   Channel.on_receive channel Channel.Datapath_end (on_message t);

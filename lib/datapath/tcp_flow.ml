@@ -88,6 +88,7 @@ and obs_handles = {
   o_retx : Ccp_obs.Metrics.counter;
   o_timeouts : Ccp_obs.Metrics.counter;
   o_recoveries : Ccp_obs.Metrics.counter;
+  o_cwnd_updates : Ccp_obs.Metrics.counter;
 }
 
 (* Handles are shared across flows: the registry is get-or-create by name. *)
@@ -101,6 +102,7 @@ let make_obs_handles obs =
     o_retx = Metrics.counter m ~unit_:"segments" "tcp.retransmits";
     o_timeouts = Metrics.counter m ~unit_:"events" "tcp.timeouts";
     o_recoveries = Metrics.counter m ~unit_:"events" "tcp.recoveries";
+    o_cwnd_updates = Metrics.counter m ~unit_:"updates" "tcp.cwnd_updates";
   }
 
 let create ~sim ~flow ~config ~cc ~transmit ?obs ?(obs_sample_interval = Time_ns.zero) () =
@@ -190,6 +192,9 @@ let set_cwnd_internal t bytes =
   let clamped = max t.config.mss bytes in
   if clamped <> t.cwnd then begin
     t.cwnd <- clamped;
+    (match t.obs_h with
+    | Some h -> Ccp_obs.Metrics.incr h.o_cwnd_updates
+    | None -> ());
     notify_cwnd t
   end
 

@@ -59,6 +59,11 @@ type t = {
   mutable decode_failures : int;
   mutable fault_stats : fault_stats;
   handles : obs_handles option;
+  tracer : Ccp_obs.Tracer.t option;
+  (* Span token of the message currently being delivered (-1 none): the
+     receiving handler reads it via [rx_span]. Single threaded, so a
+     plain register is enough. *)
+  mutable rx_span : Message.trace_context;
 }
 
 let fresh_direction () =
@@ -78,6 +83,8 @@ let create ~sim ~latency ?(faults = Fault_plan.none) ?obs () =
     decode_failures = 0;
     fault_stats = no_faults_yet;
     handles = Option.map make_handles obs;
+    tracer = (match obs with Some o -> o.Ccp_obs.Obs.tracer | None -> None);
+    rx_span = Message.no_trace;
   }
 
 let direction_toward t = function
@@ -106,16 +113,32 @@ let note_send t toward ~bytes ~delay =
 
 let on_receive t endpoint handler = (direction_toward t endpoint).handler <- Some handler
 
-let deliver t handler bytes =
-  match Codec.decode bytes with
-  | decoded -> handler decoded
+let rx_span t = t.rx_span
+
+(* The span of a message that a fault destroyed is finalized as orphaned,
+   so the tracer's pool accounting stays exact under any fault plan. *)
+let orphan_span t span =
+  match t.tracer with
+  | Some tr when span >= 0 -> Ccp_obs.Tracer.orphan tr span ~now:(Sim.now t.sim)
+  | _ -> ()
+
+let deliver t handler ~toward bytes =
+  match Codec.decode_traced bytes with
+  | decoded, span ->
+    (match t.tracer with
+    | Some tr when span >= 0 ->
+      if toward = Agent_end then Ccp_obs.Tracer.arrived tr span ~now:(Sim.now t.sim);
+      t.rx_span <- span;
+      handler decoded;
+      t.rx_span <- Message.no_trace
+    | _ -> handler decoded)
   | exception (Codec.Decode_error _ | Wire.Reader.Truncated | Wire.Reader.Malformed _) ->
     t.decode_failures <- t.decode_failures + 1
 
 (* Schedule one copy of [bytes]. [fifo] decides whether the arrival is
    clamped to (and advances) the direction's FIFO floor; reordered and
    duplicated copies skip the clamp so later sends may overtake them. *)
-let schedule_copy t dir ~toward handler ~arrival ~fifo bytes =
+let schedule_copy t dir ~toward handler ~arrival ~fifo ~span bytes =
   let arrival = if fifo then Time_ns.max arrival dir.last_delivery else arrival in
   if fifo then dir.last_delivery <- arrival;
   ignore
@@ -124,11 +147,12 @@ let schedule_copy t dir ~toward handler ~arrival ~fifo bytes =
          if toward = Agent_end && Fault_plan.agent_down t.faults (Sim.now t.sim) then begin
            t.fault_stats <-
              { t.fault_stats with partition_dropped = t.fault_stats.partition_dropped + 1 };
-           note_fault t "agent_down"
+           note_fault t "agent_down";
+           orphan_span t span
          end
-         else deliver t handler bytes))
+         else deliver t handler ~toward bytes))
 
-let send t ~from msg =
+let send t ~from ?(span = Message.no_trace) msg =
   let toward = match from with Datapath_end -> Agent_end | Agent_end -> Datapath_end in
   let dir = direction_toward t toward in
   let handler =
@@ -136,9 +160,26 @@ let send t ~from msg =
     | Some h -> h
     | None -> invalid_arg "Channel.send: destination handler not registered"
   in
-  let bytes = Codec.encode msg in
+  (* Agent-side control messages attach to the span whose handler is
+     running, so algorithm code needs no tracing awareness at all. *)
+  let span =
+    match t.tracer with
+    | None -> Message.no_trace
+    | Some tr ->
+      if span >= 0 then span
+      else if from = Agent_end then Ccp_obs.Tracer.active tr
+      else Message.no_trace
+  in
+  let bytes = Codec.encode_traced ~span msg in
   dir.messages <- dir.messages + 1;
   dir.bytes <- dir.bytes + String.length bytes;
+  (match t.tracer with
+  | Some tr when span >= 0 ->
+    let now = Sim.now t.sim in
+    (match from with
+    | Datapath_end -> Ccp_obs.Tracer.sent tr span ~now
+    | Agent_end -> Ccp_obs.Tracer.note_send tr span ~now)
+  | _ -> ());
   match t.fault_rng with
   | None ->
     (* Clean channel: the original delivery path, untouched. *)
@@ -148,20 +189,22 @@ let send t ~from msg =
     (* Preserve per-direction FIFO ordering under random latency draws. *)
     let arrival = Time_ns.max arrival dir.last_delivery in
     dir.last_delivery <- arrival;
-    ignore (Sim.schedule t.sim ~at:arrival (fun () -> deliver t handler bytes))
+    ignore (Sim.schedule t.sim ~at:arrival (fun () -> deliver t handler ~toward bytes))
   | Some frng ->
     let now = Sim.now t.sim in
     let stats = t.fault_stats in
     if Fault_plan.in_partition t.faults now then begin
       t.fault_stats <- { stats with partition_dropped = stats.partition_dropped + 1 };
-      note_fault t "partition"
+      note_fault t "partition";
+      orphan_span t span
     end
     else if
       t.faults.Fault_plan.drop_probability > 0.0
       && Rng.float frng 1.0 < t.faults.Fault_plan.drop_probability
     then begin
       t.fault_stats <- { stats with dropped = stats.dropped + 1 };
-      note_fault t "drop"
+      note_fault t "drop";
+      orphan_span t span
     end
     else begin
       let delay = Latency_model.one_way t.latency t.rng in
@@ -186,8 +229,8 @@ let send t ~from msg =
         t.fault_stats <- { t.fault_stats with reordered = t.fault_stats.reordered + 1 };
         note_fault t "reorder";
         schedule_copy t dir ~toward handler ~arrival:(Time_ns.add slot (Time_ns.ns lag))
-          ~fifo:false bytes
-      | _ -> schedule_copy t dir ~toward handler ~arrival ~fifo:true bytes);
+          ~fifo:false ~span bytes
+      | _ -> schedule_copy t dir ~toward handler ~arrival ~fifo:true ~span bytes);
       if
         t.faults.Fault_plan.duplicate_probability > 0.0
         && Rng.float frng 1.0 < t.faults.Fault_plan.duplicate_probability
@@ -197,7 +240,7 @@ let send t ~from msg =
         let dup_arrival = Time_ns.add now (Latency_model.one_way t.latency t.rng) in
         t.fault_stats <- { t.fault_stats with duplicated = t.fault_stats.duplicated + 1 };
         note_fault t "duplicate";
-        schedule_copy t dir ~toward handler ~arrival:dup_arrival ~fifo:false bytes
+        schedule_copy t dir ~toward handler ~arrival:dup_arrival ~fifo:false ~span bytes
       end
     end
 

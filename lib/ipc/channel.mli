@@ -39,8 +39,21 @@ val on_receive : t -> endpoint -> (Message.t -> unit) -> unit
 (** Register the handler that receives messages arriving {e at} the given
     endpoint. Must be set before traffic flows toward that endpoint. *)
 
-val send : t -> from:endpoint -> Message.t -> unit
-(** Raises [Invalid_argument] if the destination handler is not set. *)
+val send : t -> from:endpoint -> ?span:Message.trace_context -> Message.t -> unit
+(** Raises [Invalid_argument] if the destination handler is not set.
+
+    When the channel's [obs] bundle carries a {!Ccp_obs.Tracer}, [span]
+    attaches that span's token to the message (an extra trailing wire
+    block; without a span the bytes are identical to the untraced
+    format). Datapath-side sends stamp the span as sent; agent-side sends
+    with no explicit [span] automatically attach the span whose handler
+    is currently running ({!Ccp_obs.Tracer.active}), so algorithm code
+    stays tracing-unaware. Spans whose message is destroyed by a fault
+    (drop, partition, crashed agent) are finalized as orphaned. *)
+
+val rx_span : t -> Message.trace_context
+(** The span token carried by the message currently being delivered to a
+    handler, or {!Message.no_trace}. Valid only inside a handler call. *)
 
 (** {1 Statistics} *)
 

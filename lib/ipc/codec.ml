@@ -343,3 +343,35 @@ let decode s =
   msg
 
 let encoded_size msg = String.length (encode msg)
+
+(* --- trace context ---
+
+   An optional trailing block after the message body: byte 1 (the
+   trace-context block tag) followed by the varint span token. A message
+   encoded without a span is byte-identical to the pre-tracing format,
+   and [decode_traced] on such bytes yields [Message.no_trace] — the
+   field is backward and forward compatible. Plain [decode] still rejects
+   any trailing bytes, so untraced consumers keep their strict framing. *)
+
+let encode_traced ?(span = Message.no_trace) msg =
+  if span < 0 then encode msg
+  else begin
+    Wire.Writer.reset scratch;
+    write_message scratch msg;
+    Wire.Writer.byte scratch 1;
+    Wire.Writer.varint scratch span;
+    Wire.Writer.contents scratch
+  end
+
+let decode_traced s =
+  let r = Wire.Reader.of_string s in
+  let msg = read_message r in
+  if Wire.Reader.at_end r then (msg, Message.no_trace)
+  else begin
+    (match Wire.Reader.byte r with
+    | 1 -> ()
+    | tag -> fail "bad trailing block tag %d" tag);
+    let span = Wire.Reader.varint r in
+    if not (Wire.Reader.at_end r) then fail "trailing bytes after trace context";
+    (msg, span)
+  end

@@ -25,3 +25,14 @@ val encode_program : Ccp_lang.Ast.program -> string
 val decode_program : string -> Ccp_lang.Ast.program
 
 val encoded_size : Message.t -> int
+
+val encode_traced : ?span:Message.trace_context -> Message.t -> string
+(** [encode] plus an optional trailing trace-context block (tag byte 1 +
+    varint span token). With [span] absent or negative the output is
+    byte-identical to {!encode}, so tracing-off channels put exactly the
+    same bytes on the wire as before the field existed. *)
+
+val decode_traced : string -> Message.t * Message.trace_context
+(** Inverse of {!encode_traced}; bytes without the trailing block decode
+    as [(msg, Message.no_trace)] — absent-field backward compatibility.
+    {!decode} itself still rejects any trailing bytes. *)

@@ -6,6 +6,17 @@
     (the fallback the paper describes for datapaths that cannot run control
     programs). *)
 
+type trace_context = int
+(** A {!Ccp_obs.Tracer} span token riding alongside a message, or
+    {!no_trace}. Encoded as an optional trailing wire block (see
+    {!Codec.encode_traced}); messages encoded without one decode as
+    {!no_trace}, so the field is wire-compatible in both directions. *)
+
+val no_trace : trace_context
+(** [-1]. *)
+
+val has_trace : trace_context -> bool
+
 type urgent_kind =
   | Dup_ack_loss  (** triple duplicate ACK (fast-retransmit trigger) *)
   | Timeout  (** retransmission timeout *)

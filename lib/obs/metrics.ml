@@ -195,3 +195,53 @@ let pp_rows fmt rows =
     (fun r ->
       Format.fprintf fmt "%-48s %14.2f %s@." r.name r.value r.unit_)
     rows
+
+let rows_of_json json =
+  match validate_rows_json json with
+  | Error _ as e -> e
+  | Ok _ -> (
+    match json with
+    | Json.List objs ->
+      Ok
+        (List.map
+           (fun o ->
+             let str k = Option.get (Option.bind (Json.member k o) Json.to_str) in
+             let num k = Option.get (Option.bind (Json.member k o) Json.to_float) in
+             { name = str "name"; value = num "value"; unit_ = str "unit" })
+           objs)
+    | _ -> Error "top level is not an array")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let merge_rows_file ~path rows =
+  let existing =
+    if Sys.file_exists path then
+      match Json.parse (read_file path) with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok json -> (
+        match rows_of_json json with
+        | Error e -> Error (Printf.sprintf "%s: %s" path e)
+        | Ok rows -> Ok rows)
+    else Ok []
+  in
+  match existing with
+  | Error _ as e -> e
+  | Ok old ->
+    let replaced = List.map (fun r -> r.name) rows in
+    let kept = List.filter (fun r -> not (List.mem r.name replaced)) old in
+    let merged = List.sort (fun a b -> compare a.name b.name) (kept @ rows) in
+    let json = rows_to_json merged in
+    (* Self-check the schema before touching the file, like the bench writer. *)
+    (match validate_rows_json json with
+    | Error e -> Error e
+    | Ok _ ->
+      let oc = open_out path in
+      output_string oc (Json.to_string json);
+      output_string oc "\n";
+      close_out oc;
+      Ok (List.length merged))

@@ -67,3 +67,14 @@ val validate_rows_json : Json.t -> (int, string) result
     count. Shared by the bench-schema test and CI smoke. *)
 
 val pp_rows : Format.formatter -> row list -> unit
+
+val rows_of_json : Json.t -> (row list, string) result
+(** Inverse of {!rows_to_json}, after schema validation. *)
+
+val merge_rows_file : path:string -> row list -> (int, string) result
+(** Merge [rows] into the BENCH.json-schema file at [path]: existing rows
+    with the same name are replaced, everything is re-sorted by name and
+    schema-checked before writing. Creates the file when absent. [Ok n]
+    gives the merged row count. Used by [ipc_rtt --bench-json] and
+    [ccp_sim latency --bench-json] so real-machine IPC RTTs and simulated
+    reaction latencies land in one artifact. *)

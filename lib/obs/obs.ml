@@ -1,17 +1,24 @@
 type t = {
   metrics : Metrics.t;
   recorder : Recorder.t option;
+  tracer : Tracer.t option;
   clock : unit -> float;
 }
 
 let default_clock () = Sys.time () *. 1e9
 
-let create ?recorder_capacity ?(recorder = true) ?(clock = default_clock) () =
+let create ?recorder_capacity ?(recorder = true) ?(tracer = false) ?tracer_capacity
+    ?(clock = default_clock) () =
+  let metrics = Metrics.create () in
   let recorder =
     if recorder then Some (Recorder.create ?capacity:recorder_capacity ())
     else None
   in
-  { metrics = Metrics.create (); recorder; clock }
+  let tracer =
+    if tracer then Some (Tracer.create ?capacity:tracer_capacity ~metrics ?recorder ~clock ())
+    else None
+  in
+  { metrics; recorder; tracer; clock }
 
 let record t ~at event =
   match t.recorder with
@@ -22,3 +29,8 @@ let recorder_exn t =
   match t.recorder with
   | Some r -> r
   | None -> invalid_arg "Obs.recorder_exn: bundle has no recorder"
+
+let tracer_exn t =
+  match t.tracer with
+  | Some tr -> tr
+  | None -> invalid_arg "Obs.tracer_exn: bundle has no tracer"

@@ -1,26 +1,41 @@
 (** The observability bundle threaded through the stack.
 
     An [Obs.t] is what a subsystem receives when the experiment enables
-    observability: a metrics registry, optionally a flight recorder, and
-    a monotonic clock for self-timing. Every instrumented call site takes
-    [Obs.t option] and does nothing on [None] — the disabled path is a
-    single pattern match, which is how the per-ACK path stays
-    allocation-free with observability off. *)
+    observability: a metrics registry, optionally a flight recorder,
+    optionally a control-loop span tracer, and a monotonic clock for
+    self-timing. Every instrumented call site takes [Obs.t option] and
+    does nothing on [None] — the disabled path is a single pattern match,
+    which is how the per-ACK path stays allocation-free with
+    observability off. *)
 
 type t = {
   metrics : Metrics.t;
   recorder : Recorder.t option;
+  tracer : Tracer.t option;
   clock : unit -> float; (** monotonic-ish nanoseconds, for self-timing *)
 }
 
-val create : ?recorder_capacity:int -> ?recorder:bool -> ?clock:(unit -> float) -> unit -> t
+val create :
+  ?recorder_capacity:int ->
+  ?recorder:bool ->
+  ?tracer:bool ->
+  ?tracer_capacity:int ->
+  ?clock:(unit -> float) ->
+  unit ->
+  t
 (** [recorder] defaults to [true]; [recorder_capacity] to the
-    [Recorder.create] default. [clock] defaults to [Sys.time]-based
-    nanoseconds — coarse, but dependency-free; benches measure precise
-    overhead externally. *)
+    [Recorder.create] default. [tracer] defaults to [false] — when
+    enabled the tracer publishes [trace.*] metrics, draws span tokens
+    from a pool of [tracer_capacity] (default 1024) slots, and finalizes
+    spans into the recorder (when there is one). [clock] defaults to
+    [Sys.time]-based nanoseconds — coarse, but dependency-free; benches
+    measure precise overhead externally. *)
 
 val record : t -> at:int -> Recorder.event -> unit
 (** No-op when the bundle has no recorder. *)
 
 val recorder_exn : t -> Recorder.t
 (** Raises [Invalid_argument] when the bundle has no recorder. *)
+
+val tracer_exn : t -> Tracer.t
+(** Raises [Invalid_argument] when the bundle has no tracer. *)

@@ -1,3 +1,18 @@
+type span = {
+  id : int;
+  flow : int;
+  kind : string;
+  disposition : string;
+  started_at : int;
+  sent_at : int;
+  agent_at : int;
+  action_at : int;
+  done_at : int;
+  summarize_ns : float;
+  handler_ns : float;
+  apply_ns : float;
+}
+
 type event =
   | Flow_sample of {
       flow : int;
@@ -13,6 +28,7 @@ type event =
   | Fallback of { flow : int; entered : bool }
   | Report_sent of { flow : int; urgent : bool }
   | Ipc_fault of { kind : string }
+  | Span of span
   | Custom of { name : string; value : float }
 
 type t = {
@@ -95,6 +111,22 @@ let event_to_json ~at event =
     base "report"
       [ ("flow", Json.Num (float_of_int flow)); ("urgent", Json.Bool urgent) ]
   | Ipc_fault { kind } -> base "ipc_fault" [ ("kind", Json.Str kind) ]
+  | Span s ->
+    base "span"
+      [
+        ("id", Json.Num (float_of_int s.id));
+        ("flow", Json.Num (float_of_int s.flow));
+        ("kind", Json.Str s.kind);
+        ("disposition", Json.Str s.disposition);
+        ("started_at", Json.Num (float_of_int s.started_at));
+        ("sent_at", Json.Num (float_of_int s.sent_at));
+        ("agent_at", Json.Num (float_of_int s.agent_at));
+        ("action_at", Json.Num (float_of_int s.action_at));
+        ("done_at", Json.Num (float_of_int s.done_at));
+        ("summarize_ns", Json.Num s.summarize_ns);
+        ("handler_ns", Json.Num s.handler_ns);
+        ("apply_ns", Json.Num s.apply_ns);
+      ]
   | Custom { name; value } ->
     base "custom" [ ("name", Json.Str name); ("value", Json.Num value) ]
 
@@ -135,6 +167,7 @@ let flow_series t ~flow pick =
         | Quarantine q -> q.flow = flow
         | Fallback f -> f.flow = flow
         | Report_sent r -> r.flow = flow
+        | Span s -> s.flow = flow
         | Queue_sample _ | Ipc_fault _ | Custom _ -> true
       in
       if matches then

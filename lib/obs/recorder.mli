@@ -9,6 +9,24 @@
     Sinks: JSONL (one event object per line, oldest first) and a CSV of
     just the [Flow_sample] rows for plotting cwnd/rate/RTT traces. *)
 
+(** A finalized control-loop span from {!Tracer}: all [*_at] fields are
+    simulation nanoseconds, -1 when the span never reached that stage;
+    [*_ns] fields are wall-clock stage costs (0 when unmeasured). *)
+type span = {
+  id : int;
+  flow : int;
+  kind : string; (* "report" | "urgent" *)
+  disposition : string; (* "actuated" | "no_action" | "rejected" | "orphaned" *)
+  started_at : int;
+  sent_at : int;
+  agent_at : int;
+  action_at : int;
+  done_at : int;
+  summarize_ns : float;
+  handler_ns : float;
+  apply_ns : float;
+}
+
 type event =
   | Flow_sample of {
       flow : int;
@@ -24,6 +42,7 @@ type event =
   | Fallback of { flow : int; entered : bool }
   | Report_sent of { flow : int; urgent : bool }
   | Ipc_fault of { kind : string }
+  | Span of span
   | Custom of { name : string; value : float }
 
 type t

@@ -154,6 +154,43 @@ let prop_codec_round_trip =
     (QCheck.make gen_message ~print:Message.describe)
     (fun msg -> Message.equal msg (Codec.decode (Codec.encode msg)))
 
+(* --- trace-context field: wire compatibility --- *)
+
+let test_traced_codec_compat () =
+  List.iter
+    (fun msg ->
+      (* No span: byte-identical to the untraced encoding. *)
+      Alcotest.(check string)
+        ("no-span bytes unchanged: " ^ Message.describe msg)
+        (Codec.encode msg)
+        (Codec.encode_traced msg);
+      Alcotest.(check string) "negative span means no span" (Codec.encode msg)
+        (Codec.encode_traced ~span:Message.no_trace msg);
+      (* Absent-field backward compatibility: old bytes, traced decoder. *)
+      let m, span = Codec.decode_traced (Codec.encode msg) in
+      Alcotest.(check bool) "old bytes decode" true (Message.equal msg m);
+      Alcotest.(check int) "absent field is no_trace" Message.no_trace span)
+    all_message_kinds;
+  (* The plain decoder still rejects the trailing block: a tracing-on
+     sender cannot talk to a strict tracing-unaware receiver by accident. *)
+  (match Codec.decode (Codec.encode_traced ~span:7 (Message.Closed { flow = 1 })) with
+  | _ -> Alcotest.fail "plain decode accepted a trace block"
+  | exception Codec.Decode_error _ -> ());
+  (* A trailing block with an unknown tag is rejected, not skipped. *)
+  match Codec.decode_traced (Codec.encode (Message.Closed { flow = 1 }) ^ "\x02\x07") with
+  | _ -> Alcotest.fail "unknown trailing tag accepted"
+  | exception Codec.Decode_error _ -> ()
+
+let prop_traced_codec_round_trip =
+  QCheck.Test.make ~name:"traced codec round-trip (random messages, random spans)"
+    ~count:300
+    (QCheck.make
+       QCheck.Gen.(pair gen_message (int_bound 0x3FFFFFFF))
+       ~print:(fun (m, s) -> Printf.sprintf "%s span=%d" (Message.describe m) s))
+    (fun (msg, span) ->
+      let m, s = Codec.decode_traced (Codec.encode_traced ~span msg) in
+      Message.equal msg m && s = span)
+
 (* --- Latency model --- *)
 
 let test_latency_calibration () =
@@ -267,6 +304,9 @@ let suite =
         Alcotest.test_case "program round-trip" `Quick test_codec_program_round_trip;
         Alcotest.test_case "report size" `Quick test_codec_size_reasonable;
         QCheck_alcotest.to_alcotest prop_codec_round_trip;
+        Alcotest.test_case "trace-context wire compatibility" `Quick
+          test_traced_codec_compat;
+        QCheck_alcotest.to_alcotest prop_traced_codec_round_trip;
       ] );
     ( "ipc.latency",
       [

@@ -110,6 +110,10 @@ let every_event_kind =
     Recorder.Fallback { flow = 0; entered = true };
     Recorder.Report_sent { flow = 0; urgent = true };
     Recorder.Ipc_fault { kind = "drop" };
+    Recorder.Span
+      { id = 7; flow = 1; kind = "report"; disposition = "actuated"; started_at = 0;
+        sent_at = 100; agent_at = 20_100; action_at = 20_600; done_at = 41_000;
+        summarize_ns = 310.0; handler_ns = 1200.0; apply_ns = 55.5 };
     Recorder.Custom { name = "note"; value = nan };
   ]
 
@@ -134,7 +138,7 @@ let test_jsonl_round_trip () =
   in
   Alcotest.(check (list string)) "event kinds in order"
     [ "flow_sample"; "queue_sample"; "install"; "quarantine"; "fallback"; "report";
-      "ipc_fault"; "custom" ]
+      "ipc_fault"; "span"; "custom" ]
     kinds;
   (* The NaN value must not produce invalid JSON. *)
   let last = List.nth lines (List.length lines - 1) in
@@ -319,6 +323,121 @@ let test_on_ack_counts_when_enabled () =
   in
   Alcotest.(check int) "install recorded" 1 (List.length installs)
 
+(* --- tracer: span pool, lifecycle accounting, staleness --- *)
+
+let fresh_tracer ?(capacity = 8) ?recorder () =
+  let metrics = Metrics.create () in
+  let wall = ref 0.0 in
+  let clock () =
+    wall := !wall +. 100.0;
+    !wall
+  in
+  Tracer.create ~capacity ~metrics ?recorder ~clock ()
+
+let check_stats_invariant label tr =
+  let s = Tracer.stats tr in
+  Alcotest.(check int)
+    (label ^ ": started = finalized + live")
+    s.Tracer.started
+    (s.Tracer.actuated + s.Tracer.no_action + s.Tracer.rejected + s.Tracer.orphaned
+   + s.Tracer.live);
+  Alcotest.(check int)
+    (label ^ ": free slots = capacity - live")
+    (Tracer.pool_capacity tr - s.Tracer.live)
+    (Tracer.free_slots tr)
+
+let test_tracer_lifecycle () =
+  let r = Recorder.create ~capacity:16 () in
+  let tr = fresh_tracer ~recorder:r () in
+  let s = Tracer.start tr ~now:0 ~flow:3 ~kind:Tracer.Report_span in
+  Alcotest.(check bool) "got a span" true (s >= 0);
+  Alcotest.(check int) "one live span" 1 (Tracer.live_spans tr);
+  Tracer.sent tr s ~now:1_000;
+  Tracer.arrived tr s ~now:21_000;
+  Tracer.handler_begin tr s;
+  Alcotest.(check int) "active while handler runs" s (Tracer.active tr);
+  Tracer.note_send tr s ~now:22_000;
+  Alcotest.(check int) "consumed spans are no longer active" Tracer.no_span
+    (Tracer.active tr);
+  Tracer.handler_end tr s ~now:22_000;
+  Tracer.finish tr s ~now:43_000 ~disposition:Tracer.Actuated ~apply_ns:55.0;
+  let st = Tracer.stats tr in
+  Alcotest.(check int) "started" 1 st.Tracer.started;
+  Alcotest.(check int) "actuated" 1 st.Tracer.actuated;
+  Alcotest.(check int) "nothing live" 0 st.Tracer.live;
+  check_stats_invariant "after lifecycle" tr;
+  match Recorder.to_list r with
+  | [ (at, Recorder.Span sp) ] ->
+    Alcotest.(check int) "recorded at finalization time" 43_000 at;
+    Alcotest.(check int) "flow" 3 sp.Recorder.flow;
+    Alcotest.(check string) "kind" "report" sp.Recorder.kind;
+    Alcotest.(check string) "disposition" "actuated" sp.Recorder.disposition;
+    Alcotest.(check int) "sent_at" 1_000 sp.Recorder.sent_at;
+    Alcotest.(check int) "agent_at" 21_000 sp.Recorder.agent_at;
+    Alcotest.(check int) "action_at" 22_000 sp.Recorder.action_at;
+    Alcotest.(check int) "done_at" 43_000 sp.Recorder.done_at;
+    Alcotest.(check bool) "summarize cost measured" true (sp.Recorder.summarize_ns > 0.0);
+    Alcotest.(check (float 1e-9)) "apply cost carried" 55.0 sp.Recorder.apply_ns
+  | evs -> Alcotest.failf "expected exactly one Span event, got %d" (List.length evs)
+
+let test_tracer_stale_after_finish () =
+  let tr = fresh_tracer () in
+  let s = Tracer.start tr ~now:0 ~flow:1 ~kind:Tracer.Urgent_span in
+  Tracer.finish tr s ~now:10 ~disposition:Tracer.No_action ~apply_ns:0.0;
+  (* The slot is free again; the old token must not touch its reuse. *)
+  Tracer.sent tr s ~now:20;
+  Tracer.finish tr s ~now:30 ~disposition:Tracer.Actuated ~apply_ns:0.0;
+  let st = Tracer.stats tr in
+  Alcotest.(check int) "stale refs counted" 2 st.Tracer.stale_refs;
+  Alcotest.(check int) "no double finalization" 0 st.Tracer.actuated;
+  (* Negative tokens mean "no span" and are not stale. *)
+  Tracer.sent tr Ccp_ipc.Message.no_trace ~now:40;
+  Alcotest.(check int) "no_span is silently ignored" 2 (Tracer.stats tr).Tracer.stale_refs;
+  check_stats_invariant "after stale refs" tr
+
+let test_tracer_pool_exhaustion () =
+  let tr = fresh_tracer ~capacity:4 () in
+  let spans = List.init 4 (fun i -> Tracer.start tr ~now:i ~flow:i ~kind:Tracer.Report_span) in
+  List.iter (fun s -> Alcotest.(check bool) "pooled span" true (s >= 0)) spans;
+  Alcotest.(check int) "pool drained" 0 (Tracer.free_slots tr);
+  let overflow = Tracer.start tr ~now:9 ~flow:9 ~kind:Tracer.Report_span in
+  Alcotest.(check int) "exhausted pool yields no_span" Tracer.no_span overflow;
+  Alcotest.(check int) "drop counted" 1 (Tracer.stats tr).Tracer.dropped;
+  check_stats_invariant "exhausted" tr;
+  (* Freeing one slot makes start succeed again. *)
+  Tracer.orphan tr (List.hd spans) ~now:10;
+  let again = Tracer.start tr ~now:11 ~flow:11 ~kind:Tracer.Report_span in
+  Alcotest.(check bool) "slot recycled" true (again >= 0);
+  check_stats_invariant "recycled" tr
+
+let test_tracer_handler_end_finalizes_unconsumed () =
+  let tr = fresh_tracer () in
+  let s = Tracer.start tr ~now:0 ~flow:1 ~kind:Tracer.Report_span in
+  Tracer.sent tr s ~now:100;
+  Tracer.arrived tr s ~now:200;
+  Tracer.handler_begin tr s;
+  (* The handler sends nothing back: the span ends as No_action here. *)
+  Tracer.handler_end tr s ~now:300;
+  let st = Tracer.stats tr in
+  Alcotest.(check int) "no_action" 1 st.Tracer.no_action;
+  Alcotest.(check int) "nothing live" 0 st.Tracer.live;
+  Alcotest.(check int) "not active" Tracer.no_span (Tracer.active tr);
+  check_stats_invariant "unconsumed handler" tr
+
+let test_tracer_first_arrival_wins () =
+  let r = Recorder.create ~capacity:4 () in
+  let tr = fresh_tracer ~recorder:r () in
+  let s = Tracer.start tr ~now:0 ~flow:1 ~kind:Tracer.Report_span in
+  Tracer.sent tr s ~now:50;
+  Tracer.arrived tr s ~now:500;
+  (* A duplicated delivery arrives later; the span keeps the first. *)
+  Tracer.arrived tr s ~now:900;
+  Tracer.finish tr s ~now:1_000 ~disposition:Tracer.Actuated ~apply_ns:0.0;
+  match Recorder.to_list r with
+  | [ (_, Recorder.Span sp) ] ->
+    Alcotest.(check int) "first arrival kept" 500 sp.Recorder.agent_at
+  | _ -> Alcotest.fail "expected one Span event"
+
 let suite =
   [
     ( "obs",
@@ -337,5 +456,15 @@ let suite =
         Alcotest.test_case "per-ACK path allocation-free with obs off" `Quick
           test_on_ack_zero_alloc_when_disabled;
         Alcotest.test_case "per-ACK metrics with obs on" `Quick test_on_ack_counts_when_enabled;
+        Alcotest.test_case "tracer lifecycle lands in the recorder" `Quick
+          test_tracer_lifecycle;
+        Alcotest.test_case "tracer stale tokens counted, not corrupting" `Quick
+          test_tracer_stale_after_finish;
+        Alcotest.test_case "tracer pool exhaustion drops, then recycles" `Quick
+          test_tracer_pool_exhaustion;
+        Alcotest.test_case "tracer handler_end finalizes unconsumed spans" `Quick
+          test_tracer_handler_end_finalizes_unconsumed;
+        Alcotest.test_case "tracer first arrival wins under duplication" `Quick
+          test_tracer_first_arrival_wins;
       ] );
   ]
