@@ -590,6 +590,159 @@ let latency_cmd =
           and report reaction-latency CDFs under clean and degraded IPC.")
     Term.(const action $ duration_s $ seed $ trace $ bench_json)
 
+(* --- robustness: measurement-noise matrix (docs/robustness.md) --- *)
+
+let write_scorecard ~path (sc : Scenarios.Robustness.scorecard) =
+  let oc = open_out path in
+  output_string oc (Ccp_obs.Json.to_string (Scenarios.Robustness.to_json sc));
+  output_char oc '\n';
+  close_out oc;
+  (* Re-read and validate what landed on disk, like --trace does. *)
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Ccp_obs.Json.parse data with
+  | Error e ->
+    Printf.eprintf "ccp_sim: scorecard %s does not parse: %s\n%!" path e;
+    exit 1
+  | Ok parsed -> (
+    match Scenarios.Robustness.validate_scorecard parsed with
+    | Error e ->
+      Printf.eprintf "ccp_sim: scorecard %s is malformed: %s\n%!" path e;
+      exit 1
+    | Ok n -> Printf.printf "scorecard: wrote %s (%d cells)\n" path n)
+
+let robustness_rows (sc : Scenarios.Robustness.scorecard) =
+  let keys =
+    List.sort_uniq compare
+      (List.map
+         (fun (c : Scenarios.Robustness.cell) -> (c.algo, c.perturb))
+         sc.Scenarios.Robustness.cells)
+  in
+  List.concat_map
+    (fun (algo, perturb) ->
+      let cells =
+        List.filter
+          (fun (c : Scenarios.Robustness.cell) -> c.algo = algo && c.perturb = perturb)
+          sc.Scenarios.Robustness.cells
+      in
+      let n = float_of_int (List.length cells) in
+      let mean f = List.fold_left (fun acc c -> acc +. f c) 0.0 cells /. n in
+      let base = Printf.sprintf "robustness.%s.%s" (slug algo) (slug perturb) in
+      let row name value unit_ = { Ccp_obs.Metrics.name = base ^ "." ^ name; value; unit_ } in
+      let rmses =
+        List.filter_map
+          (fun (c : Scenarios.Robustness.cell) -> c.cwnd_rmse_vs_baseline)
+          cells
+      in
+      [
+        row "utilization" (mean (fun c -> c.Scenarios.Robustness.utilization)) "fraction";
+        row "jain" (mean (fun c -> c.Scenarios.Robustness.jain_index)) "index";
+        row "median_rtt_inflation"
+          (mean (fun c -> c.Scenarios.Robustness.median_rtt_inflation))
+          "x";
+        row "retransmit_rate" (mean (fun c -> c.Scenarios.Robustness.retransmit_rate)) "fraction";
+      ]
+      @
+      match rmses with
+      | [] -> []
+      | _ ->
+        [
+          row "cwnd_rmse"
+            (List.fold_left ( +. ) 0.0 rmses /. float_of_int (List.length rmses))
+            "ratio";
+        ])
+    keys
+
+let robustness_cmd =
+  let algos =
+    let doc =
+      Printf.sprintf "Comma-separated algorithm subset (default all: %s)."
+        (String.concat ", " Scenarios.Robustness.algorithm_names)
+    in
+    Arg.(value & opt string "" & info [ "algos" ] ~docv:"LIST" ~doc)
+  in
+  let perturbs =
+    let doc =
+      Printf.sprintf "Comma-separated perturbation subset (default all: %s)."
+        (String.concat ", " Scenarios.Robustness.perturbation_names)
+    in
+    Arg.(value & opt string "" & info [ "perturb" ] ~docv:"LIST" ~doc)
+  in
+  let seeds =
+    let doc = "Comma-separated seeds; each seed multiplies the matrix." in
+    Arg.(value & opt string "42" & info [ "seeds" ] ~docv:"LIST" ~doc)
+  in
+  let rate_mbps =
+    let doc = "Bottleneck rate in Mbit/s." in
+    Arg.(value & opt float 48.0 & info [ "rate" ] ~docv:"MBPS" ~doc)
+  in
+  let duration_s =
+    let doc = "Simulated duration per cell in seconds." in
+    Arg.(value & opt float 10.0 & info [ "duration" ] ~docv:"S" ~doc)
+  in
+  let scorecard_file =
+    let doc =
+      "Write the scorecard as JSON to $(docv). The file is re-read and schema-validated; \
+       a malformed scorecard makes the command exit non-zero."
+    in
+    Arg.(value & opt (some string) None & info [ "scorecard" ] ~docv:"FILE" ~doc)
+  in
+  let bench_json =
+    let doc =
+      "Merge $(b,robustness.*) per-(algorithm, perturbation) rows (averaged over seeds) \
+       into the BENCH.json-schema file at $(docv) (created when absent)."
+    in
+    Arg.(value & opt (some string) None & info [ "bench-json" ] ~docv:"FILE" ~doc)
+  in
+  let action algos perturbs seeds rate_mbps rtt_ms duration_s scorecard_file bench_json =
+    let split s = List.filter (fun x -> x <> "") (List.map String.trim (String.split_on_char ',' s)) in
+    let opt_list s = match split s with [] -> None | l -> Some l in
+    let seeds =
+      match
+        List.map
+          (fun s ->
+            match int_of_string_opt s with
+            | Some n -> n
+            | None ->
+              Printf.eprintf "ccp_sim: --seeds: %S is not an integer\n%!" s;
+              exit 1)
+          (split seeds)
+      with
+      | [] -> [ 42 ]
+      | l -> l
+    in
+    let sc =
+      try
+        Scenarios.Robustness.run ~rate_bps:(rate_mbps *. 1e6)
+          ~base_rtt:(Time_ns.of_float_sec (rtt_ms /. 1e3))
+          ~duration:(Time_ns.of_float_sec duration_s) ~seeds ?algos:(opt_list algos)
+          ?perturbs:(opt_list perturbs) ()
+      with Invalid_argument e ->
+        Printf.eprintf "ccp_sim: %s\n%!" e;
+        exit 1
+    in
+    print_string (Report.render_robustness sc);
+    (match scorecard_file with Some path -> write_scorecard ~path sc | None -> ());
+    match bench_json with
+    | Some path -> (
+      match Ccp_obs.Metrics.merge_rows_file ~path (robustness_rows sc) with
+      | Ok n -> Printf.printf "bench-json: %s now holds %d rows\n" path n
+      | Error e ->
+        Printf.eprintf "ccp_sim: --bench-json: %s\n%!" e;
+        exit 1)
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "robustness"
+       ~doc:
+         "Measurement-noise robustness matrix: perturbation plans x CCP algorithms, two \
+          flows per cell with the guard envelope armed, reported as a schema-validated \
+          scorecard.")
+    Term.(
+      const action $ algos $ perturbs $ seeds $ rate_mbps $ rtt_ms $ duration_s
+      $ scorecard_file $ bench_json)
+
 let sweep_cmd = simple "sweep" "CCP vs native Reno across a grid of operating points."
     (fun () ->
       Sweep.render
@@ -602,7 +755,7 @@ let main =
        ~doc:"Congestion-control-plane reproduction (HotNets 2017).")
     [
       run_cmd; csv_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; table1_cmd; batching_cmd;
-      ablations_cmd; sweep_cmd; degraded_cmd; hostile_cmd; latency_cmd;
+      ablations_cmd; sweep_cmd; degraded_cmd; hostile_cmd; latency_cmd; robustness_cmd;
     ]
 
 let () = exit (Cmd.eval main)

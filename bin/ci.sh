@@ -56,6 +56,23 @@ test -s "$trace_tmp/chrome.json"
 grep -q '"reaction\.' BENCH.json
 rm -rf "$trace_tmp"
 
+echo "== robustness smoke =="
+# The measurement-noise matrix end to end (docs/robustness.md): a tiny
+# algorithms x perturbations run through the CLI, whose scorecard JSON
+# the driver re-reads and schema-validates after writing (a malformed or
+# out-of-range scorecard exits non-zero), with robustness.* rows merged
+# into BENCH.json. The golden byte-frozen scorecard and the
+# perturbed-ACK zero-allocation Gc assertion on the obs-off per-ACK fold
+# path run in the suite above (robustness: "golden scorecard",
+# "fold path stays allocation-free under perturbed ACKs").
+rob_tmp="$(mktemp -d)"
+dune exec bin/ccp_sim.exe -- robustness --algos ccp-vegas \
+  --perturb baseline,combined --duration 2 --rate 24 \
+  --scorecard "$rob_tmp/scorecard.json" --bench-json BENCH.json > /dev/null
+test -s "$rob_tmp/scorecard.json"
+grep -q '"robustness\.' BENCH.json
+rm -rf "$rob_tmp"
+
 if [ -n "${SOAK_SEED:-}" ]; then
   echo "== soak (CCP_PROP_SEED=$SOAK_SEED) =="
   CCP_PROP_SEED="$SOAK_SEED" dune exec test/main.exe -- test -e

@@ -80,10 +80,14 @@ let create_with ?(epsilon = 0.05) ?(loss_penalty = 11.35) ?(step_fraction = 0.1)
       let acked = Algorithm.field_exn report "acked" in
       let now_us = Algorithm.field_exn report "_now_us" in
       let srtt_us = Algorithm.field_exn report "_srtt_us" in
-      (* The measurement window is the trial's final WaitRtts(1.0). *)
+      (* The measurement window is the trial's final WaitRtts(1.0). Floored
+         at 100 us: a near-zero srtt (perturbed samples clamp at 1 ns)
+         would otherwise divide throughput toward infinity and saturate
+         the utility. *)
       let interval_s =
-        if srtt_us > 0.0 then srtt_us *. 1e-6
-        else Float.max 1e-6 ((now_us -. st.last_report_us) *. 1e-6)
+        Float.max 1e-4
+          (if srtt_us > 0.0 then srtt_us *. 1e-6
+           else (now_us -. st.last_report_us) *. 1e-6)
       in
       st.last_report_us <- now_us;
       let throughput = acked /. interval_s in

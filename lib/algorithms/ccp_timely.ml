@@ -35,10 +35,15 @@ let create_with ?(ewma_alpha = 0.2) ?(addstep_bytes_per_sec = 600_000.0) ?(beta 
     let push () = handle.install (Prog.rate_program ~rate:st.rate ()) in
     let on_report report =
       let pkts = Algorithm.field_exn report "pkts" in
-      if pkts > 0.0 then begin
-        let new_rtt = Algorithm.field_exn report "sumrtt" /. pkts in
+      (* Sub-microsecond RTT aggregates are measurement artifacts, not
+         network signal (perturbed samples clamp at 1 ns): a near-zero
+         [min_rtt_us] divisor explodes the gradient and a near-zero
+         [new_rtt] explodes [t_high /. new_rtt], so both are ignored
+         below 1 us rather than fed into the MD terms. *)
+      let new_rtt = if pkts > 0.0 then Algorithm.field_exn report "sumrtt" /. pkts else 0.0 in
+      if new_rtt >= 1.0 then begin
         let minrtt = Algorithm.field_exn report "minrtt" in
-        if minrtt > 0.0 && minrtt < 1e12 then st.min_rtt_us <- Float.min st.min_rtt_us minrtt;
+        if minrtt >= 1.0 && minrtt < 1e12 then st.min_rtt_us <- Float.min st.min_rtt_us minrtt;
         if st.prev_rtt_us > 0.0 && st.min_rtt_us < infinity then begin
           let diff = new_rtt -. st.prev_rtt_us in
           st.rtt_diff_us <-

@@ -49,6 +49,9 @@ type config = {
   jitter : Time_ns.t;
   rate_schedule : (Time_ns.t * float) list;
   faults : Ccp_ipc.Fault_plan.t;
+  perturb : Ccp_perturb.Perturb_plan.t;
+      (* measurement-noise perturbation on every flow's datapath
+         sampling; Perturb_plan.none = clean measurements *)
   inspect : (handles -> unit) option;
   obs : Ccp_obs.Obs.t option;
   obs_flow_sample_interval : Time_ns.t;
@@ -75,6 +78,7 @@ let default_config ~rate_bps ~base_rtt ~duration =
     jitter = Time_ns.zero;
     rate_schedule = [];
     faults = Ccp_ipc.Fault_plan.none;
+    perturb = Ccp_perturb.Perturb_plan.none;
     inspect = None;
     obs = None;
     obs_flow_sample_interval = Time_ns.ms 10;
@@ -86,6 +90,7 @@ type flow_result = {
   delivered_bytes : int;
   goodput_bps : float;
   mean_rtt : Time_ns.t;
+  segments_sent : int;
   retransmits : int;
   timeouts : int;
   recoveries : int;
@@ -105,6 +110,7 @@ type result = {
   agent_stats : agent_stats option;
   sender_cpu : cpu_stats option;
   receiver_cpu : cpu_stats option;
+  perturb_stats : Ccp_perturb.Sampler.stats option;
 }
 
 and agent_stats = {
@@ -138,6 +144,7 @@ type flow_instance = {
   sender : Tcp_flow.t;
   receiver : Tcp_receiver.t;
   rtt_samples : Stats.Samples.t;
+  sampler : Ccp_perturb.Sampler.t option;
   mutable delivered_at_warmup : int;
 }
 
@@ -207,11 +214,28 @@ let run (config : config) =
         ecn_capable = config.ecn_threshold_bytes <> None || config.tcp.ecn_capable;
       }
     in
-    (* Receiver side: ACKs go straight onto the reverse path. *)
+    (* Per-flow measurement-noise sampler. Seeded from the experiment
+       seed and the flow id — never from the simulator's RNG — so arming
+       a perturbation shifts no draw the rest of the simulation makes,
+       and the empty plan leaves runs byte-identical. *)
+    let sampler =
+      if Ccp_perturb.Perturb_plan.is_none config.perturb then None
+      else
+        Some
+          (Ccp_perturb.Sampler.create
+             ~seed:(config.seed lxor ((id + 1) * 0x9E3779B9))
+             config.perturb)
+    in
+    (* Receiver side: ACKs go straight onto the reverse path. Stretch
+       ACKs are the receiver's own delayed-ACK machinery turned up, so
+       dup-ACK/ECN immediacy (and with it loss recovery) is preserved. *)
     let receiver =
       Tcp_receiver.create ~flow:id
         ~send_ack:(fun ack -> Topology.Dumbbell.send_ack dumbbell ack)
-        ~delayed_ack_every:spec.delayed_ack_every ()
+        ~delayed_ack_every:
+          (max spec.delayed_ack_every
+             (Ccp_perturb.Perturb_plan.ack_stretch_every config.perturb))
+        ()
     in
     let receiver_path =
       Option.map
@@ -229,11 +253,21 @@ let run (config : config) =
        model if present. The flow's real ACK handler is attached to the
        path's ack_out after creation, breaking the definition cycle. *)
     let sender_ref = ref None in
+    (* The token-bucket policer sits at the link injection point (after
+       any offload path), dropping data packets that find the bucket
+       empty — loss without queueing delay. *)
+    let inject_data =
+      match sampler with
+      | Some s when (Ccp_perturb.Sampler.plan s).Ccp_perturb.Perturb_plan.policer <> None ->
+        fun (pkt : Packet.t) ->
+          if Ccp_perturb.Sampler.admit_data s ~now:(Sim.now sim) ~bytes:pkt.Packet.wire_size
+          then Topology.Dumbbell.send_data dumbbell pkt
+      | Some _ | None -> fun pkt -> Topology.Dumbbell.send_data dumbbell pkt
+    in
     let sender_path =
       Option.map
         (fun (off : offload_spec) ->
-          Offload.Sender_path.create ~sim ~config:off.sender
-            ~out:(fun pkt -> Topology.Dumbbell.send_data dumbbell pkt)
+          Offload.Sender_path.create ~sim ~config:off.sender ~out:inject_data
             ~ack_out:(fun ack ->
               match !sender_ref with
               | Some sender -> Tcp_flow.on_ack sender ack
@@ -244,11 +278,11 @@ let run (config : config) =
     let transmit =
       match sender_path with
       | Some path -> fun pkt -> Offload.Sender_path.send path pkt
-      | None -> fun pkt -> Topology.Dumbbell.send_data dumbbell pkt
+      | None -> inject_data
     in
     let sender =
       Tcp_flow.create ~sim ~flow:id ~config:tcp_config ~cc ~transmit ?obs:config.obs
-        ~obs_sample_interval:config.obs_flow_sample_interval ()
+        ~obs_sample_interval:config.obs_flow_sample_interval ?perturb:sampler ()
     in
     sender_ref := Some sender;
     let ack_sink =
@@ -267,8 +301,8 @@ let run (config : config) =
           Stats.Samples.add rtt_samples (Time_ns.to_float_us rtt);
         Trace.add trace ~series:rtt_series (Time_ns.to_float_ms rtt));
     ignore (Sim.schedule sim ~at:spec.start_at (fun () -> Tcp_flow.start sender));
-    ({ spec; id; sender; receiver; rtt_samples; delivered_at_warmup = 0 }, sender_path,
-     receiver_path)
+    ({ spec; id; sender; receiver; rtt_samples; sampler; delivered_at_warmup = 0 },
+     sender_path, receiver_path)
   in
   let instances = List.mapi (fun id spec -> make_flow id spec) config.flows in
   let flows_only = List.map (fun (f, _, _) -> f) instances in
@@ -330,6 +364,7 @@ let run (config : config) =
           delivered_bytes = delivered;
           goodput_bps = goodput;
           mean_rtt;
+          segments_sent = Tcp_flow.segments_sent inst.sender;
           retransmits = Tcp_flow.retransmits inst.sender;
           timeouts = Tcp_flow.timeouts inst.sender;
           recoveries = Tcp_flow.recoveries inst.sender;
@@ -428,4 +463,12 @@ let run (config : config) =
     agent_stats;
     sender_cpu = cpu_stats_of_sender sender_paths;
     receiver_cpu = cpu_stats_of_receiver receiver_paths;
+    perturb_stats =
+      (match List.filter_map (fun inst -> inst.sampler) flows_only with
+      | [] -> None
+      | samplers ->
+        Some
+          (List.fold_left
+             (fun acc s -> Ccp_perturb.Sampler.merge_stats acc (Ccp_perturb.Sampler.stats s))
+             Ccp_perturb.Sampler.zero_stats samplers));
   }

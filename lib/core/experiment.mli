@@ -63,6 +63,12 @@ type config = {
   faults : Ccp_ipc.Fault_plan.t;
       (** IPC fault injection; agent outages additionally reset the agent's
           flow table at each restart instant. [Fault_plan.none] = clean. *)
+  perturb : Ccp_perturb.Perturb_plan.t;
+      (** measurement-noise perturbation applied to every flow's datapath
+          sampling (RTT jitter, delivery-rate error, stretch ACKs, token-
+          bucket policer); orthogonal to [faults].
+          [Perturb_plan.none] (the default) = clean measurements, with
+          runs byte-identical to an unperturbed build. *)
   inspect : (handles -> unit) option;
       (** called once after CCP wiring when any flow is CCP; ignored
           otherwise *)
@@ -85,6 +91,7 @@ type flow_result = {
   delivered_bytes : int;  (** in-order bytes at the receiver, whole run *)
   goodput_bps : float;  (** over [warmup, duration] *)
   mean_rtt : Time_ns.t;
+  segments_sent : int;  (** transmissions, retransmissions included *)
   retransmits : int;
   timeouts : int;
   recoveries : int;
@@ -106,6 +113,9 @@ type result = {
   agent_stats : agent_stats option;  (** present when any flow is CCP *)
   sender_cpu : cpu_stats option;  (** present when offloads are modelled *)
   receiver_cpu : cpu_stats option;
+  perturb_stats : Ccp_perturb.Sampler.stats option;
+      (** summed over all flows; present when [config.perturb] is
+          non-empty *)
 }
 
 and agent_stats = {

@@ -210,5 +210,31 @@ let render_ablations ~interval ~latency ~urgent ~batching =
     batching;
   Buffer.contents buf
 
+let render_robustness (sc : Scenarios.Robustness.scorecard) =
+  let buf = Buffer.create 4096 in
+  line buf
+    "Robustness scorecard: measurement noise x algorithms (%.0f Mbit/s, %s base RTT, %s runs, seeds %s)"
+    (sc.Scenarios.Robustness.rate_bps /. 1e6)
+    (Time_ns.to_string sc.Scenarios.Robustness.base_rtt)
+    (Time_ns.to_string sc.Scenarios.Robustness.duration)
+    (String.concat "," (List.map string_of_int sc.Scenarios.Robustness.seeds));
+  line buf "%-12s %-12s %5s %7s %6s %8s %8s %7s %5s %5s %9s" "algorithm" "perturbation"
+    "seed" "util" "jain" "medRTTx" "p95RTTx" "retx%" "quar" "fall" "rmse-base";
+  List.iter
+    (fun (c : Scenarios.Robustness.cell) ->
+      line buf "%-12s %-12s %5d %6.1f%% %6.3f %8.2f %8.2f %6.2f%% %5d %5d %9s" c.algo
+        c.perturb c.seed (100.0 *. c.utilization) c.jain_index c.median_rtt_inflation
+        c.p95_rtt_inflation
+        (100.0 *. c.retransmit_rate)
+        c.quarantines c.fallbacks
+        (match c.cwnd_rmse_vs_baseline with
+        | Some v -> Printf.sprintf "%.3f" v
+        | None -> "-"))
+    sc.Scenarios.Robustness.cells;
+  line buf "";
+  line buf "medRTTx/p95RTTx: true RTT over base RTT (the scorecard always measures the";
+  line buf "real network RTT; only the algorithm's view of it is perturbed).";
+  Buffer.contents buf
+
 let series_csv (result : Experiment.result) ~series =
   Trace.to_csv result.Experiment.trace ~name:series

@@ -39,5 +39,10 @@ val render_ablations :
   batching:Scenarios.Ablation.batching_point list ->
   string
 
+val render_robustness : Scenarios.Robustness.scorecard -> string
+(** Per-cell table of the robustness matrix: utilization, Jain index,
+    median/p95 RTT inflation over base RTT, retransmit rate, quarantine
+    and fallback counts, and cwnd RMSE against the clean baseline cell. *)
+
 val series_csv : Experiment.result -> series:string -> string
 (** Extract one trace series as CSV (for offline plotting). *)

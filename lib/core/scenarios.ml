@@ -584,6 +584,334 @@ module Hostile = struct
     List.map (fun entry -> run_one ~duration ~seed ~threshold entry) all
 end
 
+(* Robustness: the measurement-noise counterpart of {!Hostile}. Hostile
+   attacks the datapath with adversarial programs; here the *network*
+   misbehaves — jittered RTT samples, noisy delivery-rate estimates,
+   stretch ACKs, a token-bucket policer — and well-behaved algorithms run
+   on top. Each cell is two same-algorithm flows on a dumbbell with the
+   guard envelope armed, so the matrix also answers "does noise alone
+   ever trip quarantine?" (it must not). *)
+module Robustness = struct
+  module Plan = Ccp_perturb.Perturb_plan
+  module J = Ccp_obs.Json
+
+  let default_rate_bps = 48e6
+  let default_base_rtt = Time_ns.ms 20
+
+  (* The measurement-hungry algorithms: Vegas and Timely live off RTT
+     samples, BBR off delivery rate, PCC off its utility of both —
+     exactly the primitives the perturbation layer corrupts. *)
+  let algorithms : (string * (unit -> Ccp_agent.Algorithm.t)) list =
+    [
+      ("ccp-vegas", fun () -> Ccp_vegas.create `Fold);
+      ("ccp-bbr", fun () -> Ccp_bbr.create ());
+      ("ccp-timely", fun () -> Ccp_timely.create ());
+      ("ccp-pcc", fun () -> Ccp_pcc.create ());
+    ]
+
+  let rtt_jitter_plan =
+    Plan.make
+      ~rtt_jitter:
+        {
+          Plan.additive_sigma = Time_ns.ms 2;
+          multiplicative = 0.1;
+          burst = Some { Plan.probability = 0.01; extra = Time_ns.ms 10; length = 8 };
+        }
+      ()
+
+  let rate_noise_plan =
+    Plan.make ~rate_error:{ Plan.multiplicative = 0.3; collapse_probability = 0.02 } ()
+
+  let stretch_ack_plan = Plan.make ~ack_stretch:{ Plan.every = 4 } ()
+
+  let policer_plan ~rate_bps =
+    Plan.make ~policer:{ Plan.rate_bps = 0.75 *. rate_bps; burst_bytes = 32_768 } ()
+
+  let combined_plan =
+    List.fold_left Plan.compose Plan.none
+      [ rtt_jitter_plan; rate_noise_plan; stretch_ack_plan ]
+
+  let perturbations ~rate_bps =
+    [
+      ("baseline", Plan.none);
+      ("rtt-jitter", rtt_jitter_plan);
+      ("rate-noise", rate_noise_plan);
+      ("stretch-ack", stretch_ack_plan);
+      ("policer", policer_plan ~rate_bps);
+      ("combined", combined_plan);
+    ]
+
+  let algorithm_names = List.map fst algorithms
+  let perturbation_names = List.map fst (perturbations ~rate_bps:default_rate_bps)
+
+  type cell = {
+    algo : string;
+    perturb : string;
+    seed : int;
+    utilization : float;
+    jain_index : float;
+    median_rtt_inflation : float;
+    p95_rtt_inflation : float;
+    retransmit_rate : float;
+    timeouts : int;
+    quarantines : int;
+    installs_refused : int;
+    fallbacks : int;
+    guard_incidents : int;
+    cwnd_rmse_vs_baseline : float option;
+    perturb_stats : Ccp_perturb.Sampler.stats option;
+    result : Experiment.result;
+  }
+
+  type scorecard = {
+    rate_bps : float;
+    base_rtt : Time_ns.t;
+    duration : Time_ns.t;
+    seeds : int list;
+    cells : cell list;
+  }
+
+  let schema_tag = "ccp-robustness-scorecard/v1"
+  let second_flow_at duration = Time_ns.scale duration 0.25
+
+  let run_cell ~rate_bps ~base_rtt ~duration ~seed ~plan mk =
+    let base = Experiment.default_config ~rate_bps ~base_rtt ~duration in
+    Experiment.run
+      {
+        base with
+        Experiment.seed;
+        warmup = Time_ns.scale duration 0.1;
+        datapath =
+          {
+            Ccp_datapath.Ccp_ext.default_config with
+            Ccp_datapath.Ccp_ext.guard = Hostile.armed_guard ();
+          };
+        perturb = plan;
+        flows =
+          [
+            Experiment.flow (Experiment.Ccp_cc (mk ()));
+            Experiment.flow ~start_at:(second_flow_at duration) (Experiment.Ccp_cc (mk ()));
+          ];
+      }
+
+  let cwnd_run (r : Experiment.result) =
+    {
+      Ccp_obs.Fidelity.series =
+        Array.of_list
+          (List.map
+             (fun (at, v) -> (Time_ns.to_float_sec at, v))
+             (Trace.series r.Experiment.trace "cwnd.0"));
+      utilization = r.Experiment.utilization;
+      median_rtt_ms = Time_ns.to_float_ms r.Experiment.median_rtt;
+    }
+
+  let rmse_vs baseline r =
+    match baseline with
+    | None -> None
+    | Some b -> (
+      try
+        let rep = Ccp_obs.Fidelity.compare_runs ~ccp:(cwnd_run r) ~native:(cwnd_run b) () in
+        Some rep.Ccp_obs.Fidelity.cwnd_rmse
+      with Invalid_argument _ -> None)
+
+  let cell_of ~algo ~perturb ~seed ~base_rtt ~baseline (r : Experiment.result) =
+    let sum f = List.fold_left (fun acc fr -> acc + f fr) 0 r.Experiment.flows in
+    let segments = sum (fun (f : Experiment.flow_result) -> f.segments_sent) in
+    let retx = sum (fun (f : Experiment.flow_result) -> f.retransmits) in
+    let agent f =
+      match r.Experiment.agent_stats with Some s -> f s | None -> 0
+    in
+    let base_ms = Time_ns.to_float_ms base_rtt in
+    {
+      algo;
+      perturb;
+      seed;
+      utilization = r.Experiment.utilization;
+      jain_index = r.Experiment.jain_index;
+      median_rtt_inflation = Time_ns.to_float_ms r.Experiment.median_rtt /. base_ms;
+      p95_rtt_inflation = Time_ns.to_float_ms r.Experiment.p95_rtt /. base_ms;
+      retransmit_rate =
+        (if segments = 0 then 0.0 else float_of_int retx /. float_of_int segments);
+      timeouts = sum (fun (f : Experiment.flow_result) -> f.timeouts);
+      quarantines = agent (fun s -> s.Experiment.quarantines);
+      installs_refused = agent (fun s -> s.Experiment.installs_refused);
+      fallbacks = agent (fun s -> s.Experiment.fallbacks);
+      guard_incidents = agent (fun s -> s.Experiment.guard_incidents);
+      cwnd_rmse_vs_baseline = rmse_vs baseline r;
+      perturb_stats = r.Experiment.perturb_stats;
+      result = r;
+    }
+
+  let lookup kind table names =
+    List.map
+      (fun n ->
+        match List.assoc_opt n table with
+        | Some v -> (n, v)
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Robustness: unknown %s %S (have: %s)" kind n
+               (String.concat ", " (List.map fst table))))
+      names
+
+  let run ?(rate_bps = default_rate_bps) ?(base_rtt = default_base_rtt)
+      ?(duration = Time_ns.sec 10) ?(seeds = [ 42 ]) ?algos ?perturbs () =
+    let sel_algos = lookup "algorithm" algorithms (Option.value algos ~default:algorithm_names) in
+    let sel_perturbs =
+      lookup "perturbation" (perturbations ~rate_bps)
+        (Option.value perturbs ~default:perturbation_names)
+    in
+    let cells =
+      List.concat_map
+        (fun seed ->
+          List.concat_map
+            (fun (algo, mk) ->
+              (* The clean cell doubles as the reference trace for the
+                 perturbed cells' cwnd RMSE; without "baseline" in the
+                 selection no hidden extra runs happen and RMSE is
+                 omitted. *)
+              let baseline =
+                if List.mem_assoc "baseline" sel_perturbs then
+                  Some (run_cell ~rate_bps ~base_rtt ~duration ~seed ~plan:Plan.none mk)
+                else None
+              in
+              List.map
+                (fun (pname, plan) ->
+                  let r =
+                    match (pname, baseline) with
+                    | "baseline", Some b -> b
+                    | _ -> run_cell ~rate_bps ~base_rtt ~duration ~seed ~plan mk
+                  in
+                  let reference = if pname = "baseline" then None else baseline in
+                  cell_of ~algo ~perturb:pname ~seed ~base_rtt ~baseline:reference r)
+                sel_perturbs)
+            sel_algos)
+        seeds
+    in
+    { rate_bps; base_rtt; duration; seeds; cells }
+
+  let stats_to_json (s : Ccp_perturb.Sampler.stats) =
+    let i n = J.Num (float_of_int n) in
+    J.Obj
+      [
+        ("rtt_samples", i s.Ccp_perturb.Sampler.rtt_samples);
+        ("burst_episodes", i s.Ccp_perturb.Sampler.burst_episodes);
+        ("rate_samples", i s.Ccp_perturb.Sampler.rate_samples);
+        ("rate_collapsed", i s.Ccp_perturb.Sampler.rate_collapsed);
+        ("policer_passed", i s.Ccp_perturb.Sampler.policer_passed);
+        ("policer_dropped", i s.Ccp_perturb.Sampler.policer_dropped);
+      ]
+
+  let cell_to_json c =
+    let i n = J.Num (float_of_int n) in
+    J.Obj
+      [
+        ("algo", J.Str c.algo);
+        ("perturb", J.Str c.perturb);
+        ("seed", i c.seed);
+        ("utilization", J.Num c.utilization);
+        ("jain", J.Num c.jain_index);
+        ("median_rtt_inflation", J.Num c.median_rtt_inflation);
+        ("p95_rtt_inflation", J.Num c.p95_rtt_inflation);
+        ("retransmit_rate", J.Num c.retransmit_rate);
+        ("timeouts", i c.timeouts);
+        ("quarantines", i c.quarantines);
+        ("installs_refused", i c.installs_refused);
+        ("fallbacks", i c.fallbacks);
+        ("guard_incidents", i c.guard_incidents);
+        ( "cwnd_rmse_vs_baseline",
+          match c.cwnd_rmse_vs_baseline with Some v -> J.Num v | None -> J.Null );
+        ( "perturb_stats",
+          match c.perturb_stats with Some s -> stats_to_json s | None -> J.Null );
+      ]
+
+  let to_json sc =
+    J.Obj
+      [
+        ("schema", J.Str schema_tag);
+        ("rate_bps", J.Num sc.rate_bps);
+        ("base_rtt_ms", J.Num (Time_ns.to_float_ms sc.base_rtt));
+        ("duration_s", J.Num (Time_ns.to_float_sec sc.duration));
+        ("seeds", J.List (List.map (fun s -> J.Num (float_of_int s)) sc.seeds));
+        ("cells", J.List (List.map cell_to_json sc.cells));
+      ]
+
+  let validate_scorecard json =
+    let ( let* ) = Result.bind in
+    let str name obj =
+      match J.member name obj with
+      | Some (J.Str s) -> Ok s
+      | _ -> Error (Printf.sprintf "missing string field %S" name)
+    in
+    let num name obj =
+      match Option.bind (J.member name obj) J.to_float with
+      | Some v when Float.is_finite v -> Ok v
+      | _ -> Error (Printf.sprintf "missing or non-finite numeric field %S" name)
+    in
+    let counter name obj =
+      let* v = num name obj in
+      if v >= 0.0 && Float.is_integer v then Ok v
+      else Error (Printf.sprintf "field %S = %g is not a non-negative integer" name v)
+    in
+    let* schema = str "schema" json in
+    let* () =
+      if schema = schema_tag then Ok ()
+      else Error (Printf.sprintf "schema is %S, want %S" schema schema_tag)
+    in
+    let* _ = num "rate_bps" json in
+    let* _ = num "base_rtt_ms" json in
+    let* _ = num "duration_s" json in
+    let* cells =
+      match J.member "cells" json with
+      | Some (J.List l) -> Ok l
+      | _ -> Error "missing \"cells\" array"
+    in
+    let check_cell i cell =
+      let ctx msg = Printf.sprintf "cell %d: %s" i msg in
+      let ( let* ) a b = Result.bind (Result.map_error ctx a) b in
+      let* _ = str "algo" cell in
+      let* _ = str "perturb" cell in
+      let* _ = counter "seed" cell in
+      let* u = num "utilization" cell in
+      let* () =
+        if u >= 0.0 && u <= 1.5 then Ok ()
+        else Error (ctx (Printf.sprintf "utilization %g out of range" u))
+      in
+      let* jain = num "jain" cell in
+      let* () =
+        if jain > 0.0 && jain <= 1.0 +. 1e-9 then Ok ()
+        else Error (ctx (Printf.sprintf "jain %g out of range" jain))
+      in
+      let* m = num "median_rtt_inflation" cell in
+      let* p = num "p95_rtt_inflation" cell in
+      let* () =
+        if m >= 0.9 && p >= m -. 1e-9 then Ok ()
+        else Error (ctx (Printf.sprintf "RTT inflation pair (%g, %g) inconsistent" m p))
+      in
+      let* rr = num "retransmit_rate" cell in
+      let* () =
+        if rr >= 0.0 && rr <= 1.0 then Ok ()
+        else Error (ctx (Printf.sprintf "retransmit_rate %g out of range" rr))
+      in
+      let* _ = counter "timeouts" cell in
+      let* _ = counter "quarantines" cell in
+      let* _ = counter "installs_refused" cell in
+      let* _ = counter "fallbacks" cell in
+      let* _ = counter "guard_incidents" cell in
+      let* () =
+        match J.member "cwnd_rmse_vs_baseline" cell with
+        | Some J.Null -> Ok ()
+        | Some (J.Num v) when Float.is_finite v && v >= 0.0 -> Ok ()
+        | _ -> Error (ctx "cwnd_rmse_vs_baseline must be null or a non-negative number")
+      in
+      Ok ()
+    in
+    let rec check i = function
+      | [] -> Ok (List.length cells)
+      | c :: rest -> ( match check_cell i c with Ok () -> check (i + 1) rest | Error e -> Error e)
+    in
+    check 0 cells
+end
+
 (* Figure 2, measured end to end. {!Fig2} samples the latency model
    directly; here the full control loop runs with the span tracer armed
    and reaction latency — report departure to control application at the

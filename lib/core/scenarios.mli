@@ -261,6 +261,92 @@ module Hostile : sig
   (** {!run_one} over {!all}. *)
 end
 
+(** Robustness matrix: measurement-noise perturbations × CCP algorithms —
+    the {!Ccp_perturb} counterpart of {!Hostile}. Hostile attacks the
+    datapath with adversarial programs; here the network's *measurements*
+    misbehave (jittered RTT samples, noisy delivery-rate estimates,
+    stretch ACKs, a token-bucket policer) while well-behaved algorithms
+    run on top. Each cell runs two same-algorithm flows on a 48 Mbit/s,
+    20 ms dumbbell with the guard envelope armed, so the matrix also
+    checks that noise alone never trips quarantine. *)
+module Robustness : sig
+  val default_rate_bps : float
+  val default_base_rtt : Time_ns.t
+
+  val algorithms : (string * (unit -> Ccp_agent.Algorithm.t)) list
+  (** The measurement-hungry four: ccp-vegas (fold), ccp-bbr, ccp-timely,
+      ccp-pcc. *)
+
+  val perturbations : rate_bps:float -> (string * Ccp_perturb.Perturb_plan.t) list
+  (** baseline (empty plan), rtt-jitter, rate-noise, stretch-ack, policer
+      (3/4 of [rate_bps]), combined (jitter + rate-noise + stretch via
+      {!Ccp_perturb.Perturb_plan.compose}). *)
+
+  val algorithm_names : string list
+  val perturbation_names : string list
+
+  val second_flow_at : Time_ns.t -> Time_ns.t
+  (** When the second flow of a cell joins: 25 % into the run. *)
+
+  type cell = {
+    algo : string;
+    perturb : string;
+    seed : int;
+    utilization : float;
+    jain_index : float;  (** over the cell's two flows *)
+    median_rtt_inflation : float;  (** true median RTT / base RTT *)
+    p95_rtt_inflation : float;
+    retransmit_rate : float;  (** retransmits / segments sent, all flows *)
+    timeouts : int;
+    quarantines : int;
+    installs_refused : int;
+    fallbacks : int;
+    guard_incidents : int;
+    cwnd_rmse_vs_baseline : float option;
+        (** flow-0 cwnd RMSE against the same (algo, seed) clean cell;
+            [None] on the baseline cell itself, when "baseline" was not
+            selected, or when the traces don't overlap *)
+    perturb_stats : Ccp_perturb.Sampler.stats option;
+        (** summed sampler counters; [None] on baseline cells *)
+    result : Experiment.result;  (** the full run, for deeper digging *)
+  }
+
+  type scorecard = {
+    rate_bps : float;
+    base_rtt : Time_ns.t;
+    duration : Time_ns.t;
+    seeds : int list;
+    cells : cell list;  (** in seeds × algorithms × perturbations order *)
+  }
+
+  val schema_tag : string
+  (** ["ccp-robustness-scorecard/v1"], the [schema] field of the JSON. *)
+
+  val run :
+    ?rate_bps:float ->
+    ?base_rtt:Time_ns.t ->
+    ?duration:Time_ns.t ->
+    ?seeds:int list ->
+    ?algos:string list ->
+    ?perturbs:string list ->
+    unit ->
+    scorecard
+  (** Run the matrix (defaults: 48 Mbit/s, 20 ms, 10 s, seed 42, all
+      algorithms, all perturbations). [algos]/[perturbs] select subsets
+      by name; unknown names raise [Invalid_argument]. Deterministic:
+      same arguments, same scorecard (including its JSON bytes). *)
+
+  val to_json : scorecard -> Ccp_obs.Json.t
+  val cell_to_json : cell -> Ccp_obs.Json.t
+
+  val validate_scorecard : Ccp_obs.Json.t -> (int, string) result
+  (** Schema check for emitted scorecards (CI re-parses what it writes):
+      verifies the schema tag, that every cell carries finite metrics in
+      range (utilization, Jain, RTT inflation, retransmit rate, integer
+      counters), and that RMSE is null or non-negative. [Ok n] = [n]
+      valid cells. *)
+end
+
 (** Figure 2 measured end to end: full control-loop runs with the span
     tracer armed, reaction latency (report departure to control
     application) read back from the flight recorder's [Span] events.

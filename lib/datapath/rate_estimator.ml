@@ -7,6 +7,7 @@ type t = {
   mutable first_send_time : Time_ns.t option;
   send_ewma : Stats.Ewma.t;
   delivery_ewma : Stats.Ewma.t;
+  delivery_transform : (float -> float) option;
 }
 
 type snapshot = {
@@ -18,7 +19,7 @@ type snapshot = {
 
 type rates = { send_rate : float option; delivery_rate : float option }
 
-let create ?(ewma_alpha = 0.125) () =
+let create ?(ewma_alpha = 0.125) ?delivery_transform () =
   {
     total_sent = 0;
     total_delivered = 0;
@@ -26,6 +27,7 @@ let create ?(ewma_alpha = 0.125) () =
     first_send_time = None;
     send_ewma = Stats.Ewma.create ~alpha:ewma_alpha;
     delivery_ewma = Stats.Ewma.create ~alpha:ewma_alpha;
+    delivery_transform;
   }
 
 let on_send t ~now ~bytes =
@@ -60,6 +62,14 @@ let on_ack t ~now ~bytes_newly_acked snapshot =
     rate_of
       ~bytes:(t.total_delivered - snapshot.delivered_before)
       ~interval:(Time_ns.sub now snapshot.delivered_time_before)
+  in
+  (* The transform (measurement-noise perturbation) applies before the
+     EWMA so the filtered value the CCP reports as _recv_rate and the
+     per-sample value in the ack event stay mutually consistent. *)
+  let delivery_rate =
+    match t.delivery_transform with
+    | Some f -> Option.map f delivery_rate
+    | None -> delivery_rate
   in
   Option.iter (Stats.Ewma.add t.send_ewma) send_rate;
   Option.iter (Stats.Ewma.add t.delivery_ewma) delivery_rate;

@@ -16,8 +16,12 @@ type snapshot
 (** Counter state captured at transmit time; stored with the in-flight
     segment. *)
 
-val create : ?ewma_alpha:float -> unit -> t
-(** [ewma_alpha] defaults to 0.125. *)
+val create : ?ewma_alpha:float -> ?delivery_transform:(float -> float) -> unit -> t
+(** [ewma_alpha] defaults to 0.125. [delivery_transform] is applied to
+    every delivery-rate sample (bytes/second) before it reaches either
+    the EWMA or the caller — the hook measurement-noise perturbation
+    ({!Ccp_perturb}) uses to model estimation error; omitted, samples
+    pass through untouched. *)
 
 val on_send : t -> now:Time_ns.t -> bytes:int -> snapshot
 (** Account for [bytes] leaving and capture a snapshot. *)

@@ -79,6 +79,8 @@ type t = {
   obs_h : obs_handles option;
   obs_sample_interval : Time_ns.t;
   mutable last_flow_sample : Time_ns.t;
+  (* measurement-noise perturbation; None = clean measurements *)
+  perturb : Ccp_perturb.Sampler.t option;
 }
 
 and obs_handles = {
@@ -105,7 +107,8 @@ let make_obs_handles obs =
     o_cwnd_updates = Metrics.counter m ~unit_:"updates" "tcp.cwnd_updates";
   }
 
-let create ~sim ~flow ~config ~cc ~transmit ?obs ?(obs_sample_interval = Time_ns.zero) () =
+let create ~sim ~flow ~config ~cc ~transmit ?obs ?(obs_sample_interval = Time_ns.zero)
+    ?perturb () =
   if config.mss <= 0 then invalid_arg "Tcp_flow: mss must be positive";
   {
     sim;
@@ -114,7 +117,11 @@ let create ~sim ~flow ~config ~cc ~transmit ?obs ?(obs_sample_interval = Time_ns
     cc;
     transmit;
     rtt_est = Rtt_estimator.create ~min_rto:config.min_rto ();
-    rate_est = Rate_estimator.create ();
+    rate_est =
+      Rate_estimator.create
+        ?delivery_transform:
+          (Option.map (fun s r -> Ccp_perturb.Sampler.delivery_rate s r) perturb)
+        ();
     pacer = Pacer.create ~burst_bytes:(10 * config.mss) ();
     ctl = None;
     snd_una = 0;
@@ -146,6 +153,7 @@ let create ~sim ~flow ~config ~cc ~transmit ?obs ?(obs_sample_interval = Time_ns
     obs_h = Option.map make_obs_handles obs;
     obs_sample_interval;
     last_flow_sample = Time_ns.ns (-1);
+    perturb;
   }
 
 let now t = Sim.now t.sim
@@ -548,18 +556,27 @@ let on_ack t (pkt : Packet.t) =
   | Ack a ->
     let at = now t in
     let c = ctl t in
-    let rtt_sample =
+    let true_rtt =
       let r = Time_ns.sub at a.echo_sent_at in
       if Time_ns.is_positive r then Some r else None
     in
+    (* The controller (estimators, ack event, and through them the CCP
+       report primitives) sees the perturbed sample; the observability
+       sinks and the rtt listener keep the true network RTT, so a
+       robustness scorecard measures real queueing, not injected noise. *)
+    let rtt_sample =
+      match t.perturb with
+      | Some s -> Option.map (fun r -> Ccp_perturb.Sampler.rtt s r) true_rtt
+      | None -> true_rtt
+    in
+    Option.iter (fun r -> Rtt_estimator.on_sample t.rtt_est r) rtt_sample;
     Option.iter
       (fun r ->
-        Rtt_estimator.on_sample t.rtt_est r;
         (match t.obs_h with
         | Some h -> Ccp_obs.Metrics.observe h.o_rtt_us (Time_ns.to_float_us r)
         | None -> ());
         match t.rtt_listener with Some f -> f at r | None -> ())
-      rtt_sample;
+      true_rtt;
     let sacked_bytes =
       List.fold_left (fun acc range -> acc + mark_sacked t range) 0 a.newly_sacked
     in

@@ -39,12 +39,20 @@ val create :
   transmit:(Packet.t -> unit) ->
   ?obs:Ccp_obs.Obs.t ->
   ?obs_sample_interval:Time_ns.t ->
+  ?perturb:Ccp_perturb.Sampler.t ->
   unit ->
   t
 (** With [obs] the flow publishes RTT/segment/retransmit/timeout/recovery
     metrics and records a [Flow_sample] trace event (cwnd, pacing rate,
     srtt, inflight, delivery rate) on ACKs, throttled to at most one per
-    [obs_sample_interval] (default: every ACK). *)
+    [obs_sample_interval] (default: every ACK).
+
+    With [perturb] the congestion controller's measurement inputs are
+    perturbed per the sampler's plan: RTT samples are jittered before
+    reaching the RTT estimator and the ack event, and delivery-rate
+    samples pass through the sampler's error model. The observability
+    metrics and the RTT listener keep the true samples. Omitted (or a
+    sampler over the empty plan), measurements are untouched. *)
 
 val start : t -> unit
 (** Call the controller's [on_init] and begin transmitting. *)

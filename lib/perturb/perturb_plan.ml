@@ -1,0 +1,101 @@
+open Ccp_util
+
+type burst = { probability : float; extra : Time_ns.t; length : int }
+
+type rtt_jitter = {
+  additive_sigma : Time_ns.t;
+  multiplicative : float;
+  burst : burst option;
+}
+
+type rate_error = { multiplicative : float; collapse_probability : float }
+
+type ack_stretch = { every : int }
+
+type policer = { rate_bps : float; burst_bytes : int }
+
+type t = {
+  rtt_jitter : rtt_jitter option;
+  rate_error : rate_error option;
+  ack_stretch : ack_stretch option;
+  policer : policer option;
+}
+
+let none = { rtt_jitter = None; rate_error = None; ack_stretch = None; policer = None }
+
+let is_none t =
+  t.rtt_jitter = None && t.rate_error = None && t.ack_stretch = None && t.policer = None
+
+let check_probability what p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Perturb_plan: %s probability %g outside [0,1]" what p)
+
+let check_spread what m =
+  if not (m >= 0.0 && m < 1.0) then
+    invalid_arg (Printf.sprintf "Perturb_plan: %s spread %g outside [0,1)" what m)
+
+let make ?rtt_jitter ?rate_error ?ack_stretch ?policer () =
+  Option.iter
+    (fun (j : rtt_jitter) ->
+      if Time_ns.compare j.additive_sigma Time_ns.zero < 0 then
+        invalid_arg "Perturb_plan: rtt_jitter additive sigma is negative";
+      check_spread "rtt_jitter multiplicative" j.multiplicative;
+      Option.iter
+        (fun (b : burst) ->
+          check_probability "burst" b.probability;
+          if Time_ns.compare b.extra Time_ns.zero < 0 then
+            invalid_arg "Perturb_plan: burst extra delay is negative";
+          if b.length < 1 then invalid_arg "Perturb_plan: burst length below 1")
+        j.burst)
+    rtt_jitter;
+  Option.iter
+    (fun (e : rate_error) ->
+      check_spread "rate_error multiplicative" e.multiplicative;
+      check_probability "rate collapse" e.collapse_probability)
+    rate_error;
+  Option.iter
+    (fun (s : ack_stretch) ->
+      if s.every < 1 then invalid_arg "Perturb_plan: ack stretch factor below 1")
+    ack_stretch;
+  Option.iter
+    (fun (p : policer) ->
+      if not (p.rate_bps > 0.0) then invalid_arg "Perturb_plan: policer rate must be positive";
+      if p.burst_bytes <= 0 then invalid_arg "Perturb_plan: policer burst must be positive")
+    policer;
+  { rtt_jitter; rate_error; ack_stretch; policer }
+
+let overlay a b = match b with Some _ -> b | None -> a
+
+let compose a b =
+  {
+    rtt_jitter = overlay a.rtt_jitter b.rtt_jitter;
+    rate_error = overlay a.rate_error b.rate_error;
+    ack_stretch = overlay a.ack_stretch b.ack_stretch;
+    policer = overlay a.policer b.policer;
+  }
+
+let ack_stretch_every t = match t.ack_stretch with Some s -> s.every | None -> 1
+
+let describe t =
+  if is_none t then "none"
+  else begin
+    let parts = ref [] in
+    let add fmt = Printf.ksprintf (fun s -> parts := s :: !parts) fmt in
+    Option.iter
+      (fun (j : rtt_jitter) ->
+        add "rtt-jitter=%s/±%g%s" (Time_ns.to_string j.additive_sigma) j.multiplicative
+          (match j.burst with
+          | Some b ->
+            Printf.sprintf "+burst(%g,%s,x%d)" b.probability (Time_ns.to_string b.extra) b.length
+          | None -> ""))
+      t.rtt_jitter;
+    Option.iter
+      (fun (e : rate_error) ->
+        add "rate-error=±%g/collapse=%g" e.multiplicative e.collapse_probability)
+      t.rate_error;
+    Option.iter (fun (s : ack_stretch) -> add "ack-stretch=%d" s.every) t.ack_stretch;
+    Option.iter
+      (fun (p : policer) -> add "policer=%gbps/%dB" p.rate_bps p.burst_bytes)
+      t.policer;
+    String.concat " " (List.rev !parts)
+  end

@@ -1,0 +1,93 @@
+(** Composable measurement-noise perturbation for the datapath.
+
+    Where {!Ccp_ipc.Fault_plan} degrades the IPC channel between the
+    datapath and the agent, a perturbation plan degrades the datapath's
+    {e measurement primitives} themselves — the raw inputs every
+    measurement-based congestion-control algorithm folds over: RTT
+    samples, delivery-rate samples, the ACK clock, and the data path's
+    admitted rate. The robustness literature (Robustifying
+    Measurement-Based CCAs) shows exactly these inputs are what breaks
+    Vegas/BBR/Timely/PCC-style controllers in the wild; the plan makes
+    each distortion a first-class, seeded, reproducible experiment knob.
+
+    Every random decision is drawn from a {!Sampler}'s own RNG streams
+    (seeded per flow, independent of the simulator root), so a perturbed
+    run is exactly as reproducible as a clean one.
+
+    The empty plan ({!none}) is the identity: a run configured with it
+    performs {e no} extra RNG draws and is byte-for-byte identical to a
+    run with no perturbation wired at all. *)
+
+open Ccp_util
+
+type burst = {
+  probability : float;  (** chance an RTT sample opens a burst episode *)
+  extra : Time_ns.t;  (** additional latency during the episode *)
+  length : int;  (** samples per episode, including the trigger *)
+}
+
+type rtt_jitter = {
+  additive_sigma : Time_ns.t;  (** gaussian noise added to each sample *)
+  multiplicative : float;
+      (** each sample is scaled by uniform [1-m, 1+m]; 0 disables *)
+  burst : burst option;
+      (** correlated episodes: once triggered, the next [length] samples
+          all pay [extra] (bufferbloat-style plateaus, not white noise) *)
+}
+
+type rate_error = {
+  multiplicative : float;
+      (** each delivery-rate sample is scaled by uniform [1-m, 1+m] *)
+  collapse_probability : float;
+      (** chance a sample is replaced by 0 outright — the degenerate
+          estimate ACK compression and stretch ACKs produce *)
+}
+
+type ack_stretch = {
+  every : int;  (** receiver aggregates this many in-order segments per ACK *)
+}
+
+type policer = {
+  rate_bps : float;  (** token refill rate, bits/second *)
+  burst_bytes : int;  (** bucket depth *)
+}
+
+type t = {
+  rtt_jitter : rtt_jitter option;
+  rate_error : rate_error option;
+  ack_stretch : ack_stretch option;
+  policer : policer option;
+      (** token-bucket policer on the flow's transmitted data packets:
+          segments that find the bucket empty are dropped in the network
+          (loss without queueing delay — the signature that confuses
+          delay-based controllers) *)
+}
+
+val none : t
+(** No perturbation. The identity plan. *)
+
+val is_none : t -> bool
+(** [true] iff the plan can never affect a sample; experiments skip the
+    sampler (and its RNG streams) entirely in that case. *)
+
+val make :
+  ?rtt_jitter:rtt_jitter ->
+  ?rate_error:rate_error ->
+  ?ack_stretch:ack_stretch ->
+  ?policer:policer ->
+  unit ->
+  t
+(** Validating constructor. Raises [Invalid_argument] if a probability is
+    outside \[0, 1\], a sigma/extra/spread is negative, a burst length or
+    stretch factor is below 1, or a policer rate/burst is non-positive. *)
+
+val compose : t -> t -> t
+(** [compose a b] overlays [b] on [a], field by field; where both set a
+    field, [b] wins. [none] is the identity on both sides. *)
+
+val ack_stretch_every : t -> int
+(** The receiver's ACK aggregation factor under this plan; 1 when no
+    stretch is configured. *)
+
+val describe : t -> string
+(** One-line human-readable summary, ["none"] for the empty plan. *)

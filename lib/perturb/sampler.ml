@@ -1,0 +1,171 @@
+open Ccp_util
+
+type stats = {
+  rtt_samples : int;
+  burst_episodes : int;
+  rate_samples : int;
+  rate_collapsed : int;
+  policer_passed : int;
+  policer_dropped : int;
+}
+
+let zero_stats =
+  {
+    rtt_samples = 0;
+    burst_episodes = 0;
+    rate_samples = 0;
+    rate_collapsed = 0;
+    policer_passed = 0;
+    policer_dropped = 0;
+  }
+
+let merge_stats a b =
+  {
+    rtt_samples = a.rtt_samples + b.rtt_samples;
+    burst_episodes = a.burst_episodes + b.burst_episodes;
+    rate_samples = a.rate_samples + b.rate_samples;
+    rate_collapsed = a.rate_collapsed + b.rate_collapsed;
+    policer_passed = a.policer_passed + b.policer_passed;
+    policer_dropped = a.policer_dropped + b.policer_dropped;
+  }
+
+type t = {
+  plan : Perturb_plan.t;
+  (* Separate streams per primitive: adding draws to one never shifts
+     the other, so e.g. arming rate noise cannot change the jitter a
+     combined plan applies to RTT samples. *)
+  rtt_rng : Rng.t;
+  rate_rng : Rng.t;
+  mutable burst_left : int;  (* samples remaining in the open episode *)
+  mutable tokens : float;  (* policer bucket, bytes *)
+  mutable last_refill : Time_ns.t option;
+  mutable rtt_samples : int;
+  mutable burst_episodes : int;
+  mutable rate_samples : int;
+  mutable rate_collapsed : int;
+  mutable policer_passed : int;
+  mutable policer_dropped : int;
+}
+
+let create ~seed plan =
+  let root = Rng.create ~seed in
+  let rtt_rng = Rng.split root in
+  let rate_rng = Rng.split root in
+  {
+    plan;
+    rtt_rng;
+    rate_rng;
+    burst_left = 0;
+    tokens =
+      (match plan.Perturb_plan.policer with
+      | Some p -> float_of_int p.Perturb_plan.burst_bytes
+      | None -> 0.0);
+    last_refill = None;
+    rtt_samples = 0;
+    burst_episodes = 0;
+    rate_samples = 0;
+    rate_collapsed = 0;
+    policer_passed = 0;
+    policer_dropped = 0;
+  }
+
+let plan t = t.plan
+
+let min_rtt_floor = Time_ns.ns 1
+
+let rtt t r =
+  match t.plan.Perturb_plan.rtt_jitter with
+  | None -> r
+  | Some j ->
+    t.rtt_samples <- t.rtt_samples + 1;
+    let sec = Time_ns.to_float_sec r in
+    let sec =
+      if j.Perturb_plan.multiplicative > 0.0 then
+        sec
+        *. Rng.uniform t.rtt_rng
+             ~lo:(1.0 -. j.Perturb_plan.multiplicative)
+             ~hi:(1.0 +. j.Perturb_plan.multiplicative)
+      else sec
+    in
+    let sec =
+      if Time_ns.is_positive j.Perturb_plan.additive_sigma then
+        sec
+        +. Rng.gaussian t.rtt_rng ~mu:0.0
+             ~sigma:(Time_ns.to_float_sec j.Perturb_plan.additive_sigma)
+      else sec
+    in
+    let sec =
+      match j.Perturb_plan.burst with
+      | None -> sec
+      | Some b ->
+        if t.burst_left > 0 then begin
+          t.burst_left <- t.burst_left - 1;
+          sec +. Time_ns.to_float_sec b.Perturb_plan.extra
+        end
+        else if
+          b.Perturb_plan.probability > 0.0
+          && Rng.float t.rtt_rng 1.0 < b.Perturb_plan.probability
+        then begin
+          t.burst_episodes <- t.burst_episodes + 1;
+          t.burst_left <- b.Perturb_plan.length - 1;
+          sec +. Time_ns.to_float_sec b.Perturb_plan.extra
+        end
+        else sec
+    in
+    let out = Time_ns.of_float_sec sec in
+    if Time_ns.compare out min_rtt_floor < 0 then min_rtt_floor else out
+
+let delivery_rate t r =
+  match t.plan.Perturb_plan.rate_error with
+  | None -> r
+  | Some e ->
+    t.rate_samples <- t.rate_samples + 1;
+    if
+      e.Perturb_plan.collapse_probability > 0.0
+      && Rng.float t.rate_rng 1.0 < e.Perturb_plan.collapse_probability
+    then begin
+      t.rate_collapsed <- t.rate_collapsed + 1;
+      0.0
+    end
+    else if e.Perturb_plan.multiplicative > 0.0 then
+      Float.max 0.0
+        (r
+        *. Rng.uniform t.rate_rng
+             ~lo:(1.0 -. e.Perturb_plan.multiplicative)
+             ~hi:(1.0 +. e.Perturb_plan.multiplicative))
+    else r
+
+let admit_data t ~now ~bytes =
+  match t.plan.Perturb_plan.policer with
+  | None -> true
+  | Some p ->
+    let elapsed =
+      match t.last_refill with
+      | None -> 0.0
+      | Some last -> Time_ns.to_float_sec (Time_ns.sub now last)
+    in
+    t.last_refill <- Some now;
+    t.tokens <-
+      Float.min
+        (float_of_int p.Perturb_plan.burst_bytes)
+        (t.tokens +. (elapsed *. p.Perturb_plan.rate_bps /. 8.0));
+    let b = float_of_int bytes in
+    if t.tokens >= b then begin
+      t.tokens <- t.tokens -. b;
+      t.policer_passed <- t.policer_passed + 1;
+      true
+    end
+    else begin
+      t.policer_dropped <- t.policer_dropped + 1;
+      false
+    end
+
+let stats t =
+  {
+    rtt_samples = t.rtt_samples;
+    burst_episodes = t.burst_episodes;
+    rate_samples = t.rate_samples;
+    rate_collapsed = t.rate_collapsed;
+    policer_passed = t.policer_passed;
+    policer_dropped = t.policer_dropped;
+  }

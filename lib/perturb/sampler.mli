@@ -1,0 +1,49 @@
+(** Per-flow runtime of a {!Perturb_plan}: the stateful object the
+    datapath consults at each measurement point.
+
+    One sampler serves one flow. Its RNG streams are seeded explicitly
+    (never split off the simulator root), so arming a perturbation does
+    not shift any random draw the rest of the simulation makes — a
+    perturbed run differs from the clean run only where the plan says it
+    should.
+
+    Every accessor is the identity (and draws nothing) for the parts of
+    the plan that are absent, so a sampler over {!Perturb_plan.none}
+    changes no behaviour at all. *)
+
+open Ccp_util
+
+type t
+
+type stats = {
+  rtt_samples : int;  (** RTT samples passed through the jitter model *)
+  burst_episodes : int;  (** burst episodes opened *)
+  rate_samples : int;  (** delivery-rate samples passed through *)
+  rate_collapsed : int;  (** samples replaced by zero *)
+  policer_passed : int;  (** data packets the token bucket admitted *)
+  policer_dropped : int;  (** data packets the token bucket dropped *)
+}
+
+val zero_stats : stats
+val merge_stats : stats -> stats -> stats
+
+val create : seed:int -> Perturb_plan.t -> t
+(** Equal seed and plan give byte-identical perturbation sequences. *)
+
+val plan : t -> Perturb_plan.t
+
+val rtt : t -> Time_ns.t -> Time_ns.t
+(** Perturb one RTT sample per the plan's [rtt_jitter]; the result is
+    clamped to at least 1 ns so downstream estimators never see a
+    non-positive sample. Identity when the plan has no jitter. *)
+
+val delivery_rate : t -> float -> float
+(** Perturb one delivery-rate sample (bytes/second) per the plan's
+    [rate_error]; clamped to at least 0. Identity when absent. *)
+
+val admit_data : t -> now:Time_ns.t -> bytes:int -> bool
+(** Token-bucket policer decision for one transmitted data packet.
+    Deterministic (no RNG). Always [true] when the plan has no policer. *)
+
+val stats : t -> stats
+(** Immutable snapshot of the perturbation counters so far. *)

@@ -421,6 +421,64 @@ let test_ccp_timely_gradient () =
   let r3 = Option.get (rate_of_program ()) in
   Alcotest.(check bool) "decrease above t_high" true (r3 < r2)
 
+(* Measurement-noise hardening: perturbed RTT samples clamp at 1 ns, so
+   reports can carry near-zero rtt aggregates. Timely must ignore them
+   outright — feeding them into the gradient divides by ~0. *)
+let test_ccp_timely_ignores_near_zero_rtt () =
+  let handle, installs, _ = fake_handle () in
+  let handlers = (Ccp_timely.create ()).Ccp_agent.Algorithm.make handle in
+  handlers.Ccp_agent.Algorithm.on_ready ();
+  let rate_of_program () =
+    Option.get
+      (List.find_map
+         (function Ccp_lang.Ast.Rate (Ccp_lang.Ast.Const f) -> Some f | _ -> None)
+         (List.hd !installs).Ccp_lang.Ast.prims)
+  in
+  let tr ~rtt ~minrtt = report [ ("pkts", 10.0); ("sumrtt", rtt *. 10.0); ("minrtt", minrtt) ] in
+  handlers.Ccp_agent.Algorithm.on_report (tr ~rtt:10_100.0 ~minrtt:10_000.0);
+  handlers.Ccp_agent.Algorithm.on_report (tr ~rtt:10_100.0 ~minrtt:10_000.0);
+  let before = rate_of_program () in
+  (* A 1 ns-floor report (0.001 us per packet): must not move the rate,
+     poison min_rtt, or leave a bogus prev_rtt behind. *)
+  handlers.Ccp_agent.Algorithm.on_report (tr ~rtt:0.001 ~minrtt:0.001);
+  Alcotest.(check (float 1e-9)) "near-zero report is a no-op" before (rate_of_program ());
+  handlers.Ccp_agent.Algorithm.on_report (tr ~rtt:40_000.0 ~minrtt:10_000.0);
+  let after_spike = rate_of_program () in
+  Alcotest.(check bool) "spike still decreases sanely" true
+    (Float.is_finite after_spike && after_spike > 0.0 && after_spike < before)
+
+(* PCC's monitor-interval length comes from the perturbable srtt; the
+   100 us floor must make all sub-floor values indistinguishable, or a
+   1 ns srtt inflates measured throughput (and utility) a million-fold. *)
+let test_ccp_pcc_floors_tiny_interval () =
+  let handle, installs, _ = fake_handle () in
+  let handlers = (Ccp_pcc.create ()).Ccp_agent.Algorithm.make handle in
+  handlers.Ccp_agent.Algorithm.on_ready ();
+  let pcc_report ~acked ~srtt_us ~now_us =
+    report [ ("acked", acked); ("_now_us", now_us); ("_srtt_us", srtt_us) ]
+  in
+  let count_reports () =
+    List.length
+      (List.filter
+         (function Ccp_lang.Ast.Report -> true | _ -> false)
+         (List.hd !installs).Ccp_lang.Ast.prims)
+  in
+  (* Two startup cycles whose srtt values both sit under the floor: with
+     the clamp the second (more acked bytes per interval) shows higher
+     utility, so startup keeps doubling. Without it the first interval
+     is 1 ns, its utility dwarfs the second, and PCC wrongly bails into
+     probing (a two-report program at a backed-off rate). *)
+  handlers.Ccp_agent.Algorithm.on_report (pcc_report ~acked:14_480.0 ~srtt_us:0.001 ~now_us:10_000.0);
+  handlers.Ccp_agent.Algorithm.on_report (pcc_report ~acked:28_960.0 ~srtt_us:50.0 ~now_us:20_000.0);
+  Alcotest.(check int) "still in startup (one-report program)" 1 (count_reports ());
+  let rate =
+    Option.get
+      (List.find_map
+         (function Ccp_lang.Ast.Rate (Ccp_lang.Ast.Const f) -> Some f | _ -> None)
+         (List.hd !installs).Ccp_lang.Ast.prims)
+  in
+  Alcotest.(check (float 1.0)) "doubled twice" (4.0 *. (14_480.0 /. 0.010)) rate
+
 let test_ccp_aimd_tiny () =
   let handle, installs, _ = fake_handle () in
   let handlers = (Ccp_aimd.create ()).Ccp_agent.Algorithm.make handle in
@@ -501,6 +559,8 @@ let suite =
         Alcotest.test_case "bbr probe cycle" `Quick test_ccp_bbr_probe_cycle;
         Alcotest.test_case "dctcp alpha" `Quick test_ccp_dctcp_alpha;
         Alcotest.test_case "timely gradient" `Quick test_ccp_timely_gradient;
+        Alcotest.test_case "timely near-zero rtt" `Quick test_ccp_timely_ignores_near_zero_rtt;
+        Alcotest.test_case "pcc tiny interval floor" `Quick test_ccp_pcc_floors_tiny_interval;
         Alcotest.test_case "aimd" `Quick test_ccp_aimd_tiny;
         Alcotest.test_case "all programs typecheck" `Quick test_all_ccp_programs_typecheck;
       ] );
