@@ -114,6 +114,50 @@ let fallback_rtts =
   in
   Arg.(value & opt float 0.0 & info [ "fallback-rtts" ] ~docv:"K" ~doc)
 
+(* --- agent resilience options (docs/safety.md) --- *)
+
+let shed_queue =
+  let doc =
+    "Arm agent overload control: bound the report backlog to $(docv) messages (hard \
+     cap). 0 disables, dispatching every report synchronously."
+  in
+  Arg.(value & opt int 0 & info [ "shed-queue" ] ~docv:"N" ~doc)
+
+let shed_watermark =
+  let doc =
+    "Overload high watermark: above this depth the agent sheds the oldest report of \
+     the deepest-backlog flow. Defaults to half of --shed-queue."
+  in
+  Arg.(value & opt int 0 & info [ "shed-watermark" ] ~docv:"N" ~doc)
+
+let shed_budget =
+  let doc = "Reports dispatched per round when overload control is armed." in
+  Arg.(value & opt int 4 & info [ "shed-budget" ] ~docv:"N" ~doc)
+
+let shed_interval_ms =
+  let doc = "Dispatch round interval in milliseconds when overload control is armed." in
+  Arg.(value & opt float 5.0 & info [ "shed-interval" ] ~docv:"MS" ~doc)
+
+let checkpoint_ms =
+  let doc =
+    "Checkpoint the agent's per-flow state every $(docv) milliseconds and replay the \
+     latest snapshot after each --agent-crash restart (warm restart). 0 disables \
+     (cold restarts)."
+  in
+  Arg.(value & opt float 0.0 & info [ "checkpoint-interval" ] ~docv:"MS" ~doc)
+
+let build_overload ~shed_queue ~shed_watermark ~shed_budget ~shed_interval_ms =
+  if shed_queue <= 0 then None
+  else
+    Some
+      {
+        Ccp_agent.Agent.queue_capacity = shed_queue;
+        high_watermark =
+          (if shed_watermark > 0 then shed_watermark else max 1 (shed_queue / 2));
+        dispatch_budget = shed_budget;
+        dispatch_interval = Time_ns.of_float_sec (shed_interval_ms /. 1e3);
+      }
+
 (* --- guard-envelope options (docs/safety.md) --- *)
 
 let guard_min_cwnd =
@@ -260,7 +304,17 @@ let print_result (r : Experiment.result) =
         "datapath self-protection: %d installs admitted, %d refused; %d guard incidents, \
          %d quarantines\n"
         s.Experiment.installs_admitted s.Experiment.installs_refused
-        s.Experiment.guard_incidents s.Experiment.quarantines
+        s.Experiment.guard_incidents s.Experiment.quarantines;
+    if s.Experiment.decode_failures > 0 then
+      Printf.printf "IPC decode failures: %d\n" s.Experiment.decode_failures;
+    if s.Experiment.reports_shed > 0 || s.Experiment.degradations > 0 then
+      Printf.printf
+        "agent overload: %d reports shed, %d flow degradations, max report wait %s\n"
+        s.Experiment.reports_shed s.Experiment.degradations
+        (Time_ns.to_string s.Experiment.max_queue_wait);
+    if s.Experiment.checkpoints_taken > 0 || s.Experiment.warm_restores > 0 then
+      Printf.printf "warm restart: %d checkpoints taken, %d flows restored warm\n"
+        s.Experiment.checkpoints_taken s.Experiment.warm_restores
   | None -> ())
 
 (* Flight-recorder sink for [run --trace]: write, then re-read and
@@ -308,9 +362,17 @@ let write_trace ~path (obs : Ccp_obs.Obs.t) =
 let run_cmd =
   let action rate_mbps rtt_ms duration_s buffer_bdp seed flows ecn_bdp trace ipc_drop ipc_dup
       ipc_spike ipc_reorder agent_crash fallback_rtts guard_min_cwnd guard_max_rate
-      guard_report_us guard_quarantine =
+      guard_report_us guard_quarantine shed_queue shed_watermark shed_budget
+      shed_interval_ms checkpoint_ms =
     let config =
       build_config ~rate_mbps ~rtt_ms ~duration_s ~buffer_bdp ~seed ~flows ~ecn_bdp
+    in
+    let agent_overload =
+      build_overload ~shed_queue ~shed_watermark ~shed_budget ~shed_interval_ms
+    in
+    let checkpoint_interval =
+      if checkpoint_ms > 0.0 then Some (Time_ns.of_float_sec (checkpoint_ms /. 1e3))
+      else None
     in
     let faults =
       try build_faults ~ipc_drop ~ipc_dup ~ipc_spike ~ipc_reorder ~agent_crash
@@ -338,7 +400,20 @@ let run_cmd =
         }
     in
     let obs = Option.map (fun _ -> Ccp_obs.Obs.create ()) trace in
-    print_result (Experiment.run { config with Experiment.faults; datapath; obs });
+    (try
+       print_result
+         (Experiment.run
+            {
+              config with
+              Experiment.faults;
+              datapath;
+              obs;
+              agent_overload;
+              checkpoint_interval;
+            })
+     with Invalid_argument msg ->
+       Printf.eprintf "ccp_sim: %s\n%!" msg;
+       exit Cmd.Exit.cli_error);
     (match (trace, obs) with
     | Some path, Some obs -> write_trace ~path obs
     | _ -> ())
@@ -348,7 +423,8 @@ let run_cmd =
     Term.(
       const action $ rate_mbps $ rtt_ms $ duration_s $ buffer_bdp $ seed $ flows_arg $ ecn_bdp
       $ trace_file $ ipc_drop $ ipc_dup $ ipc_spike $ ipc_reorder $ agent_crash $ fallback_rtts
-      $ guard_min_cwnd $ guard_max_rate $ guard_report_us $ guard_quarantine)
+      $ guard_min_cwnd $ guard_max_rate $ guard_report_us $ guard_quarantine $ shed_queue
+      $ shed_watermark $ shed_budget $ shed_interval_ms $ checkpoint_ms)
 
 let csv_cmd =
   let series =
@@ -743,6 +819,152 @@ let robustness_cmd =
       const action $ algos $ perturbs $ seeds $ rate_mbps $ rtt_ms $ duration_s
       $ scorecard_file $ bench_json)
 
+(* --- chaos: composed resilience scenario (docs/fault-injection.md) --- *)
+
+let write_chaos_scorecard ~path (sc : Scenarios.Chaos.scorecard) =
+  let oc = open_out path in
+  output_string oc (Ccp_obs.Json.to_string (Scenarios.Chaos.to_json sc));
+  output_char oc '\n';
+  close_out oc;
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Ccp_obs.Json.parse data with
+  | Error e ->
+    Printf.eprintf "ccp_sim: scorecard %s does not parse: %s\n%!" path e;
+    exit 1
+  | Ok parsed -> (
+    match Scenarios.Chaos.validate_scorecard parsed with
+    | Error e ->
+      Printf.eprintf "ccp_sim: scorecard %s is malformed: %s\n%!" path e;
+      exit 1
+    | Ok n -> Printf.printf "scorecard: wrote %s (%d cells)\n" path n)
+
+let chaos_rows (sc : Scenarios.Chaos.scorecard) =
+  let modes =
+    List.sort_uniq compare
+      (List.map (fun (c : Scenarios.Chaos.cell) -> c.mode) sc.Scenarios.Chaos.cells)
+  in
+  List.concat_map
+    (fun mode ->
+      let cells =
+        List.filter (fun (c : Scenarios.Chaos.cell) -> c.mode = mode) sc.Scenarios.Chaos.cells
+      in
+      let n = float_of_int (List.length cells) in
+      let mean f = List.fold_left (fun acc c -> acc +. f c) 0.0 cells /. n in
+      let base = Printf.sprintf "chaos.%s" mode in
+      let row name value unit_ = { Ccp_obs.Metrics.name = base ^ "." ^ name; value; unit_ } in
+      let recoveries =
+        List.filter_map (fun (c : Scenarios.Chaos.cell) -> c.mean_recovery_rtts) cells
+      in
+      [
+        row "utilization" (mean (fun c -> c.Scenarios.Chaos.utilization)) "fraction";
+        row "reports_shed" (mean (fun c -> float_of_int c.Scenarios.Chaos.reports_shed)) "msgs";
+        row "max_queue_wait" (mean (fun c -> c.Scenarios.Chaos.max_queue_wait_rtts)) "rtts";
+      ]
+      @
+      match recoveries with
+      | [] -> []
+      | _ ->
+        [
+          row "recovery"
+            (List.fold_left ( +. ) 0.0 recoveries /. float_of_int (List.length recoveries))
+            "rtts";
+        ])
+    modes
+
+let chaos_cmd =
+  let seeds =
+    let doc = "Comma-separated seeds; each seed runs a cold and a warm cell." in
+    Arg.(value & opt string "42" & info [ "seeds" ] ~docv:"LIST" ~doc)
+  in
+  let rate_mbps =
+    let doc = "Bottleneck rate in Mbit/s." in
+    Arg.(value & opt float 96.0 & info [ "rate" ] ~docv:"MBPS" ~doc)
+  in
+  let duration_s =
+    let doc = "Simulated duration per cell in seconds." in
+    Arg.(value & opt float 12.0 & info [ "duration" ] ~docv:"S" ~doc)
+  in
+  let scorecard_file =
+    let doc =
+      "Write the scorecard as JSON to $(docv). The file is re-read and schema-validated; \
+       a malformed scorecard makes the command exit non-zero."
+    in
+    Arg.(value & opt (some string) None & info [ "scorecard" ] ~docv:"FILE" ~doc)
+  in
+  let bench_json =
+    let doc =
+      "Merge $(b,chaos.*) per-mode rows (averaged over seeds) into the BENCH.json-schema \
+       file at $(docv) (created when absent)."
+    in
+    Arg.(value & opt (some string) None & info [ "bench-json" ] ~docv:"FILE" ~doc)
+  in
+  let action seeds rate_mbps rtt_ms duration_s scorecard_file bench_json =
+    let seeds =
+      match
+        List.filter_map
+          (fun s ->
+            let s = String.trim s in
+            if s = "" then None
+            else
+              match int_of_string_opt s with
+              | Some n -> Some n
+              | None ->
+                Printf.eprintf "ccp_sim: --seeds: %S is not an integer\n%!" s;
+                exit 1)
+          (String.split_on_char ',' seeds)
+      with
+      | [] -> [ 42 ]
+      | l -> l
+    in
+    let sc =
+      Scenarios.Chaos.run ~rate_bps:(rate_mbps *. 1e6)
+        ~base_rtt:(Time_ns.of_float_sec (rtt_ms /. 1e3))
+        ~duration:(Time_ns.of_float_sec duration_s) ~seeds ()
+    in
+    Printf.printf
+      "Chaos: %d CCP-Reno flows, %.0f Mbit/s, IPC faults + RTT jitter + ~4x agent \
+       overload; agent crash %s..%s\n"
+      Scenarios.Chaos.flow_count (rate_mbps)
+      (Time_ns.to_string sc.Scenarios.Chaos.crash_from)
+      (Time_ns.to_string sc.Scenarios.Chaos.crash_until);
+    Printf.printf "%-6s %-6s %-8s %-8s %-10s %-10s %-12s %s\n" "mode" "seed" "util" "shed"
+      "max-wait" "restores" "recovery" "per-flow (RTTs)";
+    List.iter
+      (fun (c : Scenarios.Chaos.cell) ->
+        Printf.printf "%-6s %-6d %-8.3f %-8d %-10.2f %-10d %-12s %s\n" c.Scenarios.Chaos.mode
+          c.Scenarios.Chaos.seed c.Scenarios.Chaos.utilization c.Scenarios.Chaos.reports_shed
+          c.Scenarios.Chaos.max_queue_wait_rtts c.Scenarios.Chaos.warm_restores
+          (match c.Scenarios.Chaos.mean_recovery_rtts with
+          | Some v -> Printf.sprintf "%.1f" v
+          | None -> "never")
+          (String.concat " "
+             (List.map
+                (fun (r : Scenarios.Chaos.recovery) ->
+                  match r.Scenarios.Chaos.recovery_rtts with
+                  | Some v -> Printf.sprintf "%.1f" v
+                  | None -> "-")
+                c.Scenarios.Chaos.recoveries)))
+      sc.Scenarios.Chaos.cells;
+    (match scorecard_file with Some path -> write_chaos_scorecard ~path sc | None -> ());
+    match bench_json with
+    | Some path -> (
+      match Ccp_obs.Metrics.merge_rows_file ~path (chaos_rows sc) with
+      | Ok n -> Printf.printf "bench-json: %s now holds %d rows\n" path n
+      | Error e ->
+        Printf.eprintf "ccp_sim: --bench-json: %s\n%!" e;
+        exit 1)
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Composed resilience scenario: IPC faults x measurement noise x agent overload x \
+          crash/restart, run cold and warm (checkpointed) per seed, reported as a \
+          schema-validated scorecard.")
+    Term.(const action $ seeds $ rate_mbps $ rtt_ms $ duration_s $ scorecard_file $ bench_json)
+
 let sweep_cmd = simple "sweep" "CCP vs native Reno across a grid of operating points."
     (fun () ->
       Sweep.render
@@ -756,6 +978,7 @@ let main =
     [
       run_cmd; csv_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; table1_cmd; batching_cmd;
       ablations_cmd; sweep_cmd; degraded_cmd; hostile_cmd; latency_cmd; robustness_cmd;
+      chaos_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -73,6 +73,21 @@ test -s "$rob_tmp/scorecard.json"
 grep -q '"robustness\.' BENCH.json
 rm -rf "$rob_tmp"
 
+echo "== chaos smoke =="
+# Agent-side resilience end to end (docs/safety.md, docs/fault-injection
+# .md): IPC faults x measurement noise x ~4x agent overload x agent
+# crash, run cold and warm through the CLI. The driver re-reads and
+# schema-validates the scorecard JSON after writing (a malformed or
+# out-of-range scorecard exits non-zero) and merges chaos.* rows into
+# BENCH.json. The byte-frozen seed-42 scorecard and the recovery/
+# starvation/utilization envelopes run in the suite above (chaos.*).
+chaos_tmp="$(mktemp -d)"
+dune exec bin/ccp_sim.exe -- chaos --duration 6 \
+  --scorecard "$chaos_tmp/scorecard.json" --bench-json BENCH.json > /dev/null
+test -s "$chaos_tmp/scorecard.json"
+grep -q '"chaos\.' BENCH.json
+rm -rf "$chaos_tmp"
+
 if [ -n "${SOAK_SEED:-}" ]; then
   echo "== soak (CCP_PROP_SEED=$SOAK_SEED) =="
   CCP_PROP_SEED="$SOAK_SEED" dune exec test/main.exe -- test -e

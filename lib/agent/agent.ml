@@ -2,11 +2,47 @@ open Ccp_util
 open Ccp_eventsim
 open Ccp_ipc
 
+(* Overload control: with [overload] armed, reports are parked in bounded
+   per-flow FIFO queues and drained in budgeted round-robin rounds instead
+   of being dispatched synchronously. Above the high watermark the agent
+   sheds deterministically — always the oldest report of the
+   deepest-backlog flow (ties to the lowest flow id), and never a flow's
+   only queued report — so a hot flow absorbs its own overload and a quiet
+   flow is never starved of its one pending update. *)
+type overload = {
+  queue_capacity : int;
+  high_watermark : int;
+  dispatch_budget : int;
+  dispatch_interval : Time_ns.t;
+}
+
+(* Per-flow degradation: [error_threshold] consecutive handler failures
+   quarantine that flow agent-side; the agent stops serving it, the
+   datapath watchdog takes the flow to native CC, and after an
+   exponentially backed-off pause the agent rebuilds a fresh algorithm
+   instance and tries to win the flow back. *)
+type degrade = {
+  error_threshold : int;
+  backoff_initial : Time_ns.t;
+  backoff_max : Time_ns.t;
+}
+
+type flow_state = Active | Degraded of { until : Time_ns.t }
+
 type flow_entry = {
   info : Algorithm.flow_info;
-  algorithm_name : string;
-  handlers : Algorithm.handlers;
+  mutable algorithm_name : string;
+  mutable handlers : Algorithm.handlers;
+  mutable consec_errors : int;
+  mutable state : flow_state;
+  mutable backoff : Time_ns.t;  (* next quarantine duration *)
+  mutable last_cwnd : int;  (* last commanded via set_cwnd, bytes; 0 = never *)
+  mutable last_rate : float;  (* last commanded via set_rate; 0 = never *)
 }
+
+(* Each queued element remembers its arrival time, so dispatch can report
+   how long reports sat waiting — the scenario-level starvation metric. *)
+type flow_queue = { fq : (Message.t * int * Time_ns.t) Queue.t; mutable in_rr : bool }
 
 type t = {
   sim : Sim.t;
@@ -14,6 +50,13 @@ type t = {
   choose : Algorithm.flow_info -> Algorithm.t;
   policy : Algorithm.flow_info -> Policy.t;
   flows : (int, flow_entry) Hashtbl.t;
+  overload : overload option;
+  degrade : degrade option;
+  queues : (int, flow_queue) Hashtbl.t;
+  rr : int Queue.t;  (* flows with queued reports, each at most once *)
+  mutable queued_total : int;
+  mutable round_scheduled : bool;
+  pending_restore : (int, Checkpoint.flow_snapshot) Hashtbl.t;
   mutable reports_received : int;
   mutable urgents_received : int;
   mutable installs_sent : int;
@@ -21,6 +64,12 @@ type t = {
   mutable install_results_received : int;
   mutable install_rejects : int;
   mutable quarantines_seen : int;
+  mutable reports_shed : int;
+  mutable max_queue_wait : Time_ns.t;
+  mutable dispatch_rounds : int;
+  mutable degradations : int;
+  mutable degraded_drops : int;
+  mutable warm_restores : int;
   obs : agent_obs option;
   tracer : Ccp_obs.Tracer.t option;
 }
@@ -32,6 +81,12 @@ and agent_obs = {
   o_handler_errors : Ccp_obs.Metrics.counter;
   o_rejects : Ccp_obs.Metrics.counter;
   o_quarantines : Ccp_obs.Metrics.counter;
+  o_shed : Ccp_obs.Metrics.counter;
+  o_rounds : Ccp_obs.Metrics.counter;
+  o_degradations : Ccp_obs.Metrics.counter;
+  o_degraded_drops : Ccp_obs.Metrics.counter;
+  o_warm_restores : Ccp_obs.Metrics.counter;
+  o_queue_depth : Ccp_obs.Metrics.gauge;
 }
 
 let make_agent_obs obs =
@@ -44,19 +99,139 @@ let make_agent_obs obs =
     o_handler_errors = Metrics.counter m ~unit_:"errors" "agent.handler_errors";
     o_rejects = Metrics.counter m ~unit_:"msgs" "agent.install_rejects";
     o_quarantines = Metrics.counter m ~unit_:"msgs" "agent.quarantines_seen";
+    o_shed = Metrics.counter m ~unit_:"msgs" "agent.reports_shed";
+    o_rounds = Metrics.counter m ~unit_:"rounds" "agent.dispatch_rounds";
+    o_degradations = Metrics.counter m ~unit_:"events" "agent.degradations";
+    o_degraded_drops = Metrics.counter m ~unit_:"msgs" "agent.degraded_drops";
+    o_warm_restores = Metrics.counter m ~unit_:"events" "agent.warm_restores";
+    o_queue_depth = Metrics.gauge m ~unit_:"msgs" "agent.queue_depth";
   }
 
 let obs_incr t pick =
   match t.obs with Some h -> Ccp_obs.Metrics.incr (pick h) | None -> ()
 
-let guard t f =
-  try f ()
-  with exn ->
+let note_queue_depth t =
+  match t.obs with
+  | Some h -> Ccp_obs.Metrics.set h.o_queue_depth (float_of_int t.queued_total)
+  | None -> ()
+
+let is_degraded entry = match entry.state with Degraded _ -> true | Active -> false
+
+(* ---- overload queue ----------------------------------------------------- *)
+
+let shed_span t span =
+  match t.tracer with
+  | Some tr when span >= 0 -> Ccp_obs.Tracer.shed tr span ~now:(Sim.now t.sim)
+  | _ -> ()
+
+let count_shed t span =
+  t.reports_shed <- t.reports_shed + 1;
+  obs_incr t (fun h -> h.o_shed);
+  shed_span t span
+
+(* Shed the oldest report of the deepest-backlog flow (ties to the lowest
+   flow id) until the total depth is back at [limit]. [floor] is the depth
+   below which a flow is exempt: 1 for the watermark pass (never take a
+   flow's only queued report), 0 for the hard capacity cap. *)
+let shed_to t ~limit ~floor =
+  let continue_ = ref true in
+  while t.queued_total > limit && !continue_ do
+    let victim = ref (-1) and depth = ref floor in
+    Hashtbl.iter
+      (fun flow q ->
+        let d = Queue.length q.fq in
+        if d > !depth || (d = !depth && d > floor && (!victim < 0 || flow < !victim))
+        then begin
+          victim := flow;
+          depth := d
+        end)
+      t.queues;
+    match !victim with
+    | -1 -> continue_ := false
+    | flow ->
+      let q = Hashtbl.find t.queues flow in
+      let _, span, _ = Queue.pop q.fq in
+      t.queued_total <- t.queued_total - 1;
+      count_shed t span
+  done
+
+let purge_queue t flow =
+  match Hashtbl.find_opt t.queues flow with
+  | None -> ()
+  | Some q ->
+    while not (Queue.is_empty q.fq) do
+      let _, span, _ = Queue.pop q.fq in
+      t.queued_total <- t.queued_total - 1;
+      count_shed t span
+    done;
+    note_queue_depth t
+
+(* ---- handler isolation -------------------------------------------------- *)
+
+(* Run one flow's handler with failure isolation: an exception is counted
+   and, with [degrade] armed, [error_threshold] consecutive failures
+   quarantine the flow agent-side with a backed-off re-admission. *)
+let rec guard_flow t entry f =
+  match f () with
+  | () ->
+    if entry.consec_errors > 0 then begin
+      entry.consec_errors <- 0;
+      match t.degrade with
+      | Some d -> entry.backoff <- d.backoff_initial
+      | None -> ()
+    end
+  | exception exn ->
     t.handler_errors <- t.handler_errors + 1;
     obs_incr t (fun h -> h.o_handler_errors);
-    Logs.warn (fun m -> m "agent: algorithm handler raised %s" (Printexc.to_string exn))
+    entry.consec_errors <- entry.consec_errors + 1;
+    Logs.warn (fun m ->
+        m "agent: flow %d handler raised %s" entry.info.Algorithm.flow
+          (Printexc.to_string exn));
+    trip_degrade t entry
 
-let make_handle t (info : Algorithm.flow_info) policy : Algorithm.handle =
+and trip_degrade t entry =
+  match t.degrade with
+  | None -> ()
+  | Some d ->
+    if entry.consec_errors >= d.error_threshold && not (is_degraded entry) then begin
+      let flow = entry.info.Algorithm.flow in
+      let until = Time_ns.add (Sim.now t.sim) entry.backoff in
+      entry.state <- Degraded { until };
+      t.degradations <- t.degradations + 1;
+      obs_incr t (fun h -> h.o_degradations);
+      Logs.warn (fun m ->
+          m "agent: flow %d degraded after %d consecutive errors; re-admission at %s"
+            flow entry.consec_errors (Time_ns.to_string until));
+      purge_queue t flow;
+      entry.backoff <- Time_ns.min d.backoff_max (Time_ns.scale entry.backoff 2.0);
+      ignore
+        (Sim.schedule t.sim ~at:until (fun () -> readmit t entry flow))
+    end
+
+(* Re-admission after backoff: rebuild a fresh algorithm instance for the
+   flow (the old one's state is suspect) and run its [on_ready] under the
+   same isolation, so an immediately-failing re-admission re-trips with a
+   doubled backoff. The physical-equality check drops stale timers left
+   behind by [reset]/restart or a [Closed]. *)
+and readmit t entry flow =
+  match Hashtbl.find_opt t.flows flow with
+  | Some e when e == entry && is_degraded entry ->
+    let algorithm = t.choose entry.info in
+    let policy = t.policy entry.info in
+    let handle = make_handle t entry.info policy in
+    entry.handlers <- algorithm.Algorithm.make handle;
+    entry.algorithm_name <- algorithm.Algorithm.name;
+    entry.consec_errors <- 0;
+    entry.state <- Active;
+    Logs.info (fun m -> m "agent: flow %d re-admitted" flow);
+    guard_flow t entry entry.handlers.Algorithm.on_ready
+  | _ -> ()
+
+and make_handle t (info : Algorithm.flow_info) policy : Algorithm.handle =
+  let note f = match Hashtbl.find_opt t.flows info.Algorithm.flow with
+    | Some entry -> f entry
+    | None -> ()
+  in
   let install program =
     (match Ccp_lang.Typecheck.check program with
     | Ok _ -> ()
@@ -76,25 +251,78 @@ let make_handle t (info : Algorithm.flow_info) policy : Algorithm.handle =
     install_text = (fun text -> install (Ccp_lang.Parser.parse_program text));
     set_cwnd =
       (fun bytes ->
+        let bytes = Policy.clamp_cwnd policy bytes in
+        note (fun entry -> entry.last_cwnd <- bytes);
         Channel.send t.channel ~from:Channel.Agent_end
-          (Message.Set_cwnd { flow = info.Algorithm.flow; bytes = Policy.clamp_cwnd policy bytes }));
+          (Message.Set_cwnd { flow = info.Algorithm.flow; bytes }));
     set_rate =
       (fun rate ->
+        let bytes_per_sec = Policy.clamp_rate policy rate in
+        note (fun entry -> entry.last_rate <- bytes_per_sec);
         Channel.send t.channel ~from:Channel.Agent_end
-          (Message.Set_rate
-             { flow = info.Algorithm.flow; bytes_per_sec = Policy.clamp_rate policy rate }));
+          (Message.Set_rate { flow = info.Algorithm.flow; bytes_per_sec }));
     now_us = (fun () -> Time_ns.to_float_us (Sim.now t.sim));
   }
 
 let on_ready t ~flow ~mss ~init_cwnd =
-  let info = { Algorithm.flow; mss; init_cwnd } in
-  let algorithm = t.choose info in
-  let policy = t.policy info in
-  let handle = make_handle t info policy in
-  let handlers = algorithm.Algorithm.make handle in
-  Hashtbl.replace t.flows flow
-    { info; algorithm_name = algorithm.Algorithm.name; handlers };
-  guard t handlers.Algorithm.on_ready
+  match Hashtbl.find_opt t.flows flow with
+  | Some entry when is_degraded entry ->
+    (* The watchdog's Ready probes keep arriving while the flow is
+       quarantined agent-side; re-admission is owned by the backoff
+       timer, not the probe. *)
+    ()
+  | _ ->
+    let info = { Algorithm.flow; mss; init_cwnd } in
+    let algorithm = t.choose info in
+    let policy = t.policy info in
+    let handle = make_handle t info policy in
+    let handlers = algorithm.Algorithm.make handle in
+    let backoff =
+      match t.degrade with Some d -> d.backoff_initial | None -> Time_ns.ms 100
+    in
+    let entry =
+      {
+        info;
+        algorithm_name = algorithm.Algorithm.name;
+        handlers;
+        consec_errors = 0;
+        state = Active;
+        backoff;
+        last_cwnd = 0;
+        last_rate = 0.0;
+      }
+    in
+    Hashtbl.replace t.flows flow entry;
+    (* Warm restart: replay the checkpointed registers into the fresh
+       instance before [on_ready] runs, so the program it installs starts
+       from the pre-crash operating point. Register-less algorithms get a
+       generic nudge to the last commanded cwnd/rate instead. *)
+    (match Hashtbl.find_opt t.pending_restore flow with
+    | Some snap when String.equal snap.Checkpoint.algorithm algorithm.Algorithm.name ->
+      Hashtbl.remove t.pending_restore flow;
+      t.warm_restores <- t.warm_restores + 1;
+      obs_incr t (fun h -> h.o_warm_restores);
+      if Array.length snap.Checkpoint.registers > 0 then
+        guard_flow t entry (fun () ->
+            entry.handlers.Algorithm.on_restore snap.Checkpoint.registers);
+      guard_flow t entry entry.handlers.Algorithm.on_ready;
+      if Array.length snap.Checkpoint.registers = 0 then begin
+        if snap.Checkpoint.cwnd > 0 then handle.Algorithm.set_cwnd snap.Checkpoint.cwnd;
+        if snap.Checkpoint.rate > 0.0 then handle.Algorithm.set_rate snap.Checkpoint.rate
+      end
+    | Some _ ->
+      (* A snapshot from a different algorithm is stale, not restorable. *)
+      Hashtbl.remove t.pending_restore flow;
+      guard_flow t entry entry.handlers.Algorithm.on_ready
+    | None -> guard_flow t entry entry.handlers.Algorithm.on_ready)
+
+let drop_if_degraded t entry =
+  let degraded = is_degraded entry in
+  if degraded then begin
+    t.degraded_drops <- t.degraded_drops + 1;
+    obs_incr t (fun h -> h.o_degraded_drops)
+  end;
+  degraded
 
 let dispatch t (msg : Message.t) =
   match msg with
@@ -103,19 +331,25 @@ let dispatch t (msg : Message.t) =
     t.reports_received <- t.reports_received + 1;
     obs_incr t (fun h -> h.o_reports);
     match Hashtbl.find_opt t.flows report.Message.flow with
-    | Some entry -> guard t (fun () -> entry.handlers.Algorithm.on_report report)
+    | Some entry when drop_if_degraded t entry -> ()
+    | Some entry ->
+      guard_flow t entry (fun () -> entry.handlers.Algorithm.on_report report)
     | None -> ())
   | Message.Report_vector report -> (
     t.reports_received <- t.reports_received + 1;
     obs_incr t (fun h -> h.o_reports);
     match Hashtbl.find_opt t.flows report.Message.flow with
-    | Some entry -> guard t (fun () -> entry.handlers.Algorithm.on_report_vector report)
+    | Some entry when drop_if_degraded t entry -> ()
+    | Some entry ->
+      guard_flow t entry (fun () -> entry.handlers.Algorithm.on_report_vector report)
     | None -> ())
   | Message.Urgent urgent -> (
     t.urgents_received <- t.urgents_received + 1;
     obs_incr t (fun h -> h.o_urgents);
     match Hashtbl.find_opt t.flows urgent.Message.flow with
-    | Some entry -> guard t (fun () -> entry.handlers.Algorithm.on_urgent urgent)
+    | Some entry when drop_if_degraded t entry -> ()
+    | Some entry ->
+      guard_flow t entry (fun () -> entry.handlers.Algorithm.on_urgent urgent)
     | None -> ())
   | Message.Install_result result -> (
     t.install_results_received <- t.install_results_received + 1;
@@ -129,7 +363,9 @@ let dispatch t (msg : Message.t) =
             (Ccp_lang.Limits.reason_to_string reason)
             detail));
     match Hashtbl.find_opt t.flows result.Message.flow with
-    | Some entry -> guard t (fun () -> entry.handlers.Algorithm.on_install_result result)
+    | Some entry when drop_if_degraded t entry -> ()
+    | Some entry ->
+      guard_flow t entry (fun () -> entry.handlers.Algorithm.on_install_result result)
     | None -> ())
   | Message.Quarantined q -> (
     t.quarantines_seen <- t.quarantines_seen + 1;
@@ -139,9 +375,13 @@ let dispatch t (msg : Message.t) =
           q.Message.incidents
           (Message.incident_kind_to_string q.Message.dominant));
     match Hashtbl.find_opt t.flows q.Message.flow with
-    | Some entry -> guard t (fun () -> entry.handlers.Algorithm.on_quarantine q)
+    | Some entry when drop_if_degraded t entry -> ()
+    | Some entry ->
+      guard_flow t entry (fun () -> entry.handlers.Algorithm.on_quarantine q)
     | None -> ())
-  | Message.Closed { flow } -> Hashtbl.remove t.flows flow
+  | Message.Closed { flow } ->
+    purge_queue t flow;
+    Hashtbl.remove t.flows flow
   | Message.Install _ | Message.Set_cwnd _ | Message.Set_rate _ ->
     (* Datapath-bound traffic is never delivered to the agent end. *)
     ()
@@ -150,19 +390,129 @@ let dispatch t (msg : Message.t) =
    [handler_begin] arms the span so control messages the algorithm sends
    attach to it, and [handler_end] times the handler and finalizes spans
    that produced no action. *)
-let on_message t (msg : Message.t) =
+let dispatch_with_span t msg span =
   match t.tracer with
-  | None -> dispatch t msg
-  | Some tr ->
-    let span = Channel.rx_span t.channel in
-    if span < 0 then dispatch t msg
-    else begin
-      Ccp_obs.Tracer.handler_begin tr span;
-      dispatch t msg;
-      Ccp_obs.Tracer.handler_end tr span ~now:(Sim.now t.sim)
-    end
+  | Some tr when span >= 0 ->
+    Ccp_obs.Tracer.handler_begin tr span;
+    dispatch t msg;
+    Ccp_obs.Tracer.handler_end tr span ~now:(Sim.now t.sim)
+  | _ -> dispatch t msg
 
-let create ~sim ~channel ~choose ?(policy = fun _ -> Policy.unrestricted) ?obs () =
+(* ---- budgeted round-robin dispatch rounds ------------------------------- *)
+
+let rec schedule_round t ov =
+  t.round_scheduled <- true;
+  ignore
+    (Sim.schedule_after t.sim ~delay:ov.dispatch_interval (fun () -> run_round t ov))
+
+and run_round t ov =
+  t.round_scheduled <- false;
+  t.dispatch_rounds <- t.dispatch_rounds + 1;
+  obs_incr t (fun h -> h.o_rounds);
+  let budget = ref ov.dispatch_budget in
+  while !budget > 0 && not (Queue.is_empty t.rr) do
+    let flow = Queue.pop t.rr in
+    match Hashtbl.find_opt t.queues flow with
+    | None -> ()
+    | Some q ->
+      if Queue.is_empty q.fq then q.in_rr <- false
+      else begin
+        let msg, span, enq_at = Queue.pop q.fq in
+        t.queued_total <- t.queued_total - 1;
+        let wait = Time_ns.sub (Sim.now t.sim) enq_at in
+        if Time_ns.compare wait t.max_queue_wait > 0 then t.max_queue_wait <- wait;
+        decr budget;
+        dispatch_with_span t msg span;
+        if Queue.is_empty q.fq then q.in_rr <- false else Queue.push flow t.rr
+      end
+  done;
+  note_queue_depth t;
+  if t.queued_total > 0 then schedule_round t ov
+
+let enqueue t ov ~flow msg =
+  let span = Channel.rx_span t.channel in
+  let q =
+    match Hashtbl.find_opt t.queues flow with
+    | Some q -> q
+    | None ->
+      let q = { fq = Queue.create (); in_rr = false } in
+      Hashtbl.replace t.queues flow q;
+      q
+  in
+  Queue.push (msg, span, Sim.now t.sim) q.fq;
+  t.queued_total <- t.queued_total + 1;
+  if not q.in_rr then begin
+    q.in_rr <- true;
+    Queue.push flow t.rr
+  end;
+  shed_to t ~limit:ov.high_watermark ~floor:1;
+  shed_to t ~limit:ov.queue_capacity ~floor:0;
+  note_queue_depth t;
+  if not t.round_scheduled then schedule_round t ov
+
+let queueable t flow =
+  match Hashtbl.find_opt t.flows flow with
+  | Some entry -> not (is_degraded entry)
+  | None -> false
+
+let on_message t (msg : Message.t) =
+  match (t.overload, msg) with
+  | Some ov, (Message.Report { flow; _ } | Message.Report_vector { flow; _ })
+    when queueable t flow ->
+    (* Only reports queue; Ready/Urgent/Install_result/Quarantined/Closed
+       stay synchronous — the urgent path must bypass batching (§2.4), and
+       control-plane verdicts are rare and cheap. Reports for unknown or
+       degraded flows fall through to [dispatch], which drops and counts
+       them as before. *)
+    enqueue t ov ~flow msg
+  | _ -> dispatch_with_span t msg (Channel.rx_span t.channel)
+
+(* ---- checkpoint / warm restore ------------------------------------------ *)
+
+let checkpoint t =
+  let flows =
+    Hashtbl.fold
+      (fun flow entry acc ->
+        let registers =
+          try entry.handlers.Algorithm.on_checkpoint () with _ -> [||]
+        in
+        {
+          Checkpoint.flow;
+          algorithm = entry.algorithm_name;
+          cwnd = entry.last_cwnd;
+          rate = entry.last_rate;
+          registers;
+        }
+        :: acc)
+      t.flows []
+    |> List.sort (fun a b -> compare a.Checkpoint.flow b.Checkpoint.flow)
+  in
+  { Checkpoint.taken_at = Sim.now t.sim; flows }
+
+let restore t (ckpt : Checkpoint.t) =
+  List.iter
+    (fun snap -> Hashtbl.replace t.pending_restore snap.Checkpoint.flow snap)
+    ckpt.Checkpoint.flows
+
+let create ~sim ~channel ~choose ?(policy = fun _ -> Policy.unrestricted) ?overload
+    ?degrade ?obs () =
+  Option.iter
+    (fun ov ->
+      if ov.queue_capacity <= 0 then invalid_arg "Agent: queue_capacity must be > 0";
+      if ov.high_watermark <= 0 || ov.high_watermark > ov.queue_capacity then
+        invalid_arg "Agent: high_watermark must be in (0, queue_capacity]";
+      if ov.dispatch_budget <= 0 then invalid_arg "Agent: dispatch_budget must be > 0";
+      if not (Time_ns.is_positive ov.dispatch_interval) then
+        invalid_arg "Agent: dispatch_interval must be positive")
+    overload;
+  Option.iter
+    (fun d ->
+      if d.error_threshold <= 0 then invalid_arg "Agent: error_threshold must be > 0";
+      if not (Time_ns.is_positive d.backoff_initial) then
+        invalid_arg "Agent: backoff_initial must be positive";
+      if Time_ns.compare d.backoff_max d.backoff_initial < 0 then
+        invalid_arg "Agent: backoff_max must be >= backoff_initial")
+    degrade;
   let t =
     {
       sim;
@@ -170,6 +520,13 @@ let create ~sim ~channel ~choose ?(policy = fun _ -> Policy.unrestricted) ?obs (
       choose;
       policy;
       flows = Hashtbl.create 8;
+      overload;
+      degrade;
+      queues = Hashtbl.create 8;
+      rr = Queue.create ();
+      queued_total = 0;
+      round_scheduled = false;
+      pending_restore = Hashtbl.create 4;
       reports_received = 0;
       urgents_received = 0;
       installs_sent = 0;
@@ -177,6 +534,12 @@ let create ~sim ~channel ~choose ?(policy = fun _ -> Policy.unrestricted) ?obs (
       install_results_received = 0;
       install_rejects = 0;
       quarantines_seen = 0;
+      reports_shed = 0;
+      max_queue_wait = Time_ns.zero;
+      dispatch_rounds = 0;
+      degradations = 0;
+      degraded_drops = 0;
+      warm_restores = 0;
       obs = Option.map make_agent_obs obs;
       tracer = (match obs with Some o -> o.Ccp_obs.Obs.tracer | None -> None);
     }
@@ -186,12 +549,34 @@ let create ~sim ~channel ~choose ?(policy = fun _ -> Policy.unrestricted) ?obs (
 
 let with_algorithm ~sim ~channel algorithm = create ~sim ~channel ~choose:(fun _ -> algorithm) ()
 
-let reset t = Hashtbl.reset t.flows
+let reset t =
+  Hashtbl.reset t.flows;
+  (* A crashed process loses its report queues too; the spans parked
+     there are finalized as shed so the tracer pool cannot leak across a
+     restart. *)
+  Hashtbl.iter
+    (fun _ q ->
+      while not (Queue.is_empty q.fq) do
+        let _, span, _ = Queue.pop q.fq in
+        t.queued_total <- t.queued_total - 1;
+        count_shed t span
+      done)
+    t.queues;
+  Hashtbl.reset t.queues;
+  Queue.clear t.rr;
+  t.queued_total <- 0;
+  note_queue_depth t;
+  Hashtbl.reset t.pending_restore
 
 let flow_count t = Hashtbl.length t.flows
 
 let algorithm_name t ~flow =
   Option.map (fun e -> e.algorithm_name) (Hashtbl.find_opt t.flows flow)
+
+let flow_degraded t ~flow =
+  match Hashtbl.find_opt t.flows flow with
+  | Some entry -> is_degraded entry
+  | None -> false
 
 let reports_received t = t.reports_received
 let urgents_received t = t.urgents_received
@@ -200,3 +585,10 @@ let handler_errors t = t.handler_errors
 let install_results_received t = t.install_results_received
 let install_rejects t = t.install_rejects
 let quarantines_seen t = t.quarantines_seen
+let reports_shed t = t.reports_shed
+let reports_queued t = t.queued_total
+let max_queue_wait t = t.max_queue_wait
+let dispatch_rounds t = t.dispatch_rounds
+let degradations t = t.degradations
+let degraded_drops t = t.degraded_drops
+let warm_restores t = t.warm_restores

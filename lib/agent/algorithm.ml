@@ -18,6 +18,8 @@ type handlers = {
   on_urgent : Message.urgent -> unit;
   on_install_result : Message.install_result -> unit;
   on_quarantine : Message.quarantine -> unit;
+  on_checkpoint : unit -> (string * float) array;
+  on_restore : (string * float) array -> unit;
 }
 
 type t = {
@@ -33,6 +35,8 @@ let no_op_handlers =
     on_urgent = (fun _ -> ());
     on_install_result = (fun _ -> ());
     on_quarantine = (fun _ -> ());
+    on_checkpoint = (fun () -> [||]);
+    on_restore = (fun _ -> ());
   }
 
 let field (report : Message.report) name =

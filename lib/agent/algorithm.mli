@@ -33,6 +33,14 @@ type handlers = {
   on_quarantine : Message.quarantine -> unit;
       (** the datapath quarantined the flow to native CC; re-[install] a
           corrected program to win it back *)
+  on_checkpoint : unit -> (string * float) array;
+      (** dump the algorithm's per-flow registers for a warm-restart
+          checkpoint ({!Ccp_ipc.Checkpoint}); [[||]] (the default) means
+          the algorithm keeps no restorable state *)
+  on_restore : (string * float) array -> unit;
+      (** called on a fresh instance, before [on_ready], with the
+          registers a crashed predecessor checkpointed — restore what you
+          recognize, ignore the rest *)
 }
 
 type t = {

@@ -53,7 +53,35 @@ let create_with ?(interval_rtts = 1.0) ?(react_to_ecn = true) () =
       | Ccp_ipc.Message.Ecn -> halve ());
       push ()
     in
-    { Algorithm.no_op_handlers with on_ready = push; on_report; on_urgent }
+    (* Warm-restart registers: the installed program pins the window at
+       [st.cwnd], so restoring cwnd/ssthresh before [on_ready] re-installs
+       is enough to resume at the pre-crash operating point. *)
+    let on_checkpoint () =
+      [|
+        ("cwnd", float_of_int st.cwnd);
+        ("ssthresh", float_of_int (min st.ssthresh (max_int / 2)));
+        ("acked_accum", float_of_int st.acked_accum);
+      |]
+    in
+    let on_restore registers =
+      Array.iter
+        (fun (name, value) ->
+          if Float.is_finite value && value >= 0.0 then
+            match name with
+            | "cwnd" -> if value >= float_of_int mss then st.cwnd <- int_of_float value
+            | "ssthresh" -> st.ssthresh <- int_of_float value
+            | "acked_accum" -> st.acked_accum <- int_of_float value
+            | _ -> ())
+        registers
+    in
+    {
+      Algorithm.no_op_handlers with
+      on_ready = push;
+      on_report;
+      on_urgent;
+      on_checkpoint;
+      on_restore;
+    }
   in
   { Algorithm.name = "ccp-reno"; make }
 

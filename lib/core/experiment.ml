@@ -52,6 +52,11 @@ type config = {
   perturb : Ccp_perturb.Perturb_plan.t;
       (* measurement-noise perturbation on every flow's datapath
          sampling; Perturb_plan.none = clean measurements *)
+  agent_overload : Ccp_agent.Agent.overload option;
+  agent_degrade : Ccp_agent.Agent.degrade option;
+  checkpoint_interval : Time_ns.t option;
+      (* snapshot agent state this often and replay the latest snapshot
+         after each agent-outage restart; None = cold restarts *)
   inspect : (handles -> unit) option;
   obs : Ccp_obs.Obs.t option;
   obs_flow_sample_interval : Time_ns.t;
@@ -79,6 +84,9 @@ let default_config ~rate_bps ~base_rtt ~duration =
     rate_schedule = [];
     faults = Ccp_ipc.Fault_plan.none;
     perturb = Ccp_perturb.Perturb_plan.none;
+    agent_overload = None;
+    agent_degrade = None;
+    checkpoint_interval = None;
     inspect = None;
     obs = None;
     obs_flow_sample_interval = Time_ns.ms 10;
@@ -127,6 +135,13 @@ and agent_stats = {
   installs_refused : int;
   quarantines : int;
   guard_incidents : int;
+  decode_failures : int;
+  reports_shed : int;
+  degradations : int;
+  checkpoints_taken : int;
+  warm_restores : int;
+  quarantine_probes : int;
+  max_queue_wait : Time_ns.t;
 }
 
 and cpu_stats = {
@@ -155,6 +170,7 @@ let run (config : config) =
   if config.flows = [] then invalid_arg "Experiment.run: no flows";
   let sim = Sim.create ~seed:config.seed () in
   let trace = Trace.create sim in
+  let checkpoints_taken = ref 0 in
   let dumbbell =
     Topology.Dumbbell.create ~sim ~rate_bps:config.rate_bps ~base_rtt:config.base_rtt
       ~buffer_bytes:config.buffer_bytes ?ecn_threshold_bytes:config.ecn_threshold_bytes
@@ -177,17 +193,42 @@ let run (config : config) =
       in
       let agent =
         Ccp_agent.Agent.create ~sim ~channel ~choose
-          ?policy:config.policy ?obs:config.obs ()
+          ?policy:config.policy ?overload:config.agent_overload
+          ?degrade:config.agent_degrade ?obs:config.obs ()
       in
+      (* Warm-restart support: snapshot the agent's per-flow state on a
+         timer, keeping only the latest encoded blob — exactly what a
+         real agent persisting to a state file would have available
+         after a crash. *)
+      let latest_checkpoint = ref None in
+      (match config.checkpoint_interval with
+      | Some interval when Time_ns.is_positive interval ->
+        let rec tick () =
+          latest_checkpoint :=
+            Some (Ccp_ipc.Checkpoint.encode (Ccp_agent.Agent.checkpoint agent));
+          incr checkpoints_taken;
+          ignore (Sim.schedule_after sim ~delay:interval (fun () -> tick ()))
+        in
+        ignore (Sim.schedule_after sim ~delay:interval (fun () -> tick ()))
+      | Some _ | None -> ());
       (* A crashed agent loses its per-flow state; model the restart as a
          reset at the end of each outage. The channel already blackholes
          its traffic for the interval, so the pair gives the full crash:
-         silence, then an amnesiac process waiting for Ready probes. *)
+         silence, then a process waiting for Ready probes — amnesiac on a
+         cold restart, or staged with the latest checkpoint on a warm
+         one. A blob that fails to decode restores nothing: a corrupt
+         state file must never be worse than no state file. *)
       List.iter
         (fun (o : Ccp_ipc.Fault_plan.interval) ->
           ignore
             (Sim.schedule sim ~at:o.Ccp_ipc.Fault_plan.until (fun () ->
-                 Ccp_agent.Agent.reset agent)))
+                 Ccp_agent.Agent.reset agent;
+                 match !latest_checkpoint with
+                 | Some blob -> (
+                   match Ccp_ipc.Checkpoint.decode blob with
+                   | Ok snapshot -> Ccp_agent.Agent.restore agent snapshot
+                   | Error _ -> ())
+                 | None -> ())))
         config.faults.Ccp_ipc.Fault_plan.agent_outages;
       Option.iter
         (fun inspect ->
@@ -403,6 +444,13 @@ let run (config : config) =
           installs_refused = Ccp_ext.installs_rejected ccp_ext;
           quarantines = Ccp_ext.quarantines_triggered ccp_ext;
           guard_incidents = Ccp_ext.guard_incident_total ccp_ext;
+          decode_failures = Ccp_ipc.Channel.decode_failures channel;
+          reports_shed = Ccp_agent.Agent.reports_shed agent;
+          degradations = Ccp_agent.Agent.degradations agent;
+          checkpoints_taken = !checkpoints_taken;
+          warm_restores = Ccp_agent.Agent.warm_restores agent;
+          quarantine_probes = Ccp_ext.quarantine_probes_sent ccp_ext;
+          max_queue_wait = Ccp_agent.Agent.max_queue_wait agent;
         })
       ccp_parts
   in

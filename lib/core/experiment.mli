@@ -69,6 +69,17 @@ type config = {
           bucket policer); orthogonal to [faults].
           [Perturb_plan.none] (the default) = clean measurements, with
           runs byte-identical to an unperturbed build. *)
+  agent_overload : Ccp_agent.Agent.overload option;
+      (** agent-side report-queue bounds and budgeted dispatch; [None]
+          (the default) dispatches every message synchronously *)
+  agent_degrade : Ccp_agent.Agent.degrade option;
+      (** per-flow agent-side quarantine of repeatedly failing handlers
+          with back-off re-admission; [None] = never degrade *)
+  checkpoint_interval : Time_ns.t option;
+      (** snapshot the agent's per-flow state ({!Ccp_ipc.Checkpoint})
+          this often, and replay the latest snapshot after each
+          [faults] agent-outage restart (warm restart); [None] (the
+          default) restarts cold. No effect without agent outages. *)
   inspect : (handles -> unit) option;
       (** called once after CCP wiring when any flow is CCP; ignored
           otherwise *)
@@ -132,6 +143,16 @@ and agent_stats = {
   installs_refused : int;  (** installs rejected with an [Install_result] reason *)
   quarantines : int;  (** guard-envelope quarantines entered *)
   guard_incidents : int;  (** total runtime-guardrail incidents, all flows *)
+  decode_failures : int;  (** IPC deliveries whose bytes failed to decode *)
+  reports_shed : int;  (** reports dropped by agent overload control *)
+  degradations : int;  (** agent-side per-flow quarantine entries *)
+  checkpoints_taken : int;  (** agent state snapshots written *)
+  warm_restores : int;  (** flows re-registered with snapshot state applied *)
+  quarantine_probes : int;
+      (** [Ready] re-admission probes from quarantine back-off timers *)
+  max_queue_wait : Time_ns.t;
+      (** longest any dispatched report sat in the overload queue —
+          the starvation bound; zero with [agent_overload] off *)
 }
 
 and cpu_stats = {

@@ -912,6 +912,355 @@ module Robustness = struct
     check 0 cells
 end
 
+(* Chaos: every resilience layer exercised at once. IPC faults (drops,
+   latency spikes, an agent crash/restart) × measurement perturbation
+   (RTT jitter) × sustained agent overload (reports arrive ~4× faster
+   than the dispatch budget drains them) run against four CCP-Reno flows
+   with the datapath watchdog armed. Each seed runs the same composition
+   twice — cold (no checkpoints) and warm (periodic agent-state
+   checkpoints replayed at restart) — so the scorecard directly measures
+   what warm restart buys: per-flow cwnd recovery time back to the
+   pre-crash operating point, read off the cwnd trace. *)
+module Chaos = struct
+  module Plan = Ccp_perturb.Perturb_plan
+  module J = Ccp_obs.Json
+
+  let default_rate_bps = 96e6
+  let default_base_rtt = Time_ns.ms 20
+  let flow_count = 4
+
+  (* Reports every quarter-RTT per flow; the agent drains one per
+     quarter-RTT round. Four flows → arrival ≈ 4× drain capacity, yet
+     round-robin still serves every flow about once per RTT, so the
+     shedder (never taking a flow's only queued report) keeps the
+     starvation bound tight while most of the backlog is shed. *)
+  let report_interval_rtts = 0.25
+
+  let overload ~base_rtt =
+    {
+      Ccp_agent.Agent.queue_capacity = 8;
+      high_watermark = 4;
+      dispatch_budget = 1;
+      dispatch_interval = Time_ns.scale base_rtt report_interval_rtts;
+    }
+
+  let degrade =
+    {
+      Ccp_agent.Agent.error_threshold = 3;
+      backoff_initial = Time_ns.ms 200;
+      backoff_max = Time_ns.sec 2;
+    }
+
+  (* Conservative clamp during agent silence: the crash is visible as a
+     collapsed window, so recovery back to the pre-crash point is a real
+     climb for a cold restart and a single re-install for a warm one. *)
+  let fallback ~base_rtt =
+    Ccp_datapath.Ccp_ext.clamp_fallback
+      ~after:(Time_ns.scale base_rtt 2.0)
+      ~cwnd_segments:4
+
+  let checkpoint_interval = Time_ns.ms 100
+  let crash_from ~duration = Time_ns.scale duration 0.45
+  let crash_length ~base_rtt = Time_ns.scale base_rtt 10.0
+
+  let fault_plan ~crash_from ~crash_until =
+    Ccp_ipc.Fault_plan.make ~drop_probability:0.01
+      ~spike:{ Ccp_ipc.Fault_plan.probability = 0.02; extra = Time_ns.ms 2 }
+      ~agent_outages:[ { Ccp_ipc.Fault_plan.from_ = crash_from; until = crash_until } ]
+      ()
+
+  let perturb_plan =
+    Plan.make
+      ~rtt_jitter:
+        { Plan.additive_sigma = Time_ns.us 500; multiplicative = 0.05; burst = None }
+      ()
+
+  type recovery = {
+    flow_id : int;
+    pre_crash_cwnd : float;
+    recovery_rtts : float option;
+  }
+
+  type cell = {
+    mode : string;
+    seed : int;
+    utilization : float;
+    jain_index : float;
+    reports_shed : int;
+    max_queue_wait_rtts : float;
+    degradations : int;
+    decode_failures : int;
+    checkpoints_taken : int;
+    warm_restores : int;
+    fallbacks : int;
+    recoveries : recovery list;
+    mean_recovery_rtts : float option;
+    result : Experiment.result;
+  }
+
+  type scorecard = {
+    rate_bps : float;
+    base_rtt : Time_ns.t;
+    duration : Time_ns.t;
+    seeds : int list;
+    crash_from : Time_ns.t;
+    crash_until : Time_ns.t;
+    cells : cell list;
+  }
+
+  let schema_tag = "ccp-chaos-scorecard/v1"
+
+  (* Recovery, per flow, from the cwnd trace: the pre-crash operating
+     point is the last cwnd sample before the outage begins; the flow has
+     recovered at the first post-restart sample back within 20 % of it. *)
+  let recovery_of ~base_rtt ~crash_from ~crash_until (r : Experiment.result) flow_id =
+    let series = Trace.series r.Experiment.trace (Printf.sprintf "cwnd.%d" flow_id) in
+    let pre =
+      List.fold_left
+        (fun acc (at, v) -> if Time_ns.compare at crash_from < 0 then v else acc)
+        0.0 series
+    in
+    let recovered_at =
+      if pre <= 0.0 then None
+      else
+        List.find_map
+          (fun (at, v) ->
+            if Time_ns.compare at crash_until >= 0 && v >= 0.8 *. pre then Some at
+            else None)
+          series
+    in
+    {
+      flow_id;
+      pre_crash_cwnd = pre;
+      recovery_rtts =
+        Option.map
+          (fun at ->
+            Time_ns.to_float_sec (Time_ns.sub at crash_until)
+            /. Time_ns.to_float_sec base_rtt)
+          recovered_at;
+    }
+
+  let run_cell ~rate_bps ~base_rtt ~duration ~seed ~crash_from ~crash_until ~mode
+      ~checkpoint =
+    let base = Experiment.default_config ~rate_bps ~base_rtt ~duration in
+    let mk () = Ccp_reno.create_with ~interval_rtts:report_interval_rtts () in
+    let r =
+      Experiment.run
+        {
+          base with
+          Experiment.seed;
+          warmup = Time_ns.scale duration 0.1;
+          datapath =
+            {
+              Ccp_datapath.Ccp_ext.default_config with
+              Ccp_datapath.Ccp_ext.fallback = Some (fallback ~base_rtt);
+            };
+          faults = fault_plan ~crash_from ~crash_until;
+          perturb = perturb_plan;
+          agent_overload = Some (overload ~base_rtt);
+          agent_degrade = Some degrade;
+          checkpoint_interval = checkpoint;
+          flows =
+            List.init flow_count (fun _ -> Experiment.flow (Experiment.Ccp_cc (mk ())));
+        }
+    in
+    let recoveries =
+      List.init flow_count (fun id ->
+          recovery_of ~base_rtt ~crash_from ~crash_until r id)
+    in
+    let recovered = List.filter_map (fun rec_ -> rec_.recovery_rtts) recoveries in
+    let stats f = match r.Experiment.agent_stats with Some s -> f s | None -> 0 in
+    {
+      mode;
+      seed;
+      utilization = r.Experiment.utilization;
+      jain_index = r.Experiment.jain_index;
+      reports_shed = stats (fun s -> s.Experiment.reports_shed);
+      max_queue_wait_rtts =
+        (match r.Experiment.agent_stats with
+        | Some s ->
+          Time_ns.to_float_sec s.Experiment.max_queue_wait
+          /. Time_ns.to_float_sec base_rtt
+        | None -> 0.0);
+      degradations = stats (fun s -> s.Experiment.degradations);
+      decode_failures = stats (fun s -> s.Experiment.decode_failures);
+      checkpoints_taken = stats (fun s -> s.Experiment.checkpoints_taken);
+      warm_restores = stats (fun s -> s.Experiment.warm_restores);
+      fallbacks = stats (fun s -> s.Experiment.fallbacks);
+      recoveries;
+      mean_recovery_rtts =
+        (match recovered with
+        | [] -> None
+        | l -> Some (List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)));
+      result = r;
+    }
+
+  let modes = [ ("cold", None); ("warm", Some checkpoint_interval) ]
+
+  let run ?(rate_bps = default_rate_bps) ?(base_rtt = default_base_rtt)
+      ?(duration = Time_ns.sec 12) ?(seeds = [ 42 ]) () =
+    let crash_from = crash_from ~duration in
+    let crash_until = Time_ns.add crash_from (crash_length ~base_rtt) in
+    let cells =
+      List.concat_map
+        (fun seed ->
+          List.map
+            (fun (mode, checkpoint) ->
+              run_cell ~rate_bps ~base_rtt ~duration ~seed ~crash_from ~crash_until
+                ~mode ~checkpoint)
+            modes)
+        seeds
+    in
+    { rate_bps; base_rtt; duration; seeds; crash_from; crash_until; cells }
+
+  let recovery_to_json rec_ =
+    J.Obj
+      [
+        ("flow", J.Num (float_of_int rec_.flow_id));
+        ("pre_crash_cwnd", J.Num rec_.pre_crash_cwnd);
+        ( "recovery_rtts",
+          match rec_.recovery_rtts with Some v -> J.Num v | None -> J.Null );
+      ]
+
+  let cell_to_json c =
+    let i n = J.Num (float_of_int n) in
+    J.Obj
+      [
+        ("mode", J.Str c.mode);
+        ("seed", i c.seed);
+        ("utilization", J.Num c.utilization);
+        ("jain", J.Num c.jain_index);
+        ("reports_shed", i c.reports_shed);
+        ("max_queue_wait_rtts", J.Num c.max_queue_wait_rtts);
+        ("degradations", i c.degradations);
+        ("decode_failures", i c.decode_failures);
+        ("checkpoints_taken", i c.checkpoints_taken);
+        ("warm_restores", i c.warm_restores);
+        ("fallbacks", i c.fallbacks);
+        ("recoveries", J.List (List.map recovery_to_json c.recoveries));
+        ( "mean_recovery_rtts",
+          match c.mean_recovery_rtts with Some v -> J.Num v | None -> J.Null );
+      ]
+
+  let to_json sc =
+    J.Obj
+      [
+        ("schema", J.Str schema_tag);
+        ("rate_bps", J.Num sc.rate_bps);
+        ("base_rtt_ms", J.Num (Time_ns.to_float_ms sc.base_rtt));
+        ("duration_s", J.Num (Time_ns.to_float_sec sc.duration));
+        ("crash_from_s", J.Num (Time_ns.to_float_sec sc.crash_from));
+        ("crash_until_s", J.Num (Time_ns.to_float_sec sc.crash_until));
+        ("seeds", J.List (List.map (fun s -> J.Num (float_of_int s)) sc.seeds));
+        ("cells", J.List (List.map cell_to_json sc.cells));
+      ]
+
+  let validate_scorecard json =
+    let ( let* ) = Result.bind in
+    let str name obj =
+      match J.member name obj with
+      | Some (J.Str s) -> Ok s
+      | _ -> Error (Printf.sprintf "missing string field %S" name)
+    in
+    let num name obj =
+      match Option.bind (J.member name obj) J.to_float with
+      | Some v when Float.is_finite v -> Ok v
+      | _ -> Error (Printf.sprintf "missing or non-finite numeric field %S" name)
+    in
+    let counter name obj =
+      let* v = num name obj in
+      if v >= 0.0 && Float.is_integer v then Ok v
+      else Error (Printf.sprintf "field %S = %g is not a non-negative integer" name v)
+    in
+    let* schema = str "schema" json in
+    let* () =
+      if schema = schema_tag then Ok ()
+      else Error (Printf.sprintf "schema is %S, want %S" schema schema_tag)
+    in
+    let* _ = num "rate_bps" json in
+    let* _ = num "base_rtt_ms" json in
+    let* _ = num "duration_s" json in
+    let* cf = num "crash_from_s" json in
+    let* cu = num "crash_until_s" json in
+    let* () =
+      if cf >= 0.0 && cu > cf then Ok ()
+      else Error (Printf.sprintf "crash window (%g, %g) inconsistent" cf cu)
+    in
+    let* cells =
+      match J.member "cells" json with
+      | Some (J.List l) -> Ok l
+      | _ -> Error "missing \"cells\" array"
+    in
+    let check_cell i cell =
+      let ctx msg = Printf.sprintf "cell %d: %s" i msg in
+      let ( let* ) a b = Result.bind (Result.map_error ctx a) b in
+      let* mode = str "mode" cell in
+      let* () =
+        if mode = "cold" || mode = "warm" then Ok ()
+        else Error (ctx (Printf.sprintf "unknown mode %S" mode))
+      in
+      let* _ = counter "seed" cell in
+      let* u = num "utilization" cell in
+      let* () =
+        if u >= 0.0 && u <= 1.5 then Ok ()
+        else Error (ctx (Printf.sprintf "utilization %g out of range" u))
+      in
+      let* jain = num "jain" cell in
+      let* () =
+        if jain > 0.0 && jain <= 1.0 +. 1e-9 then Ok ()
+        else Error (ctx (Printf.sprintf "jain %g out of range" jain))
+      in
+      let* _ = counter "reports_shed" cell in
+      let* w = num "max_queue_wait_rtts" cell in
+      let* () =
+        if w >= 0.0 then Ok ()
+        else Error (ctx (Printf.sprintf "max_queue_wait_rtts %g negative" w))
+      in
+      let* _ = counter "degradations" cell in
+      let* _ = counter "decode_failures" cell in
+      let* ck = counter "checkpoints_taken" cell in
+      let* wr = counter "warm_restores" cell in
+      let* () =
+        if mode = "cold" && (ck > 0.0 || wr > 0.0) then
+          Error (ctx "cold cell reports checkpoints or warm restores")
+        else Ok ()
+      in
+      let* _ = counter "fallbacks" cell in
+      let* recoveries =
+        match J.member "recoveries" cell with
+        | Some (J.List l) -> Ok l
+        | _ -> Error (ctx "missing \"recoveries\" array")
+      in
+      let check_recovery r =
+        let* _ = counter "flow" r in
+        let* pre = num "pre_crash_cwnd" r in
+        let* () =
+          if pre >= 0.0 then Ok ()
+          else Error (ctx (Printf.sprintf "pre_crash_cwnd %g negative" pre))
+        in
+        match J.member "recovery_rtts" r with
+        | Some J.Null -> Ok ()
+        | Some (J.Num v) when Float.is_finite v && v >= 0.0 -> Ok ()
+        | _ -> Error (ctx "recovery_rtts must be null or a non-negative number")
+      in
+      let* () =
+        List.fold_left
+          (fun acc r -> match acc with Error _ -> acc | Ok () -> check_recovery r)
+          (Ok ()) recoveries
+      in
+      match J.member "mean_recovery_rtts" cell with
+      | Some J.Null -> Ok ()
+      | Some (J.Num v) when Float.is_finite v && v >= 0.0 -> Ok ()
+      | _ -> Error (ctx "mean_recovery_rtts must be null or a non-negative number")
+    in
+    let rec check i = function
+      | [] -> Ok (List.length cells)
+      | c :: rest -> (
+        match check_cell i c with Ok () -> check (i + 1) rest | Error e -> Error e)
+    in
+    check 0 cells
+end
+
 (* Figure 2, measured end to end. {!Fig2} samples the latency model
    directly; here the full control loop runs with the span tracer armed
    and reaction latency — report departure to control application at the

@@ -347,6 +347,103 @@ module Robustness : sig
       valid cells. *)
 end
 
+(** Chaos: every resilience layer at once. IPC faults (1 % drops, 2 %
+    latency spikes, one agent crash/restart), RTT-jitter measurement
+    perturbation, and sustained ~4× agent overload (four CCP-Reno flows
+    reporting every quarter-RTT against a one-report-per-quarter-RTT
+    dispatch budget) on a dumbbell with the datapath clamp watchdog
+    armed. Each seed runs the composition twice — cold (no checkpoints)
+    and warm ({!Experiment.config.checkpoint_interval} armed) — and the
+    scorecard reports per-flow cwnd recovery time after the restart,
+    shed/starvation statistics, and the utilization floor. *)
+module Chaos : sig
+  val default_rate_bps : float
+  val default_base_rtt : Time_ns.t
+
+  val flow_count : int
+  (** Four same-algorithm CCP-Reno flows. *)
+
+  val report_interval_rtts : float
+  (** Reno report cadence (0.25 RTTs) — ×{!flow_count} flows against a
+      one-per-round budget, the ~4× overload. *)
+
+  val overload : base_rtt:Time_ns.t -> Ccp_agent.Agent.overload
+  val degrade : Ccp_agent.Agent.degrade
+  val fallback : base_rtt:Time_ns.t -> Ccp_datapath.Ccp_ext.fallback
+  (** Clamp to 4 segments after 2 RTTs of agent silence. *)
+
+  val checkpoint_interval : Time_ns.t
+  (** Warm cells checkpoint every 100 ms. *)
+
+  val crash_from : duration:Time_ns.t -> Time_ns.t
+  (** Outage start: 45 % into the run. *)
+
+  val crash_length : base_rtt:Time_ns.t -> Time_ns.t
+  (** Outage length: 10 RTTs. *)
+
+  type recovery = {
+    flow_id : int;
+    pre_crash_cwnd : float;
+        (** last cwnd sample before the outage; 0 when the flow never
+            reported a window *)
+    recovery_rtts : float option;
+        (** RTTs from restart until cwnd is back within 20 % of
+            [pre_crash_cwnd]; [None] = never within the run *)
+  }
+
+  type cell = {
+    mode : string;  (** ["cold"] or ["warm"] *)
+    seed : int;
+    utilization : float;
+    jain_index : float;
+    reports_shed : int;
+    max_queue_wait_rtts : float;
+        (** longest any dispatched report sat queued, in RTTs — the
+            starvation bound under the 4× overload *)
+    degradations : int;
+    decode_failures : int;
+    checkpoints_taken : int;  (** 0 on cold cells *)
+    warm_restores : int;  (** 0 on cold cells *)
+    fallbacks : int;
+    recoveries : recovery list;  (** one per flow, ascending id *)
+    mean_recovery_rtts : float option;  (** over flows that recovered *)
+    result : Experiment.result;
+  }
+
+  type scorecard = {
+    rate_bps : float;
+    base_rtt : Time_ns.t;
+    duration : Time_ns.t;
+    seeds : int list;
+    crash_from : Time_ns.t;
+    crash_until : Time_ns.t;
+    cells : cell list;  (** per seed: cold then warm *)
+  }
+
+  val schema_tag : string
+  (** ["ccp-chaos-scorecard/v1"], the [schema] field of the JSON. *)
+
+  val run :
+    ?rate_bps:float ->
+    ?base_rtt:Time_ns.t ->
+    ?duration:Time_ns.t ->
+    ?seeds:int list ->
+    unit ->
+    scorecard
+  (** Run the composition (defaults: 96 Mbit/s, 20 ms, 12 s, seed 42).
+      Deterministic: same arguments, same scorecard (including its JSON
+      bytes). *)
+
+  val to_json : scorecard -> Ccp_obs.Json.t
+  val cell_to_json : cell -> Ccp_obs.Json.t
+
+  val validate_scorecard : Ccp_obs.Json.t -> (int, string) result
+  (** Schema check for emitted scorecards: verifies the schema tag and
+      crash window, every cell's mode/metric ranges, that cold cells
+      report no checkpoints or warm restores, and that recovery entries
+      are null or non-negative. [Ok n] = [n] valid cells. *)
+end
+
 (** Figure 2 measured end to end: full control-loop runs with the span
     tracer armed, reaction latency (report departure to control
     application) read back from the flight recorder's [Span] events.

@@ -26,6 +26,8 @@ type guard_envelope = {
   divergence_limit : float;
   quarantine_after : int;
   quarantine_mode : fallback_mode option;
+  quarantine_backoff : Time_ns.t option;
+  quarantine_backoff_max : Time_ns.t;
 }
 
 let default_guard =
@@ -40,6 +42,8 @@ let default_guard =
     divergence_limit = 1e18;
     quarantine_after = 50;
     quarantine_mode = None;
+    quarantine_backoff = None;
+    quarantine_backoff_max = Time_ns.sec 5;
   }
 
 type guard_incidents = {
@@ -194,6 +198,7 @@ type t = {
   mutable fallbacks_triggered : int;
   mutable fallback_probes_sent : int;
   mutable quarantines : int;
+  mutable quarantine_probes_sent : int;
   retired_guard : guard_incidents;
       (* incidents from guard windows closed by an accepted re-install *)
   obs : obs_handles option;
@@ -365,6 +370,29 @@ let absorb_eval_incidents t fs =
   fs.guard.div_storms <-
     (fs.incidents.Eval.div_by_zero - fs.div_baseline) / t.config.guard.div_storm_unit
 
+(* Backed-off re-admission probes: while the flow sits in quarantine,
+   re-send [Ready] on a doubling timer (capped at
+   [quarantine_backoff_max]) so an agent that can produce a corrected
+   install gets the chance without waiting for a watchdog period — and a
+   persistently hostile agent is probed ever more rarely. The probe chain
+   dies the moment an accepted install clears [fs.quarantined]. *)
+let rec quarantine_probe t fs ~delay =
+  if fs.quarantined then begin
+    t.quarantine_probes_sent <- t.quarantine_probes_sent + 1;
+    Channel.send t.channel ~from:Channel.Datapath_end
+      (Message.Ready
+         {
+           flow = fs.ctl.Congestion_iface.flow;
+           mss = fs.ctl.Congestion_iface.mss;
+           init_cwnd = fs.ctl.Congestion_iface.get_cwnd ();
+         });
+    let next =
+      Time_ns.min t.config.guard.quarantine_backoff_max (Time_ns.scale delay 2.0)
+    in
+    ignore
+      (Sim.schedule_after t.sim ~delay:next (fun () -> quarantine_probe t fs ~delay:next))
+  end
+
 let quarantine t fs =
   let g = t.config.guard in
   fs.quarantined <- true;
@@ -398,7 +426,12 @@ let quarantine t fs =
          flow = fs.ctl.Congestion_iface.flow;
          incidents = guard_total fs.guard;
          dominant = dominant_incident fs.guard;
-       })
+       });
+  match g.quarantine_backoff with
+  | Some initial ->
+    ignore
+      (Sim.schedule_after t.sim ~delay:initial (fun () -> quarantine_probe t fs ~delay:initial))
+  | None -> ()
 
 let maybe_quarantine t fs =
   let g = t.config.guard in
@@ -722,6 +755,7 @@ let create ~sim ~channel ?(config = default_config) ?obs () =
       fallbacks_triggered = 0;
       fallback_probes_sent = 0;
       quarantines = 0;
+      quarantine_probes_sent = 0;
       retired_guard = fresh_guard_incidents ();
       obs = Option.map make_obs_handles obs;
       tracer = (match obs with Some o -> o.Ccp_obs.Obs.tracer | None -> None);
@@ -970,6 +1004,12 @@ let in_fallback t ~flow =
   | None -> false
 
 let quarantines_triggered t = t.quarantines
+let quarantine_probes_sent t = t.quarantine_probes_sent
+
+let has_compiled_program t ~flow =
+  match Hashtbl.find_opt t.flows flow with
+  | Some fs -> fs.exec <> None
+  | None -> false
 
 let in_quarantine t ~flow =
   match Hashtbl.find_opt t.flows flow with

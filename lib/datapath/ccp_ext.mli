@@ -76,12 +76,19 @@ type guard_envelope = {
   divergence_limit : float;  (** fold state magnitude bound *)
   quarantine_after : int;  (** incident score that triggers quarantine *)
   quarantine_mode : fallback_mode option;  (** [None] = count but never quarantine *)
+  quarantine_backoff : Time_ns.t option;
+      (** when set, a quarantined flow re-sends [Ready] on a doubling
+          timer starting at this delay, inviting the agent to win the
+          flow back with a corrected install; [None] (the default) leaves
+          re-admission to the watchdog's silence-driven probes *)
+  quarantine_backoff_max : Time_ns.t;  (** cap on the probe back-off *)
 }
 
 val default_guard : guard_envelope
 (** 1-segment cwnd floor, 1 GiB ceiling, 1 Tbit/s rate ceiling, 1 us wait
     floor, 10k steps per tick, 10 us report interval, 50 div-by-zero per
-    point, 1e18 fold bound, quarantine at 50 with no mode armed. *)
+    point, 1e18 fold bound, quarantine at 50 with no mode armed, no
+    back-off probes (5 s cap when armed). *)
 
 (** Per-flow incident counters, one per {!Ccp_ipc.Message.incident_kind}.
     Mutable for the datapath's own accounting; treat as read-only. *)
@@ -151,7 +158,16 @@ val in_fallback : t -> flow:int -> bool
 val quarantines_triggered : t -> int
 (** Guard-envelope quarantines entered across all flows. *)
 
+val quarantine_probes_sent : t -> int
+(** [Ready] re-admission probes emitted by [quarantine_backoff] timers. *)
+
 val in_quarantine : t -> flow:int -> bool
+
+val has_compiled_program : t -> flow:int -> bool
+(** Whether the flow holds a compiled, runnable program. Always agrees
+    with [installed_program]: admission is atomic, so a crash between
+    [Install] and [Install_result] can never leave a half-admitted
+    program (source recorded but nothing runnable, or vice versa). *)
 
 val guard_incidents : t -> flow:int -> guard_incidents option
 (** The flow's counters for the {e current} guard window (reset on every

@@ -30,6 +30,7 @@ type obs_handles = {
   bytes_to_datapath : Ccp_obs.Metrics.counter;
   oneway_us : Ccp_obs.Metrics.histogram;
   faults_injected : Ccp_obs.Metrics.counter;
+  decode_failures : Ccp_obs.Metrics.counter;
 }
 
 let make_handles obs =
@@ -44,6 +45,7 @@ let make_handles obs =
       Metrics.counter obs.Obs.metrics ~unit_:"bytes" "ipc.to_datapath.bytes";
     oneway_us = Metrics.histogram obs.Obs.metrics ~unit_:"us" "ipc.oneway_latency_us";
     faults_injected = Metrics.counter obs.Obs.metrics ~unit_:"events" "ipc.faults_injected";
+    decode_failures = Metrics.counter obs.Obs.metrics ~unit_:"errors" "ipc.decode_failures";
   }
 
 type t = {
@@ -133,7 +135,10 @@ let deliver t handler ~toward bytes =
       t.rx_span <- Message.no_trace
     | _ -> handler decoded)
   | exception (Codec.Decode_error _ | Wire.Reader.Truncated | Wire.Reader.Malformed _) ->
-    t.decode_failures <- t.decode_failures + 1
+    t.decode_failures <- t.decode_failures + 1;
+    (match t.handles with
+    | Some h -> Ccp_obs.Metrics.incr h.decode_failures
+    | None -> ())
 
 (* Schedule one copy of [bytes]. [fifo] decides whether the arrival is
    clamped to (and advances) the direction's FIFO floor; reordered and

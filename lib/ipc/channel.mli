@@ -61,7 +61,11 @@ val messages_sent : t -> endpoint -> int
 (** Messages sent {e from} the given endpoint. *)
 
 val bytes_sent : t -> endpoint -> int
+
 val decode_failures : t -> int
+(** Deliveries whose bytes failed to decode; also published as the
+    [ipc.decode_failures] counter when the channel carries an [obs]
+    bundle. *)
 
 (** Cumulative effect of the fault plan on this channel, both directions
     combined. All-zero when the plan is {!Fault_plan.none}. *)

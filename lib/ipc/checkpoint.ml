@@ -1,0 +1,93 @@
+(* Versioned agent-state checkpoint for warm crash recovery.
+
+   A checkpoint is a point-in-time snapshot of everything the agent
+   would otherwise lose in a crash: per flow, the algorithm's name, the
+   last cwnd/rate it commanded, and the algorithm's own registers (an
+   opaque name/value dump from [Algorithm.handlers.on_checkpoint]). It
+   is encoded over the same {!Wire} primitives as the live protocol so
+   the blob survives the encode/decode round trip a real persistence
+   path would impose, and it carries an explicit version so a restarted
+   agent can refuse a blob written by an incompatible predecessor
+   instead of misreading it. *)
+
+open Ccp_util
+
+type flow_snapshot = {
+  flow : int;
+  algorithm : string;
+  cwnd : int;
+  rate : float;
+  registers : (string * float) array;
+}
+
+type t = { taken_at : Time_ns.t; flows : flow_snapshot list }
+
+let version = 1
+
+(* A magic byte in front of the version keeps a checkpoint blob from
+   ever being confused with a {!Codec} message (whose first byte is a
+   wire tag in 0..9). *)
+let magic = 0xC5
+
+let encode t =
+  let w = Wire.Writer.create () in
+  Wire.Writer.byte w magic;
+  Wire.Writer.varint w version;
+  Wire.Writer.varint w (t.taken_at : Time_ns.t);
+  Wire.Writer.varint w (List.length t.flows);
+  List.iter
+    (fun s ->
+      Wire.Writer.varint w s.flow;
+      Wire.Writer.string w s.algorithm;
+      Wire.Writer.varint w s.cwnd;
+      Wire.Writer.float w s.rate;
+      Wire.Writer.varint w (Array.length s.registers);
+      Array.iter
+        (fun (name, value) ->
+          Wire.Writer.string w name;
+          Wire.Writer.float w value)
+        s.registers)
+    t.flows;
+  Wire.Writer.contents w
+
+let decode blob =
+  try
+    let r = Wire.Reader.of_string blob in
+    let m = Wire.Reader.byte r in
+    if m <> magic then Error (Printf.sprintf "checkpoint: bad magic 0x%02X" m)
+    else
+      let v = Wire.Reader.varint r in
+      if v <> version then
+        Error (Printf.sprintf "checkpoint: version %d, expected %d" v version)
+      else begin
+        let taken_at = Time_ns.ns (Wire.Reader.varint r) in
+        let n_flows = Wire.Reader.varint r in
+        let flows = ref [] in
+        for _ = 1 to n_flows do
+          let flow = Wire.Reader.varint r in
+          let algorithm = Wire.Reader.string r in
+          let cwnd = Wire.Reader.varint r in
+          let rate = Wire.Reader.float r in
+          let n_regs = Wire.Reader.varint r in
+          let registers =
+            Array.init n_regs (fun _ ->
+                let name = Wire.Reader.string r in
+                let value = Wire.Reader.float r in
+                (name, value))
+          in
+          flows := { flow; algorithm; cwnd; rate; registers } :: !flows
+        done;
+        if not (Wire.Reader.at_end r) then
+          Error
+            (Printf.sprintf "checkpoint: %d trailing bytes" (Wire.Reader.remaining r))
+        else Ok { taken_at; flows = List.rev !flows }
+      end
+  with
+  | Wire.Reader.Truncated -> Error "checkpoint: truncated"
+  | Wire.Reader.Malformed what -> Error ("checkpoint: malformed " ^ what)
+
+let describe t =
+  Printf.sprintf "checkpoint v%d at %s: %d flow%s" version
+    (Time_ns.to_string t.taken_at)
+    (List.length t.flows)
+    (if List.length t.flows = 1 then "" else "s")

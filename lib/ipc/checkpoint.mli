@@ -1,0 +1,37 @@
+(** Versioned agent-state checkpoint for warm crash recovery.
+
+    A snapshot of the agent's per-flow soft state — algorithm name, last
+    commanded cwnd/rate, and the algorithm's own register dump — written
+    on a timer by {!Ccp_core.Experiment} and replayed into a restarted
+    agent so recovered flows resume near their pre-crash operating point
+    instead of re-handshaking cold. Encoded over the {!Wire} primitives
+    (the same binary substrate as the live {!Codec} protocol) with an
+    explicit version: a restarted agent refuses blobs written by an
+    incompatible predecessor rather than misreading them. *)
+
+open Ccp_util
+
+type flow_snapshot = {
+  flow : int;
+  algorithm : string;  (** [Algorithm.t.name] that was driving the flow *)
+  cwnd : int;  (** last cwnd the agent commanded, bytes; 0 = never set *)
+  rate : float;  (** last pacing rate commanded, bytes/s; 0 = never set *)
+  registers : (string * float) array;
+      (** opaque algorithm registers from [handlers.on_checkpoint] *)
+}
+
+type t = { taken_at : Time_ns.t; flows : flow_snapshot list }
+
+val version : int
+(** Current format version (encoded in every blob). *)
+
+val encode : t -> string
+(** Deterministic binary encoding (magic byte, version, then per-flow
+    records). *)
+
+val decode : string -> (t, string) result
+(** Total: bad magic, version mismatch, truncation, or trailing garbage
+    come back as [Error] — never an exception. *)
+
+val describe : t -> string
+(** One-line human-readable summary. *)

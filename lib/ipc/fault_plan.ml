@@ -42,6 +42,28 @@ let check_interval what { from_; until } =
       (Printf.sprintf "Fault_plan: %s interval [%s, %s) is empty or inverted" what
          (Time_ns.to_string from_) (Time_ns.to_string until))
 
+(* Sort intervals by start and merge any that overlap or abut, so
+   [agent_down]/[in_partition] answer the same question however the caller
+   phrased the episodes ([0,5)+[3,8) and [0,8) are the same outage) and
+   [partition_time] never double-counts. *)
+let normalize_intervals intervals =
+  let sorted =
+    List.sort
+      (fun a b ->
+        match Time_ns.compare a.from_ b.from_ with
+        | 0 -> Time_ns.compare a.until b.until
+        | c -> c)
+      intervals
+  in
+  let rec merge = function
+    | a :: b :: rest when Time_ns.compare b.from_ a.until <= 0 ->
+        let until = if Time_ns.compare a.until b.until >= 0 then a.until else b.until in
+        merge ({ a with until } :: rest)
+    | a :: rest -> a :: merge rest
+    | [] -> []
+  in
+  merge sorted
+
 let make ?(drop_probability = 0.0) ?(duplicate_probability = 0.0) ?spike ?reorder
     ?(partitions = []) ?(agent_outages = []) () =
   check_probability "drop" drop_probability;
@@ -60,12 +82,19 @@ let make ?(drop_probability = 0.0) ?(duplicate_probability = 0.0) ?spike ?reorde
     reorder;
   List.iter (check_interval "partition") partitions;
   List.iter (check_interval "agent outage") agent_outages;
-  { drop_probability; duplicate_probability; spike; reorder; partitions; agent_outages }
+  {
+    drop_probability;
+    duplicate_probability;
+    spike;
+    reorder;
+    partitions = normalize_intervals partitions;
+    agent_outages = normalize_intervals agent_outages;
+  }
 
 let crash ~at ~restart t =
   let episode = { from_ = at; until = restart } in
   check_interval "agent outage" episode;
-  { t with agent_outages = t.agent_outages @ [ episode ] }
+  { t with agent_outages = normalize_intervals (t.agent_outages @ [ episode ]) }
 
 let inside at { from_; until } =
   Time_ns.compare at from_ >= 0 && Time_ns.compare at until < 0

@@ -61,10 +61,15 @@ val make :
   t
 (** Validating constructor. Raises [Invalid_argument] if a probability is
     outside \[0, 1\], a spike/reorder duration is negative, or an interval
-    has [until <= from_]. *)
+    has [until <= from_]. Partition and outage lists are normalized:
+    sorted by start, with overlapping or abutting intervals merged, so
+    {!agent_down} / {!in_partition} are well-defined however the episodes
+    were phrased. *)
 
 val crash : at:Time_ns.t -> restart:Time_ns.t -> t -> t
-(** [crash ~at ~restart plan] adds one agent outage episode. *)
+(** [crash ~at ~restart plan] adds one agent outage episode (the outage
+    list is re-normalized, so an episode overlapping an existing one
+    extends it rather than shadowing it). *)
 
 val in_partition : t -> Time_ns.t -> bool
 (** The instant falls inside a partition {e or} agent outage. *)
@@ -74,7 +79,9 @@ val agent_down : t -> Time_ns.t -> bool
 
 val partition_time : t -> Time_ns.t
 (** Total scheduled unavailability: summed lengths of partitions and agent
-    outages (overlaps counted twice; plans normally keep them disjoint). *)
+    outages. Each list is normalized at construction, so overlaps within a
+    list are never double-counted; a partition that coincides with an
+    outage still counts once per list. *)
 
 val describe : t -> string
 (** One-line human-readable summary, ["none"] for the empty plan. *)

@@ -16,7 +16,7 @@ type span = {
   id : int;
   flow : int;
   kind : string; (* "report" | "urgent" *)
-  disposition : string; (* "actuated" | "no_action" | "rejected" | "orphaned" *)
+  disposition : string; (* "actuated" | "no_action" | "rejected" | "orphaned" | "shed" *)
   started_at : int;
   sent_at : int;
   agent_at : int;

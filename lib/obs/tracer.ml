@@ -16,13 +16,14 @@
    counted in [trace.stale_refs] instead of corrupting a reused slot.
    There is no ID table to leak: liveness is the [busy] bit. *)
 
-type disposition = Actuated | No_action | Rejected | Orphaned
+type disposition = Actuated | No_action | Rejected | Orphaned | Shed
 
 let disposition_to_string = function
   | Actuated -> "actuated"
   | No_action -> "no_action"
   | Rejected -> "rejected"
   | Orphaned -> "orphaned"
+  | Shed -> "shed"
 
 type span_kind = Report_span | Urgent_span
 
@@ -64,6 +65,7 @@ type t = {
   c_no_action : Metrics.counter;
   c_rejected : Metrics.counter;
   c_orphaned : Metrics.counter;
+  c_shed : Metrics.counter;
   c_dropped : Metrics.counter;
   c_stale : Metrics.counter;
   h_reaction : Metrics.histogram;
@@ -113,6 +115,7 @@ let create ?(capacity = 1024) ~metrics ?recorder ~clock () =
     c_no_action = Metrics.counter metrics ~unit_:"spans" "trace.spans_no_action";
     c_rejected = Metrics.counter metrics ~unit_:"spans" "trace.spans_rejected";
     c_orphaned = Metrics.counter metrics ~unit_:"spans" "trace.spans_orphaned";
+    c_shed = Metrics.counter metrics ~unit_:"spans" "trace.spans_shed";
     c_dropped = Metrics.counter metrics ~unit_:"spans" "trace.spans_dropped";
     c_stale = Metrics.counter metrics ~unit_:"refs" "trace.stale_refs";
     h_reaction = Metrics.histogram metrics ~unit_:"us" "trace.reaction_us";
@@ -222,7 +225,8 @@ let finish t token ~now ~disposition ~apply_ns =
         Metrics.observe t.h_ipc_back (us_of_span t.action_at.(slot) now)
     | No_action -> Metrics.incr t.c_no_action
     | Rejected -> Metrics.incr t.c_rejected
-    | Orphaned -> Metrics.incr t.c_orphaned);
+    | Orphaned -> Metrics.incr t.c_orphaned
+    | Shed -> Metrics.incr t.c_shed);
     if t.sent_at.(slot) >= 0 && t.agent_at.(slot) >= 0 then
       Metrics.observe t.h_ipc_out (us_of_span t.sent_at.(slot) t.agent_at.(slot));
     if apply_ns > 0.0 then Metrics.observe t.h_apply apply_ns;
@@ -274,6 +278,7 @@ let handler_end t token ~now =
   end
 
 let orphan t token ~now = finish t token ~now ~disposition:Orphaned ~apply_ns:0.0
+let shed t token ~now = finish t token ~now ~disposition:Shed ~apply_ns:0.0
 
 (* ---- accounting -------------------------------------------------------- *)
 
@@ -283,6 +288,7 @@ type stats = {
   no_action : int;
   rejected : int;
   orphaned : int;
+  shed : int;
   dropped : int;
   stale_refs : int;
   live : int;
@@ -295,6 +301,7 @@ let stats t =
     no_action = Metrics.counter_value t.c_no_action;
     rejected = Metrics.counter_value t.c_rejected;
     orphaned = Metrics.counter_value t.c_orphaned;
+    shed = Metrics.counter_value t.c_shed;
     dropped = Metrics.counter_value t.c_dropped;
     stale_refs = Metrics.counter_value t.c_stale;
     live = t.live;

@@ -17,7 +17,7 @@
 
 type t
 
-type disposition = Actuated | No_action | Rejected | Orphaned
+type disposition = Actuated | No_action | Rejected | Orphaned | Shed
 
 val disposition_to_string : disposition -> string
 
@@ -73,6 +73,11 @@ val orphan : t -> int -> now:int -> unit
 (** [finish] with [Orphaned] — the traced message was dropped by a fault
     (random loss, partition, crashed agent). *)
 
+val shed : t -> int -> now:int -> unit
+(** [finish] with [Shed] — the agent's overload control dropped the
+    traced report before its handler ran. Counted in
+    [trace.spans_shed]. *)
+
 (** {1 Accounting} *)
 
 type stats = {
@@ -81,13 +86,15 @@ type stats = {
   no_action : int;
   rejected : int;
   orphaned : int;
+  shed : int;  (** dropped by agent overload control before the handler *)
   dropped : int;  (** mints refused because the pool was empty *)
   stale_refs : int;
   live : int;  (** started and not yet finalized *)
 }
 
 val stats : t -> stats
-(** Invariant: [started = actuated + no_action + rejected + orphaned + live]. *)
+(** Invariant:
+    [started = actuated + no_action + rejected + orphaned + shed + live]. *)
 
 val pool_capacity : t -> int
 val free_slots : t -> int

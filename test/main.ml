@@ -6,4 +6,5 @@ let () =
    @ Test_ipc.suite @ Test_datapath.suite @ Test_agent.suite @ Test_algorithms.suite
    @ Test_core.suite @ Test_extensions.suite @ Test_props.suite @ Test_faults.suite
    @ Test_guard.suite @ Test_compile.suite @ Test_integration.suite
-   @ Test_obs.suite @ Test_fidelity.suite @ Test_trace.suite @ Test_robustness.suite)
+   @ Test_obs.suite @ Test_fidelity.suite @ Test_trace.suite @ Test_robustness.suite
+   @ Test_chaos.suite)

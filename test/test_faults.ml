@@ -133,6 +133,142 @@ let test_clean_channel_stats_zero () =
     (s = { Ccp_ipc.Channel.dropped = 0; duplicated = 0; delayed = 0; reordered = 0;
            partition_dropped = 0 })
 
+(* --- interval normalization: make/crash merge rules --- *)
+
+let iv a b = { Ccp_ipc.Fault_plan.from_ = Time_ns.ms a; until = Time_ns.ms b }
+
+let intervals = Alcotest.testable
+    (Fmt.Dump.list (fun ppf { Ccp_ipc.Fault_plan.from_; until } ->
+         Format.fprintf ppf "[%s,%s)" (Time_ns.to_string from_) (Time_ns.to_string until)))
+    ( = )
+
+let test_intervals_merge_and_sort () =
+  (* However the episodes are phrased — unsorted, overlapping, abutting —
+     the plan holds a sorted minimal list per field. *)
+  let plan =
+    Ccp_ipc.Fault_plan.make
+      ~partitions:[ iv 50 60; iv 10 20; iv 18 25 ]
+      ~agent_outages:[ iv 30 40; iv 40 45; iv 5 8 ]
+      ()
+  in
+  Alcotest.check intervals "overlapping partitions merged"
+    [ iv 10 25; iv 50 60 ] plan.Ccp_ipc.Fault_plan.partitions;
+  Alcotest.check intervals "abutting outages merged"
+    [ iv 5 8; iv 30 45 ] plan.Ccp_ipc.Fault_plan.agent_outages;
+  (* Normalization means no double-counting: 15+10 ms of partition plus
+     3+15 ms of outage. *)
+  Alcotest.(check string) "partition_time counts each instant once"
+    (Time_ns.to_string (Time_ns.ms 43))
+    (Time_ns.to_string (Ccp_ipc.Fault_plan.partition_time plan));
+  (* An interval swallowed whole by a neighbour disappears entirely. *)
+  let nested = Ccp_ipc.Fault_plan.make ~partitions:[ iv 10 50; iv 20 30 ] () in
+  Alcotest.check intervals "nested interval absorbed" [ iv 10 50 ]
+    nested.Ccp_ipc.Fault_plan.partitions
+
+let test_intervals_half_open () =
+  let plan = Ccp_ipc.Fault_plan.make ~agent_outages:[ iv 10 20 ] () in
+  let down ms = Ccp_ipc.Fault_plan.agent_down plan (Time_ns.ms ms) in
+  Alcotest.(check bool) "closed at from_" true (down 10);
+  Alcotest.(check bool) "open at until" false (down 20);
+  Alcotest.(check bool) "before" false (down 9);
+  Alcotest.(check bool) "inside" true (down 19);
+  (* Outages count as partitions for in_partition, not vice versa. *)
+  Alcotest.(check bool) "outage implies in_partition" true
+    (Ccp_ipc.Fault_plan.in_partition plan (Time_ns.ms 15));
+  let part_only = Ccp_ipc.Fault_plan.make ~partitions:[ iv 10 20 ] () in
+  Alcotest.(check bool) "partition is not an outage" false
+    (Ccp_ipc.Fault_plan.agent_down part_only (Time_ns.ms 15))
+
+let test_crash_renormalizes () =
+  let base = Ccp_ipc.Fault_plan.make ~agent_outages:[ iv 10 20 ] () in
+  (* A crash overlapping an existing episode extends it... *)
+  let extended = Ccp_ipc.Fault_plan.crash ~at:(Time_ns.ms 18) ~restart:(Time_ns.ms 30) base in
+  Alcotest.check intervals "overlapping crash extends the episode" [ iv 10 30 ]
+    extended.Ccp_ipc.Fault_plan.agent_outages;
+  (* ...a disjoint one lands sorted next to it. *)
+  let two = Ccp_ipc.Fault_plan.crash ~at:(Time_ns.ms 2) ~restart:(Time_ns.ms 5) extended in
+  Alcotest.check intervals "disjoint crash sorted in" [ iv 2 5; iv 10 30 ]
+    two.Ccp_ipc.Fault_plan.agent_outages
+
+let test_make_rejects_empty_intervals () =
+  let bad field =
+    match field () with
+    | (_ : Ccp_ipc.Fault_plan.t) -> Alcotest.fail "empty interval accepted"
+    | exception Invalid_argument _ -> ()
+  in
+  bad (fun () -> Ccp_ipc.Fault_plan.make ~partitions:[ iv 10 10 ] ());
+  bad (fun () -> Ccp_ipc.Fault_plan.make ~agent_outages:[ iv 20 10 ] ())
+
+(* --- crash between Install and Install_result is atomic --- *)
+
+(* The datapath admits a program in one step: parse/typecheck/compile,
+   then store. An agent crash at any instant around the Install exchange
+   — before the Install arrives, while the verdict is in flight back, or
+   after — must leave the datapath either fully admitted (program stored
+   AND compiled) or untouched, never in between. The agent may miss the
+   verdict; the datapath must not be half-configured. *)
+
+let install_ctl sim ~flow =
+  let cwnd = ref 14_480 in
+  {
+    Ccp_datapath.Congestion_iface.flow;
+    mss = 1448;
+    now = (fun () -> Sim.now sim);
+    get_cwnd = (fun () -> !cwnd);
+    set_cwnd = (fun b -> cwnd := b);
+    get_rate = (fun () -> 0.0);
+    set_rate = (fun _ -> ());
+    srtt = (fun () -> Some (Time_ns.ms 10));
+    latest_rtt = (fun () -> Some (Time_ns.ms 10));
+    min_rtt = (fun () -> Some (Time_ns.ms 10));
+    inflight = (fun () -> 5000);
+    send_rate_ewma = (fun () -> None);
+    delivery_rate_ewma = (fun () -> None);
+  }
+
+let install_program =
+  Ccp_lang.Parser.parse_program "Cwnd(cwnd + mss).WaitRtts(1.0).Report()"
+
+let prop_install_atomic_under_crash =
+  Prop.test_case ~cases:120 ~name:"crash around Install never half-admits"
+    ~gen:(fun rng -> (Prop.int_range rng 0 200, Rng.int rng 1_000_000))
+    ~show:(fun (delta_us, seed) -> Printf.sprintf "crash at install+%dus seed=%d" delta_us seed)
+    (fun (delta_us, seed) ->
+      let sim = Sim.create ~seed () in
+      let install_at = Time_ns.ms 1 in
+      (* One-way IPC latency is 40 us, so the sweep [0, 200) us straddles
+         every phase of the exchange: send, in-flight, verdict return. *)
+      let plan =
+        Ccp_ipc.Fault_plan.crash
+          ~at:(Time_ns.add install_at (Time_ns.us delta_us))
+          ~restart:(Time_ns.add install_at (Time_ns.ms 5))
+          Ccp_ipc.Fault_plan.none
+      in
+      let channel =
+        Ccp_ipc.Channel.create ~sim
+          ~latency:(Ccp_ipc.Latency_model.Constant (Time_ns.us 40))
+          ~faults:plan ()
+      in
+      let ext = Ccp_ext.create ~sim ~channel () in
+      let accepted = ref 0 in
+      Ccp_ipc.Channel.on_receive channel Ccp_ipc.Channel.Agent_end (fun msg ->
+          match msg with
+          | Ccp_ipc.Message.Install_result { verdict = Ccp_ipc.Message.Accepted; _ } ->
+            incr accepted
+          | _ -> ());
+      let cc = Ccp_ext.congestion_control ext in
+      cc.Ccp_datapath.Congestion_iface.on_init (install_ctl sim ~flow:1);
+      ignore
+        (Sim.schedule sim ~at:install_at (fun () ->
+             Ccp_ipc.Channel.send channel ~from:Ccp_ipc.Channel.Agent_end
+               (Ccp_ipc.Message.Install { flow = 1; program = install_program })));
+      Sim.run ~until:(Time_ns.ms 10) sim;
+      let stored = Ccp_ext.installed_program ext ~flow:1 <> None in
+      let compiled = Ccp_ext.has_compiled_program ext ~flow:1 in
+      Prop.check_eq ~what:"program stored iff compiled" string_of_bool stored compiled;
+      (* A verdict the agent did see is never a lie. *)
+      if !accepted > 0 then Prop.require "accepted verdict => fully admitted" (stored && compiled))
+
 (* --- end-to-end invariants under random fault plans --- *)
 
 (* Sampled assertions wired in through [Experiment.config.inspect]: at
@@ -206,6 +342,14 @@ let suite =
         prop_deterministic;
         Alcotest.test_case "clean channel: zero fault stats" `Quick
           test_clean_channel_stats_zero;
+      ] );
+    ( "faults.intervals",
+      [
+        Alcotest.test_case "merge and sort" `Quick test_intervals_merge_and_sort;
+        Alcotest.test_case "half-open boundaries" `Quick test_intervals_half_open;
+        Alcotest.test_case "crash re-normalizes" `Quick test_crash_renormalizes;
+        Alcotest.test_case "empty intervals rejected" `Quick test_make_rejects_empty_intervals;
+        prop_install_atomic_under_crash;
       ] );
     ( "faults.e2e",
       [ Alcotest.test_case "random plans keep invariants" `Slow test_random_plans_end_to_end ] );

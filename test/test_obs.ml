@@ -340,7 +340,7 @@ let check_stats_invariant label tr =
     (label ^ ": started = finalized + live")
     s.Tracer.started
     (s.Tracer.actuated + s.Tracer.no_action + s.Tracer.rejected + s.Tracer.orphaned
-   + s.Tracer.live);
+   + s.Tracer.shed + s.Tracer.live);
   Alcotest.(check int)
     (label ^ ": free slots = capacity - live")
     (Tracer.pool_capacity tr - s.Tracer.live)

@@ -153,7 +153,7 @@ let prop_span_accounting { seed; plan } =
   Prop.require "some spans were started" (st.Ccp_obs.Tracer.started > 0);
   Prop.check_eq ~what:"started = finalized + live" string_of_int st.Ccp_obs.Tracer.started
     (st.Ccp_obs.Tracer.actuated + st.Ccp_obs.Tracer.no_action + st.Ccp_obs.Tracer.rejected
-   + st.Ccp_obs.Tracer.orphaned + st.Ccp_obs.Tracer.live);
+   + st.Ccp_obs.Tracer.orphaned + st.Ccp_obs.Tracer.shed + st.Ccp_obs.Tracer.live);
   Prop.check_eq ~what:"free slots = capacity - live" string_of_int
     (Ccp_obs.Tracer.pool_capacity tr - st.Ccp_obs.Tracer.live)
     (Ccp_obs.Tracer.free_slots tr);
