@@ -28,8 +28,8 @@ let sections =
   match Array.to_list Sys.argv with
   | _ :: (_ :: _ as rest) -> rest
   | _ ->
-    [ "micro"; "perack"; "obs"; "tracing"; "table1"; "batching"; "fig2"; "fig3"; "fig4";
-      "fig5"; "ablations"; "sweep" ]
+    [ "micro"; "perack"; "obs"; "tracing"; "scale"; "table1"; "batching"; "fig2"; "fig3";
+      "fig4"; "fig5"; "ablations"; "sweep" ]
 
 let enabled name = List.mem name sections
 
@@ -95,8 +95,9 @@ let pkt_env = function
   | _ -> Some 0.0
 
 (* Run a bechamel test group and return sorted (name, ns/op, r^2) rows;
-   every row also lands in the JSON accumulator flushed at exit. *)
-let json_rows : (string * float) list ref = ref []
+   every row also lands in the JSON accumulator flushed at exit (as
+   (name, value, unit) — the scale section contributes non-ns/op rows). *)
+let json_rows : (string * float * string) list ref = ref []
 
 let measure_rows tests =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
@@ -118,7 +119,7 @@ let measure_rows tests =
       Printf.printf "%-34s %14.1f %8s\n" name est
         (match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "-"))
     rows;
-  json_rows := !json_rows @ List.map (fun (name, est, _) -> (name, est)) rows;
+  json_rows := !json_rows @ List.map (fun (name, est, _) -> (name, est, "ns/op")) rows;
   rows
 
 let row_cost rows name =
@@ -131,9 +132,7 @@ let write_bench_json () =
   | [] -> ()
   | pairs ->
     let rows =
-      List.map
-        (fun (name, ns) -> { Ccp_obs.Metrics.name; value = ns; unit_ = "ns/op" })
-        pairs
+      List.map (fun (name, value, unit_) -> { Ccp_obs.Metrics.name; value; unit_ }) pairs
     in
     let json = Ccp_obs.Metrics.rows_to_json rows in
     (match Ccp_obs.Metrics.validate_rows_json json with
@@ -462,6 +461,174 @@ let run_tracing () =
     exit 1
   end
 
+(* --- scale: the flow-multiplexed control plane at N flows --- *)
+
+(* Registration churn and report dispatch measured end to end through
+   the real channel + agent with the slot-pooled registry armed at
+   fleet size, at N in {16, 256, 2048}. Two acceptance bars ride along:
+   per-flow churn allocation stays bounded and N-independent (the pool
+   touches preallocated slots, not a growing heap), and batched report
+   dispatch costs less per report than unbatched (the frame amortizes
+   per-message channel overhead). *)
+
+let scale_ns = [ 16; 256; 2048 ]
+
+let scale_sink : Ccp_agent.Algorithm.t =
+  {
+    Ccp_agent.Algorithm.name = "bench-sink";
+    make =
+      (fun _handle ->
+        {
+          Ccp_agent.Algorithm.no_op_handlers with
+          Ccp_agent.Algorithm.on_report =
+            (fun r -> ignore (Ccp_agent.Algorithm.field r "acked" : float option));
+        });
+  }
+
+let scale_setup ?batching ~n () =
+  let sim = Ccp_eventsim.Sim.create () in
+  let channel =
+    Ccp_ipc.Channel.create ~sim ~latency:(Ccp_ipc.Latency_model.Constant (Time_ns.us 20))
+      ?batching ()
+  in
+  Ccp_ipc.Channel.on_receive channel Ccp_ipc.Channel.Datapath_end (fun _ -> ());
+  let agent =
+    Ccp_agent.Agent.create ~sim ~channel ~choose:(fun _ -> scale_sink) ~flow_pool:n ()
+  in
+  (sim, channel, agent)
+
+let scale_churn_round sim channel ~n =
+  for f = 0 to n - 1 do
+    Ccp_ipc.Channel.send channel ~from:Ccp_ipc.Channel.Datapath_end
+      (Ccp_ipc.Message.Ready { flow = f; mss = 1448; init_cwnd = 14_480 })
+  done;
+  Ccp_eventsim.Sim.run sim;
+  for f = 0 to n - 1 do
+    Ccp_ipc.Channel.send channel ~from:Ccp_ipc.Channel.Datapath_end
+      (Ccp_ipc.Message.Closed { flow = f })
+  done;
+  Ccp_eventsim.Sim.run sim
+
+(* (flows/sec, minor words per register+teardown cycle) *)
+let scale_churn ~n ~rounds =
+  let sim, channel, agent = scale_setup ~n () in
+  scale_churn_round sim channel ~n;
+  let words0 = Gc.minor_words () in
+  scale_churn_round sim channel ~n;
+  let words_per_flow = (Gc.minor_words () -. words0) /. float_of_int n in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to rounds do
+    scale_churn_round sim channel ~n
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  if Ccp_agent.Agent.registrations_rejected agent > 0 then begin
+    Printf.eprintf "bench: FAIL: scale churn at n=%d rejected registrations\n%!" n;
+    exit 1
+  end;
+  (float_of_int (rounds * n) /. dt, words_per_flow)
+
+let scale_report_fields = [| ("acked", 1448.0); ("sacked", 0.0); ("lastrtt", 10_233.0) |]
+
+(* µs of wall clock per report, send through dispatch, at [n] live
+   flows, reports round-robin across the fleet. *)
+let scale_reports ?batching ~n ~reports () =
+  let sim, channel, agent = scale_setup ?batching ~n () in
+  for f = 0 to n - 1 do
+    Ccp_ipc.Channel.send channel ~from:Ccp_ipc.Channel.Datapath_end
+      (Ccp_ipc.Message.Ready { flow = f; mss = 1448; init_cwnd = 14_480 })
+  done;
+  Ccp_eventsim.Sim.run sim;
+  let burst count =
+    for i = 0 to count - 1 do
+      Ccp_ipc.Channel.send channel ~from:Ccp_ipc.Channel.Datapath_end
+        (Ccp_ipc.Message.Report { flow = i mod n; fields = scale_report_fields })
+    done;
+    Ccp_ipc.Channel.flush channel;
+    Ccp_eventsim.Sim.run sim
+  in
+  burst (min reports 1024);
+  let before = Ccp_agent.Agent.reports_received agent in
+  let t0 = Unix.gettimeofday () in
+  burst reports;
+  let dt = Unix.gettimeofday () -. t0 in
+  if Ccp_agent.Agent.reports_received agent - before <> reports then begin
+    Printf.eprintf "bench: FAIL: scale dispatch at n=%d lost reports (%d of %d)\n%!" n
+      (Ccp_agent.Agent.reports_received agent - before)
+      reports;
+    exit 1
+  end;
+  dt *. 1e6 /. float_of_int reports
+
+let scale_batching =
+  (* Deep byte/deadline watermarks so the count watermark (32, the
+     incast default) is the one that fires: frames of 32 reports. *)
+  {
+    Ccp_ipc.Channel.max_count = 32;
+    max_bytes = 1 lsl 20;
+    deadline = Time_ns.ms 1;
+  }
+
+let run_scale () =
+  heading "Scale: slot-pooled registry churn + batched report dispatch";
+  let rounds = if quick then 20 else 100 in
+  let reports = if quick then 20_000 else 100_000 in
+  Printf.printf "%-8s %16s %14s %18s %18s\n" "flows" "flows/sec" "words/flow" "us/report(1-per)"
+    "us/report(batch)";
+  let words_per_flow =
+    List.map
+      (fun n ->
+        let flows_per_sec, words = scale_churn ~n ~rounds in
+        let unbatched = scale_reports ~n ~reports () in
+        let batched = scale_reports ~batching:scale_batching ~n ~reports () in
+        Printf.printf "%-8d %16.0f %14.1f %18.3f %18.3f\n%!" n flows_per_sec words unbatched
+          batched;
+        json_rows :=
+          !json_rows
+          @ [
+              (Printf.sprintf "scale.flows_per_sec.n%d" n, flows_per_sec, "flows/s");
+              (Printf.sprintf "scale.agent_us_per_report.unbatched.n%d" n, unbatched, "us");
+              (Printf.sprintf "scale.agent_us_per_report.batched.n%d" n, batched, "us");
+            ];
+        if batched >= unbatched then begin
+          Printf.eprintf
+            "bench: FAIL: batched dispatch at n=%d cost %.3f us/report vs %.3f unbatched \
+             (batching must amortize, not add)\n\
+             %!"
+            n batched unbatched;
+          exit 1
+        end;
+        (n, words))
+      scale_ns
+  in
+  (* Churn allocation must be bounded and must not grow with the fleet:
+     the pool's whole point is that registration touches preallocated
+     slots. The constant covers the Ready/Closed codec round-trip and
+     scheduler event; 4x headroom separates "constant" from "linear"
+     (a per-flow leak at n=2048 would blow far past it). *)
+  List.iter
+    (fun (n, words) ->
+      if words > 1024.0 then begin
+        Printf.eprintf
+          "bench: FAIL: churn at n=%d allocated %.1f minor words per flow (expected <= 1024)\n%!"
+          n words;
+        exit 1
+      end)
+    words_per_flow;
+  match words_per_flow with
+  | (_, w0) :: (_ :: _ as rest) when w0 > 0.0 ->
+    List.iter
+      (fun (n, w) ->
+        if w > 4.0 *. w0 then begin
+          Printf.eprintf
+            "bench: FAIL: churn allocation grows with fleet size (%.1f words/flow at n=%d vs \
+             %.1f at n=%d)\n\
+             %!"
+            w n w0 (fst (List.hd words_per_flow));
+          exit 1
+        end)
+      rest
+  | _ -> ()
+
 (* --- figure harness --- *)
 
 let run_table1 () =
@@ -521,6 +688,7 @@ let () =
   if enabled "perack" then run_perack ();
   if enabled "obs" then run_obs ();
   if enabled "tracing" then run_tracing ();
+  if enabled "scale" then run_scale ();
   if enabled "table1" then run_table1 ();
   if enabled "batching" then run_batching ();
   if enabled "fig2" then run_fig2 ();

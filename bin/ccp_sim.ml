@@ -965,6 +965,176 @@ let chaos_cmd =
           schema-validated scorecard.")
     Term.(const action $ seeds $ rate_mbps $ rtt_ms $ duration_s $ scorecard_file $ bench_json)
 
+(* --- incast: flow-count scale-out family (docs/scale.md) --- *)
+
+let write_incast_scorecard ~path (sc : Scenarios.Incast.scorecard) =
+  let oc = open_out path in
+  output_string oc (Ccp_obs.Json.to_string (Scenarios.Incast.to_json sc));
+  output_char oc '\n';
+  close_out oc;
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Ccp_obs.Json.parse data with
+  | Error e ->
+    Printf.eprintf "ccp_sim: scorecard %s does not parse: %s\n%!" path e;
+    exit 1
+  | Ok parsed -> (
+    match Scenarios.Incast.validate_scorecard parsed with
+    | Error e ->
+      Printf.eprintf "ccp_sim: scorecard %s is malformed: %s\n%!" path e;
+      exit 1
+    | Ok n -> Printf.printf "scorecard: wrote %s (%d cells)\n" path n)
+
+let incast_rows (sc : Scenarios.Incast.scorecard) =
+  let groups =
+    List.sort_uniq compare
+      (List.map
+         (fun (c : Scenarios.Incast.cell) -> (c.algo, c.n))
+         sc.Scenarios.Incast.cells)
+  in
+  List.concat_map
+    (fun (algo, n) ->
+      let cells =
+        List.filter
+          (fun (c : Scenarios.Incast.cell) -> c.algo = algo && c.n = n)
+          sc.Scenarios.Incast.cells
+      in
+      let k = float_of_int (List.length cells) in
+      let mean f = List.fold_left (fun acc c -> acc +. f c) 0.0 cells /. k in
+      let base = Printf.sprintf "incast.%s.n%d" algo n in
+      let row name value unit_ = { Ccp_obs.Metrics.name = base ^ "." ^ name; value; unit_ } in
+      [
+        row "utilization" (mean (fun c -> c.Scenarios.Incast.utilization)) "fraction";
+        row "p99_queue_delay" (mean (fun c -> c.Scenarios.Incast.p99_queue_delay_ms)) "ms";
+        row "reports_per_frame"
+          (mean (fun (c : Scenarios.Incast.cell) ->
+               if c.wire_messages = 0 then 0.0
+               else float_of_int c.reports /. float_of_int c.wire_messages))
+          "msgs";
+      ])
+    groups
+
+let incast_cmd =
+  let ns =
+    let doc = "Comma-separated flow counts (fan-in degrees)." in
+    Arg.(value & opt string "16,64,256" & info [ "n"; "flows" ] ~docv:"LIST" ~doc)
+  in
+  let arrivals =
+    let doc = "Comma-separated arrival patterns: synchronized, staggered." in
+    Arg.(value & opt string "synchronized,staggered" & info [ "arrivals" ] ~docv:"LIST" ~doc)
+  in
+  let algos =
+    let doc =
+      Printf.sprintf "Comma-separated algorithm subset (default all: %s)."
+        (String.concat ", " Scenarios.Incast.algorithm_names)
+    in
+    Arg.(value & opt string "" & info [ "algos" ] ~docv:"LIST" ~doc)
+  in
+  let seeds =
+    let doc = "Comma-separated seeds; each seed multiplies the matrix." in
+    Arg.(value & opt string "42" & info [ "seeds" ] ~docv:"LIST" ~doc)
+  in
+  let rate_mbps =
+    let doc = "Bottleneck rate in Mbit/s." in
+    Arg.(value & opt float 96.0 & info [ "rate" ] ~docv:"MBPS" ~doc)
+  in
+  let incast_rtt_ms =
+    let doc = "Base RTT in milliseconds." in
+    Arg.(value & opt float 10.0 & info [ "rtt" ] ~docv:"MS" ~doc)
+  in
+  let duration_s =
+    let doc = "Simulated duration per cell in seconds." in
+    Arg.(value & opt float 1.0 & info [ "duration" ] ~docv:"S" ~doc)
+  in
+  let no_batching =
+    let doc =
+      "Disable cross-flow report batching on the IPC channel (one wire frame per \
+       report, the original framing)."
+    in
+    Arg.(value & flag & info [ "no-batching" ] ~doc)
+  in
+  let scorecard_file =
+    let doc =
+      "Write the scorecard as JSON to $(docv). The file is re-read and schema-validated; \
+       a malformed scorecard makes the command exit non-zero."
+    in
+    Arg.(value & opt (some string) None & info [ "scorecard" ] ~docv:"FILE" ~doc)
+  in
+  let bench_json =
+    let doc =
+      "Merge $(b,incast.*) per-(algorithm, N) rows (averaged over seeds and arrivals) \
+       into the BENCH.json-schema file at $(docv) (created when absent)."
+    in
+    Arg.(value & opt (some string) None & info [ "bench-json" ] ~docv:"FILE" ~doc)
+  in
+  let action ns arrivals algos seeds rate_mbps rtt_ms duration_s no_batching scorecard_file
+      bench_json =
+    let split s =
+      List.filter (fun x -> x <> "") (List.map String.trim (String.split_on_char ',' s))
+    in
+    let ints flag s =
+      List.map
+        (fun x ->
+          match int_of_string_opt x with
+          | Some n -> n
+          | None ->
+            Printf.eprintf "ccp_sim: %s: %S is not an integer\n%!" flag x;
+            exit 1)
+        (split s)
+    in
+    let ns = match ints "--n" ns with [] -> [ 16; 64; 256 ] | l -> l in
+    let seeds = match ints "--seeds" seeds with [] -> [ 42 ] | l -> l in
+    let sc =
+      try
+        Scenarios.Incast.run ~rate_bps:(rate_mbps *. 1e6)
+          ~base_rtt:(Time_ns.of_float_sec (rtt_ms /. 1e3))
+          ~duration:(Time_ns.of_float_sec duration_s) ~ns
+          ~arrivals:(List.map Scenarios.Incast.arrival_of_string (split arrivals))
+          ?algos:(match split algos with [] -> None | l -> Some l)
+          ~seeds ~batching:(not no_batching) ()
+      with Invalid_argument e ->
+        Printf.eprintf "ccp_sim: %s\n%!" e;
+        exit 1
+    in
+    Printf.printf
+      "Incast: %.0f Mbit/s, %.1f ms base RTT, buffer BDP/4, report batching %s\n"
+      rate_mbps rtt_ms
+      (if no_batching then "off" else "on");
+    Printf.printf "%-6s %-14s %-14s %-6s %-8s %-8s %-10s %-8s %-9s %-8s %-8s %s\n" "n"
+      "arrival" "algo" "seed" "util" "jain" "p99-q(ms)" "retx" "reports" "frames" "batches"
+      "pool-rej";
+    List.iter
+      (fun (c : Scenarios.Incast.cell) ->
+        Printf.printf "%-6d %-14s %-14s %-6d %-8.3f %-8.3f %-10.2f %-8.4f %-9d %-8d %-8d %d\n"
+          c.Scenarios.Incast.n
+          (Scenarios.Incast.arrival_to_string c.Scenarios.Incast.arrival)
+          c.Scenarios.Incast.algo c.Scenarios.Incast.seed c.Scenarios.Incast.utilization
+          c.Scenarios.Incast.jain_index c.Scenarios.Incast.p99_queue_delay_ms
+          c.Scenarios.Incast.retransmit_rate c.Scenarios.Incast.reports
+          c.Scenarios.Incast.wire_messages c.Scenarios.Incast.batches
+          c.Scenarios.Incast.pool_rejections)
+      sc.Scenarios.Incast.cells;
+    (match scorecard_file with Some path -> write_incast_scorecard ~path sc | None -> ());
+    match bench_json with
+    | Some path -> (
+      match Ccp_obs.Metrics.merge_rows_file ~path (incast_rows sc) with
+      | Ok n -> Printf.printf "bench-json: %s now holds %d rows\n" path n
+      | Error e ->
+        Printf.eprintf "ccp_sim: --bench-json: %s\n%!" e;
+        exit 1)
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "incast"
+       ~doc:
+         "Flow-count scale-out family: N synchronized or staggered CCP senders into one \
+          shallow-buffered bottleneck, slot-pooled agent registry and batched reports \
+          armed, reported as a schema-validated scorecard.")
+    Term.(
+      const action $ ns $ arrivals $ algos $ seeds $ rate_mbps $ incast_rtt_ms $ duration_s
+      $ no_batching $ scorecard_file $ bench_json)
+
 let sweep_cmd = simple "sweep" "CCP vs native Reno across a grid of operating points."
     (fun () ->
       Sweep.render
@@ -978,7 +1148,7 @@ let main =
     [
       run_cmd; csv_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; table1_cmd; batching_cmd;
       ablations_cmd; sweep_cmd; degraded_cmd; hostile_cmd; latency_cmd; robustness_cmd;
-      chaos_cmd;
+      chaos_cmd; incast_cmd;
     ]
 
 let () = exit (Cmd.eval main)

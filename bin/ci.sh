@@ -88,6 +88,30 @@ test -s "$chaos_tmp/scorecard.json"
 grep -q '"chaos\.' BENCH.json
 rm -rf "$chaos_tmp"
 
+echo "== incast smoke =="
+# The flow-multiplexed control plane end to end (docs/scale.md): a
+# 64-flow synchronized/staggered fan-in over the slot-pooled agent with
+# report batching on, run through the CLI. The driver re-reads and
+# schema-validates the scorecard JSON after writing (a malformed or
+# out-of-range scorecard exits non-zero) and merges incast.* rows into
+# BENCH.json. The byte-frozen seed-42 scorecard, the pool-churn
+# property, and the batch-frame round-trip/corruption tests run in the
+# suite above (scale.*, incast.*, ipc.batch).
+incast_tmp="$(mktemp -d)"
+dune exec bin/ccp_sim.exe -- incast -n 64 --seeds 42 --duration 0.5 \
+  --scorecard "$incast_tmp/scorecard.json" --bench-json BENCH.json > /dev/null
+test -s "$incast_tmp/scorecard.json"
+grep -q '"incast\.' BENCH.json
+rm -rf "$incast_tmp"
+
+echo "== scale bench smoke =="
+# The slot-pool churn and batched-report amortization benchmarks: the
+# driver itself exits non-zero if registration churn allocates per-flow
+# Gc garbage that grows with N, or if the batched agent-side cost per
+# report fails to beat the unbatched path.
+QUICK=1 dune exec bench/main.exe -- scale
+grep -q '"scale\.' BENCH.json
+
 if [ -n "${SOAK_SEED:-}" ]; then
   echo "== soak (CCP_PROP_SEED=$SOAK_SEED) =="
   CCP_PROP_SEED="$SOAK_SEED" dune exec test/main.exe -- test -e

@@ -44,12 +44,22 @@ type flow_entry = {
    how long reports sat waiting — the scenario-level starvation metric. *)
 type flow_queue = { fq : (Message.t * int * Time_ns.t) Queue.t; mutable in_rr : bool }
 
+(* Where per-flow entries live. [Hashed] is the original open-ended
+   hashtable; [Pooled] (the [flow_pool] knob) preallocates a
+   generation-checked slot pool so registering/tearing down thousands of
+   flows is allocation-bounded, capacity overrun is a structured
+   rejection, and a handle that outlives its flow is detected (counted
+   stale) instead of steering the slot's next occupant. *)
+type registry =
+  | Hashed of (int, flow_entry) Hashtbl.t
+  | Pooled of flow_entry Flow_table.t
+
 type t = {
   sim : Sim.t;
   channel : Channel.t;
   choose : Algorithm.flow_info -> Algorithm.t;
   policy : Algorithm.flow_info -> Policy.t;
-  flows : (int, flow_entry) Hashtbl.t;
+  flows : registry;
   overload : overload option;
   degrade : degrade option;
   queues : (int, flow_queue) Hashtbl.t;
@@ -70,6 +80,7 @@ type t = {
   mutable degradations : int;
   mutable degraded_drops : int;
   mutable warm_restores : int;
+  mutable registrations_rejected : int;
   obs : agent_obs option;
   tracer : Ccp_obs.Tracer.t option;
 }
@@ -116,6 +127,28 @@ let note_queue_depth t =
   | None -> ()
 
 let is_degraded entry = match entry.state with Degraded _ -> true | Active -> false
+
+(* ---- flow registry ------------------------------------------------------- *)
+
+let reg_find t flow =
+  match t.flows with
+  | Hashed flows -> Hashtbl.find_opt flows flow
+  | Pooled pool -> Flow_table.find pool ~flow
+
+let reg_remove t flow =
+  match t.flows with
+  | Hashed flows -> Hashtbl.remove flows flow
+  | Pooled pool -> ignore (Flow_table.release pool ~flow : bool)
+
+let reg_length t =
+  match t.flows with
+  | Hashed flows -> Hashtbl.length flows
+  | Pooled pool -> Flow_table.live pool
+
+let reg_fold t f init =
+  match t.flows with
+  | Hashed flows -> Hashtbl.fold f flows init
+  | Pooled pool -> Flow_table.fold pool ~init ~f
 
 (* ---- overload queue ----------------------------------------------------- *)
 
@@ -214,11 +247,18 @@ and trip_degrade t entry =
    doubled backoff. The physical-equality check drops stale timers left
    behind by [reset]/restart or a [Closed]. *)
 and readmit t entry flow =
-  match Hashtbl.find_opt t.flows flow with
+  match reg_find t flow with
   | Some e when e == entry && is_degraded entry ->
     let algorithm = t.choose entry.info in
     let policy = t.policy entry.info in
-    let handle = make_handle t entry.info policy in
+    let tok =
+      ref
+        (match t.flows with
+        | Hashed _ -> Flow_table.no_token
+        | Pooled pool ->
+          Option.value ~default:Flow_table.no_token (Flow_table.token_of pool ~flow))
+    in
+    let handle = make_handle t entry.info policy ~tok in
     entry.handlers <- algorithm.Algorithm.make handle;
     entry.algorithm_name <- algorithm.Algorithm.name;
     entry.consec_errors <- 0;
@@ -227,11 +267,27 @@ and readmit t entry flow =
     guard_flow t entry entry.handlers.Algorithm.on_ready
   | _ -> ()
 
-and make_handle t (info : Algorithm.flow_info) policy : Algorithm.handle =
-  let note f = match Hashtbl.find_opt t.flows info.Algorithm.flow with
-    | Some entry -> f entry
-    | None -> ()
+and make_handle t (info : Algorithm.flow_info) policy ~tok : Algorithm.handle =
+  let flow = info.Algorithm.flow in
+  (* Hashed mode keeps the original semantics: best-effort entry update
+     by flow id, and the command always goes out. Pooled mode routes
+     every action through one generation-checked deref of [tok]: a handle
+     captured by a closure that outlives its flow fails the check (the
+     pool counts it stale) and the action is dropped — never applied to,
+     or sent on behalf of, whatever flow reused the slot. *)
+  let action ~update go =
+    match t.flows with
+    | Hashed flows ->
+      (match Hashtbl.find_opt flows flow with Some entry -> update entry | None -> ());
+      go ()
+    | Pooled pool -> (
+      match Flow_table.get pool !tok with
+      | Some entry ->
+        update entry;
+        go ()
+      | None -> ())
   in
+  let no_update = ignore in
   let install program =
     (match Ccp_lang.Typecheck.check program with
     | Ok _ -> ()
@@ -240,10 +296,11 @@ and make_handle t (info : Algorithm.flow_info) policy : Algorithm.handle =
         (Format.asprintf "Agent.install: invalid program: %a" Ccp_lang.Typecheck.pp_error first)
     | Error [] -> assert false);
     let program = Policy.apply_program policy program in
-    t.installs_sent <- t.installs_sent + 1;
-    obs_incr t (fun h -> h.o_installs);
-    Channel.send t.channel ~from:Channel.Agent_end
-      (Message.Install { flow = info.Algorithm.flow; program })
+    action ~update:no_update (fun () ->
+        t.installs_sent <- t.installs_sent + 1;
+        obs_incr t (fun h -> h.o_installs);
+        Channel.send t.channel ~from:Channel.Agent_end
+          (Message.Install { flow; program }))
   in
   {
     info;
@@ -252,20 +309,24 @@ and make_handle t (info : Algorithm.flow_info) policy : Algorithm.handle =
     set_cwnd =
       (fun bytes ->
         let bytes = Policy.clamp_cwnd policy bytes in
-        note (fun entry -> entry.last_cwnd <- bytes);
-        Channel.send t.channel ~from:Channel.Agent_end
-          (Message.Set_cwnd { flow = info.Algorithm.flow; bytes }));
+        action
+          ~update:(fun entry -> entry.last_cwnd <- bytes)
+          (fun () ->
+            Channel.send t.channel ~from:Channel.Agent_end
+              (Message.Set_cwnd { flow; bytes })));
     set_rate =
       (fun rate ->
         let bytes_per_sec = Policy.clamp_rate policy rate in
-        note (fun entry -> entry.last_rate <- bytes_per_sec);
-        Channel.send t.channel ~from:Channel.Agent_end
-          (Message.Set_rate { flow = info.Algorithm.flow; bytes_per_sec }));
+        action
+          ~update:(fun entry -> entry.last_rate <- bytes_per_sec)
+          (fun () ->
+            Channel.send t.channel ~from:Channel.Agent_end
+              (Message.Set_rate { flow; bytes_per_sec })));
     now_us = (fun () -> Time_ns.to_float_us (Sim.now t.sim));
   }
 
 let on_ready t ~flow ~mss ~init_cwnd =
-  match Hashtbl.find_opt t.flows flow with
+  match reg_find t flow with
   | Some entry when is_degraded entry ->
     (* The watchdog's Ready probes keep arriving while the flow is
        quarantined agent-side; re-admission is owned by the backoff
@@ -275,8 +336,6 @@ let on_ready t ~flow ~mss ~init_cwnd =
     let info = { Algorithm.flow; mss; init_cwnd } in
     let algorithm = t.choose info in
     let policy = t.policy info in
-    let handle = make_handle t info policy in
-    let handlers = algorithm.Algorithm.make handle in
     let backoff =
       match t.degrade with Some d -> d.backoff_initial | None -> Time_ns.ms 100
     in
@@ -284,7 +343,7 @@ let on_ready t ~flow ~mss ~init_cwnd =
       {
         info;
         algorithm_name = algorithm.Algorithm.name;
-        handlers;
+        handlers = Algorithm.no_op_handlers;
         consec_errors = 0;
         state = Active;
         backoff;
@@ -292,7 +351,33 @@ let on_ready t ~flow ~mss ~init_cwnd =
         last_rate = 0.0;
       }
     in
-    Hashtbl.replace t.flows flow entry;
+    let tok = ref Flow_table.no_token in
+    let registered =
+      match t.flows with
+      | Hashed flows ->
+        Hashtbl.replace flows flow entry;
+        true
+      | Pooled pool -> (
+        (* The slot is taken before the algorithm instance is built so
+           the handle's token is live during [make] — aggregates install
+           to sibling members from there. *)
+        match Flow_table.register pool ~flow entry with
+        | Ok token ->
+          tok := token;
+          true
+        | Error `Pool_exhausted ->
+          (* Structured rejection: the flow simply stays unserved (its
+             datapath watchdog keeps native CC) and the refusal is
+             counted, instead of an unbounded table quietly growing. *)
+          t.registrations_rejected <- t.registrations_rejected + 1;
+          Logs.warn (fun m ->
+              m "agent: flow %d registration rejected: flow pool exhausted (capacity %d)"
+                flow (Flow_table.capacity pool));
+          false)
+    in
+    if registered then begin
+    let handle = make_handle t info policy ~tok in
+    entry.handlers <- algorithm.Algorithm.make handle;
     (* Warm restart: replay the checkpointed registers into the fresh
        instance before [on_ready] runs, so the program it installs starts
        from the pre-crash operating point. Register-less algorithms get a
@@ -315,6 +400,7 @@ let on_ready t ~flow ~mss ~init_cwnd =
       Hashtbl.remove t.pending_restore flow;
       guard_flow t entry entry.handlers.Algorithm.on_ready
     | None -> guard_flow t entry entry.handlers.Algorithm.on_ready)
+    end
 
 let drop_if_degraded t entry =
   let degraded = is_degraded entry in
@@ -330,7 +416,7 @@ let dispatch t (msg : Message.t) =
   | Message.Report report -> (
     t.reports_received <- t.reports_received + 1;
     obs_incr t (fun h -> h.o_reports);
-    match Hashtbl.find_opt t.flows report.Message.flow with
+    match reg_find t report.Message.flow with
     | Some entry when drop_if_degraded t entry -> ()
     | Some entry ->
       guard_flow t entry (fun () -> entry.handlers.Algorithm.on_report report)
@@ -338,7 +424,7 @@ let dispatch t (msg : Message.t) =
   | Message.Report_vector report -> (
     t.reports_received <- t.reports_received + 1;
     obs_incr t (fun h -> h.o_reports);
-    match Hashtbl.find_opt t.flows report.Message.flow with
+    match reg_find t report.Message.flow with
     | Some entry when drop_if_degraded t entry -> ()
     | Some entry ->
       guard_flow t entry (fun () -> entry.handlers.Algorithm.on_report_vector report)
@@ -346,7 +432,7 @@ let dispatch t (msg : Message.t) =
   | Message.Urgent urgent -> (
     t.urgents_received <- t.urgents_received + 1;
     obs_incr t (fun h -> h.o_urgents);
-    match Hashtbl.find_opt t.flows urgent.Message.flow with
+    match reg_find t urgent.Message.flow with
     | Some entry when drop_if_degraded t entry -> ()
     | Some entry ->
       guard_flow t entry (fun () -> entry.handlers.Algorithm.on_urgent urgent)
@@ -362,7 +448,7 @@ let dispatch t (msg : Message.t) =
           m "agent: datapath rejected install for flow %d: %s (%s)" result.Message.flow
             (Ccp_lang.Limits.reason_to_string reason)
             detail));
-    match Hashtbl.find_opt t.flows result.Message.flow with
+    match reg_find t result.Message.flow with
     | Some entry when drop_if_degraded t entry -> ()
     | Some entry ->
       guard_flow t entry (fun () -> entry.handlers.Algorithm.on_install_result result)
@@ -374,14 +460,14 @@ let dispatch t (msg : Message.t) =
         m "agent: flow %d quarantined after %d incidents (dominant %s)" q.Message.flow
           q.Message.incidents
           (Message.incident_kind_to_string q.Message.dominant));
-    match Hashtbl.find_opt t.flows q.Message.flow with
+    match reg_find t q.Message.flow with
     | Some entry when drop_if_degraded t entry -> ()
     | Some entry ->
       guard_flow t entry (fun () -> entry.handlers.Algorithm.on_quarantine q)
     | None -> ())
   | Message.Closed { flow } ->
     purge_queue t flow;
-    Hashtbl.remove t.flows flow
+    reg_remove t flow
   | Message.Install _ | Message.Set_cwnd _ | Message.Set_rate _ ->
     (* Datapath-bound traffic is never delivered to the agent end. *)
     ()
@@ -451,7 +537,7 @@ let enqueue t ov ~flow msg =
   if not t.round_scheduled then schedule_round t ov
 
 let queueable t flow =
-  match Hashtbl.find_opt t.flows flow with
+  match reg_find t flow with
   | Some entry -> not (is_degraded entry)
   | None -> false
 
@@ -471,7 +557,7 @@ let on_message t (msg : Message.t) =
 
 let checkpoint t =
   let flows =
-    Hashtbl.fold
+    reg_fold t
       (fun flow entry acc ->
         let registers =
           try entry.handlers.Algorithm.on_checkpoint () with _ -> [||]
@@ -484,7 +570,7 @@ let checkpoint t =
           registers;
         }
         :: acc)
-      t.flows []
+      []
     |> List.sort (fun a b -> compare a.Checkpoint.flow b.Checkpoint.flow)
   in
   { Checkpoint.taken_at = Sim.now t.sim; flows }
@@ -495,7 +581,11 @@ let restore t (ckpt : Checkpoint.t) =
     ckpt.Checkpoint.flows
 
 let create ~sim ~channel ~choose ?(policy = fun _ -> Policy.unrestricted) ?overload
-    ?degrade ?obs () =
+    ?degrade ?flow_pool ?obs () =
+  Option.iter
+    (fun capacity ->
+      if capacity <= 0 then invalid_arg "Agent: flow_pool capacity must be > 0")
+    flow_pool;
   Option.iter
     (fun ov ->
       if ov.queue_capacity <= 0 then invalid_arg "Agent: queue_capacity must be > 0";
@@ -519,7 +609,10 @@ let create ~sim ~channel ~choose ?(policy = fun _ -> Policy.unrestricted) ?overl
       channel;
       choose;
       policy;
-      flows = Hashtbl.create 8;
+      flows =
+        (match flow_pool with
+        | None -> Hashed (Hashtbl.create 8)
+        | Some capacity -> Pooled (Flow_table.create ~capacity ()));
       overload;
       degrade;
       queues = Hashtbl.create 8;
@@ -540,6 +633,7 @@ let create ~sim ~channel ~choose ?(policy = fun _ -> Policy.unrestricted) ?overl
       degradations = 0;
       degraded_drops = 0;
       warm_restores = 0;
+      registrations_rejected = 0;
       obs = Option.map make_agent_obs obs;
       tracer = (match obs with Some o -> o.Ccp_obs.Obs.tracer | None -> None);
     }
@@ -550,7 +644,11 @@ let create ~sim ~channel ~choose ?(policy = fun _ -> Policy.unrestricted) ?overl
 let with_algorithm ~sim ~channel algorithm = create ~sim ~channel ~choose:(fun _ -> algorithm) ()
 
 let reset t =
-  Hashtbl.reset t.flows;
+  (* Pooled mode bumps every slot's generation, so handles and timers
+     from before the crash come back stale, not aimed at new tenants. *)
+  (match t.flows with
+  | Hashed flows -> Hashtbl.reset flows
+  | Pooled pool -> Flow_table.clear pool);
   (* A crashed process loses its report queues too; the spans parked
      there are finalized as shed so the tracer pool cannot leak across a
      restart. *)
@@ -568,13 +666,13 @@ let reset t =
   note_queue_depth t;
   Hashtbl.reset t.pending_restore
 
-let flow_count t = Hashtbl.length t.flows
+let flow_count t = reg_length t
 
 let algorithm_name t ~flow =
-  Option.map (fun e -> e.algorithm_name) (Hashtbl.find_opt t.flows flow)
+  Option.map (fun e -> e.algorithm_name) (reg_find t flow)
 
 let flow_degraded t ~flow =
-  match Hashtbl.find_opt t.flows flow with
+  match reg_find t flow with
   | Some entry -> is_degraded entry
   | None -> false
 
@@ -592,3 +690,9 @@ let dispatch_rounds t = t.dispatch_rounds
 let degradations t = t.degradations
 let degraded_drops t = t.degraded_drops
 let warm_restores t = t.warm_restores
+let registrations_rejected t = t.registrations_rejected
+
+let pool_stats t =
+  match t.flows with
+  | Pooled pool -> Some (Flow_table.stats pool)
+  | Hashed _ -> None

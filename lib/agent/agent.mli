@@ -57,6 +57,7 @@ val create :
   ?policy:(Algorithm.flow_info -> Policy.t) ->
   ?overload:overload ->
   ?degrade:degrade ->
+  ?flow_pool:int ->
   ?obs:Ccp_obs.Obs.t ->
   unit ->
   t
@@ -68,7 +69,18 @@ val create :
     [agent.dispatch_rounds], [agent.degradations], [agent.degraded_drops],
     [agent.warm_restores]). Raises [Invalid_argument] on a nonsensical
     [overload]/[degrade] (non-positive sizes or times, watermark above
-    capacity, [backoff_max < backoff_initial]). *)
+    capacity, [backoff_max < backoff_initial]) or non-positive
+    [flow_pool].
+
+    [flow_pool] (default off) moves the per-flow registry into a
+    preallocated {!Flow_table} of that capacity (rounded up to a power of
+    two). Registration and teardown then touch only preallocated slots; a
+    [Ready] arriving with every slot occupied is refused — counted in
+    {!registrations_rejected}, the flow left to its datapath watchdog —
+    and every handle action is generation-checked, so a closure or timer
+    holding a handle to a torn-down flow is counted stale and dropped
+    instead of acting on whichever flow reused the slot. Off means the
+    original open-ended hashtable with identical behavior. *)
 
 val with_algorithm : sim:Sim.t -> channel:Channel.t -> Algorithm.t -> t
 (** Convenience: every flow runs the same algorithm, no policy. *)
@@ -146,3 +158,11 @@ val degraded_drops : t -> int
 
 val warm_restores : t -> int
 (** Flows re-registered with a checkpoint snapshot applied. *)
+
+val registrations_rejected : t -> int
+(** [Ready] registrations refused because the [flow_pool] was exhausted.
+    Always 0 without [flow_pool]. *)
+
+val pool_stats : t -> Flow_table.stats option
+(** Slot-pool accounting (live flows, lifetime churn, stale handle
+    references, rejections) when [flow_pool] is armed; [None] otherwise. *)

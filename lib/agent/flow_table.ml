@@ -1,0 +1,159 @@
+(* Generation-checked slot pool for per-flow agent state.
+
+   This is the Ccp_obs.Tracer pool idiom lifted to hold arbitrary
+   per-flow values: a fixed, preallocated array of slots, a free stack,
+   and a generation counter per slot folded into every handed-out token.
+   Registration and teardown of thousands of flows then touch only the
+   preallocated arrays (plus one bounded flow-id index entry), and a
+   reference that outlives its flow — an algorithm closure still holding
+   a handle after Closed, a quarantine timer firing late — fails the
+   generation check and is *counted* as stale instead of silently
+   mutating whichever flow reused the slot. Exhaustion is a structured
+   [Error `Pool_exhausted], never an exception on the dispatch path. *)
+
+type token = int
+
+let no_token = -1
+
+type stats = {
+  capacity : int;
+  live : int;
+  registered : int;
+  released : int;
+  stale_refs : int;
+  rejected : int;
+}
+
+type 'a t = {
+  cap : int;
+  mask : int;
+  bits : int;  (* token = slot lor (generation lsl bits) *)
+  gen : int array;
+  busy : bool array;
+  slot_flow : int array;  (* flow id occupying the slot; -1 when free *)
+  slots : 'a option array;
+  free : int array;  (* stack of free slot indices *)
+  mutable free_top : int;
+  index : (int, token) Hashtbl.t;  (* flow id -> live token *)
+  mutable registered : int;
+  mutable released : int;
+  mutable stale_refs : int;
+  mutable rejected : int;
+}
+
+let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
+
+let create ?(capacity = 1024) () =
+  if capacity <= 0 then invalid_arg "Flow_table.create: capacity must be positive";
+  let cap = pow2_at_least capacity 1 in
+  let bits =
+    let rec go b = if 1 lsl b >= cap then b else go (b + 1) in
+    go 0
+  in
+  {
+    cap;
+    mask = cap - 1;
+    bits;
+    gen = Array.make cap 0;
+    busy = Array.make cap false;
+    slot_flow = Array.make cap (-1);
+    slots = Array.make cap None;
+    (* Low slots pop first, matching the tracer pool's fill order. *)
+    free = Array.init cap (fun i -> cap - 1 - i);
+    free_top = cap;
+    index = Hashtbl.create cap;
+    registered = 0;
+    released = 0;
+    stale_refs = 0;
+    rejected = 0;
+  }
+
+let capacity t = t.cap
+let live t = t.registered - t.released
+
+let token_of t ~flow = Hashtbl.find_opt t.index flow
+
+let release_slot t slot =
+  t.busy.(slot) <- false;
+  (* Bumping the generation is what invalidates every outstanding token
+     for this slot; the new occupant mints tokens under the new one. *)
+  t.gen.(slot) <- t.gen.(slot) + 1;
+  t.slots.(slot) <- None;
+  Hashtbl.remove t.index t.slot_flow.(slot);
+  t.slot_flow.(slot) <- -1;
+  t.free.(t.free_top) <- slot;
+  t.free_top <- t.free_top + 1;
+  t.released <- t.released + 1
+
+let release t ~flow =
+  match Hashtbl.find_opt t.index flow with
+  | None -> false
+  | Some token ->
+    release_slot t (token land t.mask);
+    true
+
+let register t ~flow value =
+  (* Re-registration replaces (Hashtbl.replace semantics): the previous
+     slot is released first, so its outstanding tokens go stale. *)
+  ignore (release t ~flow : bool);
+  if t.free_top = 0 then begin
+    t.rejected <- t.rejected + 1;
+    Error `Pool_exhausted
+  end
+  else begin
+    t.free_top <- t.free_top - 1;
+    let slot = t.free.(t.free_top) in
+    let token = slot lor (t.gen.(slot) lsl t.bits) in
+    t.busy.(slot) <- true;
+    t.slot_flow.(slot) <- flow;
+    t.slots.(slot) <- Some value;
+    Hashtbl.replace t.index flow token;
+    t.registered <- t.registered + 1;
+    Ok token
+  end
+
+let is_live t token =
+  token >= 0
+  &&
+  let slot = token land t.mask in
+  t.busy.(slot) && t.gen.(slot) = token lsr t.bits
+
+let get t token =
+  if is_live t token then t.slots.(token land t.mask)
+  else begin
+    if token >= 0 then t.stale_refs <- t.stale_refs + 1;
+    None
+  end
+
+let find t ~flow =
+  match Hashtbl.find_opt t.index flow with
+  | None -> None
+  | Some token -> t.slots.(token land t.mask)
+
+let iter t f =
+  for slot = 0 to t.cap - 1 do
+    if t.busy.(slot) then
+      match t.slots.(slot) with
+      | Some v -> f t.slot_flow.(slot) v
+      | None -> ()
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun flow v -> acc := f flow v !acc);
+  !acc
+
+let clear t =
+  for slot = 0 to t.cap - 1 do
+    if t.busy.(slot) then release_slot t slot
+  done
+
+let stats t =
+  {
+    capacity = t.cap;
+    live = live t;
+    registered = t.registered;
+    released = t.released;
+    stale_refs = t.stale_refs;
+    rejected = t.rejected;
+  }

@@ -1,0 +1,73 @@
+(** Generation-checked slot pool for per-flow agent state.
+
+    The {!Ccp_obs.Tracer} pool idiom, generalized: values live in a
+    fixed preallocated slot array, and every registration mints a token
+    that folds the slot's generation counter in with its index. Lookups
+    through a token re-check the generation, so a reference that
+    outlives its flow (a closure captured by an algorithm, a timer
+    firing after teardown) is detected and counted — never resolved to
+    whichever flow reused the slot. Register/release of thousands of
+    flows touches only the preallocated arrays plus one bounded
+    flow-id index entry, keeping churn allocation-bounded.
+
+    Capacity is fixed at creation (rounded up to a power of two);
+    exhaustion is a structured [Error `Pool_exhausted] the caller turns
+    into an explicit rejection, not an exception mid-dispatch. *)
+
+type 'a t
+
+type token = int
+(** Slot index | (generation << bits). Only meaningful to the pool that
+    minted it. *)
+
+val no_token : token
+(** Sentinel (-1): never live, and {!get} on it counts nothing. *)
+
+type stats = {
+  capacity : int;  (** slot count (power of two) *)
+  live : int;  (** currently registered flows *)
+  registered : int;  (** lifetime successful registrations *)
+  released : int;  (** lifetime releases (incl. replacements) *)
+  stale_refs : int;  (** token lookups that failed the generation check *)
+  rejected : int;  (** registrations refused with [`Pool_exhausted] *)
+}
+
+val create : ?capacity:int -> unit -> 'a t
+(** Default capacity 1024; raises [Invalid_argument] when not positive. *)
+
+val register : 'a t -> flow:int -> 'a -> (token, [ `Pool_exhausted ]) result
+(** Bind [flow] to a fresh slot and return its token. An existing
+    binding for [flow] is released first (its tokens go stale), matching
+    [Hashtbl.replace] semantics. *)
+
+val release : 'a t -> flow:int -> bool
+(** Free [flow]'s slot, bumping its generation so every outstanding
+    token for it goes stale. [false] if the flow was not registered. *)
+
+val get : 'a t -> token -> 'a option
+(** Token-checked dereference. [None] — with [stale_refs] incremented —
+    when the token's generation no longer matches; {!no_token} returns
+    [None] silently. *)
+
+val is_live : 'a t -> token -> bool
+(** Generation check without counting a stale reference. *)
+
+val find : 'a t -> flow:int -> 'a option
+(** Lookup by flow id via the index (the common dispatch path). *)
+
+val token_of : 'a t -> flow:int -> token option
+(** The currently-live token for [flow], if registered. *)
+
+val live : 'a t -> int
+val capacity : 'a t -> int
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+(** Visit live entries as [(flow, value)], in slot order (deterministic,
+    unlike hashtable order). *)
+
+val fold : 'a t -> init:'b -> f:(int -> 'a -> 'b -> 'b) -> 'b
+
+val clear : 'a t -> unit
+(** Release every live slot; all outstanding tokens go stale. *)
+
+val stats : 'a t -> stats

@@ -41,6 +41,9 @@ type config = {
   warmup : Time_ns.t;
   flows : flow_spec list;
   ipc : Ccp_ipc.Latency_model.t;
+  ipc_batching : Ccp_ipc.Channel.batching option;
+      (* cross-flow report batching watermarks on the IPC channel;
+         None = one wire frame per message, the original framing *)
   datapath : Ccp_ext.config;
   tcp : Tcp_flow.config;
   sample_interval : Time_ns.t;
@@ -54,6 +57,9 @@ type config = {
          sampling; Perturb_plan.none = clean measurements *)
   agent_overload : Ccp_agent.Agent.overload option;
   agent_degrade : Ccp_agent.Agent.degrade option;
+  agent_flow_pool : int option;
+      (* slot-pool capacity for the agent's per-flow registry;
+         None = open-ended hashtable *)
   checkpoint_interval : Time_ns.t option;
       (* snapshot agent state this often and replay the latest snapshot
          after each agent-outage restart; None = cold restarts *)
@@ -75,6 +81,7 @@ let default_config ~rate_bps ~base_rtt ~duration =
     warmup = Time_ns.zero;
     flows = [];
     ipc = Ccp_ipc.Latency_model.netlink_idle;
+    ipc_batching = None;
     datapath = Ccp_ext.default_config;
     tcp = Tcp_flow.default_config;
     sample_interval = Time_ns.ms 100;
@@ -86,6 +93,7 @@ let default_config ~rate_bps ~base_rtt ~duration =
     perturb = Ccp_perturb.Perturb_plan.none;
     agent_overload = None;
     agent_degrade = None;
+    agent_flow_pool = None;
     checkpoint_interval = None;
     inspect = None;
     obs = None;
@@ -110,6 +118,7 @@ type result = {
   utilization : float;
   median_rtt : Time_ns.t;
   p95_rtt : Time_ns.t;
+  p99_rtt : Time_ns.t;
   flows : flow_result list;
   drops : int;
   ecn_marks : int;
@@ -182,7 +191,7 @@ let run (config : config) =
     else begin
       let channel =
         Ccp_ipc.Channel.create ~sim ~latency:config.ipc ~faults:config.faults
-          ?obs:config.obs ()
+          ?batching:config.ipc_batching ?obs:config.obs ()
       in
       let ccp_ext = Ccp_ext.create ~sim ~channel ~config:config.datapath ?obs:config.obs () in
       let algorithms = Hashtbl.create 4 in
@@ -194,7 +203,8 @@ let run (config : config) =
       let agent =
         Ccp_agent.Agent.create ~sim ~channel ~choose
           ?policy:config.policy ?overload:config.agent_overload
-          ?degrade:config.agent_degrade ?obs:config.obs ()
+          ?degrade:config.agent_degrade ?flow_pool:config.agent_flow_pool
+          ?obs:config.obs ()
       in
       (* Warm-restart support: snapshot the agent's per-flow state on a
          timer, keeping only the latest encoded blob — exactly what a
@@ -418,11 +428,12 @@ let run (config : config) =
     (fun inst ->
       Array.iter (Stats.Samples.add all_rtts) (Stats.Samples.to_array inst.rtt_samples))
     flows_only;
-  let median_rtt, p95_rtt =
-    if Stats.Samples.count all_rtts = 0 then (Time_ns.zero, Time_ns.zero)
+  let median_rtt, p95_rtt, p99_rtt =
+    if Stats.Samples.count all_rtts = 0 then (Time_ns.zero, Time_ns.zero, Time_ns.zero)
     else
       ( Time_ns.of_float_sec (Stats.Samples.percentile all_rtts 50.0 *. 1e-6),
-        Time_ns.of_float_sec (Stats.Samples.percentile all_rtts 95.0 *. 1e-6) )
+        Time_ns.of_float_sec (Stats.Samples.percentile all_rtts 95.0 *. 1e-6),
+        Time_ns.of_float_sec (Stats.Samples.percentile all_rtts 99.0 *. 1e-6) )
   in
   let total_goodput = List.fold_left (fun acc r -> acc +. r.goodput_bps) 0.0 flow_results in
   let utilization = total_goodput /. config.rate_bps in
@@ -502,6 +513,7 @@ let run (config : config) =
     utilization;
     median_rtt;
     p95_rtt;
+    p99_rtt;
     flows = flow_results;
     drops = Queue_disc.dropped_packets qdisc;
     ecn_marks = Queue_disc.marked_packets qdisc;

@@ -51,6 +51,10 @@ type config = {
   warmup : Time_ns.t;  (** excluded from utilization/goodput accounting *)
   flows : flow_spec list;
   ipc : Ccp_ipc.Latency_model.t;  (** round-trip model for CCP flows *)
+  ipc_batching : Ccp_ipc.Channel.batching option;
+      (** cross-flow report batching watermarks on the IPC channel;
+          [None] (the default) sends one wire frame per message — the
+          original framing, byte-identical to a build without batching *)
   datapath : Ccp_ext.config;
   tcp : Tcp_flow.config;
   sample_interval : Time_ns.t;  (** throughput/queue series resolution *)
@@ -75,6 +79,10 @@ type config = {
   agent_degrade : Ccp_agent.Agent.degrade option;
       (** per-flow agent-side quarantine of repeatedly failing handlers
           with back-off re-admission; [None] = never degrade *)
+  agent_flow_pool : int option;
+      (** capacity of the agent's preallocated per-flow slot pool
+          ({!Ccp_agent.Flow_table}); [None] (the default) keeps the
+          open-ended hashtable registry *)
   checkpoint_interval : Time_ns.t option;
       (** snapshot the agent's per-flow state ({!Ccp_ipc.Checkpoint})
           this often, and replay the latest snapshot after each
@@ -114,6 +122,7 @@ type result = {
   utilization : float;  (** total goodput / capacity over the measured window *)
   median_rtt : Time_ns.t;  (** across all per-ACK samples of all flows *)
   p95_rtt : Time_ns.t;
+  p99_rtt : Time_ns.t;  (** incast's tail metric: p99 over the same samples *)
   flows : flow_result list;
   drops : int;
   ecn_marks : int;

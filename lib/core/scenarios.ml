@@ -1393,3 +1393,322 @@ module Reaction = struct
     in
     clean @ [ spiky; lossy; crashed ]
 end
+
+(* Incast: the flow-count scale-out family. N senders share one
+   bottleneck — either synchronized (every flow starts at t=0, the
+   classic partition/aggregate burst) or staggered over the first
+   quarter of the run — and every flow is CCP-controlled, so the agent,
+   the IPC channel, and the datapath flow table all see N-flow load at
+   once. Cells run with the agent's slot pool sized to the fleet and,
+   by default, cross-flow report batching armed; the scorecard reads
+   fan-in health off the tail (p99 queue delay over base RTT), fairness
+   (Jain), loss (retransmit rate, timeouts), and the control plane's
+   own accounting (reports, sheds, wire frames vs. batch frames, pool
+   rejections). The "ccp-aggregate" algorithm rides the same topology
+   with all N flows as members of one congestion-controlled aggregate. *)
+module Incast = struct
+  module J = Ccp_obs.Json
+
+  let schema_tag = "ccp-incast-scorecard/v1"
+  let default_rate_bps = 96e6
+  let default_base_rtt = Time_ns.ms 10
+
+  (* Watermarks tuned for fan-in: a synchronized burst fills a frame in
+     one RTT's worth of reports; the 200 us deadline bounds the extra
+     control-loop delay batching can ever add. *)
+  let default_batching =
+    { Ccp_ipc.Channel.max_count = 32; max_bytes = 4096; deadline = Time_ns.us 200 }
+
+  type arrival = Synchronized | Staggered
+
+  let arrival_to_string = function
+    | Synchronized -> "synchronized"
+    | Staggered -> "staggered"
+
+  let arrival_of_string = function
+    | "synchronized" -> Synchronized
+    | "staggered" -> Staggered
+    | s -> invalid_arg (Printf.sprintf "Incast: unknown arrival %S" s)
+
+  let algorithm_names = [ "ccp-reno"; "ccp-aggregate" ]
+
+  type cell = {
+    n : int;
+    arrival : arrival;
+    algo : string;
+    seed : int;
+    utilization : float;
+    jain_index : float;
+    p99_queue_delay_ms : float;
+    retransmit_rate : float;
+    timeouts : int;
+    reports : int;
+    reports_shed : int;
+    decode_failures : int;
+    wire_messages : int;  (* datapath->agent wire frames *)
+    batches : int;  (* of which batch frames *)
+    pool_rejections : int;
+    result : Experiment.result;
+  }
+
+  type scorecard = {
+    rate_bps : float;
+    base_rtt : Time_ns.t;
+    duration : Time_ns.t;
+    batching : bool;
+    seeds : int list;
+    cells : cell list;
+  }
+
+  let start_of ~arrival ~duration ~n i =
+    match arrival with
+    | Synchronized -> Time_ns.zero
+    | Staggered ->
+      (* Spread arrivals over the first quarter of the run. *)
+      Time_ns.scale duration (0.25 *. float_of_int i /. float_of_int (max 1 n))
+
+  let flows_of ~algo ~arrival ~duration ~n =
+    match algo with
+    | "ccp-reno" ->
+      List.init n (fun i ->
+          Experiment.flow
+            ~start_at:(start_of ~arrival ~duration ~n i)
+            (Experiment.Ccp_cc (Ccp_reno.create ())))
+    | "ccp-aggregate" ->
+      (* One aggregate instance; all N flows register as members and the
+         controller splits one window across them. *)
+      let algo = Ccp_aggregate.algorithm (Ccp_aggregate.create ()) in
+      List.init n (fun i ->
+          Experiment.flow
+            ~start_at:(start_of ~arrival ~duration ~n i)
+            (Experiment.Ccp_cc algo))
+    | s ->
+      invalid_arg
+        (Printf.sprintf "Incast: unknown algorithm %S (have: %s)" s
+           (String.concat ", " algorithm_names))
+
+  let run_cell ~rate_bps ~base_rtt ~duration ~batching ~seed ~n ~arrival ~algo =
+    let handles = ref None in
+    let base = Experiment.default_config ~rate_bps ~base_rtt ~duration in
+    (* A shallow buffer is what makes incast incast: BDP/4, floored at
+       six segments so tiny configurations still pass traffic. *)
+    let bdp_bytes = rate_bps *. Time_ns.to_float_sec base_rtt /. 8.0 in
+    let buffer_bytes = max 9000 (int_of_float (bdp_bytes /. 4.0)) in
+    let r =
+      Experiment.run
+        {
+          base with
+          Experiment.seed;
+          buffer_bytes;
+          warmup = Time_ns.scale duration 0.1;
+          flows = flows_of ~algo ~arrival ~duration ~n;
+          ipc_batching = (if batching then Some default_batching else None);
+          agent_flow_pool = Some (max 16 n);
+          datapath =
+            { Ccp_datapath.Ccp_ext.default_config with
+              Ccp_datapath.Ccp_ext.flow_capacity = max 16 n };
+          inspect = Some (fun h -> handles := Some h);
+        }
+    in
+    let sum f = List.fold_left (fun acc fr -> acc + f fr) 0 r.Experiment.flows in
+    let segments = sum (fun (f : Experiment.flow_result) -> f.segments_sent) in
+    let retx = sum (fun (f : Experiment.flow_result) -> f.retransmits) in
+    let agent f = match r.Experiment.agent_stats with Some s -> f s | None -> 0 in
+    let wire_messages, batches, pool_rejections =
+      match !handles with
+      | Some h ->
+        ( Ccp_ipc.Channel.messages_sent h.Experiment.h_channel Ccp_ipc.Channel.Datapath_end,
+          Ccp_ipc.Channel.batches_sent h.Experiment.h_channel,
+          Ccp_agent.Agent.registrations_rejected h.Experiment.h_agent )
+      | None -> (0, 0, 0)
+    in
+    {
+      n;
+      arrival;
+      algo;
+      seed;
+      utilization = r.Experiment.utilization;
+      jain_index = r.Experiment.jain_index;
+      p99_queue_delay_ms =
+        Float.max 0.0
+          (Time_ns.to_float_ms r.Experiment.p99_rtt -. Time_ns.to_float_ms base_rtt);
+      retransmit_rate =
+        (if segments = 0 then 0.0 else float_of_int retx /. float_of_int segments);
+      timeouts = sum (fun (f : Experiment.flow_result) -> f.timeouts);
+      reports = agent (fun s -> s.Experiment.reports);
+      reports_shed = agent (fun s -> s.Experiment.reports_shed);
+      decode_failures = agent (fun s -> s.Experiment.decode_failures);
+      wire_messages;
+      batches;
+      pool_rejections;
+      result = r;
+    }
+
+  let run ?(rate_bps = default_rate_bps) ?(base_rtt = default_base_rtt)
+      ?(duration = Time_ns.sec 1) ?(ns = [ 16; 64; 256 ])
+      ?(arrivals = [ Synchronized; Staggered ]) ?(algos = algorithm_names)
+      ?(seeds = [ 42 ]) ?(batching = true) () =
+    List.iter
+      (fun a ->
+        if not (List.mem a algorithm_names) then
+          invalid_arg
+            (Printf.sprintf "Incast: unknown algorithm %S (have: %s)" a
+               (String.concat ", " algorithm_names)))
+      algos;
+    List.iter
+      (fun n -> if n <= 0 then invalid_arg "Incast: flow counts must be positive")
+      ns;
+    let cells =
+      List.concat_map
+        (fun seed ->
+          List.concat_map
+            (fun n ->
+              List.concat_map
+                (fun arrival ->
+                  List.map
+                    (fun algo ->
+                      run_cell ~rate_bps ~base_rtt ~duration ~batching ~seed ~n
+                        ~arrival ~algo)
+                    algos)
+                arrivals)
+            ns)
+        seeds
+    in
+    { rate_bps; base_rtt; duration; batching; seeds; cells }
+
+  let cell_to_json c =
+    let i n = J.Num (float_of_int n) in
+    J.Obj
+      [
+        ("n", i c.n);
+        ("arrival", J.Str (arrival_to_string c.arrival));
+        ("algo", J.Str c.algo);
+        ("seed", i c.seed);
+        ("utilization", J.Num c.utilization);
+        ("jain", J.Num c.jain_index);
+        ("p99_queue_delay_ms", J.Num c.p99_queue_delay_ms);
+        ("retransmit_rate", J.Num c.retransmit_rate);
+        ("timeouts", i c.timeouts);
+        ("reports", i c.reports);
+        ("reports_shed", i c.reports_shed);
+        ("decode_failures", i c.decode_failures);
+        ("wire_messages", i c.wire_messages);
+        ("batches", i c.batches);
+        ("pool_rejections", i c.pool_rejections);
+      ]
+
+  let to_json sc =
+    J.Obj
+      [
+        ("schema", J.Str schema_tag);
+        ("rate_bps", J.Num sc.rate_bps);
+        ("base_rtt_ms", J.Num (Time_ns.to_float_ms sc.base_rtt));
+        ("duration_s", J.Num (Time_ns.to_float_sec sc.duration));
+        ("batching", J.Bool sc.batching);
+        ("seeds", J.List (List.map (fun s -> J.Num (float_of_int s)) sc.seeds));
+        ("cells", J.List (List.map cell_to_json sc.cells));
+      ]
+
+  let validate_scorecard json =
+    let ( let* ) = Result.bind in
+    let str name obj =
+      match J.member name obj with
+      | Some (J.Str s) -> Ok s
+      | _ -> Error (Printf.sprintf "missing string field %S" name)
+    in
+    let num name obj =
+      match Option.bind (J.member name obj) J.to_float with
+      | Some v when Float.is_finite v -> Ok v
+      | _ -> Error (Printf.sprintf "missing or non-finite numeric field %S" name)
+    in
+    let counter name obj =
+      let* v = num name obj in
+      if v >= 0.0 && Float.is_integer v then Ok v
+      else Error (Printf.sprintf "field %S = %g is not a non-negative integer" name v)
+    in
+    let* schema = str "schema" json in
+    let* () =
+      if schema = schema_tag then Ok ()
+      else Error (Printf.sprintf "schema is %S, want %S" schema schema_tag)
+    in
+    let* _ = num "rate_bps" json in
+    let* _ = num "base_rtt_ms" json in
+    let* _ = num "duration_s" json in
+    let* batching =
+      match J.member "batching" json with
+      | Some (J.Bool b) -> Ok b
+      | _ -> Error "missing boolean field \"batching\""
+    in
+    let* cells =
+      match J.member "cells" json with
+      | Some (J.List l) -> Ok l
+      | _ -> Error "missing \"cells\" array"
+    in
+    let check_cell i cell =
+      let ctx msg = Printf.sprintf "cell %d: %s" i msg in
+      let ( let* ) a b = Result.bind (Result.map_error ctx a) b in
+      let* n = counter "n" cell in
+      let* () =
+        if n >= 1.0 then Ok () else Error (ctx (Printf.sprintf "n %g < 1" n))
+      in
+      let* arrival = str "arrival" cell in
+      let* () =
+        if arrival = "synchronized" || arrival = "staggered" then Ok ()
+        else Error (ctx (Printf.sprintf "unknown arrival %S" arrival))
+      in
+      let* algo = str "algo" cell in
+      let* () =
+        if List.mem algo algorithm_names then Ok ()
+        else Error (ctx (Printf.sprintf "unknown algo %S" algo))
+      in
+      let* _ = counter "seed" cell in
+      let* u = num "utilization" cell in
+      let* () =
+        if u >= 0.0 && u <= 1.5 then Ok ()
+        else Error (ctx (Printf.sprintf "utilization %g out of range" u))
+      in
+      let* jain = num "jain" cell in
+      let* () =
+        (* Unlike the robustness matrix, heavy fan-in can legitimately
+           starve flows to zero goodput, so 0 is admissible. *)
+        if jain >= 0.0 && jain <= 1.0 +. 1e-9 then Ok ()
+        else Error (ctx (Printf.sprintf "jain %g out of range" jain))
+      in
+      let* q = num "p99_queue_delay_ms" cell in
+      let* () =
+        if q >= 0.0 then Ok ()
+        else Error (ctx (Printf.sprintf "p99_queue_delay_ms %g negative" q))
+      in
+      let* rr = num "retransmit_rate" cell in
+      let* () =
+        if rr >= 0.0 && rr <= 1.0 then Ok ()
+        else Error (ctx (Printf.sprintf "retransmit_rate %g out of range" rr))
+      in
+      let* _ = counter "timeouts" cell in
+      let* reports = counter "reports" cell in
+      let* _ = counter "reports_shed" cell in
+      let* _ = counter "decode_failures" cell in
+      let* wire = counter "wire_messages" cell in
+      let* batches = counter "batches" cell in
+      let* () =
+        if batches <= wire then Ok ()
+        else Error (ctx (Printf.sprintf "batches %g > wire_messages %g" batches wire))
+      in
+      let* () =
+        if batching || batches = 0.0 then Ok ()
+        else Error (ctx "batches nonzero in an unbatched scorecard")
+      in
+      let* () =
+        if reports = 0.0 || wire > 0.0 then Ok ()
+        else Error (ctx "reports arrived over zero wire frames")
+      in
+      let* _ = counter "pool_rejections" cell in
+      Ok ()
+    in
+    let rec check i = function
+      | [] -> Ok (List.length cells)
+      | c :: rest -> (
+        match check_cell i c with Ok () -> check (i + 1) rest | Error e -> Error e)
+    in
+    check 0 cells
+end

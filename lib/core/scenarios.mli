@@ -482,3 +482,112 @@ module Reaction : sig
   (** The four clean calibrated series plus three degraded ones
       (spikes, 20 % loss, agent crash + fallback). Default 12 s runs. *)
 end
+
+(** Incast: the flow-count scale-out family. N CCP-controlled senders
+    share one shallow-buffered bottleneck (BDP/4), starting either all
+    at once ([Synchronized] — the partition/aggregate burst) or spread
+    over the first quarter of the run ([Staggered]). Cells arm the
+    agent's preallocated slot pool sized to the fleet and, by default,
+    cross-flow report batching on the IPC channel, so one run exercises
+    the whole flow-multiplexed control plane: per-flow registration
+    churn, N reports per RTT on one channel, and the datapath flow
+    table at capacity. The ["ccp-aggregate"] algorithm runs the same
+    topology with all N flows as members of a single congestion-
+    controlled aggregate (§3's flow aggregation). *)
+module Incast : sig
+  val default_rate_bps : float
+  (** 96 Mbit/s. *)
+
+  val default_base_rtt : Time_ns.t
+  (** 10 ms. *)
+
+  val default_batching : Ccp_ipc.Channel.batching
+  (** 32 reports / 4096 bytes / 200 µs — the deadline bounds the extra
+      control-loop delay batching can add. *)
+
+  type arrival = Synchronized | Staggered
+
+  val arrival_to_string : arrival -> string
+  val arrival_of_string : string -> arrival
+  (** Inverse of {!arrival_to_string}; raises [Invalid_argument] on
+      unknown names. *)
+
+  val algorithm_names : string list
+  (** [["ccp-reno"; "ccp-aggregate"]]. *)
+
+  type cell = {
+    n : int;  (** concurrent senders *)
+    arrival : arrival;
+    algo : string;
+    seed : int;
+    utilization : float;
+    jain_index : float;
+    p99_queue_delay_ms : float;
+        (** p99 RTT minus base RTT, clamped at zero — the incast tail *)
+    retransmit_rate : float;
+    timeouts : int;
+    reports : int;  (** reports the agent dispatched *)
+    reports_shed : int;
+    decode_failures : int;
+    wire_messages : int;  (** datapath->agent wire frames *)
+    batches : int;  (** of which {!Ccp_ipc.Codec.frame_batch} frames *)
+    pool_rejections : int;
+        (** [Ready] registrations the slot pool refused — 0 unless a
+            cell is run with fewer slots than flows *)
+    result : Experiment.result;
+  }
+
+  type scorecard = {
+    rate_bps : float;
+    base_rtt : Time_ns.t;
+    duration : Time_ns.t;
+    batching : bool;
+    seeds : int list;
+    cells : cell list;
+  }
+
+  val schema_tag : string
+  (** ["ccp-incast-scorecard/v1"], the [schema] field of the JSON. *)
+
+  val run_cell :
+    rate_bps:float ->
+    base_rtt:Time_ns.t ->
+    duration:Time_ns.t ->
+    batching:bool ->
+    seed:int ->
+    n:int ->
+    arrival:arrival ->
+    algo:string ->
+    cell
+  (** One N-flow incast run: buffer BDP/4 (floored at 9000 bytes), 10 %
+      warmup, agent slot pool and datapath flow table sized
+      [max 16 n]. Raises [Invalid_argument] on an unknown [algo]. *)
+
+  val run :
+    ?rate_bps:float ->
+    ?base_rtt:Time_ns.t ->
+    ?duration:Time_ns.t ->
+    ?ns:int list ->
+    ?arrivals:arrival list ->
+    ?algos:string list ->
+    ?seeds:int list ->
+    ?batching:bool ->
+    unit ->
+    scorecard
+  (** Run the matrix (defaults: 96 Mbit/s, 10 ms, 1 s, N in
+      {16, 64, 256}, both arrivals, both algorithms, seed 42, batching
+      on). Deterministic: same arguments, same scorecard (including its
+      JSON bytes) — batching changes wire traffic but draws nothing
+      from any RNG stream. *)
+
+  val to_json : scorecard -> Ccp_obs.Json.t
+  val cell_to_json : cell -> Ccp_obs.Json.t
+
+  val validate_scorecard : Ccp_obs.Json.t -> (int, string) result
+  (** Schema check for emitted scorecards (CI re-parses what it
+      writes): schema tag, arrival/algo names, metric ranges
+      (utilization, Jain — zero admissible under starvation —, tail
+      delay, retransmit rate), counter integrality, [batches <=
+      wire_messages], no batches in an unbatched scorecard, and
+      reports implying wire frames. [Ok n] = [n] valid cells. *)
+end

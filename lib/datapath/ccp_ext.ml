@@ -98,6 +98,7 @@ type config = {
   validate_installs : bool;
   default_wait : Time_ns.t;
   max_vector_rows : int;
+  flow_capacity : int;
   fallback : fallback option;
   limits : Limits.t;
   guard : guard_envelope;
@@ -110,6 +111,7 @@ let default_config =
     validate_installs = true;
     default_wait = Time_ns.ms 10;
     max_vector_rows = 4096;
+    flow_capacity = 8;
     fallback = None;
     limits = Limits.default;
     guard = default_guard;
@@ -746,7 +748,7 @@ let create ~sim ~channel ?(config = default_config) ?obs () =
       sim;
       channel;
       config;
-      flows = Hashtbl.create 8;
+      flows = Hashtbl.create (max 8 config.flow_capacity);
       reports_sent = 0;
       urgents_sent = 0;
       installs_accepted = 0;

@@ -113,6 +113,10 @@ type config = {
       (** run admission ({!Ccp_lang.Limits.admit}) on every [Install] *)
   default_wait : Time_ns.t;  (** WaitRtts fallback before the first RTT sample *)
   max_vector_rows : int;  (** vector-mode memory bound; overflow rows are dropped and counted *)
+  flow_capacity : int;
+      (** expected concurrent flows — sizes the flow table up front so an
+          incast of thousands of registrations does not rehash its way up
+          from a tiny table (default 8) *)
   fallback : fallback option;
   limits : Ccp_lang.Limits.t;  (** static admission limits *)
   guard : guard_envelope;
@@ -120,8 +124,9 @@ type config = {
 
 val default_config : config
 (** Loss urgent on, ECN urgent off, validation on, 10 ms default wait,
-    4096-row vectors, watchdog disabled, {!Ccp_lang.Limits.default}
-    admission limits, {!default_guard} envelope. *)
+    4096-row vectors, 8-flow table hint, watchdog disabled,
+    {!Ccp_lang.Limits.default} admission limits, {!default_guard}
+    envelope. *)
 
 type t
 

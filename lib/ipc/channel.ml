@@ -21,6 +21,22 @@ type fault_stats = {
 let no_faults_yet =
   { dropped = 0; duplicated = 0; delayed = 0; reordered = 0; partition_dropped = 0 }
 
+type batching = { max_count : int; max_bytes : int; deadline : Time_ns.t }
+
+(* Pending reports are kept already traced-encoded (newest first), so a
+   flush only length-prefixes them into one frame — the per-report encode
+   cost is paid exactly once whether or not the report is batched. *)
+type batch_state = {
+  cfg : batching;
+  mutable entries : string list;
+  mutable spans : Message.trace_context list;  (* parallel to [entries] *)
+  mutable count : int;
+  mutable pending_bytes : int;
+  mutable flush_serial : int;  (* bumped per flush; stale deadline timers no-op *)
+  mutable batches : int;
+  mutable batched : int;
+}
+
 (* Pre-registered handles so the send path never does a name lookup. *)
 type obs_handles = {
   obs : Ccp_obs.Obs.t;
@@ -58,6 +74,10 @@ type t = {
   fault_rng : Rng.t option;
   to_agent : direction;
   to_datapath : direction;
+  (* Datapath->agent report batching; [None] (the default) keeps every
+     send on the one-frame-per-message path, byte-identical to a build
+     without batching. *)
+  batch : batch_state option;
   mutable decode_failures : int;
   mutable fault_stats : fault_stats;
   handles : obs_handles option;
@@ -71,9 +91,29 @@ type t = {
 let fresh_direction () =
   { handler = None; messages = 0; bytes = 0; last_delivery = Time_ns.zero }
 
-let create ~sim ~latency ?(faults = Fault_plan.none) ?obs () =
+let create ~sim ~latency ?(faults = Fault_plan.none) ?batching ?obs () =
   let rng = Rng.split (Sim.rng sim) in
   let fault_rng = if Fault_plan.is_none faults then None else Some (Rng.split (Sim.rng sim)) in
+  let batch =
+    match batching with
+    | None -> None
+    | Some cfg ->
+      if cfg.max_count <= 0 || cfg.max_bytes <= 0 then
+        invalid_arg "Channel.create: batching watermarks must be positive";
+      if Time_ns.to_float_us cfg.deadline <= 0.0 then
+        invalid_arg "Channel.create: batching deadline must be positive";
+      Some
+        {
+          cfg;
+          entries = [];
+          spans = [];
+          count = 0;
+          pending_bytes = 0;
+          flush_serial = 0;
+          batches = 0;
+          batched = 0;
+        }
+  in
   {
     sim;
     latency;
@@ -82,6 +122,7 @@ let create ~sim ~latency ?(faults = Fault_plan.none) ?obs () =
     fault_rng;
     to_agent = fresh_direction ();
     to_datapath = fresh_direction ();
+    batch;
     decode_failures = 0;
     fault_stats = no_faults_yet;
     handles = Option.map make_handles obs;
@@ -118,32 +159,50 @@ let on_receive t endpoint handler = (direction_toward t endpoint).handler <- Som
 let rx_span t = t.rx_span
 
 (* The span of a message that a fault destroyed is finalized as orphaned,
-   so the tracer's pool accounting stays exact under any fault plan. *)
+   so the tracer's pool accounting stays exact under any fault plan. A
+   batch frame carries one span per batched report; a fault that destroys
+   the frame orphans all of them. *)
 let orphan_span t span =
   match t.tracer with
   | Some tr when span >= 0 -> Ccp_obs.Tracer.orphan tr span ~now:(Sim.now t.sim)
   | _ -> ()
 
+let orphan_spans t spans = List.iter (orphan_span t) spans
+
+let note_decode_failure t =
+  t.decode_failures <- t.decode_failures + 1;
+  match t.handles with
+  | Some h -> Ccp_obs.Metrics.incr h.decode_failures
+  | None -> ()
+
+let deliver_one t handler ~toward decoded span =
+  match t.tracer with
+  | Some tr when span >= 0 ->
+    if toward = Agent_end then Ccp_obs.Tracer.arrived tr span ~now:(Sim.now t.sim);
+    t.rx_span <- span;
+    handler decoded;
+    t.rx_span <- Message.no_trace
+  | _ -> handler decoded
+
 let deliver t handler ~toward bytes =
-  match Codec.decode_traced bytes with
-  | decoded, span ->
-    (match t.tracer with
-    | Some tr when span >= 0 ->
-      if toward = Agent_end then Ccp_obs.Tracer.arrived tr span ~now:(Sim.now t.sim);
-      t.rx_span <- span;
-      handler decoded;
-      t.rx_span <- Message.no_trace
-    | _ -> handler decoded)
-  | exception (Codec.Decode_error _ | Wire.Reader.Truncated | Wire.Reader.Malformed _) ->
-    t.decode_failures <- t.decode_failures + 1;
-    (match t.handles with
-    | Some h -> Ccp_obs.Metrics.incr h.decode_failures
-    | None -> ())
+  if Codec.is_batch bytes then
+    (* Frame validation is atomic: a corrupt entry rejects the whole
+       frame as one decode failure, never a decoded prefix of it. *)
+    match Codec.decode_batch bytes with
+    | entries ->
+      Array.iter (fun (msg, span) -> deliver_one t handler ~toward msg span) entries
+    | exception (Codec.Decode_error _ | Wire.Reader.Truncated | Wire.Reader.Malformed _) ->
+      note_decode_failure t
+  else
+    match Codec.decode_traced bytes with
+    | decoded, span -> deliver_one t handler ~toward decoded span
+    | exception (Codec.Decode_error _ | Wire.Reader.Truncated | Wire.Reader.Malformed _) ->
+      note_decode_failure t
 
 (* Schedule one copy of [bytes]. [fifo] decides whether the arrival is
    clamped to (and advances) the direction's FIFO floor; reordered and
    duplicated copies skip the clamp so later sends may overtake them. *)
-let schedule_copy t dir ~toward handler ~arrival ~fifo ~span bytes =
+let schedule_copy t dir ~toward handler ~arrival ~fifo ~spans bytes =
   let arrival = if fifo then Time_ns.max arrival dir.last_delivery else arrival in
   if fifo then dir.last_delivery <- arrival;
   ignore
@@ -153,38 +212,16 @@ let schedule_copy t dir ~toward handler ~arrival ~fifo ~span bytes =
            t.fault_stats <-
              { t.fault_stats with partition_dropped = t.fault_stats.partition_dropped + 1 };
            note_fault t "agent_down";
-           orphan_span t span
+           orphan_spans t spans
          end
          else deliver t handler ~toward bytes))
 
-let send t ~from ?(span = Message.no_trace) msg =
-  let toward = match from with Datapath_end -> Agent_end | Agent_end -> Datapath_end in
-  let dir = direction_toward t toward in
-  let handler =
-    match dir.handler with
-    | Some h -> h
-    | None -> invalid_arg "Channel.send: destination handler not registered"
-  in
-  (* Agent-side control messages attach to the span whose handler is
-     running, so algorithm code needs no tracing awareness at all. *)
-  let span =
-    match t.tracer with
-    | None -> Message.no_trace
-    | Some tr ->
-      if span >= 0 then span
-      else if from = Agent_end then Ccp_obs.Tracer.active tr
-      else Message.no_trace
-  in
-  let bytes = Codec.encode_traced ~span msg in
+(* Put one wire frame (single message or batch) on the channel: byte
+   accounting, latency draw, fault plan, delivery scheduling. [spans] are
+   the live span tokens riding the frame, orphaned if a fault eats it. *)
+let transmit t dir handler ~toward ~spans bytes =
   dir.messages <- dir.messages + 1;
   dir.bytes <- dir.bytes + String.length bytes;
-  (match t.tracer with
-  | Some tr when span >= 0 ->
-    let now = Sim.now t.sim in
-    (match from with
-    | Datapath_end -> Ccp_obs.Tracer.sent tr span ~now
-    | Agent_end -> Ccp_obs.Tracer.note_send tr span ~now)
-  | _ -> ());
   match t.fault_rng with
   | None ->
     (* Clean channel: the original delivery path, untouched. *)
@@ -201,7 +238,7 @@ let send t ~from ?(span = Message.no_trace) msg =
     if Fault_plan.in_partition t.faults now then begin
       t.fault_stats <- { stats with partition_dropped = stats.partition_dropped + 1 };
       note_fault t "partition";
-      orphan_span t span
+      orphan_spans t spans
     end
     else if
       t.faults.Fault_plan.drop_probability > 0.0
@@ -209,7 +246,7 @@ let send t ~from ?(span = Message.no_trace) msg =
     then begin
       t.fault_stats <- { stats with dropped = stats.dropped + 1 };
       note_fault t "drop";
-      orphan_span t span
+      orphan_spans t spans
     end
     else begin
       let delay = Latency_model.one_way t.latency t.rng in
@@ -234,8 +271,8 @@ let send t ~from ?(span = Message.no_trace) msg =
         t.fault_stats <- { t.fault_stats with reordered = t.fault_stats.reordered + 1 };
         note_fault t "reorder";
         schedule_copy t dir ~toward handler ~arrival:(Time_ns.add slot (Time_ns.ns lag))
-          ~fifo:false ~span bytes
-      | _ -> schedule_copy t dir ~toward handler ~arrival ~fifo:true ~span bytes);
+          ~fifo:false ~spans bytes
+      | _ -> schedule_copy t dir ~toward handler ~arrival ~fifo:true ~spans bytes);
       if
         t.faults.Fault_plan.duplicate_probability > 0.0
         && Rng.float frng 1.0 < t.faults.Fault_plan.duplicate_probability
@@ -245,9 +282,104 @@ let send t ~from ?(span = Message.no_trace) msg =
         let dup_arrival = Time_ns.add now (Latency_model.one_way t.latency t.rng) in
         t.fault_stats <- { t.fault_stats with duplicated = t.fault_stats.duplicated + 1 };
         note_fault t "duplicate";
-        schedule_copy t dir ~toward handler ~arrival:dup_arrival ~fifo:false ~span bytes
+        schedule_copy t dir ~toward handler ~arrival:dup_arrival ~fifo:false ~spans bytes
       end
     end
+
+let stamp_send t ~from span =
+  match t.tracer with
+  | Some tr when span >= 0 ->
+    let now = Sim.now t.sim in
+    (match from with
+    | Datapath_end -> Ccp_obs.Tracer.sent tr span ~now
+    | Agent_end -> Ccp_obs.Tracer.note_send tr span ~now)
+  | _ -> ()
+
+let flush t =
+  match t.batch with
+  | None -> ()
+  | Some b when b.count = 0 -> ()
+  | Some b ->
+    let dir = t.to_agent in
+    let handler =
+      match dir.handler with
+      | Some h -> h
+      | None -> invalid_arg "Channel.flush: destination handler not registered"
+    in
+    let entries = List.rev b.entries in
+    let spans = List.filter (fun s -> s >= 0) (List.rev b.spans) in
+    b.entries <- [];
+    b.spans <- [];
+    b.count <- 0;
+    b.pending_bytes <- 0;
+    b.flush_serial <- b.flush_serial + 1;
+    b.batches <- b.batches + 1;
+    let frame = Codec.frame_batch entries in
+    (* Batched datapath spans are stamped as sent when the frame actually
+       hits the wire, not when the report was parked. *)
+    List.iter (fun s -> stamp_send t ~from:Datapath_end s) spans;
+    transmit t dir handler ~toward:Agent_end ~spans frame
+
+let enqueue_report t b ~span msg =
+  let entry = Codec.encode_traced ~span msg in
+  b.entries <- entry :: b.entries;
+  b.spans <- span :: b.spans;
+  b.count <- b.count + 1;
+  b.pending_bytes <- b.pending_bytes + String.length entry;
+  b.batched <- b.batched + 1;
+  if b.count >= b.cfg.max_count || b.pending_bytes >= b.cfg.max_bytes then flush t
+  else if b.count = 1 then begin
+    (* Arm the deadline as the frame opens. A watermark flush in the
+       meantime bumps the serial, so the timer expires harmlessly; the
+       count can only return to zero through a flush, so a matching
+       serial implies there is still something to send. *)
+    let serial = b.flush_serial in
+    ignore
+      (Sim.schedule t.sim
+         ~at:(Time_ns.add (Sim.now t.sim) b.cfg.deadline)
+         (fun () -> if b.flush_serial = serial then flush t))
+  end
+
+let send_single t dir handler ~from ~toward ~span msg =
+  let bytes = Codec.encode_traced ~span msg in
+  stamp_send t ~from span;
+  transmit t dir handler ~toward ~spans:(if span >= 0 then [ span ] else []) bytes
+
+let send t ~from ?(span = Message.no_trace) msg =
+  let toward = match from with Datapath_end -> Agent_end | Agent_end -> Datapath_end in
+  let dir = direction_toward t toward in
+  let handler =
+    match dir.handler with
+    | Some h -> h
+    | None -> invalid_arg "Channel.send: destination handler not registered"
+  in
+  (* Agent-side control messages attach to the span whose handler is
+     running, so algorithm code needs no tracing awareness at all. *)
+  let span =
+    match t.tracer with
+    | None -> Message.no_trace
+    | Some tr ->
+      if span >= 0 then span
+      else if from = Agent_end then Ccp_obs.Tracer.active tr
+      else Message.no_trace
+  in
+  match t.batch with
+  | Some b when from = Datapath_end -> (
+    match msg with
+    | Message.Report _ -> enqueue_report t b ~span msg
+    | _ ->
+      (* Non-report datapath traffic (Ready, Urgent, Closed, vectors)
+         never waits on a watermark: flush what is queued — preserving
+         send order on the wire — then go out immediately. *)
+      if b.count > 0 then flush t;
+      send_single t dir handler ~from ~toward ~span msg)
+  | _ -> send_single t dir handler ~from ~toward ~span msg
+
+let deliver_raw t ~toward bytes =
+  let dir = direction_toward t toward in
+  match dir.handler with
+  | Some handler -> deliver t handler ~toward bytes
+  | None -> invalid_arg "Channel.deliver_raw: destination handler not registered"
 
 let messages_sent t = function
   | Datapath_end -> t.to_agent.messages
@@ -258,5 +390,8 @@ let bytes_sent t = function
   | Agent_end -> t.to_datapath.bytes
 
 let decode_failures t = t.decode_failures
+let pending_reports t = match t.batch with Some b -> b.count | None -> 0
+let batches_sent t = match t.batch with Some b -> b.batches | None -> 0
+let reports_batched t = match t.batch with Some b -> b.batched | None -> 0
 let fault_plan t = t.faults
 let fault_stats t = t.fault_stats

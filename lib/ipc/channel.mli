@@ -21,10 +21,21 @@ type t
 
 type endpoint = Datapath_end | Agent_end
 
+(** Watermarks for datapath->agent report batching. A pending frame is
+    flushed when it holds [max_count] reports, when its payload reaches
+    [max_bytes], or [deadline] after the first report was parked —
+    whichever comes first. All three must be positive. *)
+type batching = {
+  max_count : int;
+  max_bytes : int;
+  deadline : Ccp_util.Time_ns.t;
+}
+
 val create :
   sim:Sim.t ->
   latency:Latency_model.t ->
   ?faults:Fault_plan.t ->
+  ?batching:batching ->
   ?obs:Ccp_obs.Obs.t ->
   unit ->
   t
@@ -33,7 +44,19 @@ val create :
     {!Fault_plan.none}. When [obs] is given the channel publishes
     per-direction message/byte counters, a one-way latency histogram
     ([ipc.oneway_latency_us]) and an [ipc.faults_injected] counter, and
-    records an [Ipc_fault] trace event for every injected fault. *)
+    records an [Ipc_fault] trace event for every injected fault.
+
+    [batching] (default off) turns on cross-flow report coalescing:
+    datapath-side [Report] sends are parked and flushed as one
+    {!Codec.frame_batch} wire frame at the watermarks, amortizing
+    per-message channel overhead across every flow that reported in the
+    flush window. Non-report datapath traffic (Ready/Urgent/Closed/
+    vector reports) never waits: it flushes the pending frame first —
+    wire order equals send order — and departs immediately, so loss
+    signals keep their latency. With batching off the channel is
+    byte-for-byte identical to one built before batching existed, and
+    batching draws nothing from any RNG stream, so enabling it never
+    perturbs latency or fault draws. *)
 
 val on_receive : t -> endpoint -> (Message.t -> unit) -> unit
 (** Register the handler that receives messages arriving {e at} the given
@@ -53,19 +76,45 @@ val send : t -> from:endpoint -> ?span:Message.trace_context -> Message.t -> uni
 
 val rx_span : t -> Message.trace_context
 (** The span token carried by the message currently being delivered to a
-    handler, or {!Message.no_trace}. Valid only inside a handler call. *)
+    handler, or {!Message.no_trace}. Valid only inside a handler call.
+    Batched reports each carry their own span: the register is updated
+    per entry as the frame unpacks. *)
+
+val flush : t -> unit
+(** Force out the pending report frame, if any. No-op with batching off
+    or nothing pending. The watermarks make this unnecessary in steady
+    state; it exists for drain-before-shutdown and tests. *)
+
+val deliver_raw : t -> toward:endpoint -> string -> unit
+(** Deliver arbitrary bytes to an endpoint's handler immediately, as a
+    corrupted or hostile peer would produce them — no encode, no latency
+    draw, no fault plan. Malformed bytes count a decode failure and are
+    dropped without disturbing the channel. Test/fuzzing hook. *)
 
 (** {1 Statistics} *)
 
 val messages_sent : t -> endpoint -> int
-(** Messages sent {e from} the given endpoint. *)
+(** Wire frames sent {e from} the given endpoint — with batching on, a
+    flushed batch counts once however many reports it carries. *)
 
 val bytes_sent : t -> endpoint -> int
 
 val decode_failures : t -> int
 (** Deliveries whose bytes failed to decode; also published as the
     [ipc.decode_failures] counter when the channel carries an [obs]
-    bundle. *)
+    bundle. A corrupt batch frame counts once, atomically: none of its
+    entries are delivered. *)
+
+val pending_reports : t -> int
+(** Reports parked in the not-yet-flushed batch frame (0 with batching
+    off). *)
+
+val batches_sent : t -> int
+(** Batch frames flushed onto the wire since creation. *)
+
+val reports_batched : t -> int
+(** Reports that went through the batching path (parked then flushed),
+    including frames of one. *)
 
 (** Cumulative effect of the fault plan on this channel, both directions
     combined. All-zero when the plan is {!Fault_plan.none}. *)

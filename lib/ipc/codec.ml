@@ -375,3 +375,52 @@ let decode_traced s =
     if not (Wire.Reader.at_end r) then fail "trailing bytes after trace context";
     (msg, span)
   end
+
+(* --- batch frames ---
+
+   Cross-flow report batching: one wire frame carrying many messages'
+   already-traced encodings as length-prefixed entries, so the per-frame
+   encode/decode and delivery cost is amortized over every flow that
+   reported in the same flush window. The frame tag (10) sits outside the
+   single-message tag space (0..9), which keeps the two framings
+   unambiguous in both directions: a batching-unaware [decode] rejects a
+   batch frame cleanly ("bad message tag 10") instead of misparsing it,
+   and [decode_batch] on a legacy single-message frame fails the tag
+   check the same way. Entries round-trip through [encode_traced] /
+   [decode_traced], so each batched report keeps its own span token. *)
+
+let batch_tag = 10
+let max_batch_entries = 4096
+
+let is_batch s = String.length s > 0 && Char.code s.[0] = batch_tag
+
+let frame_batch entries =
+  let count = List.length entries in
+  if count > max_batch_entries then
+    invalid_arg
+      (Printf.sprintf "Codec.frame_batch: %d entries exceeds max %d" count max_batch_entries);
+  Wire.Writer.reset scratch;
+  Wire.Writer.byte scratch batch_tag;
+  Wire.Writer.varint scratch count;
+  List.iter (Wire.Writer.string scratch) entries;
+  Wire.Writer.contents scratch
+
+let encode_batch msgs =
+  (* Entries first (each borrows [scratch]), then the frame around them. *)
+  let entries = Array.to_list (Array.map (fun (msg, span) -> encode_traced ~span msg) msgs) in
+  frame_batch entries
+
+let decode_batch s =
+  let r = Wire.Reader.of_string s in
+  (match Wire.Reader.byte r with
+  | tag when tag = batch_tag -> ()
+  | tag -> fail "bad batch tag %d" tag);
+  let n = Wire.Reader.varint r in
+  if n > max_batch_entries then fail "batch with %d entries" n;
+  let out = Array.make n (Message.Closed { flow = 0 }, Message.no_trace) in
+  (* Explicit loop: the reader is stateful, entries must parse in order. *)
+  for i = 0 to n - 1 do
+    out.(i) <- decode_traced (Wire.Reader.string r)
+  done;
+  if not (Wire.Reader.at_end r) then fail "trailing bytes after batch";
+  out

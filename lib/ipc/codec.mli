@@ -36,3 +36,38 @@ val decode_traced : string -> Message.t * Message.trace_context
 (** Inverse of {!encode_traced}; bytes without the trailing block decode
     as [(msg, Message.no_trace)] — absent-field backward compatibility.
     {!decode} itself still rejects any trailing bytes. *)
+
+(** {2 Batch frames}
+
+    A batch frame packs many traced message encodings into one wire
+    message: tag byte 10, varint entry count, then each entry as a
+    length-prefixed {!encode_traced} blob. Tag 10 is outside the
+    single-message tag space, so the framings cannot be confused: a
+    batching-unaware peer's {!decode} rejects a batch with a clean
+    [Decode_error] rather than misparsing it. *)
+
+val batch_tag : int
+(** First byte of every batch frame (10). *)
+
+val max_batch_entries : int
+(** Upper bound on entries per frame (4096); both {!frame_batch} and
+    {!decode_batch} enforce it. *)
+
+val is_batch : string -> bool
+(** [true] iff the bytes start with {!batch_tag} — cheap framing sniff
+    used by the channel's receive path. No legacy message starts with
+    tag 10, so this never misclassifies. *)
+
+val frame_batch : string list -> string
+(** Wrap pre-encoded {!encode_traced} entries (in send order) into one
+    batch frame. Raises [Invalid_argument] above {!max_batch_entries}.
+    An empty list yields a valid zero-entry frame. *)
+
+val encode_batch : (Message.t * Message.trace_context) array -> string
+(** [frame_batch] over [encode_traced ~span msg] for each element. *)
+
+val decode_batch : string -> (Message.t * Message.trace_context) array
+(** Inverse of {!encode_batch}: strict framing (trailing bytes rejected,
+    entry count bounded), each entry decoded with {!decode_traced}.
+    Raises {!Decode_error} / {!Wire.Reader.Truncated} on malformed
+    input — the whole frame is rejected, never a prefix of it. *)

@@ -285,6 +285,148 @@ let test_channel_requires_handler () =
     (Invalid_argument "Channel.send: destination handler not registered") (fun () ->
       Channel.send channel ~from:Channel.Datapath_end (Message.Closed { flow = 1 }))
 
+(* --- Batch frames --- *)
+
+let prop_batch_round_trip =
+  QCheck.Test.make ~name:"batch frame round-trip (0..50 traced entries)" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 0 50)
+           (pair gen_message (oneof [ return Message.no_trace; int_bound 0x3FFFFFFF ])))
+       ~print:(fun entries ->
+         String.concat "; "
+           (List.map
+              (fun (m, s) -> Printf.sprintf "%s span=%d" (Message.describe m) s)
+              entries)))
+    (fun entries ->
+      let frame = Codec.encode_batch (Array.of_list entries) in
+      Codec.is_batch frame
+      &&
+      let decoded = Codec.decode_batch frame in
+      List.length entries = Array.length decoded
+      && List.for_all2
+           (fun (m, s) (m', s') -> Message.equal m m' && s = s')
+           entries (Array.to_list decoded))
+
+let test_batch_framing_disjoint () =
+  (* No legacy encoding — traced or not — sniffs as a batch... *)
+  List.iter
+    (fun msg ->
+      Alcotest.(check bool)
+        ("not a batch: " ^ Message.describe msg)
+        false
+        (Codec.is_batch (Codec.encode msg));
+      Alcotest.(check bool) "traced not a batch" false
+        (Codec.is_batch (Codec.encode_traced ~span:7 msg)))
+    all_message_kinds;
+  (* ...and the framings reject each other rather than misparse. *)
+  let frame = Codec.encode_batch [| (Message.Closed { flow = 3 }, Message.no_trace) |] in
+  (match Codec.decode frame with
+  | _ -> Alcotest.fail "legacy decode accepted a batch frame"
+  | exception Codec.Decode_error _ -> ());
+  (match Codec.decode_batch (Codec.encode (Message.Closed { flow = 3 })) with
+  | _ -> Alcotest.fail "decode_batch accepted a single-message frame"
+  | exception Codec.Decode_error _ -> ());
+  (* Empty frames are legal; the entry bound is enforced both ways. *)
+  Alcotest.(check int) "empty batch" 0 (Array.length (Codec.decode_batch (Codec.frame_batch [])));
+  let entry = Codec.encode_traced (Message.Closed { flow = 1 }) in
+  match Codec.frame_batch (List.init (Codec.max_batch_entries + 1) (fun _ -> entry)) with
+  | _ -> Alcotest.fail "oversized batch accepted"
+  | exception Invalid_argument _ -> ()
+
+let batching ?(max_count = 3) ?(max_bytes = 1 lsl 20) ?(deadline = Time_ns.ms 1) () =
+  { Channel.max_count; max_bytes; deadline }
+
+let make_batching_channel ?max_count ?max_bytes ?deadline () =
+  let sim = Sim.create () in
+  let channel =
+    Channel.create ~sim ~latency:(Latency_model.Constant (Time_ns.us 20))
+      ~batching:(batching ?max_count ?max_bytes ?deadline ()) ()
+  in
+  let received = ref [] in
+  Channel.on_receive channel Channel.Agent_end (fun msg -> received := msg :: !received);
+  Channel.on_receive channel Channel.Datapath_end (fun _ -> ());
+  (sim, channel, received)
+
+let report flow = Message.Report { flow; fields = [| ("acked", 1448.0) |] }
+
+let test_batch_count_watermark () =
+  let sim, channel, received = make_batching_channel () in
+  Channel.send channel ~from:Channel.Datapath_end (report 1);
+  Channel.send channel ~from:Channel.Datapath_end (report 2);
+  Alcotest.(check int) "parked below watermark" 2 (Channel.pending_reports channel);
+  Alcotest.(check int) "nothing on the wire yet" 0
+    (Channel.messages_sent channel Channel.Datapath_end);
+  Channel.send channel ~from:Channel.Datapath_end (report 3);
+  Alcotest.(check int) "flushed at count watermark" 0 (Channel.pending_reports channel);
+  Alcotest.(check int) "one wire frame for three reports" 1
+    (Channel.messages_sent channel Channel.Datapath_end);
+  Sim.run sim;
+  Alcotest.(check (list int)) "all delivered, send order" [ 1; 2; 3 ]
+    (List.rev_map Message.flow !received);
+  Alcotest.(check int) "batches_sent" 1 (Channel.batches_sent channel);
+  Alcotest.(check int) "reports_batched" 3 (Channel.reports_batched channel)
+
+let test_batch_deadline () =
+  let sim, channel, received = make_batching_channel ~max_count:100 ~deadline:(Time_ns.us 200) () in
+  Channel.send channel ~from:Channel.Datapath_end (report 9);
+  Sim.run sim;
+  (* Flushed by the deadline timer: 200 us parked + 10 us one-way. *)
+  Alcotest.(check (list int)) "delivered by deadline" [ 9 ] (List.map Message.flow !received);
+  Alcotest.(check int) "deadline flush counted" 1 (Channel.batches_sent channel);
+  Alcotest.(check int) "flushed at deadline" (Time_ns.us 210) (Sim.now sim)
+
+let test_batch_nonreport_flushes_first () =
+  let sim, channel, received = make_batching_channel () in
+  Channel.send channel ~from:Channel.Datapath_end (report 1);
+  Channel.send channel ~from:Channel.Datapath_end (Message.Closed { flow = 1 });
+  Alcotest.(check int) "pending frame forced out" 0 (Channel.pending_reports channel);
+  Alcotest.(check int) "batch frame + bare close" 2
+    (Channel.messages_sent channel Channel.Datapath_end);
+  Sim.run sim;
+  (match List.rev !received with
+  | [ Message.Report { flow = 1; _ }; Message.Closed { flow = 1 } ] -> ()
+  | _ -> Alcotest.fail "wire order must equal send order");
+  (* Agent->datapath traffic never batches. *)
+  Channel.send channel ~from:Channel.Agent_end (Message.Set_cwnd { flow = 1; bytes = 10 });
+  Alcotest.(check int) "agent side sends immediately" 1
+    (Channel.messages_sent channel Channel.Agent_end)
+
+let test_batch_corrupt_frame () =
+  let sim, channel, received = make_batching_channel () in
+  (* Tag 10, count 2, then garbage: one atomic decode failure. *)
+  Channel.deliver_raw channel ~toward:Channel.Agent_end "\x0a\x02junk";
+  Alcotest.(check int) "corrupt batch counted once" 1 (Channel.decode_failures channel);
+  Alcotest.(check (list int)) "no entries delivered" [] (List.map Message.flow !received);
+  (* An absurd entry count is rejected before any allocation. *)
+  let w = Wire.Writer.create () in
+  Wire.Writer.byte w Codec.batch_tag;
+  Wire.Writer.varint w 1_000_000;
+  Channel.deliver_raw channel ~toward:Channel.Agent_end (Wire.Writer.contents w);
+  Alcotest.(check int) "oversized count rejected" 2 (Channel.decode_failures channel);
+  (* The channel survives: subsequent valid traffic still flows. *)
+  Channel.deliver_raw channel ~toward:Channel.Agent_end
+    (Codec.encode_batch [| (report 5, Message.no_trace) |]);
+  Channel.send channel ~from:Channel.Datapath_end (Message.Closed { flow = 6 });
+  Sim.run sim;
+  Alcotest.(check (list int)) "channel still delivers" [ 5; 6 ]
+    (List.rev_map Message.flow !received)
+
+let test_batch_validation () =
+  let sim = Sim.create () in
+  List.iter
+    (fun b ->
+      match
+        Channel.create ~sim ~latency:(Latency_model.Constant (Time_ns.us 20)) ~batching:b ()
+      with
+      | _ -> Alcotest.fail "nonsensical batching accepted"
+      | exception Invalid_argument _ -> ())
+    [
+      batching ~max_count:0 ();
+      batching ~max_bytes:0 ();
+      batching ~deadline:Time_ns.zero ();
+    ]
+
 let suite =
   [
     ( "ipc.wire",
@@ -321,5 +463,16 @@ let suite =
         Alcotest.test_case "fifo ordering" `Quick test_channel_fifo_order;
         Alcotest.test_case "statistics" `Quick test_channel_stats;
         Alcotest.test_case "handler required" `Quick test_channel_requires_handler;
+      ] );
+    ( "ipc.batch",
+      [
+        QCheck_alcotest.to_alcotest prop_batch_round_trip;
+        Alcotest.test_case "framing disjoint from legacy" `Quick test_batch_framing_disjoint;
+        Alcotest.test_case "count watermark" `Quick test_batch_count_watermark;
+        Alcotest.test_case "deadline flush" `Quick test_batch_deadline;
+        Alcotest.test_case "non-report flushes first" `Quick
+          test_batch_nonreport_flushes_first;
+        Alcotest.test_case "corrupt frame is atomic" `Quick test_batch_corrupt_frame;
+        Alcotest.test_case "watermark validation" `Quick test_batch_validation;
       ] );
   ]

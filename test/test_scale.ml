@@ -1,0 +1,471 @@
+(* The flow-multiplexed control plane: the generation-checked slot pool
+   (unit + churn property), the agent's pooled registry (stale handles
+   dropped, exhaustion counted), open-loop batching determinism (same
+   commands, fewer frames), and the N-member aggregate splitting one
+   window across an incast fleet. *)
+
+open Ccp_util
+open Ccp_eventsim
+open Ccp_ipc
+open Ccp_agent
+
+(* --- Flow_table unit tests --- *)
+
+let test_pool_lifecycle () =
+  let pool = Flow_table.create ~capacity:3 () in
+  Alcotest.(check int) "capacity rounds to pow2" 4 (Flow_table.capacity pool);
+  let tok =
+    match Flow_table.register pool ~flow:7 "seven" with
+    | Ok t -> t
+    | Error `Pool_exhausted -> Alcotest.fail "empty pool rejected a registration"
+  in
+  Alcotest.(check (option string)) "get via token" (Some "seven") (Flow_table.get pool tok);
+  Alcotest.(check (option string)) "find via flow id" (Some "seven")
+    (Flow_table.find pool ~flow:7);
+  Alcotest.(check (option int)) "token_of" (Some tok) (Flow_table.token_of pool ~flow:7);
+  Alcotest.(check bool) "is_live" true (Flow_table.is_live pool tok);
+  Alcotest.(check int) "live" 1 (Flow_table.live pool);
+  Alcotest.(check bool) "release" true (Flow_table.release pool ~flow:7);
+  Alcotest.(check bool) "double release" false (Flow_table.release pool ~flow:7);
+  Alcotest.(check bool) "token went stale" false (Flow_table.is_live pool tok);
+  Alcotest.(check (option string)) "stale deref refused" None (Flow_table.get pool tok);
+  let s = Flow_table.stats pool in
+  Alcotest.(check int) "stale counted" 1 s.Flow_table.stale_refs;
+  Alcotest.(check int) "lifetime registered" 1 s.Flow_table.registered;
+  Alcotest.(check int) "lifetime released" 1 s.Flow_table.released;
+  (* no_token derefs silently — it is the well-known sentinel. *)
+  Alcotest.(check (option string)) "no_token" None (Flow_table.get pool Flow_table.no_token);
+  Alcotest.(check int) "no_token not counted stale" 1
+    (Flow_table.stats pool).Flow_table.stale_refs
+
+let test_pool_replacement_and_exhaustion () =
+  let pool = Flow_table.create ~capacity:2 () in
+  let reg flow v =
+    match Flow_table.register pool ~flow v with
+    | Ok t -> t
+    | Error `Pool_exhausted -> Alcotest.fail "unexpected exhaustion"
+  in
+  let t1 = reg 1 "a" and _t2 = reg 2 "b" in
+  (* Full pool: a third flow is refused, structurally. *)
+  (match Flow_table.register pool ~flow:3 "c" with
+  | Ok _ -> Alcotest.fail "exhausted pool accepted a registration"
+  | Error `Pool_exhausted -> ());
+  Alcotest.(check int) "rejection counted" 1 (Flow_table.stats pool).Flow_table.rejected;
+  (* Re-registering a present flow replaces: never refused by a full
+     pool, and the old token goes stale. *)
+  let t1' = reg 1 "a2" in
+  Alcotest.(check bool) "replacement minted a fresh token" true (t1 <> t1');
+  Alcotest.(check (option string)) "old token stale" None (Flow_table.get pool t1);
+  Alcotest.(check (option string)) "new token live" (Some "a2") (Flow_table.get pool t1');
+  Flow_table.clear pool;
+  Alcotest.(check int) "clear releases all" 0 (Flow_table.live pool);
+  Alcotest.(check (option string)) "clear staled tokens" None (Flow_table.get pool t1')
+
+let test_pool_iter_order () =
+  let pool = Flow_table.create ~capacity:4 () in
+  List.iter
+    (fun f -> ignore (Flow_table.register pool ~flow:f (string_of_int f)))
+    [ 30; 10; 20 ];
+  ignore (Flow_table.release pool ~flow:10 : bool);
+  ignore (Flow_table.register pool ~flow:40 "40");
+  (* Slot order, not hash order: 10's freed slot was reused by 40. *)
+  let seen = ref [] in
+  Flow_table.iter pool (fun flow _ -> seen := flow :: !seen);
+  Alcotest.(check (list int)) "deterministic slot order" [ 30; 40; 20 ] (List.rev !seen);
+  Alcotest.(check int) "fold agrees" 3
+    (Flow_table.fold pool ~init:0 ~f:(fun _ _ acc -> acc + 1))
+
+(* --- churn property: the pool against a model registry --- *)
+
+type churn_op = Op_register of int | Op_release of int | Op_deref of int
+
+let show_churn ops =
+  String.concat "; "
+    (List.map
+       (function
+         | Op_register f -> Printf.sprintf "reg %d" f
+         | Op_release f -> Printf.sprintf "rel %d" f
+         | Op_deref f -> Printf.sprintf "deref %d" f)
+       ops)
+
+let gen_churn rng =
+  Prop.list rng ~min:1 ~max:80 (fun rng ->
+      let flow = Rng.int rng 8 in
+      match Rng.int rng 4 with
+      | 0 | 1 -> Op_register flow
+      | 2 -> Op_release flow
+      | _ -> Op_deref flow)
+
+(* Invariants, against a hashtable model: a live slot is never handed
+   out twice; stale tokens are counted, never honored; exhaustion is a
+   structured rejection exactly when the pool is full of other flows;
+   and the stats ledger balances. *)
+let prop_pool_churn ops =
+  let capacity = 4 in
+  let pool = Flow_table.create ~capacity () in
+  let model : (int, Flow_table.token * int) Hashtbl.t = Hashtbl.create 8 in
+  let dead = ref [] in
+  let stale_derefs = ref 0 in
+  List.iteri
+    (fun i op ->
+      match op with
+      | Op_register flow -> (
+        let was = Hashtbl.find_opt model flow in
+        match Flow_table.register pool ~flow i with
+        | Ok tok ->
+          (match was with
+          | Some (old, _) ->
+            dead := old :: !dead;
+            Prop.require "replacement mints a fresh token" (old <> tok)
+          | None -> ());
+          Hashtbl.remove model flow;
+          Hashtbl.iter
+            (fun _ (live_tok, _) ->
+              Prop.require "live slot never handed out twice" (live_tok <> tok))
+            model;
+          Hashtbl.replace model flow (tok, i)
+        | Error `Pool_exhausted ->
+          (* Replacement releases first, so only a genuinely new flow
+             can see a full pool. *)
+          Prop.require "exhaustion only when full of other flows"
+            (was = None && Hashtbl.length model = capacity))
+      | Op_release flow ->
+        let was = Hashtbl.find_opt model flow in
+        let released = Flow_table.release pool ~flow in
+        Prop.check_eq ~what:"release reflects registry" string_of_bool (was <> None)
+          released;
+        (match was with
+        | Some (tok, _) ->
+          dead := tok :: !dead;
+          Hashtbl.remove model flow
+        | None -> ())
+      | Op_deref flow ->
+        (match Hashtbl.find_opt model flow with
+        | Some (tok, v) -> (
+          match Flow_table.get pool tok with
+          | Some v' -> Prop.check_eq ~what:"live deref value" string_of_int v v'
+          | None -> Prop.fail "live token failed the generation check")
+        | None -> ());
+        (match !dead with
+        | tok :: _ ->
+          incr stale_derefs;
+          (match Flow_table.get pool tok with
+          | None -> ()
+          | Some _ -> Prop.fail "stale token honored")
+        | [] -> ()))
+    ops;
+  let s = Flow_table.stats pool in
+  Prop.check_eq ~what:"live count" string_of_int (Hashtbl.length model) s.Flow_table.live;
+  Prop.check_eq ~what:"ledger: registered - released = live" string_of_int
+    s.Flow_table.live
+    (s.Flow_table.registered - s.Flow_table.released);
+  Prop.check_eq ~what:"stale refs counted exactly" string_of_int !stale_derefs
+    s.Flow_table.stale_refs
+
+(* --- the agent's pooled registry --- *)
+
+let recorded_handles : Algorithm.handle list ref = ref []
+
+let sink_algorithm : Algorithm.t =
+  {
+    Algorithm.name = "test-sink";
+    make =
+      (fun handle ->
+        recorded_handles := handle :: !recorded_handles;
+        Algorithm.no_op_handlers);
+  }
+
+let make_agent ?flow_pool () =
+  recorded_handles := [];
+  let sim = Sim.create () in
+  let channel =
+    Channel.create ~sim ~latency:(Latency_model.Constant (Time_ns.us 20)) ()
+  in
+  let to_datapath = ref [] in
+  Channel.on_receive channel Channel.Datapath_end (fun msg ->
+      to_datapath := msg :: !to_datapath);
+  let agent = Agent.create ~sim ~channel ~choose:(fun _ -> sink_algorithm) ?flow_pool () in
+  (sim, channel, agent, to_datapath)
+
+let ready flow = Message.Ready { flow; mss = 1448; init_cwnd = 14_480 }
+
+let test_agent_pool_exhaustion () =
+  let sim, channel, agent, _ = make_agent ~flow_pool:2 () in
+  List.iter (fun f -> Channel.send channel ~from:Channel.Datapath_end (ready f)) [ 1; 2; 3 ];
+  Sim.run sim;
+  Alcotest.(check int) "pool-sized fleet registered" 2 (Agent.flow_count agent);
+  Alcotest.(check int) "overflow refused, counted" 1 (Agent.registrations_rejected agent);
+  Alcotest.(check (option string)) "refused flow not served" None
+    (Agent.algorithm_name agent ~flow:3);
+  (* Teardown frees the slot; the refused flow's watchdog re-handshake
+     then succeeds. *)
+  Channel.send channel ~from:Channel.Datapath_end (Message.Closed { flow = 1 });
+  Channel.send channel ~from:Channel.Datapath_end (ready 3);
+  Sim.run sim;
+  Alcotest.(check int) "slot recycled" 2 (Agent.flow_count agent);
+  Alcotest.(check (option string)) "late flow served after churn" (Some "test-sink")
+    (Agent.algorithm_name agent ~flow:3);
+  match Agent.pool_stats agent with
+  | None -> Alcotest.fail "pooled agent reports no pool stats"
+  | Some s -> Alcotest.(check int) "pool ledger" 1 s.Flow_table.rejected
+
+let test_agent_stale_handle_dropped () =
+  let sim, channel, agent, to_datapath = make_agent ~flow_pool:4 () in
+  Channel.send channel ~from:Channel.Datapath_end (ready 1);
+  Sim.run sim;
+  let handle = match !recorded_handles with [ h ] -> h | _ -> Alcotest.fail "no handle" in
+  handle.Algorithm.set_cwnd 20_000;
+  Sim.run sim;
+  Alcotest.(check int) "live handle acts" 1 (List.length !to_datapath);
+  Channel.send channel ~from:Channel.Datapath_end (Message.Closed { flow = 1 });
+  Sim.run sim;
+  (* The algorithm closure outlived its flow: its actions must be
+     dropped and counted, not applied to whoever reuses the slot. *)
+  Channel.send channel ~from:Channel.Datapath_end (ready 2);
+  Sim.run sim;
+  handle.Algorithm.set_cwnd 99_999;
+  handle.Algorithm.set_rate 1e6;
+  Sim.run sim;
+  Alcotest.(check int) "stale actions dropped" 1 (List.length !to_datapath);
+  (match Agent.pool_stats agent with
+  | Some s -> Alcotest.(check bool) "stale refs counted" true (s.Flow_table.stale_refs >= 2)
+  | None -> Alcotest.fail "no pool stats");
+  (* The unpooled agent is the permissive original: same sequence, the
+     stale handle still sends (flow 2's datapath state absorbs it). *)
+  let sim, channel, _, to_datapath = make_agent () in
+  Channel.send channel ~from:Channel.Datapath_end (ready 1);
+  Sim.run sim;
+  let handle = match !recorded_handles with [ h ] -> h | _ -> Alcotest.fail "no handle" in
+  Channel.send channel ~from:Channel.Datapath_end (Message.Closed { flow = 1 });
+  Sim.run sim;
+  handle.Algorithm.set_cwnd 99_999;
+  Sim.run sim;
+  Alcotest.(check int) "hashed registry stays permissive" 1 (List.length !to_datapath)
+
+let test_agent_reset_clears_pool () =
+  let sim, channel, agent, _ = make_agent ~flow_pool:2 () in
+  List.iter (fun f -> Channel.send channel ~from:Channel.Datapath_end (ready f)) [ 1; 2 ];
+  Sim.run sim;
+  Agent.reset agent;
+  Alcotest.(check int) "reset empties the registry" 0 (Agent.flow_count agent);
+  (* Every slot is free again: a full fleet re-registers cleanly. *)
+  List.iter (fun f -> Channel.send channel ~from:Channel.Datapath_end (ready f)) [ 3; 4 ];
+  Sim.run sim;
+  Alcotest.(check int) "fresh fleet after reset" 2 (Agent.flow_count agent);
+  Alcotest.(check int) "no spurious rejections" 0 (Agent.registrations_rejected agent)
+
+(* --- open-loop batching determinism --- *)
+
+(* A deterministic echo algorithm: each report sets cwnd to a value
+   computed from the report alone. Feeding the same report script with
+   batching on and off must yield the identical command sequence at the
+   datapath end — batching may only change the wire framing. *)
+let echo_algorithm : Algorithm.t =
+  {
+    Algorithm.name = "test-echo";
+    make =
+      (fun handle ->
+        {
+          Algorithm.no_op_handlers with
+          Algorithm.on_report =
+            (fun r ->
+              handle.Algorithm.set_cwnd
+                (int_of_float (Algorithm.field_exn r "acked") * 2));
+        });
+  }
+
+let run_echo_script ~batching =
+  let sim = Sim.create () in
+  let channel =
+    Channel.create ~sim ~latency:(Latency_model.Constant (Time_ns.us 20))
+      ?batching:
+        (if batching then
+           Some
+             {
+               Channel.max_count = 8;
+               max_bytes = 1 lsl 16;
+               deadline = Time_ns.us 200;
+             }
+         else None)
+      ()
+  in
+  let commands = ref [] in
+  Channel.on_receive channel Channel.Datapath_end (fun msg ->
+      match msg with
+      | Message.Set_cwnd { flow; bytes } -> commands := (flow, bytes) :: !commands
+      | _ -> ());
+  let _agent = Agent.create ~sim ~channel ~choose:(fun _ -> echo_algorithm) () in
+  for f = 0 to 3 do
+    Channel.send channel ~from:Channel.Datapath_end (ready f)
+  done;
+  Sim.run sim;
+  for i = 1 to 100 do
+    Channel.send channel ~from:Channel.Datapath_end
+      (Message.Report { flow = i mod 4; fields = [| ("acked", float_of_int (100 * i)) |] });
+    if i mod 10 = 0 then Sim.run sim
+  done;
+  Channel.flush channel;
+  Sim.run sim;
+  (List.rev !commands, Channel.messages_sent channel Channel.Datapath_end,
+   Channel.batches_sent channel)
+
+let test_batching_open_loop_determinism () =
+  let on, frames_on, batches_on = run_echo_script ~batching:true in
+  let off, frames_off, batches_off = run_echo_script ~batching:false in
+  Alcotest.(check (list (pair int int))) "identical command sequence" off on;
+  Alcotest.(check int) "100 commands" 100 (List.length on);
+  Alcotest.(check int) "unbatched never frames" 0 batches_off;
+  Alcotest.(check bool) "batching coalesced frames" true (batches_on > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer wire frames batched (%d) than unbatched (%d)" frames_on
+       frames_off)
+    true (frames_on < frames_off)
+
+(* --- the N-member aggregate on an incast fleet --- *)
+
+let share_of (p : Ccp_lang.Ast.program) =
+  List.find_map
+    (function
+      | Ccp_lang.Ast.Cwnd (Ccp_lang.Ast.Const f) -> Some (int_of_float f)
+      | _ -> None)
+    p.Ccp_lang.Ast.prims
+
+(* Latest install per flow (the capture list is newest-first). *)
+let latest_shares captured =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Message.Install { flow; program } ->
+        if not (Hashtbl.mem tbl flow) then (
+          match share_of program with
+          | Some s -> Hashtbl.add tbl flow s
+          | None -> ())
+      | _ -> ())
+    captured;
+  tbl
+
+let make_aggregate_fleet ?initial_segments ?(init_cwnd = 14_480) ~n () =
+  let sim = Sim.create () in
+  let channel =
+    Channel.create ~sim ~latency:(Latency_model.Constant (Time_ns.us 20)) ()
+  in
+  let captured = ref [] in
+  Channel.on_receive channel Channel.Datapath_end (fun msg -> captured := msg :: !captured);
+  let agg = Ccp_algorithms.Ccp_aggregate.create ?initial_segments () in
+  let algo = Ccp_algorithms.Ccp_aggregate.algorithm agg in
+  let _agent =
+    Agent.create ~sim ~channel ~choose:(fun _ -> algo) ~flow_pool:(max 16 n) ()
+  in
+  for f = 1 to n do
+    Channel.send channel ~from:Channel.Datapath_end
+      (Message.Ready { flow = f; mss = 1448; init_cwnd })
+  done;
+  Sim.run sim;
+  (sim, channel, agg, captured)
+
+let check_conservation ~what agg ~n captured =
+  let shares = latest_shares !captured in
+  Alcotest.(check int) (what ^ ": every member programmed") n (Hashtbl.length shares);
+  let cwnd = Ccp_algorithms.Ccp_aggregate.aggregate_cwnd agg in
+  let equal_split = max 1448 (cwnd / n) in
+  let sum = Hashtbl.fold (fun _ s acc -> acc + s) shares 0 in
+  Hashtbl.iter
+    (fun flow s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: flow %d share %d within one segment of split %d" what flow s
+           equal_split)
+        true
+        (abs (s - equal_split) <= 1448))
+    shares;
+  (* Window conserved across reprogramming: the shares re-sum to the
+     aggregate (integer division slack at most one segment per member),
+     except under the per-member floor, where the floor wins. *)
+  if cwnd >= n * 1448 then
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: shares %d re-sum to aggregate %d" what sum cwnd)
+      true
+      (sum <= cwnd && cwnd - sum <= n * 1448)
+  else Alcotest.(check int) (what ^ ": floored shares") (n * 1448) sum
+
+let test_aggregate_membership_and_split () =
+  let n = 8 in
+  let sim, channel, agg, captured = make_aggregate_fleet ~n () in
+  Alcotest.(check int) "all members joined" n
+    (Ccp_algorithms.Ccp_aggregate.member_count agg);
+  check_conservation ~what:"after join" agg ~n captured;
+  (* Additive increase on a report reprograms the whole fleet with the
+     window still conserved. *)
+  let before = Ccp_algorithms.Ccp_aggregate.aggregate_cwnd agg in
+  Channel.send channel ~from:Channel.Datapath_end
+    (Message.Report { flow = 3; fields = [| ("acked", 1448.0) |] });
+  Sim.run sim;
+  Alcotest.(check bool) "additive increase grew the aggregate" true
+    (Ccp_algorithms.Ccp_aggregate.aggregate_cwnd agg > before);
+  check_conservation ~what:"after increase" agg ~n captured
+
+let test_aggregate_floor_and_decrease () =
+  let n = 8 in
+  (* Aggregate smaller than n segments: every member gets the one-MSS
+     floor rather than a sub-segment share. *)
+  let sim, channel, agg, captured =
+    make_aggregate_fleet ~initial_segments:2 ~init_cwnd:2896 ~n ()
+  in
+  Alcotest.(check int) "tiny aggregate" 2896
+    (Ccp_algorithms.Ccp_aggregate.aggregate_cwnd agg);
+  check_conservation ~what:"floored split" agg ~n captured;
+  (* Multiplicative decrease fires once per guessed RTT, not once per
+     member loss: two urgents inside the window halve only once. A big
+     aggregate keeps the halving above the 2-segments-per-member floor,
+     so a second (wrong) halving would be visible. *)
+  let sim2, channel2, agg2, captured2 = make_aggregate_fleet ~initial_segments:40 ~n () in
+  ignore (sim : Sim.t);
+  ignore (channel : Channel.t);
+  let urgent flow =
+    Channel.send channel2 ~from:Channel.Datapath_end
+      (Message.Urgent
+         { flow; kind = Message.Dup_ack_loss; cwnd_at_event = 1448; inflight_at_event = 0 })
+  in
+  let before = Ccp_algorithms.Ccp_aggregate.aggregate_cwnd agg2 in
+  Sim.schedule sim2 ~at:(Time_ns.ms 20) (fun () -> urgent 1) |> ignore;
+  Sim.schedule sim2 ~at:(Time_ns.ms 21) (fun () -> urgent 2) |> ignore;
+  Sim.run sim2;
+  let after = Ccp_algorithms.Ccp_aggregate.aggregate_cwnd agg2 in
+  Alcotest.(check int) "one decrease for one loss event"
+    (max (2 * 1448 * n) (before / 2))
+    after;
+  Alcotest.(check bool) "halving dominated the per-member floor" true
+    (before / 2 > 2 * 1448 * n);
+  check_conservation ~what:"after decrease" agg2 ~n:8 captured2
+
+let suite =
+  [
+    ( "scale.pool",
+      [
+        Alcotest.test_case "lifecycle" `Quick test_pool_lifecycle;
+        Alcotest.test_case "replacement and exhaustion" `Quick
+          test_pool_replacement_and_exhaustion;
+        Alcotest.test_case "deterministic iteration" `Quick test_pool_iter_order;
+        Prop.test_case ~cases:200 ~name:"churn invariants vs model registry"
+          ~gen:gen_churn ~show:show_churn prop_pool_churn;
+      ] );
+    ( "scale.agent",
+      [
+        Alcotest.test_case "pool exhaustion refuses, churn recycles" `Quick
+          test_agent_pool_exhaustion;
+        Alcotest.test_case "stale handle dropped and counted" `Quick
+          test_agent_stale_handle_dropped;
+        Alcotest.test_case "reset clears the pool" `Quick test_agent_reset_clears_pool;
+      ] );
+    ( "scale.batching",
+      [
+        Alcotest.test_case "open-loop determinism" `Quick
+          test_batching_open_loop_determinism;
+      ] );
+    ( "scale.aggregate",
+      [
+        Alcotest.test_case "membership and equal split" `Quick
+          test_aggregate_membership_and_split;
+        Alcotest.test_case "floor and single decrease" `Quick
+          test_aggregate_floor_and_decrease;
+      ] );
+  ]
