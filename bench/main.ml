@@ -8,7 +8,8 @@
      evaluation and prints measured-vs-paper summaries.
 
    Usage: main.exe [sections...] where sections are any of
-   micro perack obs tracing table1 batching fig2 fig3 fig4 fig5 ablations (default: all).
+   micro perack obs tracing telemetry scale table1 batching fig2 fig3 fig4 fig5
+   ablations sweep (default: all).
    Set QUICK=1 to shrink simulation durations (CI-friendly).
 
    Bechamel sections also append their ns/op estimates to BENCH.json in
@@ -28,8 +29,8 @@ let sections =
   match Array.to_list Sys.argv with
   | _ :: (_ :: _ as rest) -> rest
   | _ ->
-    [ "micro"; "perack"; "obs"; "tracing"; "scale"; "table1"; "batching"; "fig2"; "fig3";
-      "fig4"; "fig5"; "ablations"; "sweep" ]
+    [ "micro"; "perack"; "obs"; "tracing"; "telemetry"; "scale"; "table1"; "batching";
+      "fig2"; "fig3"; "fig4"; "fig5"; "ablations"; "sweep" ]
 
 let enabled name = List.mem name sections
 
@@ -461,6 +462,99 @@ let run_tracing () =
     exit 1
   end
 
+(* --- telemetry: windowed sampler tick cost; obs-off hot path --- *)
+
+(* The sampler runs on the sim clock, never per ACK, so its only costs
+   are the tick (a cumulative read of every registered metric) and the
+   window close. Tick cost must scale with metric count and stay flat in
+   ring capacity — the ring only bounds memory. And arming the full
+   telemetry stack elsewhere in the process must leave the obs-off
+   per-ACK path at exactly zero minor words, the same bar run_obs sets
+   with just the recorder compiled in. *)
+let run_telemetry () =
+  heading "Telemetry (windowed time-series sampler; Top-K; SLO engine)";
+  let tick_test ~metrics:n ~windows =
+    let m = Ccp_obs.Metrics.create () in
+    let counters =
+      Array.init n (fun i ->
+          Ccp_obs.Metrics.counter m ~unit_:"msgs" (Printf.sprintf "bench.c%03d" i))
+    in
+    let ts = Ccp_obs.Timeseries.create ~metrics:m ~window:1_000 ~windows ~subticks:1 () in
+    let now = ref 0 in
+    (* Every call advances one window and closes it (subticks 1): the
+       worst case, sampling plus close plus ring insert each time. One
+       counter moves so the window is never fully delta-suppressed. *)
+    Test.make ~name:(Printf.sprintf "tick-close/m%d-w%d" n windows)
+      (Staged.stage (fun () ->
+           Ccp_obs.Metrics.incr counters.(0);
+           now := !now + 1_000;
+           ignore (Ccp_obs.Timeseries.tick ts ~now:!now : bool)))
+  in
+  let tk = Ccp_obs.Topk.create ~k:64 () in
+  let sketch = Ccp_obs.Topk.sketch tk "bench.flows" in
+  let spin = ref 0 in
+  let rows =
+    measure_rows
+      (Test.make_grouped ~name:"telemetry"
+         [
+           tick_test ~metrics:8 ~windows:64;
+           tick_test ~metrics:64 ~windows:64;
+           tick_test ~metrics:256 ~windows:64;
+           tick_test ~metrics:64 ~windows:16;
+           tick_test ~metrics:64 ~windows:256;
+           Test.make ~name:"topk/touch-churn"
+             (Staged.stage (fun () ->
+                  (* 4096 rotating keys against k=64: constant eviction,
+                     the sketch's worst case. *)
+                  spin := (!spin + 1) land 4095;
+                  Ccp_obs.Topk.touch sketch !spin));
+         ])
+  in
+  let cost = row_cost rows in
+  let m8 = cost "telemetry/tick-close/m8-w64" in
+  let m64 = cost "telemetry/tick-close/m64-w64" in
+  let m256 = cost "telemetry/tick-close/m256-w64" in
+  let w16 = cost "telemetry/tick-close/m64-w16" in
+  let w256 = cost "telemetry/tick-close/m64-w256" in
+  Printf.printf
+    "\ntick+close cost vs metric count: %.0f ns at 8 -> %.0f ns at 64 -> %.0f ns at 256\n"
+    m8 m64 m256;
+  Printf.printf "tick+close cost vs ring capacity (64 metrics): %.0f ns at 16 windows, %.0f \
+                 ns at 256 (memory bound, not time)\n"
+    w16 w256;
+  (* Zero-allocation bar with ALL telemetry subsystems not just compiled
+     in but armed and live in the process: a full bundle with sketches
+     fed and windows closing, while the datapath under test runs with
+     obs off. *)
+  let armed =
+    Ccp_obs.Obs.create ~tracer:true ~telemetry:true ~clock:(fun () -> 0.0) ()
+  in
+  (match Ccp_obs.Obs.flow_sketch armed "flow.reports" with
+  | Some s -> Ccp_obs.Topk.touch s 1
+  | None -> ());
+  (match armed.Ccp_obs.Obs.timeseries with
+  | Some ts ->
+    ignore (Ccp_obs.Timeseries.tick ts ~now:0 : bool);
+    ignore (Ccp_obs.Timeseries.tick ts ~now:250_000_000 : bool)
+  | None -> ());
+  let cc_off, ctl_off = obs_datapath () in
+  let ev = obs_ack_event in
+  let words0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    cc_off.Ccp_datapath.Congestion_iface.on_ack ctl_off ev
+  done;
+  let per_ack = (Gc.minor_words () -. words0) /. 10_000.0 in
+  Printf.printf
+    "obs-off allocation with telemetry armed in-process: %.4f minor words per ACK\n" per_ack;
+  if per_ack > 0.0 then begin
+    Printf.eprintf
+      "bench: FAIL: obs-off per-ACK path allocated %.4f minor words per ACK with the \
+       telemetry stack armed (expected 0)\n\
+       %!"
+      per_ack;
+    exit 1
+  end
+
 (* --- scale: the flow-multiplexed control plane at N flows --- *)
 
 (* Registration churn and report dispatch measured end to end through
@@ -688,6 +782,7 @@ let () =
   if enabled "perack" then run_perack ();
   if enabled "obs" then run_obs ();
   if enabled "tracing" then run_tracing ();
+  if enabled "telemetry" then run_telemetry ();
   if enabled "scale" then run_scale ();
   if enabled "table1" then run_table1 ();
   if enabled "batching" then run_batching ();

@@ -840,6 +840,34 @@ let write_chaos_scorecard ~path (sc : Scenarios.Chaos.scorecard) =
       exit 1
     | Ok n -> Printf.printf "scorecard: wrote %s (%d cells)\n" path n)
 
+(* Write-then-revalidate for the ccp-timeline/v1 document, the same
+   discipline as the scorecards: the bytes on disk are re-read and
+   re-checked against Ccp_obs.Timeline.validate before we claim
+   success. *)
+let write_timeline ~path (obs : Ccp_obs.Obs.t) =
+  match Ccp_obs.Timeline.of_obs obs with
+  | Error e ->
+    Printf.eprintf "ccp_sim: --timeline: %s\n%!" e;
+    exit 1
+  | Ok doc -> (
+    let oc = open_out path in
+    output_string oc (Ccp_obs.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    let ic = open_in_bin path in
+    let data = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Ccp_obs.Json.parse data with
+    | Error e ->
+      Printf.eprintf "ccp_sim: timeline %s does not parse: %s\n%!" path e;
+      exit 1
+    | Ok parsed -> (
+      match Ccp_obs.Timeline.validate parsed with
+      | Error e ->
+        Printf.eprintf "ccp_sim: timeline %s is malformed: %s\n%!" path e;
+        exit 1
+      | Ok n -> Printf.printf "timeline: wrote %s (%d windows)\n" path n))
+
 let chaos_rows (sc : Scenarios.Chaos.scorecard) =
   let modes =
     List.sort_uniq compare
@@ -900,7 +928,16 @@ let chaos_cmd =
     in
     Arg.(value & opt (some string) None & info [ "bench-json" ] ~docv:"FILE" ~doc)
   in
-  let action seeds rate_mbps rtt_ms duration_s scorecard_file bench_json =
+  let timeline_file =
+    let doc =
+      "Arm the telemetry bundle (windowed time-series, Top-K flow sketches, SLO \
+       engine) and write the first cell's $(b,ccp-timeline/v1) document to $(docv). \
+       The file is re-read and schema-validated; a malformed timeline makes the \
+       command exit non-zero. Also embeds a $(b,health) section per scorecard cell."
+    in
+    Arg.(value & opt (some string) None & info [ "timeline" ] ~docv:"FILE" ~doc)
+  in
+  let action seeds rate_mbps rtt_ms duration_s scorecard_file bench_json timeline_file =
     let seeds =
       match
         List.filter_map
@@ -921,7 +958,8 @@ let chaos_cmd =
     let sc =
       Scenarios.Chaos.run ~rate_bps:(rate_mbps *. 1e6)
         ~base_rtt:(Time_ns.of_float_sec (rtt_ms /. 1e3))
-        ~duration:(Time_ns.of_float_sec duration_s) ~seeds ()
+        ~duration:(Time_ns.of_float_sec duration_s) ~seeds
+        ~with_telemetry:(timeline_file <> None) ()
     in
     Printf.printf
       "Chaos: %d CCP-Reno flows, %.0f Mbit/s, IPC faults + RTT jitter + ~4x agent \
@@ -948,6 +986,14 @@ let chaos_cmd =
                 c.Scenarios.Chaos.recoveries)))
       sc.Scenarios.Chaos.cells;
     (match scorecard_file with Some path -> write_chaos_scorecard ~path sc | None -> ());
+    (match timeline_file with
+    | Some path -> (
+      match sc.Scenarios.Chaos.cells with
+      | { Scenarios.Chaos.telemetry = Some obs; _ } :: _ -> write_timeline ~path obs
+      | _ ->
+        Printf.eprintf "ccp_sim: --timeline: no telemetry bundle on the first cell\n%!";
+        exit 1)
+    | None -> ());
     match bench_json with
     | Some path -> (
       match Ccp_obs.Metrics.merge_rows_file ~path (chaos_rows sc) with
@@ -963,7 +1009,127 @@ let chaos_cmd =
          "Composed resilience scenario: IPC faults x measurement noise x agent overload x \
           crash/restart, run cold and warm (checkpointed) per seed, reported as a \
           schema-validated scorecard.")
-    Term.(const action $ seeds $ rate_mbps $ rtt_ms $ duration_s $ scorecard_file $ bench_json)
+    Term.(
+      const action $ seeds $ rate_mbps $ rtt_ms $ duration_s $ scorecard_file $ bench_json
+      $ timeline_file)
+
+(* --- top: textual live view of the control-loop telemetry --- *)
+
+let top_cmd =
+  let top_seed =
+    let doc = "Seed for the chaos composition driven under the live view." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let top_rate =
+    let doc = "Bottleneck rate in Mbit/s." in
+    Arg.(value & opt float 96.0 & info [ "rate" ] ~docv:"MBPS" ~doc)
+  in
+  let top_duration =
+    let doc = "Simulated duration per cell in seconds." in
+    Arg.(value & opt float 12.0 & info [ "duration" ] ~docv:"S" ~doc)
+  in
+  let action seed rate_mbps rtt_ms duration_s =
+    let delta name w =
+      match Ccp_obs.Timeseries.point w name with
+      | Some (Ccp_obs.Timeseries.Counter_point { delta; _ }) -> delta
+      | _ -> 0
+    in
+    let p99_us name w =
+      match Ccp_obs.Timeseries.point w name with
+      | Some (Ccp_obs.Timeseries.Hist_point { p99; count; _ }) when count > 0 ->
+        Printf.sprintf "%.0f" p99
+      | _ -> "-"
+    in
+    let current = ref None in
+    let hook ~mode ~seed obs (w : Ccp_obs.Timeseries.window) =
+      (match !current with
+      | Some o when o == obs -> ()
+      | _ ->
+        current := Some obs;
+        Printf.printf "\n== %s cell, seed %d ==\n" mode seed;
+        Printf.printf "%-4s %-12s %-8s %-6s %-8s %-7s %-10s %s\n" "w" "t(s)" "reports"
+          "shed" "orphans" "fallbk" "p99-us" "alerts");
+      let span =
+        Printf.sprintf "%.2f-%.2f"
+          (float_of_int w.Ccp_obs.Timeseries.t_start /. 1e9)
+          (float_of_int w.Ccp_obs.Timeseries.t_end /. 1e9)
+      in
+      let alerts =
+        match obs.Ccp_obs.Obs.health with
+        | None -> ""
+        | Some h ->
+          String.concat " "
+            (List.filter_map
+               (fun (tr : Ccp_obs.Health.transition) ->
+                 if tr.Ccp_obs.Health.tr_window = w.Ccp_obs.Timeseries.index then
+                   Some
+                     (Printf.sprintf "%s:%s(burn %.0f/%.0f)" tr.Ccp_obs.Health.tr_slo
+                        (Ccp_obs.Health.state_to_string tr.Ccp_obs.Health.tr_to)
+                        tr.Ccp_obs.Health.tr_burn_short tr.Ccp_obs.Health.tr_burn_long)
+                 else None)
+               (Ccp_obs.Health.transitions h))
+      in
+      Printf.printf "%-4d %-12s %-8d %-6d %-8d %-7d %-10s %s\n"
+        w.Ccp_obs.Timeseries.index span
+        (delta "datapath.reports_sent" w)
+        (delta "agent.reports_shed" w)
+        (delta "trace.spans_orphaned" w)
+        (delta "datapath.fallbacks" w)
+        (p99_us "trace.reaction_us" w)
+        alerts
+    in
+    let sc =
+      Scenarios.Chaos.run ~rate_bps:(rate_mbps *. 1e6)
+        ~base_rtt:(Time_ns.of_float_sec (rtt_ms /. 1e3))
+        ~duration:(Time_ns.of_float_sec duration_s) ~seeds:[ seed ]
+        ~with_telemetry:true ~window_hook:hook ()
+    in
+    (* End-of-run rollup per cell: heavy hitters and SLO verdicts. *)
+    List.iter
+      (fun (c : Scenarios.Chaos.cell) ->
+        match c.Scenarios.Chaos.telemetry with
+        | None -> ()
+        | Some obs ->
+          Printf.printf "\n== %s cell, seed %d: rollup ==\n" c.Scenarios.Chaos.mode
+            c.Scenarios.Chaos.seed;
+          (match obs.Ccp_obs.Obs.topk with
+          | None -> ()
+          | Some tk ->
+            List.iter
+              (fun s ->
+                let entries = Ccp_obs.Topk.entries s in
+                if entries <> [] then begin
+                  let top5 =
+                    List.filteri (fun i _ -> i < 5) entries
+                    |> List.map (fun (e : Ccp_obs.Topk.entry) ->
+                           Printf.sprintf "flow %d: %d (+-%d)" e.Ccp_obs.Topk.key
+                             e.Ccp_obs.Topk.count e.Ccp_obs.Topk.err)
+                  in
+                  Printf.printf "  %-20s %s\n" (Ccp_obs.Topk.name s)
+                    (String.concat ", " top5)
+                end)
+              (Ccp_obs.Topk.sketches tk));
+          (match obs.Ccp_obs.Obs.health with
+          | None -> ()
+          | Some h ->
+            List.iter
+              (fun (v : Ccp_obs.Health.verdict) ->
+                Printf.printf "  slo %-20s %-4s bad %.4f vs objective %.4f, fired %d\n"
+                  v.Ccp_obs.Health.v_slo
+                  (if v.Ccp_obs.Health.v_pass then "ok" else "FAIL")
+                  v.Ccp_obs.Health.v_bad_fraction v.Ccp_obs.Health.v_objective
+                  v.Ccp_obs.Health.v_fired)
+              (Ccp_obs.Health.verdicts h)))
+      sc.Scenarios.Chaos.cells
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Textual live view of the control-loop telemetry: drives the chaos composition \
+          with the bundle armed and prints one row per closed window (report/shed/orphan \
+          deltas, actuation p99, burn-rate alert transitions) as the simulation runs, \
+          then a per-cell rollup of heavy-hitter flows and SLO verdicts.")
+    Term.(const action $ top_seed $ top_rate $ rtt_ms $ top_duration)
 
 (* --- incast: flow-count scale-out family (docs/scale.md) --- *)
 
@@ -1068,8 +1234,16 @@ let incast_cmd =
     in
     Arg.(value & opt (some string) None & info [ "bench-json" ] ~docv:"FILE" ~doc)
   in
+  let timeline_file =
+    let doc =
+      "Arm the telemetry bundle (Top-K flow sketches at k=64, windowed time-series, \
+       SLO engine) and write the first cell's $(b,ccp-timeline/v1) document to \
+       $(docv); re-read and schema-validated before the command exits zero."
+    in
+    Arg.(value & opt (some string) None & info [ "timeline" ] ~docv:"FILE" ~doc)
+  in
   let action ns arrivals algos seeds rate_mbps rtt_ms duration_s no_batching scorecard_file
-      bench_json =
+      bench_json timeline_file =
     let split s =
       List.filter (fun x -> x <> "") (List.map String.trim (String.split_on_char ',' s))
     in
@@ -1092,7 +1266,8 @@ let incast_cmd =
           ~duration:(Time_ns.of_float_sec duration_s) ~ns
           ~arrivals:(List.map Scenarios.Incast.arrival_of_string (split arrivals))
           ?algos:(match split algos with [] -> None | l -> Some l)
-          ~seeds ~batching:(not no_batching) ()
+          ~seeds ~batching:(not no_batching)
+          ~with_telemetry:(timeline_file <> None) ()
       with Invalid_argument e ->
         Printf.eprintf "ccp_sim: %s\n%!" e;
         exit 1
@@ -1116,6 +1291,14 @@ let incast_cmd =
           c.Scenarios.Incast.pool_rejections)
       sc.Scenarios.Incast.cells;
     (match scorecard_file with Some path -> write_incast_scorecard ~path sc | None -> ());
+    (match timeline_file with
+    | Some path -> (
+      match sc.Scenarios.Incast.cells with
+      | { Scenarios.Incast.telemetry = Some obs; _ } :: _ -> write_timeline ~path obs
+      | _ ->
+        Printf.eprintf "ccp_sim: --timeline: no telemetry bundle on the first cell\n%!";
+        exit 1)
+    | None -> ());
     match bench_json with
     | Some path -> (
       match Ccp_obs.Metrics.merge_rows_file ~path (incast_rows sc) with
@@ -1133,7 +1316,7 @@ let incast_cmd =
           armed, reported as a schema-validated scorecard.")
     Term.(
       const action $ ns $ arrivals $ algos $ seeds $ rate_mbps $ incast_rtt_ms $ duration_s
-      $ no_batching $ scorecard_file $ bench_json)
+      $ no_batching $ scorecard_file $ bench_json $ timeline_file)
 
 let sweep_cmd = simple "sweep" "CCP vs native Reno across a grid of operating points."
     (fun () ->
@@ -1148,7 +1331,7 @@ let main =
     [
       run_cmd; csv_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; table1_cmd; batching_cmd;
       ablations_cmd; sweep_cmd; degraded_cmd; hostile_cmd; latency_cmd; robustness_cmd;
-      chaos_cmd; incast_cmd;
+      chaos_cmd; incast_cmd; top_cmd;
     ]
 
 let () = exit (Cmd.eval main)

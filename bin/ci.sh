@@ -27,7 +27,7 @@ echo "== bench smoke =="
 # expected band — but the obs section Gc-asserts the obs-off per-ACK
 # path at 0 minor words and the tracing section bounds the span
 # lifecycle's float-boxing words.
-QUICK=1 dune exec bench/main.exe -- micro perack obs tracing
+QUICK=1 dune exec bench/main.exe -- micro perack obs tracing telemetry
 
 echo "== obs smoke =="
 # The flight recorder end to end: a short traced run whose JSONL the
@@ -87,6 +87,26 @@ dune exec bin/ccp_sim.exe -- chaos --duration 6 \
 test -s "$chaos_tmp/scorecard.json"
 grep -q '"chaos\.' BENCH.json
 rm -rf "$chaos_tmp"
+
+echo "== health smoke =="
+# The control-loop SLO engine end to end (docs/observability.md): the
+# seed-42 chaos composition with the telemetry bundle armed, exported as
+# a ccp-timeline/v1 document the driver re-reads and schema-validates
+# after writing (window accounting, monotone quantiles, space-saving
+# error bounds, health shapes — a malformed timeline exits non-zero).
+# The agent-crash window must raise the orphan_rate burn-rate alert and
+# a later window must clear it; the byte-frozen golden timeline runs in
+# the suite above (telemetry.*).
+health_tmp="$(mktemp -d)"
+dune exec bin/ccp_sim.exe -- chaos --duration 6 --seeds 42 \
+  --timeline "$health_tmp/timeline.json" > /dev/null
+test -s "$health_tmp/timeline.json"
+grep -q '"schema":"ccp-timeline/v1"' "$health_tmp/timeline.json"
+grep -q '"slo":"orphan_rate","window":[0-9]*,"t_s":[0-9.]*,"to":"firing"' \
+  "$health_tmp/timeline.json"
+grep -q '"slo":"orphan_rate","window":[0-9]*,"t_s":[0-9.]*,"to":"ok"' \
+  "$health_tmp/timeline.json"
+rm -rf "$health_tmp"
 
 echo "== incast smoke =="
 # The flow-multiplexed control plane end to end (docs/scale.md): a

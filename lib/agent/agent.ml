@@ -98,6 +98,12 @@ and agent_obs = {
   o_degraded_drops : Ccp_obs.Metrics.counter;
   o_warm_restores : Ccp_obs.Metrics.counter;
   o_queue_depth : Ccp_obs.Metrics.gauge;
+  o_regs_rejected : Ccp_obs.Metrics.counter;
+  o_pool_occupancy : Ccp_obs.Metrics.gauge;
+  o_pool_stale : Ccp_obs.Metrics.gauge;
+  (* Per-flow heavy-hitter sketches; [None] when telemetry is off. *)
+  tk_sheds : Ccp_obs.Topk.sketch option;
+  tk_queue_wait : Ccp_obs.Topk.sketch option;
 }
 
 let make_agent_obs obs =
@@ -116,6 +122,11 @@ let make_agent_obs obs =
     o_degraded_drops = Metrics.counter m ~unit_:"msgs" "agent.degraded_drops";
     o_warm_restores = Metrics.counter m ~unit_:"events" "agent.warm_restores";
     o_queue_depth = Metrics.gauge m ~unit_:"msgs" "agent.queue_depth";
+    o_regs_rejected = Metrics.counter m ~unit_:"flows" "agent.registrations_rejected";
+    o_pool_occupancy = Metrics.gauge m ~unit_:"flows" "agent.pool.occupancy";
+    o_pool_stale = Metrics.gauge m ~unit_:"refs" "agent.pool.stale_derefs";
+    tk_sheds = Obs.flow_sketch obs "flow.sheds";
+    tk_queue_wait = Obs.flow_sketch obs "flow.queue_wait_us";
   }
 
 let obs_incr t pick =
@@ -125,6 +136,16 @@ let note_queue_depth t =
   match t.obs with
   | Some h -> Ccp_obs.Metrics.set h.o_queue_depth (float_of_int t.queued_total)
   | None -> ()
+
+(* Republish the flow pool's occupancy and stale-deref totals as gauges
+   after any registry mutation, so the windowed sampler can see them. *)
+let note_pool t =
+  match (t.obs, t.flows) with
+  | Some h, Pooled pool ->
+    let s = Flow_table.stats pool in
+    Ccp_obs.Metrics.set h.o_pool_occupancy (float_of_int s.Flow_table.live);
+    Ccp_obs.Metrics.set h.o_pool_stale (float_of_int s.Flow_table.stale_refs)
+  | _ -> ()
 
 let is_degraded entry = match entry.state with Degraded _ -> true | Active -> false
 
@@ -157,9 +178,15 @@ let shed_span t span =
   | Some tr when span >= 0 -> Ccp_obs.Tracer.shed tr span ~now:(Sim.now t.sim)
   | _ -> ()
 
-let count_shed t span =
+let count_shed t ~flow span =
   t.reports_shed <- t.reports_shed + 1;
-  obs_incr t (fun h -> h.o_shed);
+  (match t.obs with
+  | Some h -> (
+    Ccp_obs.Metrics.incr h.o_shed;
+    match h.tk_sheds with
+    | Some s -> Ccp_obs.Topk.touch s flow
+    | None -> ())
+  | None -> ());
   shed_span t span
 
 (* Shed the oldest report of the deepest-backlog flow (ties to the lowest
@@ -185,7 +212,7 @@ let shed_to t ~limit ~floor =
       let q = Hashtbl.find t.queues flow in
       let _, span, _ = Queue.pop q.fq in
       t.queued_total <- t.queued_total - 1;
-      count_shed t span
+      count_shed t ~flow span
   done
 
 let purge_queue t flow =
@@ -195,7 +222,7 @@ let purge_queue t flow =
     while not (Queue.is_empty q.fq) do
       let _, span, _ = Queue.pop q.fq in
       t.queued_total <- t.queued_total - 1;
-      count_shed t span
+      count_shed t ~flow span
     done;
     note_queue_depth t
 
@@ -370,11 +397,13 @@ let on_ready t ~flow ~mss ~init_cwnd =
              datapath watchdog keeps native CC) and the refusal is
              counted, instead of an unbounded table quietly growing. *)
           t.registrations_rejected <- t.registrations_rejected + 1;
+          obs_incr t (fun h -> h.o_regs_rejected);
           Logs.warn (fun m ->
               m "agent: flow %d registration rejected: flow pool exhausted (capacity %d)"
                 flow (Flow_table.capacity pool));
           false)
     in
+    note_pool t;
     if registered then begin
     let handle = make_handle t info policy ~tok in
     entry.handlers <- algorithm.Algorithm.make handle;
@@ -467,7 +496,8 @@ let dispatch t (msg : Message.t) =
     | None -> ())
   | Message.Closed { flow } ->
     purge_queue t flow;
-    reg_remove t flow
+    reg_remove t flow;
+    note_pool t
   | Message.Install _ | Message.Set_cwnd _ | Message.Set_rate _ ->
     (* Datapath-bound traffic is never delivered to the agent end. *)
     ()
@@ -507,12 +537,19 @@ and run_round t ov =
         t.queued_total <- t.queued_total - 1;
         let wait = Time_ns.sub (Sim.now t.sim) enq_at in
         if Time_ns.compare wait t.max_queue_wait > 0 then t.max_queue_wait <- wait;
+        (match t.obs with
+        | Some { tk_queue_wait = Some s; _ } ->
+          (* Weighted by waited microseconds, so the sketch ranks flows
+             by total queueing imposed, not report count. *)
+          Ccp_obs.Topk.add s flow (int_of_float (Time_ns.to_float_us wait))
+        | _ -> ());
         decr budget;
         dispatch_with_span t msg span;
         if Queue.is_empty q.fq then q.in_rr <- false else Queue.push flow t.rr
       end
   done;
   note_queue_depth t;
+  note_pool t;
   if t.queued_total > 0 then schedule_round t ov
 
 let enqueue t ov ~flow msg =
@@ -653,17 +690,18 @@ let reset t =
      there are finalized as shed so the tracer pool cannot leak across a
      restart. *)
   Hashtbl.iter
-    (fun _ q ->
+    (fun flow q ->
       while not (Queue.is_empty q.fq) do
         let _, span, _ = Queue.pop q.fq in
         t.queued_total <- t.queued_total - 1;
-        count_shed t span
+        count_shed t ~flow span
       done)
     t.queues;
   Hashtbl.reset t.queues;
   Queue.clear t.rr;
   t.queued_total <- 0;
   note_queue_depth t;
+  note_pool t;
   Hashtbl.reset t.pending_restore
 
 let flow_count t = reg_length t

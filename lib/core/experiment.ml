@@ -381,6 +381,18 @@ let run (config : config) =
     in
     ignore (Sim.schedule sim ~at:Time_ns.zero (fun () -> sample_queue ()))
   | Some _ | None -> ());
+  (* Telemetry: drive the windowed sampler on its own sim-time tick. The
+     loop exists only when the bundle was created with [~telemetry:true],
+     so a plain run schedules nothing new. *)
+  (match config.obs with
+  | Some { Ccp_obs.Obs.timeseries = Some ts; _ } ->
+    let interval = Ccp_obs.Timeseries.tick_interval_ns ts in
+    let rec telemetry_tick () =
+      ignore (Ccp_obs.Timeseries.tick ts ~now:(Sim.now sim) : bool);
+      ignore (Sim.schedule_after sim ~delay:interval (fun () -> telemetry_tick ()))
+    in
+    ignore (Sim.schedule sim ~at:Time_ns.zero (fun () -> telemetry_tick ()))
+  | Some _ | None -> ());
   (* Snapshot delivered bytes at the end of warmup for goodput accounting. *)
   if Time_ns.is_positive config.warmup then
     ignore
@@ -390,6 +402,12 @@ let run (config : config) =
                inst.delivered_at_warmup <- Tcp_receiver.delivered_bytes inst.receiver)
              flows_only));
   Sim.run ~until:config.duration sim;
+  (* Close the partial telemetry window so tail activity (and its health
+     evaluation) is not lost. *)
+  (match config.obs with
+  | Some { Ccp_obs.Obs.timeseries = Some ts; _ } ->
+    Ccp_obs.Timeseries.flush ts ~now:(Sim.now sim)
+  | Some _ | None -> ());
   (* --- collect results --- *)
   let measured_window = Time_ns.sub config.duration config.warmup in
   let measured_seconds = Time_ns.to_float_sec measured_window in

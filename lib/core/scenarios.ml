@@ -661,6 +661,7 @@ module Robustness = struct
     cwnd_rmse_vs_baseline : float option;
     perturb_stats : Ccp_perturb.Sampler.stats option;
     result : Experiment.result;
+    telemetry : Ccp_obs.Obs.t option;
   }
 
   type scorecard = {
@@ -674,12 +675,21 @@ module Robustness = struct
   let schema_tag = "ccp-robustness-scorecard/v1"
   let second_flow_at duration = Time_ns.scale duration 0.25
 
-  let run_cell ~rate_bps ~base_rtt ~duration ~seed ~plan mk =
+  let run_cell ?(with_telemetry = false) ~rate_bps ~base_rtt ~duration ~seed ~plan mk
+      () =
     let base = Experiment.default_config ~rate_bps ~base_rtt ~duration in
-    Experiment.run
+    let telemetry =
+      if with_telemetry then
+        Some
+          (Ccp_obs.Obs.create ~tracer:true ~telemetry:true ~clock:(fun () -> 0.0) ())
+      else None
+    in
+    let r =
+      Experiment.run
       {
         base with
         Experiment.seed;
+        obs = telemetry;
         warmup = Time_ns.scale duration 0.1;
         datapath =
           {
@@ -693,6 +703,8 @@ module Robustness = struct
             Experiment.flow ~start_at:(second_flow_at duration) (Experiment.Ccp_cc (mk ()));
           ];
       }
+    in
+    (r, telemetry)
 
   let cwnd_run (r : Experiment.result) =
     {
@@ -714,7 +726,8 @@ module Robustness = struct
         Some rep.Ccp_obs.Fidelity.cwnd_rmse
       with Invalid_argument _ -> None)
 
-  let cell_of ~algo ~perturb ~seed ~base_rtt ~baseline (r : Experiment.result) =
+  let cell_of ~algo ~perturb ~seed ~base_rtt ~baseline ~telemetry
+      (r : Experiment.result) =
     let sum f = List.fold_left (fun acc fr -> acc + f fr) 0 r.Experiment.flows in
     let segments = sum (fun (f : Experiment.flow_result) -> f.segments_sent) in
     let retx = sum (fun (f : Experiment.flow_result) -> f.retransmits) in
@@ -740,6 +753,7 @@ module Robustness = struct
       cwnd_rmse_vs_baseline = rmse_vs baseline r;
       perturb_stats = r.Experiment.perturb_stats;
       result = r;
+      telemetry;
     }
 
   let lookup kind table names =
@@ -754,7 +768,8 @@ module Robustness = struct
       names
 
   let run ?(rate_bps = default_rate_bps) ?(base_rtt = default_base_rtt)
-      ?(duration = Time_ns.sec 10) ?(seeds = [ 42 ]) ?algos ?perturbs () =
+      ?(duration = Time_ns.sec 10) ?(seeds = [ 42 ]) ?algos ?perturbs
+      ?(with_telemetry = false) () =
     let sel_algos = lookup "algorithm" algorithms (Option.value algos ~default:algorithm_names) in
     let sel_perturbs =
       lookup "perturbation" (perturbations ~rate_bps)
@@ -771,18 +786,25 @@ module Robustness = struct
                  omitted. *)
               let baseline =
                 if List.mem_assoc "baseline" sel_perturbs then
-                  Some (run_cell ~rate_bps ~base_rtt ~duration ~seed ~plan:Plan.none mk)
+                  Some
+                    (run_cell ~with_telemetry ~rate_bps ~base_rtt ~duration ~seed
+                       ~plan:Plan.none mk ())
                 else None
               in
               List.map
                 (fun (pname, plan) ->
-                  let r =
+                  let r, telemetry =
                     match (pname, baseline) with
                     | "baseline", Some b -> b
-                    | _ -> run_cell ~rate_bps ~base_rtt ~duration ~seed ~plan mk
+                    | _ ->
+                      run_cell ~with_telemetry ~rate_bps ~base_rtt ~duration ~seed
+                        ~plan mk ()
                   in
-                  let reference = if pname = "baseline" then None else baseline in
-                  cell_of ~algo ~perturb:pname ~seed ~base_rtt ~baseline:reference r)
+                  let reference =
+                    if pname = "baseline" then None else Option.map fst baseline
+                  in
+                  cell_of ~algo ~perturb:pname ~seed ~base_rtt ~baseline:reference
+                    ~telemetry r)
                 sel_perturbs)
             sel_algos)
         seeds
@@ -804,7 +826,7 @@ module Robustness = struct
   let cell_to_json c =
     let i n = J.Num (float_of_int n) in
     J.Obj
-      [
+      ([
         ("algo", J.Str c.algo);
         ("perturb", J.Str c.perturb);
         ("seed", i c.seed);
@@ -823,6 +845,11 @@ module Robustness = struct
         ( "perturb_stats",
           match c.perturb_stats with Some s -> stats_to_json s | None -> J.Null );
       ]
+      @
+      match c.telemetry with
+      | Some { Ccp_obs.Obs.health = Some h; _ } ->
+        [ ("health", Ccp_obs.Health.to_json h) ]
+      | _ -> [])
 
   let to_json sc =
     J.Obj
@@ -903,7 +930,9 @@ module Robustness = struct
         | Some (J.Num v) when Float.is_finite v && v >= 0.0 -> Ok ()
         | _ -> Error (ctx "cwnd_rmse_vs_baseline must be null or a non-negative number")
       in
-      Ok ()
+      match J.member "health" cell with
+      | None -> Ok ()
+      | Some h -> Result.map_error ctx (Ccp_obs.Timeline.validate_health h)
     in
     let rec check i = function
       | [] -> Ok (List.length cells)
@@ -996,6 +1025,8 @@ module Chaos = struct
     recoveries : recovery list;
     mean_recovery_rtts : float option;
     result : Experiment.result;
+    telemetry : Ccp_obs.Obs.t option;
+        (* the armed bundle, for timeline export and health verdicts *)
   }
 
   type scorecard = {
@@ -1040,15 +1071,54 @@ module Chaos = struct
           recovered_at;
     }
 
-  let run_cell ~rate_bps ~base_rtt ~duration ~seed ~crash_from ~crash_until ~mode
-      ~checkpoint =
+  (* Chaos-tuned SLO config. The composition sheds over half of all
+     reports by design, and the crash injects a one-to-two-window
+     orphan burst; against the stock config that burst never clears the
+     8-window long burn. A 1 % orphan objective over a 2-window long
+     burn separates the crash (short burn ~35, long ~18 at seed 42)
+     from convergence-phase noise (short burn <= ~6) with margin on
+     both sides of the threshold-10 gate, so the agent-crash window
+     raises the orphan_rate alert and the first healthy window after
+     restart clears it. *)
+  let slo_config =
+    let d = Ccp_obs.Health.default_config () in
+    {
+      d with
+      Ccp_obs.Health.slos =
+        List.map
+          (fun (s : Ccp_obs.Health.slo) ->
+            if String.equal s.Ccp_obs.Health.slo_name "orphan_rate" then
+              { s with Ccp_obs.Health.objective = 0.01 }
+            else s)
+          d.Ccp_obs.Health.slos;
+      long_windows = 2;
+    }
+
+  let run_cell ?(with_telemetry = false) ?window_hook ~rate_bps ~base_rtt ~duration
+      ~seed ~crash_from ~crash_until ~mode ~checkpoint () =
     let base = Experiment.default_config ~rate_bps ~base_rtt ~duration in
     let mk () = Ccp_reno.create_with ~interval_rtts:report_interval_rtts () in
+    (* One fresh bundle per cell so windows, sketches, and alert state
+       never bleed across modes or seeds. The zero wall clock keeps the
+       stage-cost histograms (and therefore the exported timeline)
+       byte-stable across hosts; every other timestamp is sim time. *)
+    let telemetry =
+      if with_telemetry then
+        Some
+          (Ccp_obs.Obs.create ~tracer:true ~telemetry:true ~slo:slo_config
+             ~clock:(fun () -> 0.0) ())
+      else None
+    in
+    (match (telemetry, window_hook) with
+    | Some obs, Some f ->
+      Ccp_obs.Obs.set_window_hook obs (fun _ w -> f ~mode ~seed obs w)
+    | _ -> ());
     let r =
       Experiment.run
         {
           base with
           Experiment.seed;
+          obs = telemetry;
           warmup = Time_ns.scale duration 0.1;
           datapath =
             {
@@ -1093,12 +1163,14 @@ module Chaos = struct
         | [] -> None
         | l -> Some (List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)));
       result = r;
+      telemetry;
     }
 
   let modes = [ ("cold", None); ("warm", Some checkpoint_interval) ]
 
   let run ?(rate_bps = default_rate_bps) ?(base_rtt = default_base_rtt)
-      ?(duration = Time_ns.sec 12) ?(seeds = [ 42 ]) () =
+      ?(duration = Time_ns.sec 12) ?(seeds = [ 42 ]) ?(with_telemetry = false)
+      ?window_hook () =
     let crash_from = crash_from ~duration in
     let crash_until = Time_ns.add crash_from (crash_length ~base_rtt) in
     let cells =
@@ -1106,8 +1178,8 @@ module Chaos = struct
         (fun seed ->
           List.map
             (fun (mode, checkpoint) ->
-              run_cell ~rate_bps ~base_rtt ~duration ~seed ~crash_from ~crash_until
-                ~mode ~checkpoint)
+              run_cell ~with_telemetry ?window_hook ~rate_bps ~base_rtt ~duration
+                ~seed ~crash_from ~crash_until ~mode ~checkpoint ())
             modes)
         seeds
     in
@@ -1124,23 +1196,32 @@ module Chaos = struct
 
   let cell_to_json c =
     let i n = J.Num (float_of_int n) in
+    (* The health section only exists when the cell ran with telemetry
+       armed, so plain scorecards stay byte-identical to the goldens. *)
+    let health =
+      match c.telemetry with
+      | Some { Ccp_obs.Obs.health = Some h; _ } ->
+        [ ("health", Ccp_obs.Health.to_json h) ]
+      | _ -> []
+    in
     J.Obj
-      [
-        ("mode", J.Str c.mode);
-        ("seed", i c.seed);
-        ("utilization", J.Num c.utilization);
-        ("jain", J.Num c.jain_index);
-        ("reports_shed", i c.reports_shed);
-        ("max_queue_wait_rtts", J.Num c.max_queue_wait_rtts);
-        ("degradations", i c.degradations);
-        ("decode_failures", i c.decode_failures);
-        ("checkpoints_taken", i c.checkpoints_taken);
-        ("warm_restores", i c.warm_restores);
-        ("fallbacks", i c.fallbacks);
-        ("recoveries", J.List (List.map recovery_to_json c.recoveries));
-        ( "mean_recovery_rtts",
-          match c.mean_recovery_rtts with Some v -> J.Num v | None -> J.Null );
-      ]
+      ([
+         ("mode", J.Str c.mode);
+         ("seed", i c.seed);
+         ("utilization", J.Num c.utilization);
+         ("jain", J.Num c.jain_index);
+         ("reports_shed", i c.reports_shed);
+         ("max_queue_wait_rtts", J.Num c.max_queue_wait_rtts);
+         ("degradations", i c.degradations);
+         ("decode_failures", i c.decode_failures);
+         ("checkpoints_taken", i c.checkpoints_taken);
+         ("warm_restores", i c.warm_restores);
+         ("fallbacks", i c.fallbacks);
+         ("recoveries", J.List (List.map recovery_to_json c.recoveries));
+         ( "mean_recovery_rtts",
+           match c.mean_recovery_rtts with Some v -> J.Num v | None -> J.Null );
+       ]
+      @ health)
 
   let to_json sc =
     J.Obj
@@ -1248,10 +1329,16 @@ module Chaos = struct
           (fun acc r -> match acc with Error _ -> acc | Ok () -> check_recovery r)
           (Ok ()) recoveries
       in
-      match J.member "mean_recovery_rtts" cell with
-      | Some J.Null -> Ok ()
-      | Some (J.Num v) when Float.is_finite v && v >= 0.0 -> Ok ()
-      | _ -> Error (ctx "mean_recovery_rtts must be null or a non-negative number")
+      let* () =
+        match J.member "mean_recovery_rtts" cell with
+        | Some J.Null -> Ok ()
+        | Some (J.Num v) when Float.is_finite v && v >= 0.0 -> Ok ()
+        | _ -> Error (ctx "mean_recovery_rtts must be null or a non-negative number")
+      in
+      (* Optional: present only when the cell ran with telemetry armed. *)
+      match J.member "health" cell with
+      | None -> Ok ()
+      | Some h -> Result.map_error ctx (Ccp_obs.Timeline.validate_health h)
     in
     let rec check i = function
       | [] -> Ok (List.length cells)
@@ -1449,6 +1536,7 @@ module Incast = struct
     batches : int;  (* of which batch frames *)
     pool_rejections : int;
     result : Experiment.result;
+    telemetry : Ccp_obs.Obs.t option;
   }
 
   type scorecard = {
@@ -1487,9 +1575,23 @@ module Incast = struct
         (Printf.sprintf "Incast: unknown algorithm %S (have: %s)" s
            (String.concat ", " algorithm_names))
 
-  let run_cell ~rate_bps ~base_rtt ~duration ~batching ~seed ~n ~arrival ~algo =
+  let run_cell ?(with_telemetry = false) ~rate_bps ~base_rtt ~duration ~batching
+      ~seed ~n ~arrival ~algo () =
     let handles = ref None in
     let base = Experiment.default_config ~rate_bps ~base_rtt ~duration in
+    (* Telemetry at fan-in scale: a fresh bundle per cell whose Top-K
+       sketches stay O(k) even at N=2048 flows. The zero wall clock
+       keeps exports byte-stable; the larger k gives the heavy-hitter
+       bound (error <= total/k) room to separate aggregate-dominant
+       flows from the crowd. *)
+    let telemetry =
+      if with_telemetry then
+        Some
+          (Ccp_obs.Obs.create ~tracer:true ~telemetry:true ~topk_k:64
+             ~clock:(fun () -> 0.0)
+             ())
+      else None
+    in
     (* A shallow buffer is what makes incast incast: BDP/4, floored at
        six segments so tiny configurations still pass traffic. *)
     let bdp_bytes = rate_bps *. Time_ns.to_float_sec base_rtt /. 8.0 in
@@ -1499,6 +1601,7 @@ module Incast = struct
         {
           base with
           Experiment.seed;
+          obs = telemetry;
           buffer_bytes;
           warmup = Time_ns.scale duration 0.1;
           flows = flows_of ~algo ~arrival ~duration ~n;
@@ -1542,12 +1645,13 @@ module Incast = struct
       batches;
       pool_rejections;
       result = r;
+      telemetry;
     }
 
   let run ?(rate_bps = default_rate_bps) ?(base_rtt = default_base_rtt)
       ?(duration = Time_ns.sec 1) ?(ns = [ 16; 64; 256 ])
       ?(arrivals = [ Synchronized; Staggered ]) ?(algos = algorithm_names)
-      ?(seeds = [ 42 ]) ?(batching = true) () =
+      ?(seeds = [ 42 ]) ?(batching = true) ?(with_telemetry = false) () =
     List.iter
       (fun a ->
         if not (List.mem a algorithm_names) then
@@ -1567,8 +1671,8 @@ module Incast = struct
                 (fun arrival ->
                   List.map
                     (fun algo ->
-                      run_cell ~rate_bps ~base_rtt ~duration ~batching ~seed ~n
-                        ~arrival ~algo)
+                      run_cell ~with_telemetry ~rate_bps ~base_rtt ~duration
+                        ~batching ~seed ~n ~arrival ~algo ())
                     algos)
                 arrivals)
             ns)
@@ -1579,7 +1683,7 @@ module Incast = struct
   let cell_to_json c =
     let i n = J.Num (float_of_int n) in
     J.Obj
-      [
+      ([
         ("n", i c.n);
         ("arrival", J.Str (arrival_to_string c.arrival));
         ("algo", J.Str c.algo);
@@ -1596,6 +1700,11 @@ module Incast = struct
         ("batches", i c.batches);
         ("pool_rejections", i c.pool_rejections);
       ]
+      @
+      match c.telemetry with
+      | Some { Ccp_obs.Obs.health = Some h; _ } ->
+        [ ("health", Ccp_obs.Health.to_json h) ]
+      | _ -> [])
 
   let to_json sc =
     J.Obj
@@ -1703,7 +1812,9 @@ module Incast = struct
         else Error (ctx "reports arrived over zero wire frames")
       in
       let* _ = counter "pool_rejections" cell in
-      Ok ()
+      match J.member "health" cell with
+      | None -> Ok ()
+      | Some h -> Result.map_error ctx (Ccp_obs.Timeline.validate_health h)
     in
     let rec check i = function
       | [] -> Ok (List.length cells)

@@ -309,6 +309,8 @@ module Robustness : sig
     perturb_stats : Ccp_perturb.Sampler.stats option;
         (** summed sampler counters; [None] on baseline cells *)
     result : Experiment.result;  (** the full run, for deeper digging *)
+    telemetry : Ccp_obs.Obs.t option;
+        (** armed bundle when run with [~with_telemetry:true], else [None] *)
   }
 
   type scorecard = {
@@ -329,12 +331,15 @@ module Robustness : sig
     ?seeds:int list ->
     ?algos:string list ->
     ?perturbs:string list ->
+    ?with_telemetry:bool ->
     unit ->
     scorecard
   (** Run the matrix (defaults: 48 Mbit/s, 20 ms, 10 s, seed 42, all
       algorithms, all perturbations). [algos]/[perturbs] select subsets
       by name; unknown names raise [Invalid_argument]. Deterministic:
-      same arguments, same scorecard (including its JSON bytes). *)
+      same arguments, same scorecard (including its JSON bytes).
+      [with_telemetry] (default [false]) arms a fresh tracer+telemetry
+      bundle per cell, adding a [health] section to each cell's JSON. *)
 
   val to_json : scorecard -> Ccp_obs.Json.t
   val cell_to_json : cell -> Ccp_obs.Json.t
@@ -375,6 +380,13 @@ module Chaos : sig
   val checkpoint_interval : Time_ns.t
   (** Warm cells checkpoint every 100 ms. *)
 
+  val slo_config : Ccp_obs.Health.config
+  (** The SLO config telemetry-armed cells run under: the stock six
+      SLOs with the orphan objective tightened to 1 % and the long burn
+      window shortened to 2, so the agent-crash orphan burst fires the
+      [orphan_rate] alert and the first healthy window after restart
+      clears it (see docs/observability.md). *)
+
   val crash_from : duration:Time_ns.t -> Time_ns.t
   (** Outage start: 45 % into the run. *)
 
@@ -408,6 +420,10 @@ module Chaos : sig
     recoveries : recovery list;  (** one per flow, ascending id *)
     mean_recovery_rtts : float option;  (** over flows that recovered *)
     result : Experiment.result;
+    telemetry : Ccp_obs.Obs.t option;
+        (** the cell's armed bundle when the scorecard ran
+            [~with_telemetry:true] — source of its timeline document and
+            the [health] section of its JSON — else [None] *)
   }
 
   type scorecard = {
@@ -428,11 +444,24 @@ module Chaos : sig
     ?base_rtt:Time_ns.t ->
     ?duration:Time_ns.t ->
     ?seeds:int list ->
+    ?with_telemetry:bool ->
+    ?window_hook:
+      (mode:string ->
+      seed:int ->
+      Ccp_obs.Obs.t ->
+      Ccp_obs.Timeseries.window ->
+      unit) ->
     unit ->
     scorecard
   (** Run the composition (defaults: 96 Mbit/s, 20 ms, 12 s, seed 42).
       Deterministic: same arguments, same scorecard (including its JSON
-      bytes). *)
+      bytes). [with_telemetry] (default [false]) arms a fresh
+      tracer+telemetry bundle per cell — with a zero wall clock, so the
+      exported timelines stay byte-stable — adding a [health] section to
+      each cell's JSON and making [ccp_sim chaos --timeline] possible.
+      [window_hook] (needs [with_telemetry]) fires after every closed
+      telemetry window with the cell's bundle — the [ccp_sim top] live
+      view; {!Health} has already consumed the window when it fires. *)
 
   val to_json : scorecard -> Ccp_obs.Json.t
   val cell_to_json : cell -> Ccp_obs.Json.t
@@ -441,7 +470,9 @@ module Chaos : sig
   (** Schema check for emitted scorecards: verifies the schema tag and
       crash window, every cell's mode/metric ranges, that cold cells
       report no checkpoints or warm restores, and that recovery entries
-      are null or non-negative. [Ok n] = [n] valid cells. *)
+      are null or non-negative; a cell's optional [health] section is
+      checked with {!Ccp_obs.Timeline.validate_health}. [Ok n] = [n]
+      valid cells. *)
 end
 
 (** Figure 2 measured end to end: full control-loop runs with the span
@@ -535,6 +566,11 @@ module Incast : sig
         (** [Ready] registrations the slot pool refused — 0 unless a
             cell is run with fewer slots than flows *)
     result : Experiment.result;
+    telemetry : Ccp_obs.Obs.t option;
+        (** armed bundle when run with [~with_telemetry:true] — its
+            [flow.*] Top-K sketches make per-flow contributions
+            observable at N=2048 without O(N) metric names — else
+            [None] *)
   }
 
   type scorecard = {
@@ -550,6 +586,7 @@ module Incast : sig
   (** ["ccp-incast-scorecard/v1"], the [schema] field of the JSON. *)
 
   val run_cell :
+    ?with_telemetry:bool ->
     rate_bps:float ->
     base_rtt:Time_ns.t ->
     duration:Time_ns.t ->
@@ -558,6 +595,7 @@ module Incast : sig
     n:int ->
     arrival:arrival ->
     algo:string ->
+    unit ->
     cell
   (** One N-flow incast run: buffer BDP/4 (floored at 9000 bytes), 10 %
       warmup, agent slot pool and datapath flow table sized
@@ -572,6 +610,7 @@ module Incast : sig
     ?algos:string list ->
     ?seeds:int list ->
     ?batching:bool ->
+    ?with_telemetry:bool ->
     unit ->
     scorecard
   (** Run the matrix (defaults: 96 Mbit/s, 10 ms, 1 s, N in

@@ -169,6 +169,9 @@ type obs_handles = {
   o_fallbacks : Ccp_obs.Metrics.counter;
   o_acks : Ccp_obs.Metrics.counter;
   o_fold_ns : Ccp_obs.Metrics.histogram;
+  (* Per-flow heavy-hitter sketches; [None] when telemetry is off. *)
+  tk_reports : Ccp_obs.Topk.sketch option;
+  tk_guard : Ccp_obs.Topk.sketch option;
 }
 
 let make_obs_handles obs =
@@ -185,6 +188,8 @@ let make_obs_handles obs =
     o_fallbacks = Metrics.counter m ~unit_:"events" "datapath.fallbacks";
     o_acks = Metrics.counter m ~unit_:"acks" "datapath.acks_processed";
     o_fold_ns = Metrics.histogram m ~unit_:"ns" "datapath.fold_step_ns";
+    tk_reports = Obs.flow_sketch obs "flow.reports";
+    tk_guard = Obs.flow_sketch obs "flow.guard_incidents";
   }
 
 type t = {
@@ -212,10 +217,14 @@ let obs_record t event =
   | None -> ()
   | Some h -> Ccp_obs.Obs.record h.obs ~at:(Sim.now t.sim) event
 
-let obs_guard_incident t =
+let obs_guard_incident t fs =
   match t.obs with
   | None -> ()
-  | Some h -> Ccp_obs.Metrics.incr h.o_guard_incidents
+  | Some h -> (
+    Ccp_obs.Metrics.incr h.o_guard_incidents;
+    match h.tk_guard with
+    | Some s -> Ccp_obs.Topk.touch s fs.ctl.Congestion_iface.flow
+    | None -> ())
 
 (* --- slot tables ---
 
@@ -325,13 +334,25 @@ let send_report t fs =
     Channel.send t.channel ~from:Channel.Datapath_end ~span
       (Message.Report_vector { flow; columns = v.columns; rows }));
   t.reports_sent <- t.reports_sent + 1;
-  (match t.obs with Some h -> Ccp_obs.Metrics.incr h.o_reports | None -> ());
+  (match t.obs with
+  | Some h -> (
+    Ccp_obs.Metrics.incr h.o_reports;
+    match h.tk_reports with
+    | Some s -> Ccp_obs.Topk.touch s flow
+    | None -> ())
+  | None -> ());
   obs_record t (Ccp_obs.Recorder.Report_sent { flow; urgent = false })
 
 let send_urgent t fs kind =
   let ctl = fs.ctl in
   t.urgents_sent <- t.urgents_sent + 1;
-  (match t.obs with Some h -> Ccp_obs.Metrics.incr h.o_urgents | None -> ());
+  (match t.obs with
+  | Some h -> (
+    Ccp_obs.Metrics.incr h.o_urgents;
+    match h.tk_reports with
+    | Some s -> Ccp_obs.Topk.touch s ctl.Congestion_iface.flow
+    | None -> ())
+  | None -> ());
   obs_record t
     (Ccp_obs.Recorder.Report_sent { flow = ctl.Congestion_iface.flow; urgent = true });
   let span =
@@ -461,7 +482,7 @@ let rec advance t fs =
     decr budget;
     if !budget <= 0 then begin
       fs.guard.eval_budget <- fs.guard.eval_budget + 1;
-      obs_guard_incident t;
+      obs_guard_incident t fs;
       maybe_quarantine t fs;
       if not fs.quarantined then
         fs.wait_timer <-
@@ -496,7 +517,7 @@ let rec advance t fs =
             let rate = Float.min (Float.max 0.0 raw) g.max_rate_bytes_per_sec in
             if rate <> raw then begin
               fs.guard.rate_clamped <- fs.guard.rate_clamped + 1;
-              obs_guard_incident t
+              obs_guard_incident t fs
             end;
             fs.ctl.Congestion_iface.set_rate rate;
             guard_note t fs;
@@ -508,7 +529,7 @@ let rec advance t fs =
             let cwnd = Float.min (Float.max lo raw) hi in
             if cwnd <> raw then begin
               fs.guard.cwnd_clamped <- fs.guard.cwnd_clamped + 1;
-              obs_guard_incident t
+              obs_guard_incident t fs
             end;
             fs.ctl.Congestion_iface.set_cwnd (int_of_float cwnd);
             guard_note t fs;
@@ -540,7 +561,7 @@ let rec advance t fs =
               (* Skip the send but keep aggregating: the pending state goes
                  out with the next unthrottled report. *)
               fs.guard.report_throttled <- fs.guard.report_throttled + 1;
-              obs_guard_incident t;
+              obs_guard_incident t fs;
               maybe_quarantine t fs
             end
             else begin
@@ -557,7 +578,7 @@ let rec advance t fs =
 and guarded_wait t fs duration =
   if Time_ns.compare duration t.config.guard.min_wait < 0 then begin
     fs.guard.wait_clamped <- fs.guard.wait_clamped + 1;
-    obs_guard_incident t;
+    obs_guard_incident t fs;
     maybe_quarantine t fs;
     t.config.guard.min_wait
   end
@@ -883,7 +904,7 @@ let record_measurement t fs (ev : Congestion_iface.ack_event) ~bytes_lost =
     Compile.Fold.step fold ~m ~incidents:fs.incidents;
     if Compile.Fold.diverged fold ~limit:t.config.guard.divergence_limit then begin
       fs.guard.fold_divergence <- fs.guard.fold_divergence + 1;
-      obs_guard_incident t
+      obs_guard_incident t fs
     end;
     guard_note t fs
   | Vector v, Some (_, m) ->

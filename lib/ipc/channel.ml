@@ -47,6 +47,9 @@ type obs_handles = {
   oneway_us : Ccp_obs.Metrics.histogram;
   faults_injected : Ccp_obs.Metrics.counter;
   decode_failures : Ccp_obs.Metrics.counter;
+  batches_sent : Ccp_obs.Metrics.counter;
+  reports_batched : Ccp_obs.Metrics.counter;
+  pending_reports : Ccp_obs.Metrics.gauge;
 }
 
 let make_handles obs =
@@ -62,6 +65,9 @@ let make_handles obs =
     oneway_us = Metrics.histogram obs.Obs.metrics ~unit_:"us" "ipc.oneway_latency_us";
     faults_injected = Metrics.counter obs.Obs.metrics ~unit_:"events" "ipc.faults_injected";
     decode_failures = Metrics.counter obs.Obs.metrics ~unit_:"errors" "ipc.decode_failures";
+    batches_sent = Metrics.counter obs.Obs.metrics ~unit_:"frames" "ipc.batches_sent";
+    reports_batched = Metrics.counter obs.Obs.metrics ~unit_:"reports" "ipc.reports_batched";
+    pending_reports = Metrics.gauge obs.Obs.metrics ~unit_:"reports" "ipc.pending_reports";
   }
 
 type t = {
@@ -314,6 +320,11 @@ let flush t =
     b.pending_bytes <- 0;
     b.flush_serial <- b.flush_serial + 1;
     b.batches <- b.batches + 1;
+    (match t.handles with
+    | Some h ->
+      Ccp_obs.Metrics.incr h.batches_sent;
+      Ccp_obs.Metrics.set h.pending_reports 0.0
+    | None -> ());
     let frame = Codec.frame_batch entries in
     (* Batched datapath spans are stamped as sent when the frame actually
        hits the wire, not when the report was parked. *)
@@ -327,6 +338,11 @@ let enqueue_report t b ~span msg =
   b.count <- b.count + 1;
   b.pending_bytes <- b.pending_bytes + String.length entry;
   b.batched <- b.batched + 1;
+  (match t.handles with
+  | Some h ->
+    Ccp_obs.Metrics.incr h.reports_batched;
+    Ccp_obs.Metrics.set h.pending_reports (float_of_int b.count)
+  | None -> ());
   if b.count >= b.cfg.max_count || b.pending_bytes >= b.cfg.max_bytes then flush t
   else if b.count = 1 then begin
     (* Arm the deadline as the frame opens. A watermark flush in the

@@ -106,25 +106,25 @@ let hist_mean h =
   if h.observations = 0 then 0.0
   else h.sums.(0) /. float_of_int h.observations
 
-let quantile h q =
-  if h.observations = 0 then 0.0
+let quantile_of_counts ~bounds ~counts ~observations q =
+  if observations = 0 then 0.0
   else begin
     let q = Float.max 0.0 (Float.min 1.0 q) in
-    let target = q *. float_of_int h.observations in
-    let nb = Array.length h.bounds in
+    let target = q *. float_of_int observations in
+    let nb = Array.length bounds in
     let rec walk i cum =
-      if i > nb then h.bounds.(nb - 1)
+      if i > nb then bounds.(nb - 1)
       else
-        let cum' = cum + h.counts.(i) in
-        if float_of_int cum' >= target && h.counts.(i) > 0 then
+        let cum' = cum + counts.(i) in
+        if float_of_int cum' >= target && counts.(i) > 0 then
           if i = nb then
             (* overflow bucket: no upper edge, report the last finite one *)
-            h.bounds.(nb - 1)
+            bounds.(nb - 1)
           else
-            let lo = if i = 0 then 0.0 else h.bounds.(i - 1) in
-            let hi = h.bounds.(i) in
+            let lo = if i = 0 then 0.0 else bounds.(i - 1) in
+            let hi = bounds.(i) in
             let frac =
-              (target -. float_of_int cum) /. float_of_int h.counts.(i)
+              (target -. float_of_int cum) /. float_of_int counts.(i)
             in
             lo +. ((hi -. lo) *. Float.max 0.0 (Float.min 1.0 frac))
         else walk (i + 1) cum'
@@ -132,33 +132,105 @@ let quantile h q =
     walk 0 0
   end
 
+let quantile h q =
+  quantile_of_counts ~bounds:h.bounds ~counts:h.counts
+    ~observations:h.observations q
+
+let fraction_above ~bounds ~counts ~observations threshold =
+  if observations = 0 then 0.0
+  else begin
+    let nb = Array.length bounds in
+    let above = ref 0.0 in
+    for i = 0 to nb do
+      if counts.(i) > 0 then begin
+        let lo = if i = 0 then 0.0 else bounds.(i - 1) in
+        let hi = if i = nb then Float.max threshold bounds.(nb - 1) else bounds.(i) in
+        let c = float_of_int counts.(i) in
+        if threshold <= lo then above := !above +. c
+        else if threshold < hi then
+          (* linear interpolation inside the bucket, matching [quantile] *)
+          above := !above +. (c *. ((hi -. threshold) /. (hi -. lo)))
+      end
+    done;
+    !above /. float_of_int observations
+  end
+
 (* ---- snapshots --------------------------------------------------------- *)
 
 type row = { name : string; value : float; unit_ : string }
 
-let snapshot t =
+let has_prefix ~prefix name =
+  String.length name >= String.length prefix
+  && String.equal (String.sub name 0 (String.length prefix)) prefix
+
+let snapshot ?prefix t =
+  let keep name =
+    match prefix with None -> true | Some p -> has_prefix ~prefix:p name
+  in
   let rows = ref [] in
   Hashtbl.iter
     (fun _ metric ->
       match metric with
       | Counter c ->
-        rows :=
-          { name = c.c_name; value = float_of_int c.count; unit_ = c.c_unit }
-          :: !rows
+        if keep c.c_name then
+          rows :=
+            { name = c.c_name; value = float_of_int c.count; unit_ = c.c_unit }
+            :: !rows
       | Gauge g ->
-        rows :=
-          { name = g.g_name; value = g.value.(0); unit_ = g.g_unit } :: !rows
+        if keep g.g_name then
+          rows :=
+            { name = g.g_name; value = g.value.(0); unit_ = g.g_unit } :: !rows
       | Histogram h ->
-        let r name value unit_ = { name; value; unit_ } in
-        rows :=
-          r (h.h_name ^ "_count") (float_of_int h.observations) "count"
-          :: r (h.h_name ^ "_mean") (hist_mean h) h.h_unit
-          :: r (h.h_name ^ "_p50") (quantile h 0.50) h.h_unit
-          :: r (h.h_name ^ "_p90") (quantile h 0.90) h.h_unit
-          :: r (h.h_name ^ "_p99") (quantile h 0.99) h.h_unit
-          :: !rows)
+        (* Filter on the base metric name: a prefix selects the whole
+           histogram (all derived rows), never a slice of it. *)
+        if keep h.h_name then begin
+          let r name value unit_ = { name; value; unit_ } in
+          rows :=
+            r (h.h_name ^ "_count") (float_of_int h.observations) "count"
+            :: r (h.h_name ^ "_mean") (hist_mean h) h.h_unit
+            :: r (h.h_name ^ "_p50") (quantile h 0.50) h.h_unit
+            :: r (h.h_name ^ "_p90") (quantile h 0.90) h.h_unit
+            :: r (h.h_name ^ "_p99") (quantile h 0.99) h.h_unit
+            :: !rows
+        end)
     t.table;
   List.sort (fun a b -> compare a.name b.name) !rows
+
+(* ---- raw views (for the windowed sampler) ------------------------------- *)
+
+type hist_state = {
+  hs_bounds : float array;
+  hs_counts : int array;
+  hs_sum : float;
+  hs_observations : int;
+}
+
+type view =
+  | V_counter of int
+  | V_gauge of float
+  | V_histogram of hist_state
+
+let sorted_views t =
+  let out = ref [] in
+  Hashtbl.iter
+    (fun _ metric ->
+      match metric with
+      | Counter c -> out := (c.c_name, c.c_unit, V_counter c.count) :: !out
+      | Gauge g -> out := (g.g_name, g.g_unit, V_gauge g.value.(0)) :: !out
+      | Histogram h ->
+        out :=
+          ( h.h_name,
+            h.h_unit,
+            V_histogram
+              {
+                hs_bounds = h.bounds;
+                hs_counts = Array.copy h.counts;
+                hs_sum = h.sums.(0);
+                hs_observations = h.observations;
+              } )
+          :: !out)
+    t.table;
+  List.sort (fun (a, _, _) (b, _, _) -> compare a b) !out
 
 let rows_to_json rows =
   Json.List

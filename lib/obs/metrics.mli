@@ -52,12 +52,49 @@ val quantile : histogram -> float -> float
     bucket holding the q-th observation. Values in the overflow bucket
     report the last finite edge. 0. when empty. *)
 
+val quantile_of_counts :
+  bounds:float array -> counts:int array -> observations:int -> float -> float
+(** {!quantile} over an explicit bucket-count array — the same
+    interpolation applied to a per-window count {e delta}, which is how
+    {!Timeseries} reports per-window histogram quantiles. *)
+
+val fraction_above :
+  bounds:float array -> counts:int array -> observations:int -> float -> float
+(** Estimated fraction of observations strictly above a threshold,
+    interpolating linearly inside the bucket the threshold falls in.
+    Observations in the overflow bucket count as above any threshold up
+    to the last finite edge and as below thresholds beyond it
+    (conservative). 0. when empty. *)
+
 (* Snapshots. *)
 
 type row = { name : string; value : float; unit_ : string }
 
-val snapshot : t -> row list
-(** All metrics as rows, sorted by name. *)
+val snapshot : ?prefix:string -> t -> row list
+(** All metrics as rows, sorted by name. [prefix] keeps only metrics
+    whose {e registered} name starts with it — a histogram's derived
+    [_count]/[_p99] rows follow the base name, so [~prefix:"trace."]
+    selects whole histograms, never slices of one. *)
+
+(* Raw views, for samplers that need deltas rather than rows. *)
+
+type hist_state = {
+  hs_bounds : float array;  (** shared with the live histogram — do not mutate *)
+  hs_counts : int array;  (** copied at view time *)
+  hs_sum : float;
+  hs_observations : int;
+}
+
+type view =
+  | V_counter of int
+  | V_gauge of float
+  | V_histogram of hist_state
+
+val sorted_views : t -> (string * string * view) list
+(** [(name, unit, view)] for every registered metric, sorted by name —
+    a deterministic iteration order independent of hashtable layout.
+    Allocates (histogram counts are copied); meant for periodic
+    samplers like {!Timeseries}, not hot paths. *)
 
 val rows_to_json : row list -> Json.t
 (** [List] of [{"name";"value";"unit"}] objects — the BENCH.json schema. *)

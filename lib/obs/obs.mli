@@ -2,7 +2,9 @@
 
     An [Obs.t] is what a subsystem receives when the experiment enables
     observability: a metrics registry, optionally a flight recorder,
-    optionally a control-loop span tracer, and a monotonic clock for
+    optionally a control-loop span tracer, optionally the telemetry
+    trio — a {!Timeseries} windowed sampler, a {!Topk} heavy-hitter
+    registry, and a {!Health} SLO engine — and a monotonic clock for
     self-timing. Every instrumented call site takes [Obs.t option] and
     does nothing on [None] — the disabled path is a single pattern match,
     which is how the per-ACK path stays allocation-free with
@@ -12,7 +14,12 @@ type t = {
   metrics : Metrics.t;
   recorder : Recorder.t option;
   tracer : Tracer.t option;
+  timeseries : Timeseries.t option;
+  topk : Topk.t option;
+  health : Health.t option;
   clock : unit -> float; (** monotonic-ish nanoseconds, for self-timing *)
+  on_window_extra : (Timeseries.t -> Timeseries.window -> unit) option ref;
+      (** internal — use {!set_window_hook} *)
 }
 
 val create :
@@ -20,6 +27,13 @@ val create :
   ?recorder:bool ->
   ?tracer:bool ->
   ?tracer_capacity:int ->
+  ?telemetry:bool ->
+  ?window_ns:int ->
+  ?windows:int ->
+  ?subticks:int ->
+  ?topk_k:int ->
+  ?slo:Health.config ->
+  ?budget_us:float ->
   ?clock:(unit -> float) ->
   unit ->
   t
@@ -27,9 +41,26 @@ val create :
     [Recorder.create] default. [tracer] defaults to [false] — when
     enabled the tracer publishes [trace.*] metrics, draws span tokens
     from a pool of [tracer_capacity] (default 1024) slots, and finalizes
-    spans into the recorder (when there is one). [clock] defaults to
-    [Sys.time]-based nanoseconds — coarse, but dependency-free; benches
-    measure precise overhead externally. *)
+    spans into the recorder (when there is one).
+
+    [telemetry] (default [false]) arms the trio together: a {!Topk}
+    registry (per-sketch capacity [topk_k], default 64) whose
+    ["flow.orphans"] sketch is pre-wired into the tracer, a
+    {!Timeseries} sampler ([window_ns]/[windows]/[subticks] as in
+    {!Timeseries.create}), and a {!Health} engine on the SLO [slo]
+    config (default {!Health.default_config} with [budget_us]) that is
+    driven from every window close and records alert transitions into
+    the recorder. With [telemetry] off all three fields are [None] and
+    nothing new runs anywhere.
+
+    [clock] defaults to [Sys.time]-based nanoseconds — coarse, but
+    dependency-free; benches measure precise overhead externally. *)
+
+val set_window_hook : t -> (Timeseries.t -> Timeseries.window -> unit) -> unit
+(** Register a live-view hook called after each window close, after the
+    health engine has evaluated the window (so alert state is current).
+    No-op bundle-wise when telemetry is off. One hook; a second call
+    replaces the first. *)
 
 val record : t -> at:int -> Recorder.event -> unit
 (** No-op when the bundle has no recorder. *)
@@ -39,3 +70,8 @@ val recorder_exn : t -> Recorder.t
 
 val tracer_exn : t -> Tracer.t
 (** Raises [Invalid_argument] when the bundle has no tracer. *)
+
+val flow_sketch : t -> string -> Topk.sketch option
+(** Get-or-create a named heavy-hitter sketch, [None] when telemetry is
+    off. Call once at wiring time and keep the handle — the per-event
+    path should only ever see the pre-resolved [sketch option]. *)

@@ -29,6 +29,7 @@ type event =
   | Report_sent of { flow : int; urgent : bool }
   | Ipc_fault of { kind : string }
   | Span of span
+  | Alert of { slo : string; state : string; burn_short : float; burn_long : float }
   | Custom of { name : string; value : float }
 
 type t = {
@@ -127,6 +128,14 @@ let event_to_json ~at event =
         ("handler_ns", Json.Num s.handler_ns);
         ("apply_ns", Json.Num s.apply_ns);
       ]
+  | Alert { slo; state; burn_short; burn_long } ->
+    base "alert"
+      [
+        ("slo", Json.Str slo);
+        ("state", Json.Str state);
+        ("burn_short", Json.Num burn_short);
+        ("burn_long", Json.Num burn_long);
+      ]
   | Custom { name; value } ->
     base "custom" [ ("name", Json.Str name); ("value", Json.Num value) ]
 
@@ -168,7 +177,7 @@ let flow_series t ~flow pick =
         | Fallback f -> f.flow = flow
         | Report_sent r -> r.flow = flow
         | Span s -> s.flow = flow
-        | Queue_sample _ | Ipc_fault _ | Custom _ -> true
+        | Queue_sample _ | Ipc_fault _ | Alert _ | Custom _ -> true
       in
       if matches then
         match pick time_s ev with

@@ -43,6 +43,9 @@ type event =
   | Report_sent of { flow : int; urgent : bool }
   | Ipc_fault of { kind : string }
   | Span of span
+  | Alert of { slo : string; state : string; burn_short : float; burn_long : float }
+      (** {!Health} burn-rate alert state transition (JSONL kind
+          ["alert"]); [state] is ["firing"] or ["ok"]. *)
   | Custom of { name : string; value : float }
 
 type t

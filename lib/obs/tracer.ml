@@ -60,6 +60,7 @@ type t = {
   mutable active_consumed : bool;
   clock : unit -> float;
   recorder : Recorder.t option;
+  tk_orphans : Topk.sketch option;
   c_started : Metrics.counter;
   c_actuated : Metrics.counter;
   c_no_action : Metrics.counter;
@@ -78,7 +79,7 @@ type t = {
 
 let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
 
-let create ?(capacity = 1024) ~metrics ?recorder ~clock () =
+let create ?(capacity = 1024) ~metrics ?recorder ?tk_orphans ~clock () =
   if capacity <= 0 then invalid_arg "Tracer.create: capacity must be > 0";
   let cap = pow2_at_least capacity 1 in
   let bits =
@@ -110,6 +111,7 @@ let create ?(capacity = 1024) ~metrics ?recorder ~clock () =
     active_consumed = false;
     clock;
     recorder;
+    tk_orphans;
     c_started = Metrics.counter metrics ~unit_:"spans" "trace.spans_started";
     c_actuated = Metrics.counter metrics ~unit_:"spans" "trace.spans_actuated";
     c_no_action = Metrics.counter metrics ~unit_:"spans" "trace.spans_no_action";
@@ -225,7 +227,13 @@ let finish t token ~now ~disposition ~apply_ns =
         Metrics.observe t.h_ipc_back (us_of_span t.action_at.(slot) now)
     | No_action -> Metrics.incr t.c_no_action
     | Rejected -> Metrics.incr t.c_rejected
-    | Orphaned -> Metrics.incr t.c_orphaned
+    | Orphaned ->
+      Metrics.incr t.c_orphaned;
+      (* Only the tracer knows which flow an orphaned message belonged
+         to, so the per-flow orphan sketch is fed here. *)
+      (match t.tk_orphans with
+      | Some s -> Topk.touch s t.s_flow.(slot)
+      | None -> ())
     | Shed -> Metrics.incr t.c_shed);
     if t.sent_at.(slot) >= 0 && t.agent_at.(slot) >= 0 then
       Metrics.observe t.h_ipc_out (us_of_span t.sent_at.(slot) t.agent_at.(slot));

@@ -26,10 +26,19 @@ type span_kind = Report_span | Urgent_span
 val span_kind_to_string : span_kind -> string
 
 val create :
-  ?capacity:int -> metrics:Metrics.t -> ?recorder:Recorder.t -> clock:(unit -> float) -> unit -> t
+  ?capacity:int ->
+  metrics:Metrics.t ->
+  ?recorder:Recorder.t ->
+  ?tk_orphans:Topk.sketch ->
+  clock:(unit -> float) ->
+  unit ->
+  t
 (** [capacity] (default 1024) is rounded up to a power of two. [clock]
     returns wall nanoseconds and times the summarize/handler/apply
-    stages; simulation timestamps are passed per call. *)
+    stages; simulation timestamps are passed per call. [tk_orphans], when
+    given, is touched with the span's flow id on every [Orphaned]
+    finalization — the tracer is the only place that still knows the
+    flow of a message lost in flight. *)
 
 val no_span : int
 (** [-1]: the token meaning "no span". Safe to pass to every operation. *)

@@ -96,7 +96,7 @@ let test_incast_cell_sanity () =
 let run_n32 ~batching =
   Incast.run_cell ~rate_bps:24e6 ~base_rtt:(Time_ns.ms 10)
     ~duration:(Time_ns.of_float_sec 0.5) ~batching ~seed:42 ~n:32
-    ~arrival:Incast.Synchronized ~algo:"ccp-reno"
+    ~arrival:Incast.Synchronized ~algo:"ccp-reno" ()
 
 let test_batching_wire_amortization () =
   let on = run_n32 ~batching:true and off = run_n32 ~batching:false in

@@ -114,6 +114,8 @@ let every_event_kind =
       { id = 7; flow = 1; kind = "report"; disposition = "actuated"; started_at = 0;
         sent_at = 100; agent_at = 20_100; action_at = 20_600; done_at = 41_000;
         summarize_ns = 310.0; handler_ns = 1200.0; apply_ns = 55.5 };
+    Recorder.Alert
+      { slo = "orphan_rate"; state = "firing"; burn_short = 34.6; burn_long = 18.5 };
     Recorder.Custom { name = "note"; value = nan };
   ]
 
@@ -138,7 +140,7 @@ let test_jsonl_round_trip () =
   in
   Alcotest.(check (list string)) "event kinds in order"
     [ "flow_sample"; "queue_sample"; "install"; "quarantine"; "fallback"; "report";
-      "ipc_fault"; "span"; "custom" ]
+      "ipc_fault"; "span"; "alert"; "custom" ]
     kinds;
   (* The NaN value must not produce invalid JSON. *)
   let last = List.nth lines (List.length lines - 1) in
